@@ -1,0 +1,405 @@
+// Benchmarks regenerating every table and figure of the paper's §V on
+// scaled-down parameters (run cmd/tcache-bench for paper-scale output),
+// plus micro-benchmarks of the protocol's hot paths. Figure benchmarks
+// report their headline quantity with b.ReportMetric, so `go test
+// -bench=.` doubles as a smoke reproduction of the evaluation.
+package tcache
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"tcache/internal/core"
+	"tcache/internal/db"
+	"tcache/internal/experiment"
+	"tcache/internal/kv"
+	"tcache/internal/monitor"
+	"tcache/internal/workload"
+)
+
+// BenchmarkFig3AlphaSweep regenerates Fig. 3 (detection vs Pareto α) and
+// reports the detection ratio at the most clustered point.
+func BenchmarkFig3AlphaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunAlphaSweep(experiment.QuickAlphaParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.Detection, "detect@a4_%")
+	}
+}
+
+// BenchmarkFig4Convergence regenerates Fig. 4 (cluster formation) and
+// reports the post-switch inconsistent share.
+func BenchmarkFig4Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunConvergence(experiment.QuickConvergenceParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, post, _ := res.WindowShares(res.SwitchBucket+2, res.Series.Buckets())
+		b.ReportMetric(post, "postInconsist_%")
+	}
+}
+
+// BenchmarkFig5Drift regenerates Fig. 5 (drifting clusters) and reports
+// the number of cluster shifts simulated.
+func BenchmarkFig5Drift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunDrift(experiment.QuickDriftParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Shifts)), "shifts")
+	}
+}
+
+// BenchmarkFig6Strategies regenerates Fig. 6 (ABORT/EVICT/RETRY on the
+// synthetic workload) and reports RETRY's uncommittable share relative
+// to ABORT's (the paper's ~23%).
+func BenchmarkFig6Strategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunStrategyComparison(experiment.QuickStrategyParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		abort, _ := res.Row(core.StrategyAbort)
+		retry, _ := res.Row(core.StrategyRetry)
+		if abort.Uncommittable() > 0 {
+			b.ReportMetric(100*retry.Uncommittable()/abort.Uncommittable(), "retryVsAbort_%")
+		}
+	}
+}
+
+// BenchmarkFig7abTopologies regenerates the Fig. 7(a,b) topology
+// construction and reports the clustering-coefficient gap.
+func BenchmarkFig7abTopologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ts, err := experiment.DescribeTopologies(experiment.QuickTopologyParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ts[0].Clustering-ts[1].Clustering, "ccGap")
+	}
+}
+
+// BenchmarkFig7cDepListSweep regenerates Fig. 7(c) and reports the
+// Amazon-workload inconsistency remaining at the largest bound, as a
+// percentage of the k=0 value.
+func BenchmarkFig7cDepListSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunDepListSweep(experiment.QuickDepSweepParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := res[0].Points
+		if base := s[0].Inconsistency; base > 0 {
+			b.ReportMetric(100*s[len(s)-1].Inconsistency/base, "remaining_%")
+		}
+	}
+}
+
+// BenchmarkFig7dTTLSweep regenerates Fig. 7(d) and reports the DB-load
+// multiplier at the shortest TTL.
+func BenchmarkFig7dTTLSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunTTLSweep(experiment.QuickTTLSweepParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := res[0].Points
+		b.ReportMetric(pts[len(pts)-1].DBAccessNormed, "dbLoad_%")
+	}
+}
+
+// BenchmarkFig8StrategiesRealistic regenerates Fig. 8 and reports the
+// ABORT detection ratio on the Amazon workload (the paper's 70%).
+func BenchmarkFig8StrategiesRealistic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunStrategyComparisonRealistic(experiment.QuickRealisticStrategyParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		abort, _ := res.PerTopology[experiment.TopologyAmazon].Row(core.StrategyAbort)
+		b.ReportMetric(abort.M.DetectionRatio(), "detect_%")
+	}
+}
+
+// BenchmarkHeadline regenerates the §I/§VIII summary and reports the
+// consistent-rate increase on the Amazon workload (the paper's 33–58%).
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunHeadline(experiment.QuickHeadlineParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].ConsistentRateIncrease, "rateGain_%")
+	}
+}
+
+// --- Protocol micro-benchmarks ------------------------------------------
+
+// BenchmarkCacheHitRead measures the §III-B validated read on a warm
+// cache (the latency-critical path: one client-to-cache round trip).
+func BenchmarkCacheHitRead(b *testing.B) {
+	d := db.Open(db.Config{DepBound: 5})
+	defer d.Close()
+	seedCluster(b, d, 5)
+	cache, err := core.New(core.Config{Backend: d, Strategy: core.StrategyRetry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cache.Close()
+	warm(b, cache, 5)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := kv.TxnID(i + 1)
+		for r := 0; r < 5; r++ {
+			if _, err := cache.Read(id, workload.ObjectKey(r), r == 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(5, "reads/txn")
+}
+
+// BenchmarkCachePlainGet measures the consistency-unaware hit path as a
+// baseline for the transactional overhead.
+func BenchmarkCachePlainGet(b *testing.B) {
+	d := db.Open(db.Config{DepBound: 5})
+	defer d.Close()
+	seedCluster(b, d, 5)
+	cache, err := core.New(core.Config{Backend: d})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cache.Close()
+	warm(b, cache, 5)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Get(workload.ObjectKey(i % 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDBUpdateTxn measures a 5-object read-then-write update
+// transaction through two-phase commit with dependency aggregation.
+func BenchmarkDBUpdateTxn(b *testing.B) {
+	d := db.Open(db.Config{DepBound: 5, Shards: 4})
+	defer d.Close()
+	seedCluster(b, d, 5)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := d.Begin()
+		for r := 0; r < 5; r++ {
+			if _, _, err := txn.Read(workload.ObjectKey(r)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for r := 0; r < 5; r++ {
+			if err := txn.Write(workload.ObjectKey(r), kv.Value("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergeDeps measures the commit-time dependency aggregation
+// (§III-A), the database-side cost the paper bounds as O(k²).
+func BenchmarkMergeDeps(b *testing.B) {
+	accesses := make([]kv.Access, 5)
+	for i := range accesses {
+		deps := make(kv.DepList, 5)
+		for j := range deps {
+			deps[j] = kv.DepEntry{
+				Key:     kv.Key(fmt.Sprintf("d%d-%d", i, j)),
+				Version: kv.Version{Counter: uint64(10*i + j)},
+			}
+		}
+		accesses[i] = kv.Access{
+			Key:     workload.ObjectKey(i),
+			Version: kv.Version{Counter: 100},
+			Deps:    deps,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := kv.MergeDeps(6, accesses); len(got) == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+// BenchmarkMonitorClassify measures serialization-graph classification
+// of one 5-read transaction against a 10k-version history.
+func BenchmarkMonitorClassify(b *testing.B) {
+	m := monitor.New()
+	for v := uint64(1); v <= 10000; v++ {
+		m.RecordUpdate(kv.Version{Counter: v}, []kv.Key{workload.ObjectKey(int(v) % 100)}, nil)
+	}
+	reads := []monitor.Read{
+		{Key: workload.ObjectKey(0), Version: kv.Version{Counter: 9900}},
+		{Key: workload.ObjectKey(1), Version: kv.Version{Counter: 9901}},
+		{Key: workload.ObjectKey(2), Version: kv.Version{Counter: 9902}},
+		{Key: workload.ObjectKey(3), Version: kv.Version{Counter: 9903}},
+		{Key: workload.ObjectKey(4), Version: kv.Version{Counter: 9904}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Classify(reads)
+	}
+}
+
+// BenchmarkDetectionUnderStaleness measures the validated-read path when
+// violations actually fire (RETRY healing a stale entry).
+func BenchmarkDetectionUnderStaleness(b *testing.B) {
+	d := db.Open(db.Config{DepBound: 5})
+	defer d.Close()
+	seedCluster(b, d, 2)
+	cache, err := core.New(core.Config{Backend: d, Strategy: core.StrategyRetry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cache.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Cache b, update {a,b} without invalidation, then read a then b.
+		if _, err := cache.Get(workload.ObjectKey(1)); err != nil {
+			b.Fatal(err)
+		}
+		txn := d.Begin()
+		for r := 0; r < 2; r++ {
+			if _, _, err := txn.Read(workload.ObjectKey(r)); err != nil {
+				b.Fatal(err)
+			}
+			if err := txn.Write(workload.ObjectKey(r), kv.Value("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		cache.Invalidate(workload.ObjectKey(0), kv.Version{Counter: ^uint64(0)}) // evict a only
+		id := kv.TxnID(i + 1)
+		if _, err := cache.Read(id, workload.ObjectKey(0), false); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cache.Read(id, workload.ObjectKey(1), true); err != nil &&
+			!errors.Is(err, core.ErrTxnAborted) {
+			b.Fatal(err)
+		}
+	}
+}
+
+func seedCluster(b *testing.B, d *db.DB, n int) {
+	b.Helper()
+	txn := d.Begin()
+	for i := 0; i < n; i++ {
+		if err := txn.Write(workload.ObjectKey(i), kv.Value("seed")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func warm(b *testing.B, cache *core.Cache, n int) {
+	b.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := cache.Get(workload.ObjectKey(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtAlbumPinning regenerates the §VII web-album experiment and
+// reports the detection gain of pinning over plain LRU.
+func BenchmarkExtAlbumPinning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunAlbum(experiment.QuickAlbumParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, _ := res.Row("lru-only")
+		pinned, _ := res.Row("pinned-acl")
+		b.ReportMetric(pinned.Detection-plain.Detection, "detectGain_pp")
+	}
+}
+
+// BenchmarkExtLRUAblation regenerates the pruning-policy ablation and
+// reports the positional policy's excess inconsistency.
+func BenchmarkExtLRUAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunMergeAblation(experiment.QuickMergeAblationParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[1].MeanInconsistency-res.Rows[0].MeanInconsistency, "excess_pp")
+	}
+}
+
+// BenchmarkExtDropSweep regenerates the loss-sensitivity ablation and
+// reports T-Cache's committed inconsistency at 80% loss.
+func BenchmarkExtDropSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunDropSweep(experiment.QuickDropSweepParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.Inconsistency, "inconsist@80%loss_%")
+	}
+}
+
+// BenchmarkExtMultiversion regenerates the §VI multiversion extension and
+// reports the abort reduction of a 4-version cache over plain T-Cache.
+func BenchmarkExtMultiversion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunMultiversion(experiment.QuickMultiversionParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, _ := res.Row(experiment.TopologyAmazon, 1)
+		mv, _ := res.Row(experiment.TopologyAmazon, 4)
+		b.ReportMetric(plain.Aborted-mv.Aborted, "abortCut_pp")
+	}
+}
+
+// BenchmarkMonitorClassifyExact measures exact conflict-graph
+// classification on a version-torn read set (the path that cannot use
+// the interval fast path) against a 10k-transaction history.
+func BenchmarkMonitorClassifyExact(b *testing.B) {
+	m := monitor.New()
+	for v := uint64(1); v <= 10000; v++ {
+		k := workload.ObjectKey(int(v) % 100)
+		var reads []monitor.Read
+		if v > 100 {
+			reads = []monitor.Read{{Key: k, Version: kv.Version{Counter: v - 100}}}
+		}
+		m.RecordUpdate(kv.Version{Counter: v}, []kv.Key{k}, reads)
+	}
+	// Torn: an old version of one key with fresh versions of others.
+	reads := []monitor.Read{
+		{Key: workload.ObjectKey(0), Version: kv.Version{Counter: 9500}},
+		{Key: workload.ObjectKey(1), Version: kv.Version{Counter: 9901}},
+		{Key: workload.ObjectKey(2), Version: kv.Version{Counter: 9902}},
+	}
+	if m.Classify(reads) {
+		b.Fatal("read set unexpectedly strict-consistent; benchmark would hit the fast path")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ClassifyExact(reads)
+	}
+}

@@ -1,0 +1,255 @@
+// Command tcache-bench regenerates every table and figure of the paper's
+// evaluation section (§V) on the deterministic simulation harness.
+//
+// Usage:
+//
+//	tcache-bench                # run everything at paper scale
+//	tcache-bench -fig 7c        # one figure: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline
+//	tcache-bench -quick         # scaled-down smoke run
+//	tcache-bench -seed 7        # change the simulation seed
+//
+// See DESIGN.md for the per-experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tcache/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcache-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		fig   = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, all")
+		quick = flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	runs := map[string]func(bool, int64) error{
+		"3":        runFig3,
+		"4":        runFig4,
+		"5":        runFig5,
+		"6":        runFig6,
+		"7ab":      runFig7ab,
+		"7c":       runFig7c,
+		"7d":       runFig7d,
+		"8":        runFig8,
+		"headline": runHeadline,
+		"album":    runAlbum,
+		"lru":      runLRUAblation,
+		"drop":     runDropSweep,
+		"mv":       runMultiversion,
+	}
+	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv"}
+
+	selected := strings.Split(*fig, ",")
+	if *fig == "all" {
+		selected = order
+	}
+	for _, f := range selected {
+		fn, ok := runs[f]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (want one of %s, all)", f, strings.Join(order, ", "))
+		}
+		start := time.Now()
+		if err := fn(*quick, *seed); err != nil {
+			return fmt.Errorf("fig %s: %w", f, err)
+		}
+		fmt.Printf("[fig %s done in %v]\n\n", f, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runFig3(quick bool, seed int64) error {
+	p := experiment.DefaultAlphaParams()
+	if quick {
+		p = experiment.QuickAlphaParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunAlphaSweep(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig4(quick bool, seed int64) error {
+	p := experiment.DefaultConvergenceParams()
+	if quick {
+		p = experiment.QuickConvergenceParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunConvergence(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig5(quick bool, seed int64) error {
+	p := experiment.DefaultDriftParams()
+	if quick {
+		p = experiment.QuickDriftParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunDrift(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig6(quick bool, seed int64) error {
+	p := experiment.DefaultStrategyParams()
+	if quick {
+		p = experiment.QuickStrategyParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunStrategyComparison(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runFig7ab(quick bool, seed int64) error {
+	p := experiment.DefaultTopologyParams()
+	if quick {
+		p = experiment.QuickTopologyParams()
+	}
+	p.Seed = seed
+	ts, err := experiment.DescribeTopologies(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.TopologyTable(ts))
+	return nil
+}
+
+func runFig7c(quick bool, seed int64) error {
+	p := experiment.DefaultDepSweepParams()
+	if quick {
+		p = experiment.QuickDepSweepParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunDepListSweep(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.DepSweepTable(res))
+	return nil
+}
+
+func runFig7d(quick bool, seed int64) error {
+	p := experiment.DefaultTTLSweepParams()
+	if quick {
+		p = experiment.QuickTTLSweepParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunTTLSweep(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiment.TTLSweepTable(res))
+	return nil
+}
+
+func runFig8(quick bool, seed int64) error {
+	p := experiment.DefaultRealisticStrategyParams()
+	if quick {
+		p = experiment.QuickRealisticStrategyParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunStrategyComparisonRealistic(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runHeadline(quick bool, seed int64) error {
+	p := experiment.DefaultHeadlineParams()
+	if quick {
+		p = experiment.QuickHeadlineParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunHeadline(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runAlbum(quick bool, seed int64) error {
+	p := experiment.DefaultAlbumParams()
+	if quick {
+		p = experiment.QuickAlbumParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunAlbum(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runLRUAblation(quick bool, seed int64) error {
+	p := experiment.DefaultMergeAblationParams()
+	if quick {
+		p = experiment.QuickMergeAblationParams()
+	}
+	p.Drift.Seed = seed
+	res, err := experiment.RunMergeAblation(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runDropSweep(quick bool, seed int64) error {
+	p := experiment.DefaultDropSweepParams()
+	if quick {
+		p = experiment.QuickDropSweepParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunDropSweep(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runMultiversion(quick bool, seed int64) error {
+	p := experiment.DefaultMultiversionParams()
+	if quick {
+		p = experiment.QuickMultiversionParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunMultiversion(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}

@@ -1,0 +1,143 @@
+// Command tcache-cli is a small client for tdbd and tcached.
+//
+// Usage:
+//
+//	tcache-cli -db 127.0.0.1:7070 set key value [key value ...]
+//	tcache-cli -db 127.0.0.1:7070 get key
+//	tcache-cli -cache 127.0.0.1:7071 read key [key ...]   # one read-only txn
+//	tcache-cli -cache 127.0.0.1:7071 cget key             # plain cache read
+//	tcache-cli -cache 127.0.0.1:7071 stats
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tcache/internal/kv"
+	"tcache/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcache-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dbAddr    = flag.String("db", "127.0.0.1:7070", "tdbd address")
+		cacheAddr = flag.String("cache", "127.0.0.1:7071", "tcached address")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return errors.New("usage: tcache-cli [flags] set|get|read|cget|stats ...")
+	}
+
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "set":
+		if len(rest) == 0 || len(rest)%2 != 0 {
+			return errors.New("set needs key value pairs")
+		}
+		cli, err := transport.DialDB(*dbAddr, 1)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		var reads []kv.Key
+		var writes []transport.KeyValue
+		for i := 0; i < len(rest); i += 2 {
+			reads = append(reads, kv.Key(rest[i]))
+			writes = append(writes, transport.KeyValue{Key: kv.Key(rest[i]), Value: kv.Value(rest[i+1])})
+		}
+		version, err := cli.Update(reads, writes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("committed at version %s\n", version)
+		return nil
+
+	case "get":
+		if len(rest) != 1 {
+			return errors.New("get needs exactly one key")
+		}
+		cli, err := transport.DialDB(*dbAddr, 1)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		item, ok := cli.Get(kv.Key(rest[0]))
+		if !ok {
+			return fmt.Errorf("%s: not found", rest[0])
+		}
+		fmt.Printf("%s = %q @%s deps=%s\n", rest[0], item.Value, item.Version, item.Deps)
+		return nil
+
+	case "read":
+		if len(rest) == 0 {
+			return errors.New("read needs at least one key")
+		}
+		cli, err := transport.DialCache(*cacheAddr)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		id := cli.NewTxnID()
+		for i, k := range rest {
+			val, err := cli.Read(id, kv.Key(k), i == len(rest)-1)
+			if errors.Is(err, transport.ErrAborted) {
+				fmt.Println("transaction aborted: inconsistency detected — retry")
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s = %q\n", k, val)
+		}
+		fmt.Println("transaction committed")
+		return nil
+
+	case "cget":
+		if len(rest) != 1 {
+			return errors.New("cget needs exactly one key")
+		}
+		cli, err := transport.DialCache(*cacheAddr)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		val, err := cli.Get(kv.Key(rest[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s = %q\n", rest[0], val)
+		return nil
+
+	case "stats":
+		cli, err := transport.DialCache(*cacheAddr)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		stats, err := cli.Stats()
+		if err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(stats))
+		for k := range stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-16s %d\n", k, stats[k])
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,191 @@
+// Command tcache-load drives a live tdbd + tcached deployment with the
+// paper's §IV workload shape (clustered 5-object transactions, a given
+// update/read mix) and reports throughput, abort rate, and latency
+// percentiles. It is the real-time counterpart of the simulation harness:
+// use it to measure an actual deployment on real hardware.
+//
+// Usage:
+//
+//	tcache-load -db 127.0.0.1:7070 -cache 127.0.0.1:7071 \
+//	            -duration 10s -readers 8 -updaters 2 -objects 2000
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"tcache/internal/kv"
+	"tcache/internal/stats"
+	"tcache/internal/transport"
+	"tcache/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcache-load:", err)
+		os.Exit(1)
+	}
+}
+
+type counters struct {
+	mu        sync.Mutex
+	updates   int
+	commits   int
+	aborts    int
+	readLat   stats.Sample
+	updateLat stats.Sample
+}
+
+func run() error {
+	var (
+		dbAddr      = flag.String("db", "127.0.0.1:7070", "tdbd address")
+		cacheAddr   = flag.String("cache", "127.0.0.1:7071", "tcached address")
+		duration    = flag.Duration("duration", 10*time.Second, "load duration")
+		readers     = flag.Int("readers", 8, "read-only client goroutines")
+		updaters    = flag.Int("updaters", 2, "update client goroutines")
+		objects     = flag.Int("objects", 2000, "object count")
+		clusterSize = flag.Int("cluster", 5, "cluster size")
+		txnSize     = flag.Int("txn", 5, "objects per transaction")
+		seed        = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	dbCli, err := transport.DialDB(*dbAddr, *updaters+1)
+	if err != nil {
+		return err
+	}
+	defer dbCli.Close()
+	if err := dbCli.Ping(); err != nil {
+		return fmt.Errorf("tdbd unreachable: %w", err)
+	}
+
+	// Seed the key space.
+	gen := &workload.PerfectClusters{Objects: *objects, ClusterSize: *clusterSize, TxnSize: *txnSize}
+	fmt.Printf("seeding %d objects...\n", *objects)
+	for _, k := range workload.AllObjectKeys(*objects) {
+		if _, err := dbCli.Update(nil, []transport.KeyValue{{Key: k, Value: kv.Value("seed")}}); err != nil {
+			return fmt.Errorf("seed %s: %w", k, err)
+		}
+	}
+
+	var (
+		c    counters
+		wg   sync.WaitGroup
+		stop = time.Now().Add(*duration)
+	)
+
+	for u := 0; u < *updaters; u++ {
+		u := u
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(u)))
+			for time.Now().Before(stop) {
+				keys := dedup(gen.Pick(rng))
+				writes := make([]transport.KeyValue, len(keys))
+				for i, k := range keys {
+					writes[i] = transport.KeyValue{Key: k, Value: kv.Value(fmt.Sprintf("u%d", rng.Int63()))}
+				}
+				t0 := time.Now()
+				if _, err := dbCli.Update(keys, writes); err != nil &&
+					!errors.Is(err, transport.ErrConflict) {
+					fmt.Fprintln(os.Stderr, "update:", err)
+					return
+				}
+				c.mu.Lock()
+				c.updates++
+				c.updateLat.Add(float64(time.Since(t0).Microseconds()))
+				c.mu.Unlock()
+			}
+		}()
+	}
+
+	for r := 0; r < *readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := transport.DialCache(*cacheAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dial cache:", err)
+				return
+			}
+			defer cli.Close()
+			rng := rand.New(rand.NewSource(*seed + 1000 + int64(r)))
+			for time.Now().Before(stop) {
+				keys := gen.Pick(rng)
+				id := cli.NewTxnID()
+				t0 := time.Now()
+				aborted := false
+				for i, k := range keys {
+					if _, err := cli.Read(id, k, i == len(keys)-1); err != nil {
+						if errors.Is(err, transport.ErrAborted) {
+							aborted = true
+							break
+						}
+						fmt.Fprintln(os.Stderr, "read:", err)
+						return
+					}
+				}
+				c.mu.Lock()
+				if aborted {
+					c.aborts++
+				} else {
+					c.commits++
+				}
+				c.readLat.Add(float64(time.Since(t0).Microseconds()))
+				c.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	secs := duration.Seconds()
+	fmt.Printf("\n--- %v of load ---\n", *duration)
+	fmt.Printf("update txns:     %8d (%.0f/s), latency[us] %s\n",
+		c.updates, float64(c.updates)/secs, c.updateLat.String())
+	fmt.Printf("read txns:       %8d (%.0f/s), latency[us] %s\n",
+		c.commits+c.aborts, float64(c.commits+c.aborts)/secs, c.readLat.String())
+	fmt.Printf("aborted (stale): %8d (%.2f%%)\n",
+		c.aborts, 100*float64(c.aborts)/float64(max(1, c.commits+c.aborts)))
+
+	cli, err := transport.DialCache(*cacheAddr)
+	if err == nil {
+		defer cli.Close()
+		if s, err := cli.Stats(); err == nil {
+			hits, misses := s["hits"], s["misses"]
+			if hits+misses > 0 {
+				fmt.Printf("cache hit ratio: %.3f (detected %d, retries %d)\n",
+					float64(hits)/float64(hits+misses), s["detected"], s["retries"])
+			}
+		}
+	}
+	return nil
+}
+
+func dedup(keys []kv.Key) []kv.Key {
+	seen := make(map[kv.Key]struct{}, len(keys))
+	out := keys[:0:len(keys)]
+	for _, k := range keys {
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

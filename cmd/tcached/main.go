@@ -1,0 +1,106 @@
+// Command tcached runs a T-Cache edge server as a TCP daemon: it fills
+// misses from a tdbd backend, subscribes to its invalidation stream, and
+// offers clients the transactional read interface of §III-B.
+//
+// Usage:
+//
+//	tcached [-listen 127.0.0.1:7071] [-db 127.0.0.1:7070] \
+//	        [-strategy retry|evict|abort] [-ttl 0] [-capacity 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tcache/internal/core"
+	"tcache/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tcached:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7071", "address to listen on")
+		dbAddr   = flag.String("db", "127.0.0.1:7070", "tdbd backend address")
+		strategy = flag.String("strategy", "retry", "inconsistency strategy: abort, evict, or retry")
+		ttl      = flag.Duration("ttl", 0, "cache entry TTL (0 = none)")
+		capacity = flag.Int("capacity", 0, "max cached entries (0 = unbounded)")
+		txnGC    = flag.Duration("txn-gc", time.Minute, "idle transaction record GC interval (0 = none)")
+		name     = flag.String("name", "", "subscriber name reported to the backend")
+		pool     = flag.Int("backend-conns", 4, "backend connection pool size")
+	)
+	flag.Parse()
+
+	strat, err := parseStrategy(*strategy)
+	if err != nil {
+		return err
+	}
+
+	backend, err := transport.DialDB(*dbAddr, *pool)
+	if err != nil {
+		return err
+	}
+	defer backend.Close()
+
+	cache, err := core.New(core.Config{
+		Backend:  backend,
+		Strategy: strat,
+		TTL:      *ttl,
+		Capacity: *capacity,
+		TxnGC:    *txnGC,
+	})
+	if err != nil {
+		return err
+	}
+	defer cache.Close()
+
+	subName := *name
+	if subName == "" {
+		subName = fmt.Sprintf("tcached-%d", os.Getpid())
+	}
+	stop, err := transport.SubscribeInvalidations(*dbAddr, subName, func(inv transport.Invalidation) {
+		cache.Invalidate(inv.Key, inv.Version)
+	})
+	if err != nil {
+		return fmt.Errorf("subscribe to %s: %w", *dbAddr, err)
+	}
+	defer stop()
+
+	srv := transport.NewCacheServer(cache, log.Printf)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	log.Printf("tcached: serving on %s (backend=%s, strategy=%s, ttl=%v)",
+		addr, *dbAddr, strat, *ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("tcached: shutting down")
+	return nil
+}
+
+func parseStrategy(s string) (core.Strategy, error) {
+	switch s {
+	case "abort":
+		return core.StrategyAbort, nil
+	case "evict":
+		return core.StrategyEvict, nil
+	case "retry":
+		return core.StrategyRetry, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want abort, evict, or retry)", s)
+	}
+}

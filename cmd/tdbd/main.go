@@ -1,0 +1,54 @@
+// Command tdbd runs the backend transactional database as a TCP daemon.
+//
+// Usage:
+//
+//	tdbd [-listen 127.0.0.1:7070] [-shards 4] [-dep-bound 5]
+//
+// Clients are cmd/tcached (edge caches that fill misses from this server
+// and subscribe to its invalidation stream) and cmd/tcache-cli.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tcache/internal/db"
+	"tcache/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tdbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7070", "address to listen on")
+		shards   = flag.Int("shards", 1, "number of two-phase-commit shards")
+		depBound = flag.Int("dep-bound", 5, "dependency-list length k per object (0 disables, -1 unbounded)")
+	)
+	flag.Parse()
+
+	d := db.Open(db.Config{Shards: *shards, DepBound: *depBound})
+	defer d.Close()
+
+	srv := transport.NewDBServer(d, log.Printf)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	log.Printf("tdbd: serving on %s (shards=%d, dep-bound=%d)", addr, *shards, *depBound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("tdbd: shutting down")
+	return nil
+}

@@ -1,0 +1,127 @@
+package tcache_test
+
+import (
+	"errors"
+	"fmt"
+
+	"tcache"
+)
+
+// The basic embedded flow: serializable updates against the database,
+// transactional reads against the cache.
+func Example() {
+	db := tcache.OpenDB()
+	defer db.Close()
+	cache, err := tcache.NewCache(db)
+	if err != nil {
+		panic(err)
+	}
+	defer cache.Close()
+
+	_ = db.Update(func(tx *tcache.Tx) error {
+		if err := tx.Set("train", tcache.Value("$29")); err != nil {
+			return err
+		}
+		return tx.Set("tracks", tcache.Value("$12"))
+	})
+
+	_ = cache.ReadTxn(func(tx *tcache.ReadTx) error {
+		train, err := tx.Get("train")
+		if err != nil {
+			return err
+		}
+		tracks, err := tx.Get("tracks")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("train %s, tracks %s\n", train, tracks)
+		return nil
+	})
+	// Output: train $29, tracks $12
+}
+
+// A torn read under total invalidation loss: the cache holds a stale
+// "tracks" while "train" is fetched fresh; the dependency list exposes
+// the mismatch and the transaction aborts instead of lying.
+func ExampleCache_ReadTxn_detection() {
+	db := tcache.OpenDB()
+	defer db.Close()
+	cache, err := tcache.NewCache(db,
+		tcache.WithStrategy(tcache.StrategyAbort),
+		tcache.WithLossyLink(1.0, 0, 0, 1), // drop ALL invalidations
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer cache.Close()
+
+	seed := func(k tcache.Key, v string) {
+		_ = db.Update(func(tx *tcache.Tx) error { return tx.Set(k, tcache.Value(v)) })
+	}
+	seed("train", "$29")
+	seed("tracks", "$12")
+	_, _ = cache.Get("tracks") // cache tracks@old
+
+	// Reprice both in one transaction; the cache hears nothing.
+	_ = db.Update(func(tx *tcache.Tx) error {
+		for _, k := range []tcache.Key{"train", "tracks"} {
+			if _, _, err := tx.Get(k); err != nil {
+				return err
+			}
+		}
+		if err := tx.Set("train", tcache.Value("$35")); err != nil {
+			return err
+		}
+		return tx.Set("tracks", tcache.Value("$15"))
+	})
+
+	err = cache.ReadTxn(func(tx *tcache.ReadTx) error {
+		if _, err := tx.Get("train"); err != nil { // miss → fresh, with deps
+			return err
+		}
+		_, err := tx.Get("tracks") // stale cached copy
+		return err
+	})
+	fmt.Println("aborted:", errors.Is(err, tcache.ErrTxnAborted))
+	// Output: aborted: true
+}
+
+// StrategyRetry heals the same situation transparently: the violating
+// read is served from the database and the transaction commits.
+func ExampleWithStrategy_retry() {
+	db := tcache.OpenDB()
+	defer db.Close()
+	cache, err := tcache.NewCache(db,
+		tcache.WithStrategy(tcache.StrategyRetry),
+		tcache.WithLossyLink(1.0, 0, 0, 1),
+	)
+	if err != nil {
+		panic(err)
+	}
+	defer cache.Close()
+
+	_ = db.Update(func(tx *tcache.Tx) error { return tx.Set("tracks", tcache.Value("$12")) })
+	_, _ = cache.Get("tracks")
+	_ = db.Update(func(tx *tcache.Tx) error {
+		for _, k := range []tcache.Key{"train", "tracks"} {
+			if _, _, err := tx.Get(k); err != nil {
+				return err
+			}
+		}
+		if err := tx.Set("train", tcache.Value("$35")); err != nil {
+			return err
+		}
+		return tx.Set("tracks", tcache.Value("$15"))
+	})
+
+	var tracks tcache.Value
+	err = cache.ReadTxn(func(tx *tcache.ReadTx) error {
+		if _, err := tx.Get("train"); err != nil {
+			return err
+		}
+		tracks, err = tx.Get("tracks")
+		return err
+	})
+	fmt.Printf("err=%v tracks=%s\n", err, tracks)
+	// Output: err=<nil> tracks=$15
+}

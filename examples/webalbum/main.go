@@ -1,0 +1,134 @@
+// Webalbum: the paper's §II access-control example with the §VII
+// extension. A user removes their boss from an album's ACL and then adds
+// unflattering pictures — one transaction. An edge cache that misses the
+// ACL invalidation could show the boss the new pictures under the OLD
+// access list. With tight dependency budgets the ACL entry gets displaced
+// from the pictures' dependency lists, so the torn render slips through;
+// pinning the picture→ACL dependency (tcache.DB.Pin) makes it detected.
+//
+// Run with: go run ./examples/webalbum
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"tcache"
+)
+
+const pictures = 6
+
+func pic(i int) tcache.Key { return tcache.Key(fmt.Sprintf("album/pic%d", i)) }
+
+const acl = tcache.Key("album/acl")
+
+func main() {
+	fmt.Println("without pinning:", renderOutcome(false))
+	fmt.Println("with pinning:   ", renderOutcome(true))
+}
+
+// renderOutcome builds the torn-ACL situation and reports what a viewer's
+// render transaction experiences.
+func renderOutcome(pinned bool) string {
+	// Tight dependency budget: each object tracks only 1 dependency.
+	db := tcache.OpenDB(tcache.WithDepListBound(1))
+	defer db.Close()
+	cache, err := tcache.NewCache(db,
+		tcache.WithStrategy(tcache.StrategyAbort),
+		tcache.WithLossyLink(1.0, 0, 0, 7), // the ACL invalidation is lost
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cache.Close()
+
+	if pinned {
+		for i := 0; i < pictures; i++ {
+			db.Pin(pic(i), acl)
+		}
+	}
+
+	// Initial album: boss can see it.
+	must(db.Update(func(tx *tcache.Tx) error {
+		if err := tx.Set(acl, tcache.Value("everyone")); err != nil {
+			return err
+		}
+		for i := 0; i < pictures; i++ {
+			if err := tx.Set(pic(i), tcache.Value("vacation")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	// The viewer's edge cache has the old ACL.
+	if _, err := cache.Get(acl); err != nil {
+		log.Fatal(err)
+	}
+
+	// Lock out the boss and add party pictures — one atomic transaction.
+	must(db.Update(func(tx *tcache.Tx) error {
+		if _, _, err := tx.Get(acl); err != nil {
+			return err
+		}
+		if err := tx.Set(acl, tcache.Value("friends-only")); err != nil {
+			return err
+		}
+		for i := 0; i < 2; i++ {
+			if _, _, err := tx.Get(pic(i)); err != nil {
+				return err
+			}
+			if err := tx.Set(pic(i), tcache.Value("party")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	// Dependency churn: the pictures keep being retagged against each
+	// other, displacing the ACL entry from their bound-1 lists.
+	for i := 1; i < pictures; i++ {
+		i := i
+		must(db.Update(func(tx *tcache.Tx) error {
+			for _, k := range []tcache.Key{pic(i - 1), pic(i)} {
+				if _, _, err := tx.Get(k); err != nil {
+					return err
+				}
+				if err := tx.Set(k, tcache.Value("retagged")); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+	}
+
+	// The boss's render: fresh pictures (cache misses) + stale ACL (hit).
+	err = cache.ReadTxn(func(tx *tcache.ReadTx) error {
+		for i := 0; i < pictures; i++ {
+			if _, err := tx.Get(pic(i)); err != nil {
+				return err
+			}
+		}
+		who, err := tx.Get(acl)
+		if err != nil {
+			return err
+		}
+		if string(who) == "everyone" {
+			return errors.New("TORN RENDER: new pictures shown under the old ACL")
+		}
+		return nil
+	})
+	switch {
+	case errors.Is(err, tcache.ErrTxnAborted):
+		return "T-Cache detected the stale ACL and aborted the render (safe)"
+	case err != nil:
+		return err.Error()
+	default:
+		return "render saw a consistent album"
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

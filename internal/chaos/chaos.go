@@ -1,0 +1,98 @@
+// Package chaos models the unreliable, asynchronous channel between the
+// database and its edge caches. The paper's experiments drop 20% of
+// invalidations uniformly at random and deliver the rest asynchronously;
+// this package generalizes that to configurable drop probability, delay
+// distribution, and reordering jitter, driven by any clock.Clock so the
+// same injector works in real time and in simulation.
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcache/internal/clock"
+)
+
+// Config describes the channel's failure model.
+type Config struct {
+	// DropRate is the probability in [0,1] that a message is silently
+	// lost (the paper's experiments use 0.2).
+	DropRate float64
+	// BaseDelay is the minimum delivery latency.
+	BaseDelay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter). Messages
+	// whose jitter windows overlap can be delivered out of order, which
+	// models the paper's "lacking absolute guarantees of order".
+	Jitter time.Duration
+	// Seed makes the injector deterministic; 0 means seed 1.
+	Seed int64
+}
+
+// Stats are the injector's monotonic counters.
+type Stats struct {
+	Offered   uint64
+	Dropped   uint64
+	Delivered uint64
+}
+
+// Injector applies the failure model to a stream of messages of type T.
+// It is safe for concurrent use.
+type Injector[T any] struct {
+	clk clock.Clock
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	offered   atomic.Uint64
+	dropped   atomic.Uint64
+	delivered atomic.Uint64
+}
+
+// New creates an injector delivering through clk.
+func New[T any](clk clock.Clock, cfg Config) *Injector[T] {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector[T]{
+		clk: clk,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Wrap returns a synchronous sender that applies the failure model and
+// schedules asynchronous delivery of surviving messages to deliver.
+func (in *Injector[T]) Wrap(deliver func(T)) func(T) {
+	return func(msg T) {
+		in.offered.Add(1)
+		in.mu.Lock()
+		drop := in.rng.Float64() < in.cfg.DropRate
+		var jitter time.Duration
+		if in.cfg.Jitter > 0 {
+			jitter = time.Duration(in.rng.Int63n(int64(in.cfg.Jitter)))
+		}
+		in.mu.Unlock()
+		if drop {
+			in.dropped.Add(1)
+			return
+		}
+		in.clk.AfterFunc(in.cfg.BaseDelay+jitter, func() {
+			in.delivered.Add(1)
+			deliver(msg)
+		})
+	}
+}
+
+// Stats returns a snapshot of the counters. Note that offered ==
+// dropped + delivered only once all scheduled deliveries have fired.
+func (in *Injector[T]) Stats() Stats {
+	return Stats{
+		Offered:   in.offered.Load(),
+		Dropped:   in.dropped.Load(),
+		Delivered: in.delivered.Load(),
+	}
+}

@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"tcache/internal/clock"
+)
+
+func TestNoFailuresDeliversEverything(t *testing.T) {
+	clk := clock.NewSimAtZero()
+	in := New[int](clk, Config{})
+	var got []int
+	send := in.Wrap(func(x int) { got = append(got, x) })
+	for i := 0; i < 10; i++ {
+		send(i)
+	}
+	clk.RunFor(time.Second)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d, want 10", len(got))
+	}
+	for i, x := range got {
+		if x != i {
+			t.Fatalf("order broken without jitter: %v", got)
+		}
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	clk := clock.NewSimAtZero()
+	in := New[int](clk, Config{DropRate: 0.2, Seed: 7})
+	delivered := 0
+	send := in.Wrap(func(int) { delivered++ })
+	const n = 10000
+	for i := 0; i < n; i++ {
+		send(i)
+	}
+	clk.RunFor(time.Second)
+	s := in.Stats()
+	if s.Offered != n {
+		t.Fatalf("offered = %d", s.Offered)
+	}
+	if s.Dropped+s.Delivered != n {
+		t.Fatalf("dropped %d + delivered %d != %d", s.Dropped, s.Delivered, n)
+	}
+	rate := float64(s.Dropped) / n
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("drop rate = %.3f, want ≈0.2", rate)
+	}
+	if delivered != int(s.Delivered) {
+		t.Fatalf("sink saw %d, stats say %d", delivered, s.Delivered)
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	clk := clock.NewSimAtZero()
+	in := New[int](clk, Config{DropRate: 1.0})
+	send := in.Wrap(func(int) { t.Fatal("delivered despite DropRate=1") })
+	for i := 0; i < 100; i++ {
+		send(i)
+	}
+	clk.RunFor(time.Second)
+	if got := in.Stats().Dropped; got != 100 {
+		t.Fatalf("dropped = %d, want 100", got)
+	}
+}
+
+func TestBaseDelayDefersDelivery(t *testing.T) {
+	clk := clock.NewSimAtZero()
+	in := New[string](clk, Config{BaseDelay: 50 * time.Millisecond})
+	var deliveredAt time.Time
+	send := in.Wrap(func(string) { deliveredAt = clk.Now() })
+	start := clk.Now()
+	send("x")
+	if !deliveredAt.IsZero() {
+		t.Fatal("delivered synchronously")
+	}
+	clk.RunFor(time.Second)
+	if got := deliveredAt.Sub(start); got != 50*time.Millisecond {
+		t.Fatalf("delivered at +%v, want +50ms", got)
+	}
+}
+
+func TestJitterCanReorder(t *testing.T) {
+	clk := clock.NewSimAtZero()
+	in := New[int](clk, Config{Jitter: 100 * time.Millisecond, Seed: 3})
+	var got []int
+	send := in.Wrap(func(x int) { got = append(got, x) })
+	for i := 0; i < 50; i++ {
+		send(i)
+	}
+	clk.RunFor(time.Second)
+	if len(got) != 50 {
+		t.Fatalf("delivered %d, want 50", len(got))
+	}
+	inOrder := true
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("jitter produced no reordering across 50 messages (suspicious)")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []int {
+		clk := clock.NewSimAtZero()
+		in := New[int](clk, Config{DropRate: 0.3, Jitter: 10 * time.Millisecond, Seed: 99})
+		var got []int
+		send := in.Wrap(func(x int) { got = append(got, x) })
+		for i := 0; i < 200; i++ {
+			send(i)
+		}
+		clk.RunFor(time.Second)
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestZeroSeedNormalized(t *testing.T) {
+	clk := clock.NewSimAtZero()
+	in := New[int](clk, Config{Seed: 0})
+	send := in.Wrap(func(int) {})
+	send(1) // must not panic
+	clk.RunFor(time.Second)
+}
+
+func TestRealClockDelivery(t *testing.T) {
+	in := New[int](clock.Real{}, Config{})
+	done := make(chan int, 1)
+	send := in.Wrap(func(x int) { done <- x })
+	send(42)
+	select {
+	case x := <-done:
+		if x != 42 {
+			t.Fatalf("got %d", x)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("real-clock delivery never happened")
+	}
+}

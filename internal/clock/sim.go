@@ -1,0 +1,245 @@
+package clock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sim is a deterministic discrete-event simulation clock.
+//
+// Events scheduled with AfterFunc (or At) are kept in a priority queue
+// ordered by (time, insertion sequence); Run and Step pop events and execute
+// them inline, advancing the virtual time to each event's deadline. Two
+// events with the same deadline run in the order they were scheduled, which
+// makes experiment runs bit-for-bit reproducible for a fixed seed.
+//
+// Sim is safe for concurrent use, but the intended mode of operation is
+// single-threaded: the experiment loop owns the clock and all components
+// execute inside event callbacks.
+type Sim struct {
+	mu   sync.Mutex
+	now  time.Time
+	seq  uint64
+	heap eventHeap
+	// running guards against re-entrant Run/Step calls from inside an
+	// event callback, which would deadlock or corrupt ordering.
+	running bool
+}
+
+var _ Clock = (*Sim)(nil)
+
+// NewSim returns a simulation clock whose current time is start.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// NewSimAtZero returns a simulation clock starting at the zero-plus-epoch
+// time used throughout the experiment harness (an arbitrary fixed origin).
+func NewSimAtZero() *Sim {
+	return NewSim(time.Unix(0, 0).UTC())
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since implements Clock.
+func (s *Sim) Since(t time.Time) time.Duration {
+	return s.Now().Sub(t)
+}
+
+// AfterFunc implements Clock. Negative durations are treated as zero.
+func (s *Sim) AfterFunc(d time.Duration, f func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheduleLocked(s.now.Add(d), f)
+}
+
+// At schedules f at the absolute virtual time at. Times in the past run at
+// the current time (they still run strictly after the currently executing
+// event returns).
+func (s *Sim) At(at time.Time, f func()) Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if at.Before(s.now) {
+		at = s.now
+	}
+	return s.scheduleLocked(at, f)
+}
+
+func (s *Sim) scheduleLocked(at time.Time, f func()) Timer {
+	s.seq++
+	ev := &event{at: at, seq: s.seq, fn: f, clock: s}
+	heap.Push(&s.heap, ev)
+	return ev
+}
+
+// Step executes the next pending event, advancing virtual time to its
+// deadline. It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		panic("clock: re-entrant Sim.Step from inside an event callback")
+	}
+	ev := s.popRunnableLocked(time.Time{}, false)
+	if ev == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.running = true
+	s.mu.Unlock()
+
+	ev.fn()
+
+	s.mu.Lock()
+	s.running = false
+	s.mu.Unlock()
+	return true
+}
+
+// Run executes events in order until no event remains with deadline <= until,
+// leaving the virtual time at until (or at the last event's time if that is
+// later than until, which cannot happen by construction). It returns the
+// number of events executed.
+func (s *Sim) Run(until time.Time) int {
+	n := 0
+	for {
+		s.mu.Lock()
+		if s.running {
+			s.mu.Unlock()
+			panic("clock: re-entrant Sim.Run from inside an event callback")
+		}
+		ev := s.popRunnableLocked(until, true)
+		if ev == nil {
+			if s.now.Before(until) {
+				s.now = until
+			}
+			s.mu.Unlock()
+			return n
+		}
+		s.running = true
+		s.mu.Unlock()
+
+		ev.fn()
+		n++
+
+		s.mu.Lock()
+		s.running = false
+		s.mu.Unlock()
+	}
+}
+
+// RunFor advances the clock by d, executing all events that fall due.
+func (s *Sim) RunFor(d time.Duration) int {
+	return s.Run(s.Now().Add(d))
+}
+
+// Drain runs events until the queue is empty and returns the number
+// executed. It panics after maxEvents events as a runaway guard.
+func (s *Sim) Drain(maxEvents int) int {
+	n := 0
+	for s.Step() {
+		n++
+		if n > maxEvents {
+			panic(fmt.Sprintf("clock: Sim.Drain exceeded %d events", maxEvents))
+		}
+	}
+	return n
+}
+
+// Pending returns the number of scheduled, not-yet-cancelled events.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ev := range s.heap {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// popRunnableLocked pops the next non-cancelled event. If bounded, only
+// events with deadline <= until qualify. Advances s.now to the event time.
+func (s *Sim) popRunnableLocked(until time.Time, bounded bool) *event {
+	for s.heap.Len() > 0 {
+		ev := s.heap[0]
+		if bounded && ev.at.After(until) {
+			return nil
+		}
+		heap.Pop(&s.heap)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at.After(s.now) {
+			s.now = ev.at
+		}
+		return ev
+	}
+	return nil
+}
+
+// event implements Timer.
+type event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	index     int
+	cancelled bool
+	clock     *Sim
+}
+
+// Stop implements Timer.
+func (e *event) Stop() bool {
+	e.clock.mu.Lock()
+	defer e.clock.mu.Unlock()
+	if e.cancelled || e.index < 0 {
+		return false
+	}
+	e.cancelled = true
+	return true
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,203 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimNowStartsAtOrigin(t *testing.T) {
+	origin := time.Unix(100, 0).UTC()
+	s := NewSim(origin)
+	if got := s.Now(); !got.Equal(origin) {
+		t.Fatalf("Now() = %v, want %v", got, origin)
+	}
+}
+
+func TestSimAfterFuncOrdering(t *testing.T) {
+	s := NewSimAtZero()
+	var order []int
+	s.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	s.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	s.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+
+	if n := s.RunFor(time.Second); n != 3 {
+		t.Fatalf("RunFor executed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimSameDeadlineFIFO(t *testing.T) {
+	s := NewSimAtZero()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.AfterFunc(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	s.RunFor(time.Second)
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-deadline events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestSimTimeAdvancesToEventDeadline(t *testing.T) {
+	s := NewSimAtZero()
+	start := s.Now()
+	var at time.Time
+	s.AfterFunc(42*time.Millisecond, func() { at = s.Now() })
+	s.Step()
+	if got := at.Sub(start); got != 42*time.Millisecond {
+		t.Fatalf("event ran at +%v, want +42ms", got)
+	}
+}
+
+func TestSimRunAdvancesToUntilWhenIdle(t *testing.T) {
+	s := NewSimAtZero()
+	until := s.Now().Add(5 * time.Second)
+	s.Run(until)
+	if !s.Now().Equal(until) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), until)
+	}
+}
+
+func TestSimRunBoundary(t *testing.T) {
+	s := NewSimAtZero()
+	ran := 0
+	s.AfterFunc(time.Second, func() { ran++ })
+	s.AfterFunc(time.Second+time.Nanosecond, func() { ran++ })
+	s.RunFor(time.Second)
+	if ran != 1 {
+		t.Fatalf("events at exactly `until` should run; got %d, want 1", ran)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1", got)
+	}
+}
+
+func TestSimStopCancels(t *testing.T) {
+	s := NewSimAtZero()
+	ran := false
+	tm := s.AfterFunc(time.Millisecond, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer, want true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	s.RunFor(time.Second)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestSimStopAfterFire(t *testing.T) {
+	s := NewSimAtZero()
+	tm := s.AfterFunc(time.Millisecond, func() {})
+	s.RunFor(time.Second)
+	if tm.Stop() {
+		t.Fatal("Stop() after firing = true, want false")
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSimAtZero()
+	var hits []time.Duration
+	start := s.Now()
+	var tick func()
+	tick = func() {
+		hits = append(hits, s.Since(start))
+		if len(hits) < 5 {
+			s.AfterFunc(10*time.Millisecond, tick)
+		}
+	}
+	s.AfterFunc(10*time.Millisecond, tick)
+	s.RunFor(time.Second)
+	if len(hits) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(hits))
+	}
+	for i, h := range hits {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if h != want {
+			t.Fatalf("tick %d at +%v, want +%v", i, h, want)
+		}
+	}
+}
+
+func TestSimNegativeDelayRunsNow(t *testing.T) {
+	s := NewSimAtZero()
+	before := s.Now()
+	var at time.Time
+	s.AfterFunc(-time.Hour, func() { at = s.Now() })
+	s.Step()
+	if !at.Equal(before) {
+		t.Fatalf("negative-delay event at %v, want %v", at, before)
+	}
+}
+
+func TestSimAtPastClampsToNow(t *testing.T) {
+	s := NewSimAtZero()
+	s.RunFor(time.Minute)
+	now := s.Now()
+	var at time.Time
+	s.At(now.Add(-time.Second), func() { at = s.Now() })
+	s.Step()
+	if !at.Equal(now) {
+		t.Fatalf("past At event ran at %v, want %v", at, now)
+	}
+}
+
+func TestSimDrain(t *testing.T) {
+	s := NewSimAtZero()
+	count := 0
+	for i := 0; i < 100; i++ {
+		s.AfterFunc(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	if n := s.Drain(1000); n != 100 {
+		t.Fatalf("Drain executed %d, want 100", n)
+	}
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+}
+
+func TestSimDrainRunawayGuard(t *testing.T) {
+	s := NewSimAtZero()
+	var loop func()
+	loop = func() { s.AfterFunc(time.Millisecond, loop) }
+	s.AfterFunc(time.Millisecond, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drain did not panic on runaway event loop")
+		}
+	}()
+	s.Drain(50)
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	t0 := c.Now()
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.AfterFunc never fired")
+	}
+	if c.Since(t0) <= 0 {
+		t.Fatal("Since returned non-positive duration")
+	}
+}
+
+func TestRealTimerStop(t *testing.T) {
+	var c Clock = Real{}
+	tm := c.AfterFunc(time.Hour, func() { t.Error("should not fire") })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending real timer")
+	}
+}

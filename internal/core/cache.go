@@ -1,0 +1,376 @@
+// Package core implements T-Cache, the paper's primary contribution: an
+// edge cache that offers a transactional read-only interface on top of the
+// usual read/invalidate API, detecting most inconsistencies locally —
+// without any round trip to the backend database on cache hits.
+//
+// The cache stores, alongside each object's value, its commit version and
+// its bounded dependency list as maintained by the database (§III-A). For
+// every in-flight read-only transaction it keeps a record of the versions
+// read and the versions expected by their dependency lists, and validates
+// every new read against that record (§III-B, equations 1 and 2). On a
+// detected inconsistency it applies one of three strategies: ABORT, EVICT,
+// or RETRY.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tcache/internal/clock"
+	"tcache/internal/kv"
+)
+
+// Strategy selects how the cache reacts when a read would expose an
+// inconsistency (§III-B).
+type Strategy int
+
+const (
+	// StrategyAbort aborts the current transaction, affecting only it.
+	StrategyAbort Strategy = iota + 1
+	// StrategyEvict aborts the transaction and evicts the violating
+	// (too-old) object, guessing that it would trip future transactions.
+	StrategyEvict
+	// StrategyRetry additionally re-reads the violating object from the
+	// database when the violator is the object currently being read
+	// (equation 2), turning the inconsistency into a cache miss; when the
+	// violator was already returned to the client (equation 1) it behaves
+	// like StrategyEvict.
+	StrategyRetry
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAbort:
+		return "ABORT"
+	case StrategyEvict:
+		return "EVICT"
+	case StrategyRetry:
+		return "RETRY"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Errors returned by Read.
+var (
+	// ErrTxnAborted reports that the transaction observed (or would have
+	// observed) inconsistent data and was aborted; the client may retry
+	// with a fresh transaction ID.
+	ErrTxnAborted = errors.New("tcache: transaction aborted on inconsistency")
+	// ErrNotFound reports that neither the cache nor the backend has the
+	// key.
+	ErrNotFound = errors.New("tcache: key not found")
+	// ErrClosed reports that the cache is shut down.
+	ErrClosed = errors.New("tcache: closed")
+)
+
+// InconsistencyError is the concrete error wrapped into ErrTxnAborted; it
+// names the violating key and which check fired.
+type InconsistencyError struct {
+	TxnID kv.TxnID
+	// Key is the key whose read triggered the check.
+	Key kv.Key
+	// StaleKey is the too-old object (equal to Key for equation-2
+	// violations, a previously read key for equation-1 violations).
+	StaleKey kv.Key
+	// Equation is 1 or 2, matching the paper's numbering.
+	Equation int
+}
+
+func (e *InconsistencyError) Error() string {
+	return fmt.Sprintf("tcache: txn %d: eq.%d violation reading %q (stale object %q)",
+		e.TxnID, e.Equation, e.Key, e.StaleKey)
+}
+
+// Unwrap makes errors.Is(err, ErrTxnAborted) hold.
+func (e *InconsistencyError) Unwrap() error { return ErrTxnAborted }
+
+// Backend is the database interface the cache needs: the lock-free
+// single-entry read used to fill misses. *db.DB implements it.
+type Backend interface {
+	Get(key kv.Key) (kv.Item, bool)
+}
+
+// ReadVersion is one (key, version) pair of a completed transaction's
+// read set, reported to completion observers.
+type ReadVersion struct {
+	Key     kv.Key
+	Version kv.Version
+}
+
+// Completion describes a finished read-only transaction: the versions it
+// read and whether it committed. The consistency monitor consumes these.
+type Completion struct {
+	TxnID     kv.TxnID
+	Reads     []ReadVersion
+	Committed bool
+	// Attempted is set when the transaction was aborted on a detected
+	// violation: it is the read that would have been returned next had
+	// the check not fired. Including it in the would-be read set lets a
+	// monitor distinguish true detections (the transaction was about to
+	// observe a non-serializable snapshot) from spurious aborts.
+	Attempted *ReadVersion
+}
+
+// CompletionHook observes finished read-only transactions.
+type CompletionHook func(Completion)
+
+// Config configures a Cache.
+type Config struct {
+	// Backend fills cache misses. Required.
+	Backend Backend
+	// Clock drives TTL expiry and transaction GC. Defaults to clock.Real.
+	Clock clock.Clock
+	// Strategy is the inconsistency reaction (default StrategyAbort).
+	Strategy Strategy
+	// TTL bounds the life span of cache entries; 0 disables expiry.
+	// The TTL-based baseline of Fig. 7(d) sets this and disables
+	// dependency checking at the database (DepBound 0).
+	TTL time.Duration
+	// TxnGC bounds how long an idle transaction record is kept before it
+	// is garbage-collected (protecting against clients that never send
+	// lastOp). 0 disables the sweeper.
+	TxnGC time.Duration
+	// Capacity bounds the number of cached entries; 0 means unbounded
+	// (the paper's prototype: "all objects in the workload fit in the
+	// cache"). When full, the least recently used entry is evicted.
+	Capacity int
+	// Multiversion retains up to this many committed versions per entry
+	// and serves each transaction the newest version that keeps it
+	// serializable (the TxCache technique §VI suggests combining with
+	// T-Cache; see multiversion.go). Values ≤ 1 disable it.
+	Multiversion int
+}
+
+// Cache is a T-Cache server. It is safe for concurrent use.
+type Cache struct {
+	cfg Config
+	clk clock.Clock
+
+	mu      sync.Mutex
+	entries map[kv.Key]*entry
+	lruHead *entry // most recently used; doubly linked ring when Capacity > 0
+	lruTail *entry
+	txns    map[kv.TxnID]*txnRecord
+	closed  bool
+
+	// pending holds completion reports queued under mu and delivered by
+	// unlockFlush once mu is released.
+	pending []Completion
+
+	hookMu sync.Mutex
+	hooks  []CompletionHook
+
+	gcTimer clock.Timer
+
+	metrics Metrics
+}
+
+type entry struct {
+	key       kv.Key
+	item      kv.Item
+	fetchedAt time.Time
+	// older retains superseded versions, newest first (multiversioning).
+	older []kv.Item
+	// staleLatest marks that item is no longer the latest committed
+	// version (set by invalidations under multiversioning).
+	staleLatest bool
+	prev        *entry
+	next        *entry
+}
+
+// txnRecord tracks one in-flight read-only transaction: the version each
+// key was read at, and the largest version any read (or any read's
+// dependency list) expects for each key.
+type txnRecord struct {
+	readVer  map[kv.Key]kv.Version
+	expected map[kv.Key]kv.Version
+	order    []ReadVersion // reads in order, for completion reports
+	lastUsed time.Time
+}
+
+// New creates a cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("tcache: Config.Backend is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Strategy == 0 {
+		cfg.Strategy = StrategyAbort
+	}
+	c := &Cache{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		entries: make(map[kv.Key]*entry),
+		txns:    make(map[kv.TxnID]*txnRecord),
+	}
+	if cfg.TxnGC > 0 {
+		c.gcTimer = c.clk.AfterFunc(cfg.TxnGC, c.gcSweep)
+	}
+	return c, nil
+}
+
+// Close stops background work. Subsequent reads fail with ErrClosed.
+func (c *Cache) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.gcTimer != nil {
+		c.gcTimer.Stop()
+	}
+}
+
+// OnComplete registers a hook observing every finished transaction.
+func (c *Cache) OnComplete(h CompletionHook) {
+	c.hookMu.Lock()
+	defer c.hookMu.Unlock()
+	c.hooks = append(c.hooks, h)
+}
+
+func (c *Cache) emit(comp Completion) {
+	c.hookMu.Lock()
+	hooks := make([]CompletionHook, len(c.hooks))
+	copy(hooks, c.hooks)
+	c.hookMu.Unlock()
+	for _, h := range hooks {
+		h(comp)
+	}
+}
+
+// Invalidate is the upcall the database (or its unreliable delivery
+// pipeline) invokes after an update transaction: it evicts the cached
+// entry if it is older than the invalidated version.
+func (c *Cache) Invalidate(key kv.Key, version kv.Version) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.metrics.InvalidationsNoop.Add(1)
+		return
+	}
+	if c.cfg.Multiversion > 1 {
+		c.invalidateMVLocked(e, version)
+		return
+	}
+	if e.item.Version.Less(version) {
+		c.removeEntryLocked(e)
+		c.metrics.InvalidationsApplied.Add(1)
+		return
+	}
+	c.metrics.InvalidationsStale.Add(1)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// ActiveTxns returns the number of in-flight transaction records.
+func (c *Cache) ActiveTxns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.txns)
+}
+
+// Contains reports whether key is currently cached (ignoring TTL).
+func (c *Cache) Contains(key kv.Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// gcSweep drops transaction records idle for longer than TxnGC and
+// reschedules itself.
+func (c *Cache) gcSweep() {
+	now := c.clk.Now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	for id, rec := range c.txns {
+		if now.Sub(rec.lastUsed) >= c.cfg.TxnGC {
+			c.pending = append(c.pending, Completion{TxnID: id, Reads: rec.order, Committed: false})
+			delete(c.txns, id)
+			c.metrics.TxnsGCed.Add(1)
+		}
+	}
+	c.gcTimer = c.clk.AfterFunc(c.cfg.TxnGC, c.gcSweep)
+	c.unlockFlush()
+}
+
+// removeEntryLocked unlinks e from the map and the LRU list.
+func (c *Cache) removeEntryLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lruUnlinkLocked(e)
+}
+
+func (c *Cache) lruUnlinkLocked(e *entry) {
+	if c.cfg.Capacity <= 0 {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.lruHead == e {
+		c.lruHead = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.lruTail == e {
+		c.lruTail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) lruTouchLocked(e *entry) {
+	if c.cfg.Capacity <= 0 || c.lruHead == e {
+		return
+	}
+	c.lruUnlinkLocked(e)
+	e.next = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = e
+	}
+	c.lruHead = e
+	if c.lruTail == nil {
+		c.lruTail = e
+	}
+}
+
+// insertLocked adds or replaces the entry for key, enforcing Capacity.
+func (c *Cache) insertLocked(key kv.Key, item kv.Item) *entry {
+	if e, ok := c.entries[key]; ok {
+		if e.item.Version.Less(item.Version) {
+			if c.cfg.Multiversion > 1 {
+				c.pushVersionLocked(e, item)
+			} else {
+				e.item = item
+				e.fetchedAt = c.clk.Now()
+			}
+		} else if c.cfg.Multiversion > 1 && e.item.Version == item.Version {
+			// Re-fetch confirmed the cached newest is the latest again.
+			e.staleLatest = false
+		}
+		c.lruTouchLocked(e)
+		return e
+	}
+	e := &entry{key: key, item: item, fetchedAt: c.clk.Now()}
+	c.entries[key] = e
+	c.lruTouchLocked(e)
+	if c.cfg.Capacity > 0 && len(c.entries) > c.cfg.Capacity && c.lruTail != nil && c.lruTail != e {
+		victim := c.lruTail
+		c.removeEntryLocked(victim)
+		c.metrics.CapacityEvictions.Add(1)
+	}
+	return e
+}

@@ -1,0 +1,86 @@
+package core
+
+import "sync/atomic"
+
+// Metrics holds the cache's monotonic counters; read them with Snapshot.
+type Metrics struct {
+	Reads                uint64v
+	Hits                 uint64v
+	Misses               uint64v
+	TTLExpiries          uint64v
+	TxnsStarted          uint64v
+	TxnsCommitted        uint64v
+	TxnsAborted          uint64v
+	TxnsGCed             uint64v
+	Detected             uint64v
+	DetectedEq1          uint64v
+	DetectedEq2          uint64v
+	Retries              uint64v
+	RetriesResolved      uint64v
+	Evictions            uint64v
+	CapacityEvictions    uint64v
+	InvalidationsApplied uint64v
+	InvalidationsStale   uint64v
+	InvalidationsNoop    uint64v
+	MVServedOld          uint64v
+}
+
+// uint64v aliases atomic.Uint64 to keep the struct declaration compact.
+type uint64v = atomic.Uint64
+
+// MetricsSnapshot is a point-in-time copy of Metrics.
+type MetricsSnapshot struct {
+	Reads                uint64
+	Hits                 uint64
+	Misses               uint64
+	TTLExpiries          uint64
+	TxnsStarted          uint64
+	TxnsCommitted        uint64
+	TxnsAborted          uint64
+	TxnsGCed             uint64
+	Detected             uint64
+	DetectedEq1          uint64
+	DetectedEq2          uint64
+	Retries              uint64
+	RetriesResolved      uint64
+	Evictions            uint64
+	CapacityEvictions    uint64
+	InvalidationsApplied uint64
+	InvalidationsStale   uint64
+	InvalidationsNoop    uint64
+	MVServedOld          uint64
+}
+
+// HitRatio returns hits / (hits + misses), or 1 if there were no reads.
+func (m MetricsSnapshot) HitRatio() float64 {
+	total := m.Hits + m.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(m.Hits) / float64(total)
+}
+
+// Metrics returns a snapshot of the cache counters.
+func (c *Cache) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		Reads:                c.metrics.Reads.Load(),
+		Hits:                 c.metrics.Hits.Load(),
+		Misses:               c.metrics.Misses.Load(),
+		TTLExpiries:          c.metrics.TTLExpiries.Load(),
+		TxnsStarted:          c.metrics.TxnsStarted.Load(),
+		TxnsCommitted:        c.metrics.TxnsCommitted.Load(),
+		TxnsAborted:          c.metrics.TxnsAborted.Load(),
+		TxnsGCed:             c.metrics.TxnsGCed.Load(),
+		Detected:             c.metrics.Detected.Load(),
+		DetectedEq1:          c.metrics.DetectedEq1.Load(),
+		DetectedEq2:          c.metrics.DetectedEq2.Load(),
+		Retries:              c.metrics.Retries.Load(),
+		RetriesResolved:      c.metrics.RetriesResolved.Load(),
+		Evictions:            c.metrics.Evictions.Load(),
+		CapacityEvictions:    c.metrics.CapacityEvictions.Load(),
+		InvalidationsApplied: c.metrics.InvalidationsApplied.Load(),
+		InvalidationsStale:   c.metrics.InvalidationsStale.Load(),
+		InvalidationsNoop:    c.metrics.InvalidationsNoop.Load(),
+		MVServedOld:          c.metrics.MVServedOld.Load(),
+	}
+}

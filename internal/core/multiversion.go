@@ -1,0 +1,127 @@
+package core
+
+import (
+	"tcache/internal/kv"
+)
+
+// Multiversion support (§VI related work, TxCache): "the cache holds
+// several versions of an object and enables the cache to choose a version
+// that allows a transaction to commit. This technique could also be used
+// with our solution."
+//
+// With Config.Multiversion = V > 1, each cache entry retains up to V
+// committed versions. A transactional read serves the NEWEST cached
+// version that passes the §III-B checks against the transaction's record,
+// so a transaction that began on an older snapshot can keep reading that
+// snapshot instead of aborting — at zero database cost. Invalidations no
+// longer evict: they mark the entry's newest version as no-longer-latest
+// (it remains a valid committed version), and a read that needs something
+// newer falls through to the backend, pushing the previous versions down
+// the entry's history.
+//
+// The trade-off is the one TxCache accepts: snapshots served may be
+// staler than with eviction. Serializability is unaffected — every served
+// version passes the same checks.
+
+// readMV is the transactional read path when multiversioning is enabled.
+// Called with c.mu held and the transaction record resolved; returns with
+// c.mu released (via the shared completion-flush paths).
+func (c *Cache) readMV(txnID kv.TxnID, rec *txnRecord, key kv.Key, lastOp bool) (kv.Value, error) {
+	// Resolve the latest committed version first — exactly like the
+	// plain cache (entries whose newest version is known-superseded act
+	// as misses). Retained versions are consulted ONLY when the latest
+	// fails the §III-B checks: multiversioning converts would-be aborts
+	// into consistent serves, never fresh reads into stale ones.
+	item, err := c.lookupLocked(key)
+	if err != nil {
+		if lastOp {
+			c.finishLocked(txnID, rec, true, nil)
+		}
+		c.unlockFlush()
+		return nil, err
+	}
+	v, bad := checkRead(rec, key, item)
+	if !bad {
+		return c.serveLocked(txnID, rec, key, item, lastOp)
+	}
+	if e, ok := c.entries[key]; ok {
+		for _, old := range e.older {
+			if _, oldBad := checkRead(rec, key, old); !oldBad {
+				c.metrics.MVServedOld.Add(1)
+				return c.serveLocked(txnID, rec, key, old, lastOp)
+			}
+		}
+	}
+	return c.handleViolationLocked(txnID, rec, key, item, v, lastOp)
+}
+
+// serveLocked records the read and returns the value, releasing c.mu.
+func (c *Cache) serveLocked(txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, lastOp bool) (kv.Value, error) {
+	recordRead(rec, key, item)
+	if lastOp {
+		c.finishLocked(txnID, rec, true, nil)
+	}
+	val := item.Value.Clone()
+	c.unlockFlush()
+	return val, nil
+}
+
+// expiredLocked applies the TTL to an entry, removing it when expired.
+func (c *Cache) expiredLocked(e *entry) bool {
+	if c.cfg.TTL > 0 && c.clk.Since(e.fetchedAt) >= c.cfg.TTL {
+		c.removeEntryLocked(e)
+		c.metrics.TTLExpiries.Add(1)
+		return true
+	}
+	return false
+}
+
+// pushVersionLocked records that e's current item is superseded by item,
+// retaining the old one in the version history (bounded by Multiversion).
+func (c *Cache) pushVersionLocked(e *entry, item kv.Item) {
+	keep := c.cfg.Multiversion - 1
+	if keep > 0 && !e.item.Version.IsZero() {
+		e.older = append([]kv.Item{e.item}, e.older...)
+		if len(e.older) > keep {
+			e.older = e.older[:keep]
+		}
+	}
+	e.item = item
+	e.staleLatest = false
+	e.fetchedAt = c.clk.Now()
+}
+
+// invalidateMVLocked marks the entry's newest cached version as
+// superseded instead of evicting it.
+func (c *Cache) invalidateMVLocked(e *entry, version kv.Version) {
+	if e.item.Version.Less(version) {
+		e.staleLatest = true
+		c.metrics.InvalidationsApplied.Add(1)
+		return
+	}
+	c.metrics.InvalidationsStale.Add(1)
+}
+
+// dropStaleVersionsLocked removes cached versions of e older than
+// staleBelow (EVICT/RETRY semantics under multiversioning); it reports
+// whether the whole entry became empty and was removed.
+func (c *Cache) dropStaleVersionsLocked(e *entry, staleBelow kv.Version) bool {
+	kept := e.older[:0]
+	for _, old := range e.older {
+		if !old.Version.Less(staleBelow) {
+			kept = append(kept, old)
+		}
+	}
+	e.older = kept
+	if e.item.Version.Less(staleBelow) {
+		if len(e.older) > 0 {
+			e.item = e.older[0]
+			e.older = e.older[1:]
+			e.staleLatest = true
+			return false
+		}
+		c.removeEntryLocked(e)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tcache/internal/kv"
+)
+
+// mvStaleBCache builds the eq-1 scenario with multiversioning: the cache
+// has served B@1 and then learned (via miss) about A@2 whose deps point
+// at B@2. Plain T-Cache aborts the B-first transaction; a multiversion
+// cache can instead serve the OLD A to a transaction pinned at B@1.
+func mvCache(t *testing.T, versions int, strategy Strategy) (*Cache, *mapBackend) {
+	t.Helper()
+	b := newMapBackend()
+	c := newCache(t, Config{Backend: b, Strategy: strategy, Multiversion: versions})
+	return c, b
+}
+
+func TestMVServesOldVersionToPinnedTxn(t *testing.T) {
+	c, b := mvCache(t, 3, StrategyAbort)
+	b.put("A", "a-old", 1)
+	b.put("B", "b-old", 1)
+	// Cache both old versions.
+	if _, err := c.Get("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("B"); err != nil {
+		t.Fatal(err)
+	}
+	// An update rewrites both; the cache hears the invalidation for A
+	// only, so A is re-fetched at v2 (pushing A@1 into history) while B
+	// stays at v1.
+	b.put("A", "a-new", 2, dep("B", 2))
+	b.put("B", "b-new", 2, dep("A", 2))
+	c.Invalidate("A", kv.Version{Counter: 2})
+	if _, err := c.Get("A"); err != nil { // re-fetch A@2; A@1 retained
+		t.Fatal(err)
+	}
+
+	// A transaction reads stale B first (pinned at the v1 snapshot),
+	// then A. Plain T-Cache must abort (A@2 depends on B@2); the
+	// multiversion cache serves A@1 instead and commits consistently.
+	if val, err := c.Read(1, "B", false); err != nil || string(val) != "b-old" {
+		t.Fatalf("Read(B) = %q, %v", val, err)
+	}
+	val, err := c.Read(1, "A", true)
+	if err != nil {
+		t.Fatalf("multiversion read should have served old A: %v", err)
+	}
+	if string(val) != "a-old" {
+		t.Fatalf("served %q, want a-old", val)
+	}
+	m := c.Metrics()
+	if m.MVServedOld != 1 {
+		t.Fatalf("MVServedOld = %d, want 1", m.MVServedOld)
+	}
+	if m.TxnsCommitted != 1 || m.TxnsAborted != 0 {
+		t.Fatalf("txn counters = %+v", m)
+	}
+}
+
+func TestMVPlainCacheAbortsInSameScenario(t *testing.T) {
+	// The control: identical scenario with Multiversion disabled aborts.
+	c, b := mvCache(t, 1, StrategyAbort)
+	b.put("A", "a-old", 1)
+	b.put("B", "b-old", 1)
+	if _, err := c.Get("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("B"); err != nil {
+		t.Fatal(err)
+	}
+	b.put("A", "a-new", 2, dep("B", 2))
+	b.put("B", "b-new", 2, dep("A", 2))
+	c.Invalidate("A", kv.Version{Counter: 2})
+	if _, err := c.Get("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(1, "B", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(1, "A", true); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("plain cache should abort: %v", err)
+	}
+}
+
+func TestMVFreshTxnPrefersLatest(t *testing.T) {
+	// A transaction with no prior reads must not be served a superseded
+	// version: staleness is bounded by freshness-on-first-read.
+	c, b := mvCache(t, 3, StrategyAbort)
+	b.put("A", "a1", 1)
+	if _, err := c.Get("A"); err != nil {
+		t.Fatal(err)
+	}
+	b.put("A", "a2", 2)
+	c.Invalidate("A", kv.Version{Counter: 2})
+	val, err := c.Read(1, "A", true)
+	if err != nil || string(val) != "a2" {
+		t.Fatalf("fresh txn got %q, %v; want latest a2", val, err)
+	}
+	// The miss re-fetched and pushed a1 into history.
+	if got := c.Metrics().Misses; got != 2 {
+		t.Fatalf("Misses = %d, want 2 (initial + refresh)", got)
+	}
+}
+
+func TestMVInvalidationDoesNotEvict(t *testing.T) {
+	c, b := mvCache(t, 3, StrategyAbort)
+	b.put("A", "a1", 1)
+	if _, err := c.Get("A"); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate("A", kv.Version{Counter: 2})
+	if !c.Contains("A") {
+		t.Fatal("multiversion invalidation evicted the entry")
+	}
+	if got := c.Metrics().InvalidationsApplied; got != 1 {
+		t.Fatalf("InvalidationsApplied = %d", got)
+	}
+	// Old invalidations are still recognized as stale.
+	c.Invalidate("A", kv.Version{Counter: 1})
+	if got := c.Metrics().InvalidationsStale; got != 1 {
+		t.Fatalf("InvalidationsStale = %d", got)
+	}
+}
+
+func TestMVHistoryBounded(t *testing.T) {
+	c, b := mvCache(t, 3, StrategyAbort)
+	for v := uint64(1); v <= 10; v++ {
+		b.put("A", "x", v)
+		c.Invalidate("A", kv.Version{Counter: v})
+		if _, err := c.Get("A"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	e := c.entries["A"]
+	n := len(e.older)
+	c.mu.Unlock()
+	if n > 2 { // Multiversion=3 → newest + 2 retained
+		t.Fatalf("retained %d old versions, bound is 2", n)
+	}
+}
+
+func TestMVEvictStrategyDropsOnlyStaleVersions(t *testing.T) {
+	c, b := mvCache(t, 3, StrategyEvict)
+	b.put("A", "a1", 1)
+	b.put("B", "b1", 1)
+	for _, k := range []kv.Key{"A", "B"} {
+		if _, err := c.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Update both to v2 then A to v3; cache refreshes A (retaining
+	// A@1) but keeps stale B@1 with no history.
+	b.put("A", "a3", 3, dep("B", 2))
+	b.put("B", "b2", 2)
+	c.Invalidate("A", kv.Version{Counter: 3})
+	if _, err := c.Get("A"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reading A@3 then B@1 violates eq.2; EVICT drops B's stale version.
+	if _, err := c.Read(1, "A", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(1, "B", true); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("expected abort on stale B")
+	}
+	if c.Contains("B") {
+		t.Fatal("EVICT should have removed B (no retained version survives)")
+	}
+	// A keeps both its versions.
+	if !c.Contains("A") {
+		t.Fatal("A must survive")
+	}
+}
+
+func TestMVRepeatedReadStableUnderChurn(t *testing.T) {
+	// A transaction re-reading the same key during churn keeps getting
+	// its pinned version instead of aborting on the self check.
+	c, b := mvCache(t, 3, StrategyAbort)
+	b.put("A", "a1", 1)
+	if _, err := c.Read(1, "A", false); err != nil {
+		t.Fatal(err)
+	}
+	b.put("A", "a2", 2)
+	c.Invalidate("A", kv.Version{Counter: 2})
+	if _, err := c.Get("A"); err != nil { // other traffic refreshes A
+		t.Fatal(err)
+	}
+	val, err := c.Read(1, "A", true)
+	if err != nil {
+		t.Fatalf("repeated read aborted despite retained version: %v", err)
+	}
+	if string(val) != "a1" {
+		t.Fatalf("repeated read = %q, want pinned a1", val)
+	}
+}
+
+func TestMVReducesAbortsEndToEnd(t *testing.T) {
+	// Same churny scenario, 200 rounds: the multiversion cache must
+	// commit strictly more transactions than the plain one.
+	run := func(mv int) (committed, aborted uint64) {
+		b := newMapBackend()
+		c := newCache(t, Config{Backend: b, Strategy: StrategyAbort, Multiversion: mv})
+		b.put("A", "a", 1)
+		b.put("B", "b", 1)
+		if _, err := c.Get("A"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get("B"); err != nil {
+			t.Fatal(err)
+		}
+		for round := uint64(0); round < 200; round++ {
+			ver := round + 2
+			b.put("A", "a", ver, dep("B", ver))
+			b.put("B", "b", ver, dep("A", ver))
+			// Only A's invalidation arrives; some reader refreshes A.
+			c.Invalidate("A", kv.Version{Counter: ver})
+			if _, err := c.Get("A"); err != nil {
+				t.Fatal(err)
+			}
+			id := kv.TxnID(round + 1)
+			if _, err := c.Read(id, "B", false); err != nil {
+				continue
+			}
+			if _, err := c.Read(id, "A", true); err != nil {
+				continue
+			}
+		}
+		m := c.Metrics()
+		return m.TxnsCommitted, m.TxnsAborted
+	}
+	plainOK, plainAborts := run(1)
+	mvOK, mvAborts := run(3)
+	if mvOK <= plainOK {
+		t.Fatalf("multiversion commits (%d) not above plain (%d)", mvOK, plainOK)
+	}
+	if mvAborts >= plainAborts {
+		t.Fatalf("multiversion aborts (%d) not below plain (%d)", mvAborts, plainAborts)
+	}
+}

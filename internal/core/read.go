@@ -1,0 +1,292 @@
+package core
+
+import (
+	"tcache/internal/kv"
+)
+
+// violation is an inconsistency found by the §III-B checks.
+type violation struct {
+	equation int    // 1 or 2, the paper's numbering
+	staleKey kv.Key // the too-old object
+	// staleBelow is the version the stale object must reach; the cached
+	// copy is evicted only while older than this (EVICT/RETRY paths).
+	staleBelow kv.Version
+}
+
+// Read is the transactional read interface of §III-B:
+//
+//	read(txnID, key, lastOp)
+//
+// It returns the cached (or fetched) value for key, validating it against
+// every previous read of the same transaction. If an inconsistency is
+// detected the transaction is aborted and an error wrapping ErrTxnAborted
+// is returned (for StrategyRetry, only when the read-through could not
+// resolve the violation). lastOp lets the cache garbage-collect the
+// transaction record; the transaction is then reported as committed.
+func (c *Cache) Read(txnID kv.TxnID, key kv.Key, lastOp bool) (kv.Value, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.metrics.Reads.Add(1)
+
+	rec, ok := c.txns[txnID]
+	if !ok {
+		rec = &txnRecord{
+			readVer:  make(map[kv.Key]kv.Version),
+			expected: make(map[kv.Key]kv.Version),
+		}
+		c.txns[txnID] = rec
+		c.metrics.TxnsStarted.Add(1)
+	}
+	rec.lastUsed = c.clk.Now()
+
+	if c.cfg.Multiversion > 1 {
+		return c.readMV(txnID, rec, key, lastOp)
+	}
+
+	item, err := c.lookupLocked(key)
+	if err != nil {
+		// Backend miss: the read fails but the transaction survives; a
+		// lastOp flag still completes it.
+		if lastOp {
+			c.finishLocked(txnID, rec, true, nil)
+		}
+		c.unlockFlush()
+		return nil, err
+	}
+
+	v, bad := checkRead(rec, key, item)
+	if bad {
+		return c.handleViolationLocked(txnID, rec, key, item, v, lastOp)
+	}
+
+	recordRead(rec, key, item)
+	if lastOp {
+		c.finishLocked(txnID, rec, true, nil)
+	}
+	val := item.Value.Clone()
+	c.unlockFlush()
+	return val, nil
+}
+
+// Get is the plain, non-transactional read API (a consistency-unaware
+// cache access). It shares the store, TTL handling, and miss path with
+// Read.
+func (c *Cache) Get(key kv.Key) (kv.Value, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.metrics.Reads.Add(1)
+	item, err := c.lookupLocked(key)
+	if err != nil {
+		c.unlockFlush()
+		return nil, err
+	}
+	val := item.Value.Clone()
+	c.unlockFlush()
+	return val, nil
+}
+
+// Commit finalizes a transaction without a further read, for clients
+// that cannot know in advance which read is their last and therefore
+// never set lastOp. The transaction is reported as committed. Committing
+// an unknown transaction is a no-op.
+func (c *Cache) Commit(txnID kv.TxnID) {
+	c.mu.Lock()
+	rec, ok := c.txns[txnID]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	c.finishLocked(txnID, rec, true, nil)
+	c.unlockFlush()
+}
+
+// Abort discards the transaction record without a final read; the
+// transaction is reported as aborted. Aborting an unknown transaction is a
+// no-op (it may have been garbage-collected already).
+func (c *Cache) Abort(txnID kv.TxnID) {
+	c.mu.Lock()
+	rec, ok := c.txns[txnID]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	c.metrics.TxnsAborted.Add(1)
+	c.finishLocked(txnID, rec, false, nil)
+	c.unlockFlush()
+}
+
+// lookupLocked returns the item for key, filling from the backend on a
+// miss or TTL expiry. It is called with c.mu held and releases and
+// re-acquires it around the backend fetch.
+func (c *Cache) lookupLocked(key kv.Key) (kv.Item, error) {
+	if e, ok := c.entries[key]; ok {
+		switch {
+		case c.cfg.TTL > 0 && c.clk.Since(e.fetchedAt) >= c.cfg.TTL:
+			c.removeEntryLocked(e)
+			c.metrics.TTLExpiries.Add(1)
+		case e.staleLatest:
+			// Multiversioning: the newest cached version is superseded;
+			// the latest must come from the backend.
+		default:
+			c.metrics.Hits.Add(1)
+			c.lruTouchLocked(e)
+			return e.item, nil
+		}
+	}
+	c.metrics.Misses.Add(1)
+	c.mu.Unlock()
+	item, ok := c.cfg.Backend.Get(key)
+	c.mu.Lock()
+	if c.closed {
+		return kv.Item{}, ErrClosed
+	}
+	if !ok {
+		return kv.Item{}, ErrNotFound
+	}
+	e := c.insertLocked(key, item)
+	return e.item, nil
+}
+
+// checkRead evaluates the paper's two consistency checks for reading item
+// under rec.
+//
+// Equation 2: the current read is older than the version some previous
+// read (or a previous read's dependency list) expects for this key.
+//
+// Equation 1: the current read's dependency list expects a version of some
+// previously read object newer than the version actually returned earlier.
+// A repeated read of the same key returning a *newer* version than before
+// is also reported as an equation-1 violation on the key itself: the
+// earlier read is stale evidence, exactly as if the current read carried a
+// self-dependency.
+func checkRead(rec *txnRecord, key kv.Key, item kv.Item) (violation, bool) {
+	if exp, ok := rec.expected[key]; ok && item.Version.Less(exp) {
+		return violation{equation: 2, staleKey: key, staleBelow: exp}, true
+	}
+	if prev, ok := rec.readVer[key]; ok && prev.Less(item.Version) {
+		return violation{equation: 1, staleKey: key, staleBelow: item.Version}, true
+	}
+	for _, dep := range item.Deps {
+		if prev, ok := rec.readVer[dep.Key]; ok && prev.Less(dep.Version) {
+			return violation{equation: 1, staleKey: dep.Key, staleBelow: dep.Version}, true
+		}
+	}
+	return violation{}, false
+}
+
+// recordRead folds a successful read into the transaction record.
+func recordRead(rec *txnRecord, key kv.Key, item kv.Item) {
+	if _, seen := rec.readVer[key]; !seen {
+		rec.readVer[key] = item.Version
+		rec.order = append(rec.order, ReadVersion{Key: key, Version: item.Version})
+	}
+	if rec.expected[key].Less(item.Version) {
+		rec.expected[key] = item.Version
+	}
+	for _, dep := range item.Deps {
+		if rec.expected[dep.Key].Less(dep.Version) {
+			rec.expected[dep.Key] = dep.Version
+		}
+	}
+}
+
+// handleViolationLocked applies the configured strategy to a detected
+// violation. Called with c.mu held; returns with c.mu released. The
+// returned value is non-nil only when StrategyRetry resolved the read.
+func (c *Cache) handleViolationLocked(txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, v violation, lastOp bool) (kv.Value, error) {
+	c.metrics.Detected.Add(1)
+	if v.equation == 1 {
+		c.metrics.DetectedEq1.Add(1)
+	} else {
+		c.metrics.DetectedEq2.Add(1)
+	}
+
+	if c.cfg.Strategy == StrategyRetry && v.equation == 2 {
+		// The violator is the object being read: treat the access as a
+		// miss and serve it from the database (§III-B, RETRY).
+		c.metrics.Retries.Add(1)
+		c.evictStaleLocked(v)
+		fresh, err := c.lookupLocked(key)
+		if err == nil {
+			v2, bad := checkRead(rec, key, fresh)
+			if !bad {
+				c.metrics.RetriesResolved.Add(1)
+				recordRead(rec, key, fresh)
+				if lastOp {
+					c.finishLocked(txnID, rec, true, nil)
+				}
+				val := fresh.Value.Clone()
+				c.unlockFlush()
+				return val, nil
+			}
+			// The fresh copy exposes a violation among *previous* reads;
+			// fall through to evict-and-abort with the new evidence.
+			v = v2
+			item = fresh
+		}
+	}
+
+	if c.cfg.Strategy == StrategyEvict || c.cfg.Strategy == StrategyRetry {
+		// The violating (too-old) object is likely a repeat offender:
+		// drop it so future transactions re-fetch (§III-B, EVICT).
+		c.evictStaleLocked(v)
+	}
+
+	c.metrics.TxnsAborted.Add(1)
+	c.finishLocked(txnID, rec, false, &ReadVersion{Key: key, Version: item.Version})
+	c.unlockFlush()
+	return nil, &InconsistencyError{TxnID: txnID, Key: key, StaleKey: v.staleKey, Equation: v.equation}
+}
+
+// evictStaleLocked removes the violating object's cached copy if it is
+// still older than the version the violation demands.
+func (c *Cache) evictStaleLocked(v violation) {
+	e, ok := c.entries[v.staleKey]
+	if !ok {
+		return
+	}
+	if c.cfg.Multiversion > 1 {
+		if c.dropStaleVersionsLocked(e, v.staleBelow) {
+			c.metrics.Evictions.Add(1)
+		}
+		return
+	}
+	if e.item.Version.Less(v.staleBelow) {
+		c.removeEntryLocked(e)
+		c.metrics.Evictions.Add(1)
+	}
+}
+
+// finishLocked removes the transaction record and queues its completion
+// report; unlockFlush delivers queued reports after c.mu is released.
+// attempted, if non-nil, is the violating read that triggered an abort.
+func (c *Cache) finishLocked(txnID kv.TxnID, rec *txnRecord, committed bool, attempted *ReadVersion) {
+	delete(c.txns, txnID)
+	if committed {
+		c.metrics.TxnsCommitted.Add(1)
+	}
+	c.pending = append(c.pending, Completion{
+		TxnID:     txnID,
+		Reads:     rec.order,
+		Committed: committed,
+		Attempted: attempted,
+	})
+}
+
+// unlockFlush releases c.mu and delivers any queued completion reports to
+// the registered hooks (outside the lock, so hooks may call back into the
+// cache).
+func (c *Cache) unlockFlush() {
+	pend := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for _, comp := range pend {
+		c.emit(comp)
+	}
+}

@@ -1,0 +1,347 @@
+// Package db implements the backend: a sharded, serializable transactional
+// key-value store with two-phase commit, per-key strict two-phase locking,
+// Lamport-style version assignment, and dependency-list maintenance as
+// specified in §III-A of the paper.
+//
+// Update transactions go through Begin/Read/Write/Commit. Caches use the
+// lock-free single-entry Get for miss fills, exactly as the paper's caches
+// do ("performing single-entry reads (no locks, no transactions)"), and
+// receive asynchronous invalidations through Subscribe.
+package db
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcache/internal/kv"
+	"tcache/internal/lock"
+	"tcache/internal/storage"
+	"tcache/internal/wal"
+)
+
+// Errors returned by transaction operations.
+var (
+	// ErrConflict means the transaction lost a concurrency-control fight
+	// (deadlock victim or lock wait timeout) and should be retried.
+	ErrConflict = errors.New("db: transaction conflict")
+	// ErrTxnDone means the transaction already committed or aborted.
+	ErrTxnDone = errors.New("db: transaction already finished")
+	// ErrClosed means the database is shut down.
+	ErrClosed = errors.New("db: closed")
+	// ErrAborted is returned by Commit when a prepare hook voted no.
+	ErrAborted = errors.New("db: transaction aborted at prepare")
+)
+
+// Config configures a DB.
+type Config struct {
+	// NodeID disambiguates versions minted by independent DB deployments.
+	// It becomes the Node component of every commit version.
+	NodeID uint32
+	// Shards is the number of two-phase-commit participants the key space
+	// is hash-partitioned over. Values < 1 mean 1 (the paper's single
+	// "column").
+	Shards int
+	// DepBound is the maximum dependency-list length k stored per object.
+	// 0 disables dependency tracking; kv.Unbounded (-1) never truncates
+	// (the Theorem 1 configuration).
+	DepBound int
+	// DepBoundFor, when non-nil, overrides DepBound per object — the
+	// paper's §VII first future direction: "if the workload accesses
+	// objects in clusters of different sizes, objects of larger clusters
+	// call for longer dependency lists". Return values < 0 mean
+	// unbounded; the uniform DepBound is used when DepBoundFor is nil.
+	DepBoundFor func(kv.Key) int
+	// DepMerge selects how inherited dependency entries are ranked when
+	// lists are pruned (default MergeRecency). MergePositional exists
+	// for the ablation study; see kv.MergeDeps.
+	DepMerge MergePolicy
+	// LockTimeout bounds lock waits (0 = rely on deadlock detection only).
+	LockTimeout time.Duration
+}
+
+// MergePolicy selects the dependency-list pruning order.
+type MergePolicy int
+
+const (
+	// MergeRecency (default) ranks inherited entries newest-version
+	// first — the paper's LRU: recently refreshed dependencies survive,
+	// dependencies of abandoned clusters wash out (Fig. 5).
+	MergeRecency MergePolicy = iota
+	// MergePositional ranks inherited entries by their position in the
+	// first contributing access's list. It looks equivalent but lets
+	// stale entries squat in the list forever; the ablation experiment
+	// quantifies the damage.
+	MergePositional
+)
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Shards < 1 {
+		out.Shards = 1
+	}
+	return out
+}
+
+// Invalidation is the asynchronous message the database sends to caches
+// after an update transaction: the key written and its new version.
+type Invalidation struct {
+	Key     kv.Key
+	Version kv.Version
+}
+
+// InvalidationSink receives invalidations for one subscriber. The database
+// invokes sinks synchronously on the committing goroutine; sinks that model
+// asynchronous channels (see internal/chaos) schedule their own delivery.
+type InvalidationSink func(Invalidation)
+
+// ReadRecord is one read-set entry of a committed update transaction.
+type ReadRecord struct {
+	Key     kv.Key
+	Version kv.Version // version observed by the transaction
+}
+
+// CommitRecord describes a committed update transaction; it is what the
+// consistency monitor consumes.
+type CommitRecord struct {
+	TxnID   uint64
+	Version kv.Version
+	Reads   []ReadRecord
+	Writes  []kv.Key
+}
+
+// CommitHook observes committed update transactions (Fig. 2's "consistency
+// monitor" attaches here). Hooks run synchronously under the commit lock,
+// so they observe commits in version order.
+type CommitHook func(CommitRecord)
+
+// PrepareHook can veto a prepare during two-phase commit; it exists for
+// failure-injection tests. Returning an error makes the shard vote no and
+// the transaction abort with ErrAborted.
+type PrepareHook func(txnID uint64, shard int) error
+
+// DB is the transactional backend. It is safe for concurrent use.
+type DB struct {
+	cfg    Config
+	shards []*shardState
+	// locks is shared across shards so the wait-for graph spans the whole
+	// deployment; per-shard lock tables would miss cross-shard deadlocks.
+	locks *lock.Manager
+
+	// commitMu serializes the decide+apply phase of 2PC, which makes
+	// version order equal commit order and keeps hooks totally ordered.
+	commitMu sync.Mutex
+	versionC atomic.Uint64
+	txnC     atomic.Uint64
+
+	// pinned holds application-declared always-retained dependencies
+	// (§VII future direction; see pins.go).
+	pinned pinSet
+
+	subMu       sync.Mutex
+	subs        map[string]InvalidationSink
+	hookMu      sync.Mutex
+	commitHooks []CommitHook
+	prepareHook PrepareHook
+
+	// wal, when non-nil, makes commits durable (see Recover).
+	wal     *wal.Log
+	walPath string
+	walOpts wal.Options
+
+	closed  atomic.Bool
+	metrics Metrics
+}
+
+// Open creates a database.
+func Open(cfg Config) *DB {
+	cfg = (&cfg).withDefaults()
+	var lockOpts []lock.Option
+	if cfg.LockTimeout > 0 {
+		lockOpts = append(lockOpts, lock.WithTimeout(cfg.LockTimeout))
+	}
+	d := &DB{
+		cfg:   cfg,
+		locks: lock.NewManager(lockOpts...),
+		subs:  make(map[string]InvalidationSink),
+	}
+	d.shards = make([]*shardState, cfg.Shards)
+	for i := range d.shards {
+		d.shards[i] = newShardState(i)
+	}
+	return d
+}
+
+// Close shuts the database down; in-flight waiters fail with ErrClosed.
+// A recovered database's write-ahead log is flushed and closed.
+func (d *DB) Close() {
+	if d.closed.Swap(true) {
+		return
+	}
+	d.locks.Close()
+	if d.wal != nil {
+		// Commit appends hold commitMu; taking it here orders Close
+		// after any in-flight append.
+		d.commitMu.Lock()
+		defer d.commitMu.Unlock()
+		_ = d.wal.Close()
+	}
+}
+
+// Shards returns the number of 2PC participants.
+func (d *DB) Shards() int { return len(d.shards) }
+
+// DepBound returns the configured dependency-list bound.
+func (d *DB) DepBound() int { return d.cfg.DepBound }
+
+func (d *DB) shardFor(key kv.Key) *shardState {
+	return d.shards[storageShard(key, len(d.shards))]
+}
+
+// Get performs a lock-free single-entry read of the current committed
+// item, the path caches use to fill misses. The boolean reports presence.
+func (d *DB) Get(key kv.Key) (kv.Item, bool) {
+	d.metrics.SingleGets.Add(1)
+	return d.shardFor(key).store.Get(key)
+}
+
+// Seed loads an item without a transaction, for initial data sets. It must
+// not be used concurrently with transactions.
+func (d *DB) Seed(key kv.Key, value kv.Value, version kv.Version) {
+	cur := d.versionC.Load()
+	if version.Counter > cur {
+		d.versionC.Store(version.Counter)
+	}
+	d.shardFor(key).store.Put(key, kv.Item{Value: value, Version: version})
+}
+
+// Subscribe registers an invalidation sink under name, replacing any
+// previous sink with that name. Unsubscribe with the returned cancel.
+func (d *DB) Subscribe(name string, sink InvalidationSink) (cancel func()) {
+	d.subMu.Lock()
+	defer d.subMu.Unlock()
+	d.subs[name] = sink
+	return func() {
+		d.subMu.Lock()
+		defer d.subMu.Unlock()
+		delete(d.subs, name)
+	}
+}
+
+// OnCommit registers a hook observing every committed update transaction.
+func (d *DB) OnCommit(h CommitHook) {
+	d.hookMu.Lock()
+	defer d.hookMu.Unlock()
+	d.commitHooks = append(d.commitHooks, h)
+}
+
+// SetPrepareHook installs a failure-injection hook for two-phase commit.
+func (d *DB) SetPrepareHook(h PrepareHook) {
+	d.hookMu.Lock()
+	defer d.hookMu.Unlock()
+	d.prepareHook = h
+}
+
+func (d *DB) emitInvalidations(writes []kv.Key, version kv.Version) {
+	d.subMu.Lock()
+	sinks := make([]InvalidationSink, 0, len(d.subs))
+	for _, s := range d.subs {
+		sinks = append(sinks, s)
+	}
+	d.subMu.Unlock()
+	for _, s := range sinks {
+		for _, k := range writes {
+			d.metrics.InvalidationsSent.Add(1)
+			s(Invalidation{Key: k, Version: version})
+		}
+	}
+}
+
+func (d *DB) runCommitHooks(rec CommitRecord) {
+	d.hookMu.Lock()
+	hooks := make([]CommitHook, len(d.commitHooks))
+	copy(hooks, d.commitHooks)
+	d.hookMu.Unlock()
+	for _, h := range hooks {
+		h(rec)
+	}
+}
+
+// Len returns the number of stored objects across all shards.
+func (d *DB) Len() int {
+	n := 0
+	for _, s := range d.shards {
+		n += s.store.Len()
+	}
+	return n
+}
+
+// shardState is one 2PC participant: a slice of the key space with its own
+// store and prepared-transaction log.
+type shardState struct {
+	id    int
+	store *storage.Store
+
+	mu       sync.Mutex
+	prepared map[uint64][]preparedWrite
+}
+
+type preparedWrite struct {
+	key  kv.Key
+	item kv.Item
+}
+
+func newShardState(id int) *shardState {
+	return &shardState{
+		id:       id,
+		store:    storage.NewStore(8),
+		prepared: make(map[uint64][]preparedWrite),
+	}
+}
+
+// prepare logs the writes this shard must apply if the decision is commit.
+// A real deployment would flush this log to stable storage before voting.
+func (s *shardState) prepare(txnID uint64, writes []preparedWrite) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prepared[txnID] = writes
+}
+
+// commit applies the prepared writes.
+func (s *shardState) commit(txnID uint64) {
+	s.mu.Lock()
+	writes := s.prepared[txnID]
+	delete(s.prepared, txnID)
+	s.mu.Unlock()
+	for _, w := range writes {
+		s.store.Put(w.key, w.item)
+	}
+}
+
+// abort discards the prepared writes.
+func (s *shardState) abort(txnID uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.prepared, txnID)
+}
+
+func (s *shardState) preparedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prepared)
+}
+
+// storageShard hashes a key onto one of n participants. It reuses the
+// storage package's hash via a tiny local copy to avoid exporting it.
+func storageShard(key kv.Key, n int) int {
+	if n == 1 {
+		return 0
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}

@@ -1,0 +1,49 @@
+package db
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Metrics holds the database's monotonic counters. All fields are updated
+// atomically; read a consistent view with Snapshot.
+type Metrics struct {
+	TxnsStarted       atomic.Uint64
+	TxnsCommitted     atomic.Uint64
+	TxnsAborted       atomic.Uint64
+	Conflicts         atomic.Uint64
+	TxnReads          atomic.Uint64
+	TxnWrites         atomic.Uint64
+	SingleGets        atomic.Uint64
+	InvalidationsSent atomic.Uint64
+}
+
+// MetricsSnapshot is a point-in-time copy of Metrics.
+type MetricsSnapshot struct {
+	TxnsStarted       uint64
+	TxnsCommitted     uint64
+	TxnsAborted       uint64
+	Conflicts         uint64
+	TxnReads          uint64
+	TxnWrites         uint64
+	SingleGets        uint64
+	InvalidationsSent uint64
+}
+
+// Metrics returns a snapshot of the database counters.
+func (d *DB) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		TxnsStarted:       d.metrics.TxnsStarted.Load(),
+		TxnsCommitted:     d.metrics.TxnsCommitted.Load(),
+		TxnsAborted:       d.metrics.TxnsAborted.Load(),
+		Conflicts:         d.metrics.Conflicts.Load(),
+		TxnReads:          d.metrics.TxnReads.Load(),
+		TxnWrites:         d.metrics.TxnWrites.Load(),
+		SingleGets:        d.metrics.SingleGets.Load(),
+		InvalidationsSent: d.metrics.InvalidationsSent.Load(),
+	}
+}
+
+// errorsIs is a seam for txn.go (kept tiny; aliasing the stdlib keeps the
+// import set of txn.go focused).
+func errorsIs(err, target error) bool { return errors.Is(err, target) }

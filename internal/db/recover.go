@@ -1,0 +1,122 @@
+package db
+
+import (
+	"fmt"
+	"os"
+
+	"tcache/internal/kv"
+	"tcache/internal/wal"
+)
+
+// Recover opens a database whose committed state is made durable in a
+// write-ahead log at path: existing records are replayed into the store
+// (values, versions, and dependency lists all survive restarts), and
+// every subsequent commit is appended before it is applied.
+//
+// Seed is not durable — it exists for experiment scaffolding; durable
+// data must be written through transactions.
+func Recover(cfg Config, path string, opts wal.Options) (*DB, error) {
+	d := Open(cfg)
+	var maxVer kv.Version
+	err := wal.Replay(path, func(rec wal.Record) error {
+		for _, w := range rec.Writes {
+			d.shardFor(w.Key).store.Put(w.Key, kv.Item{
+				Value:   w.Value,
+				Version: rec.Version,
+				Deps:    w.Deps,
+			})
+		}
+		maxVer = kv.Max(maxVer, rec.Version)
+		return nil
+	})
+	if err != nil {
+		d.Close()
+		return nil, fmt.Errorf("db: recover: %w", err)
+	}
+	if d.versionC.Load() < maxVer.Counter {
+		d.versionC.Store(maxVer.Counter)
+	}
+	log, err := wal.Open(path, opts)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.wal = log
+	d.walPath = path
+	d.walOpts = opts
+	return d, nil
+}
+
+// Compact rewrites the write-ahead log to contain exactly the current
+// committed state — one record per live key — bounding log growth for
+// long-running deployments. Commits are blocked for the duration; reads
+// proceed. It is a no-op on a database opened without a WAL.
+func (d *DB) Compact() error {
+	if d.wal == nil {
+		return nil
+	}
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+
+	tmp := d.walPath + ".compact"
+	fresh, err := wal.Open(tmp, d.walOpts)
+	if err != nil {
+		return fmt.Errorf("db: compact: %w", err)
+	}
+	var appendErr error
+	for _, s := range d.shards {
+		s.store.Range(func(key kv.Key, item kv.Item) bool {
+			appendErr = fresh.Append(wal.Record{
+				Version: item.Version,
+				Writes:  []wal.Entry{{Key: key, Value: item.Value, Deps: item.Deps}},
+			})
+			return appendErr == nil
+		})
+		if appendErr != nil {
+			break
+		}
+	}
+	if appendErr == nil {
+		appendErr = fresh.Close()
+	} else {
+		_ = fresh.Close()
+	}
+	if appendErr != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("db: compact: %w", appendErr)
+	}
+	if err := d.wal.Close(); err != nil {
+		return fmt.Errorf("db: compact: close old log: %w", err)
+	}
+	if err := os.Rename(tmp, d.walPath); err != nil {
+		return fmt.Errorf("db: compact: swap: %w", err)
+	}
+	log, err := wal.Open(d.walPath, d.walOpts)
+	if err != nil {
+		return fmt.Errorf("db: compact: reopen: %w", err)
+	}
+	d.wal = log
+	return nil
+}
+
+// logCommitLocked appends the transaction to the WAL (write-ahead: called
+// between prepare and apply, under commitMu). A nil wal is a no-op.
+func (d *DB) logCommitLocked(version kv.Version, byShard map[*shardState][]preparedWrite) error {
+	if d.wal == nil {
+		return nil
+	}
+	rec := wal.Record{Version: version}
+	for _, writes := range byShard {
+		for _, w := range writes {
+			rec.Writes = append(rec.Writes, wal.Entry{
+				Key:   w.key,
+				Value: w.item.Value,
+				Deps:  w.item.Deps,
+			})
+		}
+	}
+	if err := d.wal.Append(rec); err != nil {
+		return fmt.Errorf("db: wal append: %w", err)
+	}
+	return nil
+}

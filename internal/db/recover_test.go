@@ -1,0 +1,239 @@
+package db
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tcache/internal/kv"
+	"tcache/internal/wal"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "db.wal")
+}
+
+func recoverDB(t *testing.T, cfg Config, path string) *DB {
+	t.Helper()
+	d, err := Recover(cfg, path, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	d := recoverDB(t, Config{DepBound: 5}, walPath(t))
+	defer d.Close()
+	if d.Len() != 0 {
+		t.Fatalf("fresh recovered DB has %d items", d.Len())
+	}
+	write(t, d, "a")
+}
+
+func TestRecoverRestoresStateAndDeps(t *testing.T) {
+	path := walPath(t)
+	d := recoverDB(t, Config{DepBound: 5}, path)
+	write(t, d, "a", "b") // a depends on b and vice versa
+	v2 := write(t, d, "b", "c")
+	before, _ := d.Get("b")
+	d.Close()
+
+	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	defer d2.Close()
+	after, ok := d2.Get("b")
+	if !ok {
+		t.Fatal("b lost across restart")
+	}
+	if after.Version != before.Version || string(after.Value) != string(before.Value) {
+		t.Fatalf("b = %+v, want %+v", after, before)
+	}
+	if !after.Deps.Equal(before.Deps) {
+		t.Fatalf("deps lost: %v vs %v", after.Deps, before.Deps)
+	}
+	if after.Version != v2 {
+		t.Fatalf("version = %v, want %v", after.Version, v2)
+	}
+}
+
+func TestRecoverContinuesVersionCounter(t *testing.T) {
+	path := walPath(t)
+	d := recoverDB(t, Config{DepBound: 5}, path)
+	vOld := write(t, d, "a")
+	d.Close()
+
+	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	defer d2.Close()
+	vNew := write(t, d2, "b")
+	if !vOld.Less(vNew) {
+		t.Fatalf("recovered counter regressed: %v then %v", vOld, vNew)
+	}
+}
+
+func TestRecoverReplaysLatestVersionLast(t *testing.T) {
+	path := walPath(t)
+	d := recoverDB(t, Config{DepBound: 5}, path)
+	for i := 0; i < 10; i++ {
+		write(t, d, "hot")
+	}
+	latest, _ := d.Get("hot")
+	d.Close()
+
+	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	defer d2.Close()
+	got, _ := d2.Get("hot")
+	if got.Version != latest.Version {
+		t.Fatalf("recovered version %v, want latest %v", got.Version, latest.Version)
+	}
+}
+
+func TestRecoverAfterTornTail(t *testing.T) {
+	path := walPath(t)
+	d := recoverDB(t, Config{DepBound: 5}, path)
+	write(t, d, "a")
+	write(t, d, "b")
+	d.Close()
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	defer d2.Close()
+	if _, ok := d2.Get("a"); !ok {
+		t.Fatal("intact record a lost")
+	}
+	if _, ok := d2.Get("b"); ok {
+		t.Fatal("torn record b recovered")
+	}
+	// The database continues accepting commits after a torn tail.
+	write(t, d2, "c")
+}
+
+func TestRecoverCorruptLogFails(t *testing.T) {
+	path := walPath(t)
+	d := recoverDB(t, Config{DepBound: 5}, path)
+	write(t, d, "a")
+	d.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(Config{DepBound: 5}, path, wal.Options{}); err == nil {
+		t.Fatal("Recover accepted a corrupt log")
+	}
+}
+
+func TestRecoveredDBServesCaches(t *testing.T) {
+	// End-to-end: dependency lists recovered from the WAL still drive
+	// inconsistency detection (the metadata survives restarts).
+	path := walPath(t)
+	d := recoverDB(t, Config{DepBound: 5}, path)
+	write(t, d, "x", "y")
+	d.Close()
+
+	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	defer d2.Close()
+	x, _ := d2.Get("x")
+	if _, ok := x.Deps.Lookup("y"); !ok {
+		t.Fatalf("x's dependency on y lost across restart: %v", x.Deps)
+	}
+}
+
+func TestSeedNotDurable(t *testing.T) {
+	path := walPath(t)
+	d := recoverDB(t, Config{DepBound: 5}, path)
+	d.Seed("seeded", kv.Value("v"), kv.Version{Counter: 1})
+	write(t, d, "written")
+	d.Close()
+
+	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	defer d2.Close()
+	if _, ok := d2.Get("seeded"); ok {
+		t.Fatal("Seed survived restart; it is documented as non-durable")
+	}
+	if _, ok := d2.Get("written"); !ok {
+		t.Fatal("transactional write lost")
+	}
+}
+
+func TestCompactShrinksLogAndPreservesState(t *testing.T) {
+	path := walPath(t)
+	d := recoverDB(t, Config{DepBound: 5}, path)
+	// Many overwrites of few keys: the log is much bigger than the state.
+	for i := 0; i < 200; i++ {
+		write(t, d, "a", "b")
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, _ := d.Get("a")
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size()/10 {
+		t.Fatalf("compaction barely shrank the log: %d → %d bytes", before.Size(), after.Size())
+	}
+	// Commits continue after compaction and everything survives restart.
+	write(t, d, "c")
+	d.Close()
+	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	defer d2.Close()
+	gotA, ok := d2.Get("a")
+	if !ok || gotA.Version != wantA.Version || !gotA.Deps.Equal(wantA.Deps) {
+		t.Fatalf("a after compact+restart = %+v, want %+v", gotA, wantA)
+	}
+	if _, ok := d2.Get("c"); !ok {
+		t.Fatal("post-compaction commit lost")
+	}
+}
+
+func TestCompactNoWALIsNoop(t *testing.T) {
+	d := open(t, Config{DepBound: 5})
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactConcurrentWithCommits(t *testing.T) {
+	path := walPath(t)
+	d := recoverDB(t, Config{DepBound: 5}, path)
+	defer d.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			write(t, d, kv.Key(fmt.Sprintf("k%d", i%7)))
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if err := d.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	// All commits must be recoverable.
+	d.Close()
+	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	defer d2.Close()
+	for i := 0; i < 7; i++ {
+		if _, ok := d2.Get(kv.Key(fmt.Sprintf("k%d", i))); !ok {
+			t.Fatalf("k%d lost across compaction race", i)
+		}
+	}
+}

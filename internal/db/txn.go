@@ -1,0 +1,325 @@
+package db
+
+import (
+	"fmt"
+
+	"tcache/internal/kv"
+	"tcache/internal/lock"
+)
+
+// Txn is an update transaction. Reads take shared locks, writes take
+// exclusive locks (strict two-phase locking), and Commit runs two-phase
+// commit across the shards the transaction touched.
+//
+// A Txn is not safe for concurrent use by multiple goroutines.
+type Txn struct {
+	db   *DB
+	id   uint64
+	done bool
+
+	reads  []readAccess
+	readIx map[kv.Key]int
+	writes []writeAccess
+	wrIx   map[kv.Key]int
+}
+
+type readAccess struct {
+	key   kv.Key
+	item  kv.Item // version+deps as observed (value omitted from records)
+	found bool
+}
+
+type writeAccess struct {
+	key   kv.Key
+	value kv.Value
+	old   kv.Item // committed item at first write lock (version+deps)
+}
+
+// Begin starts an update transaction.
+func (d *DB) Begin() *Txn {
+	d.metrics.TxnsStarted.Add(1)
+	return &Txn{
+		db:     d,
+		id:     d.txnC.Add(1),
+		readIx: make(map[kv.Key]int),
+		wrIx:   make(map[kv.Key]int),
+	}
+}
+
+// ID returns the transaction's identifier (used as its lock owner).
+func (t *Txn) ID() uint64 { return t.id }
+
+// Read returns the current committed item for key (or the transaction's
+// own buffered write). The boolean reports whether the key exists. On
+// ErrConflict the transaction has already been aborted.
+func (t *Txn) Read(key kv.Key) (kv.Item, bool, error) {
+	if t.done {
+		return kv.Item{}, false, ErrTxnDone
+	}
+	if t.db.closed.Load() {
+		t.rollback()
+		return kv.Item{}, false, ErrClosed
+	}
+	// Read-your-writes: serve from the write buffer.
+	if i, ok := t.wrIx[key]; ok {
+		w := t.writes[i]
+		return kv.Item{Value: w.value.Clone(), Version: w.old.Version, Deps: w.old.Deps.Clone()}, true, nil
+	}
+	if err := t.acquire(key, lock.Shared); err != nil {
+		return kv.Item{}, false, err
+	}
+	t.db.metrics.TxnReads.Add(1)
+	item, found := t.db.shardFor(key).store.Get(key)
+	if i, ok := t.readIx[key]; ok {
+		// Repeat read under 2PL returns the same version; keep first record.
+		_ = i
+	} else {
+		t.readIx[key] = len(t.reads)
+		t.reads = append(t.reads, readAccess{key: key, item: item, found: found})
+	}
+	return item, found, nil
+}
+
+// Write buffers a new value for key. The exclusive lock is taken
+// immediately; the value becomes visible at Commit.
+func (t *Txn) Write(key kv.Key, value kv.Value) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.db.closed.Load() {
+		t.rollback()
+		return ErrClosed
+	}
+	if err := t.acquire(key, lock.Exclusive); err != nil {
+		return err
+	}
+	t.db.metrics.TxnWrites.Add(1)
+	if i, ok := t.wrIx[key]; ok {
+		t.writes[i].value = value.Clone()
+		return nil
+	}
+	old, _ := t.db.shardFor(key).store.Get(key)
+	t.wrIx[key] = len(t.writes)
+	t.writes = append(t.writes, writeAccess{key: key, value: value.Clone(), old: old})
+	return nil
+}
+
+// acquire takes a lock, translating concurrency-control losses into
+// ErrConflict and rolling the transaction back so the caller can retry.
+func (t *Txn) acquire(key kv.Key, mode lock.Mode) error {
+	err := t.db.locks.Acquire(lock.Owner(t.id), string(key), mode)
+	switch {
+	case err == nil:
+		return nil
+	case errorsIsAny(err, lock.ErrDeadlock, lock.ErrTimeout):
+		t.db.metrics.Conflicts.Add(1)
+		t.rollback()
+		return fmt.Errorf("%w: %s on %q: %s", ErrConflict, mode, key, err)
+	default:
+		t.rollback()
+		return fmt.Errorf("db: acquire %s on %q: %w", mode, key, err)
+	}
+}
+
+// Abort rolls the transaction back. Aborting a finished transaction
+// returns ErrTxnDone.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.db.metrics.TxnsAborted.Add(1)
+	t.rollback()
+	return nil
+}
+
+func (t *Txn) rollback() {
+	if t.done {
+		return
+	}
+	t.done = true
+	for _, s := range t.touchedShards() {
+		s.abort(t.id)
+	}
+	t.db.locks.ReleaseAll(lock.Owner(t.id))
+}
+
+// mergeBound returns the bound for the transaction's full merged list:
+// one above the largest per-object bound among the written keys (room
+// for the self-entry removed per object), or unbounded if any is.
+func (t *Txn) mergeBound() int {
+	d := t.db
+	bound := d.cfg.DepBound
+	if d.cfg.DepBoundFor != nil {
+		bound = 0
+		for _, w := range t.writes {
+			b := d.boundFor(w.key)
+			if b < 0 {
+				return kv.Unbounded
+			}
+			if b > bound {
+				bound = b
+			}
+		}
+	}
+	if bound > 0 {
+		bound++
+	}
+	return bound
+}
+
+// touchedShards returns the distinct shards this transaction accessed.
+func (t *Txn) touchedShards() []*shardState {
+	seen := make(map[int]*shardState, 2)
+	for _, r := range t.reads {
+		s := t.db.shardFor(r.key)
+		seen[s.id] = s
+	}
+	for _, w := range t.writes {
+		s := t.db.shardFor(w.key)
+		seen[s.id] = s
+	}
+	out := make([]*shardState, 0, len(seen))
+	for _, s := range seen {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Commit runs two-phase commit: prepare every touched shard, decide the
+// commit version (strictly greater than every version the transaction
+// accessed, per §III-A), aggregate the full dependency list, apply the
+// writes, release locks, and finally publish invalidations and commit
+// records. Read-only update transactions (no writes) commit trivially.
+func (t *Txn) Commit() (kv.Version, error) {
+	if t.done {
+		return kv.Version{}, ErrTxnDone
+	}
+	if t.db.closed.Load() {
+		t.rollback()
+		return kv.Version{}, ErrClosed
+	}
+	d := t.db
+
+	if len(t.writes) == 0 {
+		// Nothing to apply; under 2PL the reads are trivially serializable
+		// at this point in time.
+		t.done = true
+		d.locks.ReleaseAll(lock.Owner(t.id))
+		d.metrics.TxnsCommitted.Add(1)
+		return kv.Version{}, nil
+	}
+
+	d.commitMu.Lock()
+	defer d.commitMu.Unlock()
+
+	// Decide the commit version: larger than every accessed version and
+	// than every version this node has minted.
+	maxSeen := kv.Version{Counter: d.versionC.Load(), Node: d.cfg.NodeID}
+	for _, r := range t.reads {
+		maxSeen = kv.Max(maxSeen, r.item.Version)
+	}
+	for _, w := range t.writes {
+		maxSeen = kv.Max(maxSeen, w.old.Version)
+	}
+	vt := kv.Version{Counter: maxSeen.Counter + 1, Node: d.cfg.NodeID}
+
+	// Aggregate the full dependency list (§III-A). Write-set entries use
+	// the new version vt; read-set entries use the version observed.
+	// Entries for never-written keys carry no information and are skipped.
+	accesses := make([]kv.Access, 0, len(t.writes)+len(t.reads))
+	txnVersions := make(map[kv.Key]kv.Version, len(t.writes)+len(t.reads))
+	for _, w := range t.writes {
+		accesses = append(accesses, kv.Access{Key: w.key, Version: vt, Deps: w.old.Deps})
+		txnVersions[w.key] = vt
+	}
+	for _, r := range t.reads {
+		if _, alsoWritten := t.wrIx[r.key]; alsoWritten || !r.found {
+			continue
+		}
+		accesses = append(accesses, kv.Access{Key: r.key, Version: r.item.Version, Deps: r.item.Deps})
+		txnVersions[r.key] = r.item.Version
+	}
+	mergeBound := t.mergeBound()
+	merge := kv.MergeDeps
+	if d.cfg.DepMerge == MergePositional {
+		merge = kv.MergeDepsPositional
+	}
+	full := merge(mergeBound, accesses)
+
+	// Phase 1: prepare.
+	byShard := make(map[*shardState][]preparedWrite, 2)
+	for _, w := range t.writes {
+		item := kv.Item{
+			Value:   w.value,
+			Version: vt,
+			Deps:    d.composeDeps(w.key, full, txnVersions),
+		}
+		s := d.shardFor(w.key)
+		byShard[s] = append(byShard[s], preparedWrite{key: w.key, item: item})
+	}
+	d.hookMu.Lock()
+	hook := d.prepareHook
+	d.hookMu.Unlock()
+	prepared := make([]*shardState, 0, len(byShard))
+	for s, writes := range byShard {
+		if hook != nil {
+			if err := hook(t.id, s.id); err != nil {
+				for _, p := range prepared {
+					p.abort(t.id)
+				}
+				d.metrics.TxnsAborted.Add(1)
+				t.done = true
+				d.locks.ReleaseAll(lock.Owner(t.id))
+				return kv.Version{}, fmt.Errorf("%w: shard %d: %s", ErrAborted, s.id, err)
+			}
+		}
+		s.prepare(t.id, writes)
+		prepared = append(prepared, s)
+	}
+
+	// Write-ahead: the decision is durable before it is applied.
+	if err := d.logCommitLocked(vt, byShard); err != nil {
+		for _, p := range prepared {
+			p.abort(t.id)
+		}
+		d.metrics.TxnsAborted.Add(1)
+		t.done = true
+		d.locks.ReleaseAll(lock.Owner(t.id))
+		return kv.Version{}, err
+	}
+
+	// Phase 2: commit.
+	for s := range byShard {
+		s.commit(t.id)
+	}
+	d.versionC.Store(vt.Counter)
+	t.done = true
+	d.locks.ReleaseAll(lock.Owner(t.id))
+	d.metrics.TxnsCommitted.Add(1)
+
+	// Report and invalidate. Still under commitMu so observers see
+	// commits in version order; actual delivery to caches is asynchronous
+	// (the sink schedules it).
+	rec := CommitRecord{TxnID: t.id, Version: vt}
+	for _, r := range t.reads {
+		rec.Reads = append(rec.Reads, ReadRecord{Key: r.key, Version: r.item.Version})
+	}
+	writtenKeys := make([]kv.Key, len(t.writes))
+	for i, w := range t.writes {
+		writtenKeys[i] = w.key
+	}
+	rec.Writes = writtenKeys
+	d.runCommitHooks(rec)
+	d.emitInvalidations(writtenKeys, vt)
+
+	return vt, nil
+}
+
+func errorsIsAny(err error, targets ...error) bool {
+	for _, t := range targets {
+		if errorsIs(err, t) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,340 @@
+// Package experiment wires the full system of the paper's Fig. 2 — a
+// database column, a T-Cache, an unreliable asynchronous invalidation
+// channel, update and read-only clients, and the consistency monitor —
+// on the simulation clock, and provides one runner per figure of the
+// paper's evaluation section (§V).
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tcache/internal/chaos"
+	"tcache/internal/clock"
+	"tcache/internal/core"
+	"tcache/internal/db"
+	"tcache/internal/kv"
+	"tcache/internal/monitor"
+	"tcache/internal/workload"
+)
+
+// ColumnConfig configures one simulated column (Fig. 2). Zero values get
+// the paper's defaults from §IV.
+type ColumnConfig struct {
+	// DepBound is the dependency-list bound k (§IV uses up to 5).
+	DepBound int
+	// DepBoundFor optionally overrides DepBound per key (§VII).
+	DepBoundFor func(kv.Key) int
+	// DepMerge selects the list-pruning policy (MergeRecency default;
+	// MergePositional for the ablation).
+	DepMerge db.MergePolicy
+	// Pins installs application-declared always-retained dependencies
+	// (§VII): Pins[owner] lists owner's pinned dependency keys.
+	Pins map[kv.Key][]kv.Key
+	// Strategy is the inconsistency reaction (default ABORT).
+	Strategy core.Strategy
+	// Multiversion retains that many committed versions per cache entry
+	// (≤1 disables; the §VI TxCache extension).
+	Multiversion int
+	// TTL bounds cache-entry life span (0 = none); used by the Fig. 7d
+	// baseline.
+	TTL time.Duration
+	// DropRate is the invalidation loss probability (default 0.2, §IV).
+	DropRate float64
+	// InvalDelay and InvalJitter shape asynchronous invalidation
+	// delivery (defaults 10ms + 40ms jitter).
+	InvalDelay  time.Duration
+	InvalJitter time.Duration
+	// Seed drives all randomness in the column (default 1).
+	Seed int64
+
+	// noDrop forces DropRate 0 (DropRate 0 normally means "default").
+	noDrop bool
+}
+
+func (c ColumnConfig) withDefaults() ColumnConfig {
+	if c.Strategy == 0 {
+		c.Strategy = core.StrategyAbort
+	}
+	if c.DropRate == 0 && !c.noDrop {
+		c.DropRate = 0.2
+	}
+	if c.InvalDelay == 0 {
+		c.InvalDelay = 10 * time.Millisecond
+	}
+	if c.InvalJitter == 0 {
+		c.InvalJitter = 40 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Verdicted is a completed read-only transaction paired with the
+// monitor's classification.
+type Verdicted struct {
+	At        time.Time
+	Committed bool
+	// Consistent is the monitor's serializability verdict on the reads.
+	Consistent bool
+}
+
+// Outcome labels for time series and breakdowns.
+const (
+	LabelConsistent   = "consistent"   // committed, serializable
+	LabelInconsistent = "inconsistent" // committed, NOT serializable
+	LabelAborted      = "aborted"      // aborted by T-Cache
+)
+
+// Label returns the outcome label of v.
+func (v Verdicted) Label() string {
+	switch {
+	case !v.Committed:
+		return LabelAborted
+	case v.Consistent:
+		return LabelConsistent
+	default:
+		return LabelInconsistent
+	}
+}
+
+// Column is one simulated cache column. All activity runs on the
+// embedded simulation clock; nothing is concurrent, so runs are exactly
+// reproducible for a given seed.
+type Column struct {
+	Clk   *clock.Sim
+	DB    *db.DB
+	Cache *core.Cache
+	Mon   *monitor.Monitor
+
+	updateRNG *rand.Rand
+	readRNG   *rand.Rand
+	nextTxnID kv.TxnID
+	onVerdict func(Verdicted)
+}
+
+// NewColumn builds the Fig. 2 topology.
+func NewColumn(cfg ColumnConfig) (*Column, error) {
+	cfg = cfg.withDefaults()
+	clk := clock.NewSimAtZero()
+	d := db.Open(db.Config{
+		DepBound:    cfg.DepBound,
+		DepBoundFor: cfg.DepBoundFor,
+		DepMerge:    cfg.DepMerge,
+	})
+	for owner, deps := range cfg.Pins {
+		d.Pin(owner, deps...)
+	}
+	cache, err := core.New(core.Config{
+		Backend:      d,
+		Clock:        clk,
+		Strategy:     cfg.Strategy,
+		TTL:          cfg.TTL,
+		Multiversion: cfg.Multiversion,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: build cache: %w", err)
+	}
+	col := &Column{
+		Clk:       clk,
+		DB:        d,
+		Cache:     cache,
+		Mon:       monitor.New(),
+		updateRNG: rand.New(rand.NewSource(cfg.Seed)),
+		readRNG:   rand.New(rand.NewSource(cfg.Seed + 7919)),
+	}
+
+	inj := chaos.New[db.Invalidation](clk, chaos.Config{
+		DropRate:  cfg.DropRate,
+		BaseDelay: cfg.InvalDelay,
+		Jitter:    cfg.InvalJitter,
+		Seed:      cfg.Seed + 104729,
+	})
+	d.Subscribe("cache", inj.Wrap(func(inv db.Invalidation) {
+		cache.Invalidate(inv.Key, inv.Version)
+	}))
+
+	d.OnCommit(func(rec db.CommitRecord) {
+		reads := make([]monitor.Read, len(rec.Reads))
+		for i, r := range rec.Reads {
+			reads[i] = monitor.Read{Key: r.Key, Version: r.Version}
+		}
+		col.Mon.RecordUpdate(rec.Version, rec.Writes, reads)
+	})
+	cache.OnComplete(func(comp core.Completion) {
+		reads := make([]monitor.Read, 0, len(comp.Reads)+1)
+		for _, r := range comp.Reads {
+			reads = append(reads, monitor.Read{Key: r.Key, Version: r.Version})
+		}
+		// An aborted transaction is judged on its would-be read set: the
+		// reads it returned plus the read the violation blocked. This is
+		// what distinguishes a true detection from a spurious abort.
+		if comp.Attempted != nil {
+			reads = append(reads, monitor.Read{Key: comp.Attempted.Key, Version: comp.Attempted.Version})
+		}
+		verdict := col.Mon.RecordReadOnly(reads, comp.Committed)
+		if col.onVerdict != nil {
+			col.onVerdict(Verdicted{
+				At:         clk.Now(),
+				Committed:  comp.Committed,
+				Consistent: verdict.Consistent,
+			})
+		}
+	})
+	return col, nil
+}
+
+// Close releases the column's resources.
+func (c *Column) Close() {
+	c.Cache.Close()
+	c.DB.Close()
+}
+
+// OnVerdict registers a callback invoked for every classified read-only
+// transaction (used by the time-series experiments).
+func (c *Column) OnVerdict(fn func(Verdicted)) { c.onVerdict = fn }
+
+// SeedObjects loads every key at version 1 into the database and
+// registers it with the monitor.
+func (c *Column) SeedObjects(keys []kv.Key) {
+	v := kv.Version{Counter: 1}
+	for _, k := range keys {
+		c.DB.Seed(k, kv.Value("seed:"+k), v)
+		c.Mon.Seed(k, v)
+	}
+}
+
+// WarmCache touches every key once through the cache so the measured
+// phase starts from a hot cache (the paper's steady state).
+func (c *Column) WarmCache(keys []kv.Key) error {
+	for _, k := range keys {
+		if _, err := c.Cache.Get(k); err != nil {
+			return fmt.Errorf("experiment: warm %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// RunUpdateTxn executes one update transaction over gen's key set:
+// read all objects, then write them all (§V-B1).
+func (c *Column) RunUpdateTxn(gen workload.Generator) error {
+	keys := dedup(gen.Pick(c.updateRNG))
+	txn := c.DB.Begin()
+	for _, k := range keys {
+		if _, _, err := txn.Read(k); err != nil {
+			return fmt.Errorf("experiment: update read %q: %w", k, err)
+		}
+	}
+	for _, k := range keys {
+		val := kv.Value(fmt.Sprintf("v%d", c.updateRNG.Int63()))
+		if err := txn.Write(k, val); err != nil {
+			return fmt.Errorf("experiment: update write %q: %w", k, err)
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		return fmt.Errorf("experiment: update commit: %w", err)
+	}
+	return nil
+}
+
+// RunReadTxn executes one read-only transaction over gen's key set
+// through the cache, reporting whether it committed.
+func (c *Column) RunReadTxn(gen workload.Generator) (bool, error) {
+	keys := gen.Pick(c.readRNG)
+	c.nextTxnID++
+	id := c.nextTxnID
+	for i, k := range keys {
+		_, err := c.Cache.Read(id, k, i == len(keys)-1)
+		switch {
+		case err == nil:
+		case isAbort(err):
+			return false, nil
+		default:
+			return false, fmt.Errorf("experiment: read %q: %w", k, err)
+		}
+	}
+	return true, nil
+}
+
+func isAbort(err error) bool {
+	return errors.Is(err, core.ErrTxnAborted)
+}
+
+// Drive describes client load: update transactions at UpdateRate/s and
+// read-only transactions at ReadRate/s for Duration of virtual time
+// (§IV: 100 update/s and 500 read/s).
+type Drive struct {
+	UpdateRate float64
+	ReadRate   float64
+	Duration   time.Duration
+}
+
+func (d Drive) withDefaults() Drive {
+	if d.UpdateRate == 0 {
+		d.UpdateRate = 100
+	}
+	if d.ReadRate == 0 {
+		d.ReadRate = 500
+	}
+	if d.Duration == 0 {
+		d.Duration = 60 * time.Second
+	}
+	return d
+}
+
+// Run schedules the client load on the virtual clock and executes it to
+// completion. updGen and readGen generate the respective access sets. It
+// may be called repeatedly to extend a run (state carries over).
+func (c *Column) Run(d Drive, updGen, readGen workload.Generator) error {
+	d = d.withDefaults()
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	updInterval := time.Duration(float64(time.Second) / d.UpdateRate)
+	readInterval := time.Duration(float64(time.Second) / d.ReadRate)
+	end := c.Clk.Now().Add(d.Duration)
+
+	var updTick, readTick func()
+	updTick = func() {
+		keep(c.RunUpdateTxn(updGen))
+		if next := c.Clk.Now().Add(updInterval); next.Before(end) {
+			c.Clk.At(next, updTick)
+		}
+	}
+	readTick = func() {
+		_, err := c.RunReadTxn(readGen)
+		keep(err)
+		if next := c.Clk.Now().Add(readInterval); next.Before(end) {
+			c.Clk.At(next, readTick)
+		}
+	}
+	c.Clk.AfterFunc(updInterval, updTick)
+	c.Clk.AfterFunc(readInterval, readTick)
+	c.Clk.Run(end)
+	// Let in-flight invalidations drain so back-to-back Run calls do not
+	// leak deliveries across measurement phases.
+	c.Clk.RunFor(time.Second)
+	return firstErr
+}
+
+// dedup removes repeated keys, keeping first-access order: update
+// transactions must not read/write the same key twice.
+func dedup(keys []kv.Key) []kv.Key {
+	seen := make(map[kv.Key]struct{}, len(keys))
+	out := keys[:0:len(keys)]
+	for _, k := range keys {
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}

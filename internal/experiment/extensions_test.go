@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"testing"
+
+	"tcache/internal/core"
+	"tcache/internal/workload"
+)
+
+func TestAlbumPinningHelps(t *testing.T) {
+	res, err := RunAlbum(QuickAlbumParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	plain, _ := res.Row("lru-only")
+	pinned, _ := res.Row("pinned-acl")
+	perKey, _ := res.Row("per-key-bound")
+
+	// §VII: pinning the picture→ACL dependency must catch stale-ACL
+	// renders that pure bound-1 LRU misses.
+	if pinned.Inconsistency >= plain.Inconsistency {
+		t.Fatalf("pinning did not reduce inconsistency: %.2f vs %.2f",
+			pinned.Inconsistency, plain.Inconsistency)
+	}
+	if pinned.Detection <= plain.Detection {
+		t.Fatalf("pinning did not improve detection: %.1f vs %.1f",
+			pinned.Detection, plain.Detection)
+	}
+	// Longer ACL lists must also help over the flat short bound.
+	if perKey.Inconsistency >= plain.Inconsistency {
+		t.Fatalf("per-key bounds did not reduce inconsistency: %.2f vs %.2f",
+			perKey.Inconsistency, plain.Inconsistency)
+	}
+	if len(res.Table()) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestMergeAblationRecencyWins(t *testing.T) {
+	res, err := RunMergeAblation(QuickMergeAblationParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	recency, positional := res.Rows[0], res.Rows[1]
+	if recency.Policy != "recency-lru" || positional.Policy != "positional" {
+		t.Fatalf("row order: %+v", res.Rows)
+	}
+	// The version-recency LRU must recover from drift at least as well
+	// as positional inheritance; under drift it should be strictly
+	// better (stale entries squat under the positional policy).
+	if recency.MeanInconsistency > positional.MeanInconsistency {
+		t.Fatalf("recency LRU (%.3f%%) worse than positional (%.3f%%)",
+			recency.MeanInconsistency, positional.MeanInconsistency)
+	}
+	if len(res.Table()) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestDropSweepShape(t *testing.T) {
+	res, err := RunDropSweep(QuickDropSweepParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	low, high := res.Points[0], res.Points[1]
+	// More loss → more staleness exposure at k=0.
+	if high.Exposure <= low.Exposure {
+		t.Fatalf("exposure not increasing in drop rate: %.1f vs %.1f",
+			low.Exposure, high.Exposure)
+	}
+	// T-Cache on the perfectly clustered workload keeps committed
+	// inconsistency far below exposure even at extreme loss.
+	if high.Inconsistency >= high.Exposure/4 {
+		t.Fatalf("T-Cache inconsistency %.2f not well below exposure %.1f",
+			high.Inconsistency, high.Exposure)
+	}
+	// The price of loss is aborts, which must grow with the drop rate.
+	if high.Aborted <= low.Aborted {
+		t.Fatalf("aborts not increasing in drop rate: %.1f vs %.1f",
+			low.Aborted, high.Aborted)
+	}
+	if len(res.Table()) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestAbortSoundnessProperty(t *testing.T) {
+	// Every abort T-Cache performs must be justified: the would-be read
+	// set (returned reads plus the blocked read) is genuinely
+	// non-serializable, so the monitor's AbortedConsistent counter —
+	// spurious aborts — must stay zero. This holds for all strategies
+	// and bounds because a dependency entry (k,v) can only exist in an
+	// object whose version is ≥ v (see DESIGN.md §5).
+	for _, strategy := range []core.Strategy{core.StrategyAbort, core.StrategyEvict, core.StrategyRetry} {
+		for _, bound := range []int{1, 3, 5} {
+			col, err := NewColumn(ColumnConfig{
+				DepBound: bound,
+				Strategy: strategy,
+				DropRate: 0.4,
+				Seed:     int64(bound) * 17,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := &workload.ParetoClusters{Objects: 300, ClusterSize: 5, TxnSize: 5, Alpha: 1}
+			col.SeedObjects(workload.AllObjectKeys(300))
+			if err := col.Run(Drive{UpdateRate: 100, ReadRate: 500, Duration: 20e9}, gen, gen); err != nil {
+				col.Close()
+				t.Fatal(err)
+			}
+			s := col.Mon.Stats()
+			col.Close()
+			if s.AbortedConsistent != 0 {
+				t.Fatalf("%s k=%d: %d spurious aborts (stats %+v)",
+					strategy, bound, s.AbortedConsistent, s)
+			}
+			if s.AbortedInconsistent == 0 {
+				t.Fatalf("%s k=%d: no aborts at all; test has no power", strategy, bound)
+			}
+		}
+	}
+}
+
+func TestMultiversionReducesAborts(t *testing.T) {
+	res, err := RunMultiversion(QuickMultiversionParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []TopologyKind{TopologyAmazon, TopologyOrkut} {
+		plain, ok1 := res.Row(kind, 1)
+		mv, ok2 := res.Row(kind, 4)
+		if !ok1 || !ok2 {
+			t.Fatalf("%s rows missing", kind)
+		}
+		// §VI: version retention converts aborts into consistent commits
+		// served from the cache's history.
+		if mv.Aborted >= plain.Aborted {
+			t.Fatalf("%s: MV aborts %.1f not below plain %.1f", kind, mv.Aborted, plain.Aborted)
+		}
+		if mv.Consistent <= plain.Consistent {
+			t.Fatalf("%s: MV consistent %.1f not above plain %.1f", kind, mv.Consistent, plain.Consistent)
+		}
+		if mv.ServedOldRate == 0 {
+			t.Fatalf("%s: multiversioning never served a retained version", kind)
+		}
+		// Serving retained versions must not create NEW inconsistencies
+		// beyond the plain cache's level (checks still gate every serve).
+		if mv.Inconsistent > plain.Inconsistent*1.25+1 {
+			t.Fatalf("%s: MV inconsistency %.1f well above plain %.1f",
+				kind, mv.Inconsistent, plain.Inconsistent)
+		}
+	}
+	if len(res.Table()) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestTheorem1HoldsUnderMultiversion(t *testing.T) {
+	// Unbounded dependency lists + multiversioning: every committed
+	// transaction must still be serializable (served retained versions
+	// pass the same checks).
+	col, err := NewColumn(ColumnConfig{
+		DepBound:     -1, // kv.Unbounded
+		Strategy:     core.StrategyAbort,
+		Multiversion: 4,
+		DropRate:     0.5,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	gen := &workload.PerfectClusters{Objects: 300, ClusterSize: 5, TxnSize: 5}
+	col.SeedObjects(workload.AllObjectKeys(300))
+	if err := col.Run(Drive{UpdateRate: 100, ReadRate: 500, Duration: 20e9}, gen, gen); err != nil {
+		t.Fatal(err)
+	}
+	s := col.Mon.Stats()
+	if s.CommittedInconsistent != 0 {
+		t.Fatalf("multiversioning broke Theorem 1: %+v", s)
+	}
+	if s.Committed() == 0 {
+		t.Fatal("no commits; test has no power")
+	}
+	if col.Cache.Metrics().MVServedOld == 0 {
+		t.Fatal("multiversioning never engaged; test has no power")
+	}
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tcache/internal/core"
+	"tcache/internal/stats"
+	"tcache/internal/workload"
+)
+
+// ConvergenceParams parameterizes the Fig. 4 experiment: T-Cache's
+// reaction when a uniformly random workload suddenly becomes perfectly
+// clustered (§V-A3, "Cluster formation").
+type ConvergenceParams struct {
+	Objects     int
+	ClusterSize int
+	TxnSize     int
+	DepBound    int
+	// SwitchAt is when accesses become clustered (t=58s in the paper).
+	SwitchAt time.Duration
+	Duration time.Duration
+	Bucket   time.Duration
+	Drive    Drive
+	Seed     int64
+}
+
+// DefaultConvergenceParams returns the paper's setup: 1000 objects,
+// ~500 txn/s, switch at t=58s, 160s total.
+func DefaultConvergenceParams() ConvergenceParams {
+	return ConvergenceParams{
+		Objects:     1000,
+		ClusterSize: 5,
+		TxnSize:     5,
+		DepBound:    5,
+		SwitchAt:    58 * time.Second,
+		Duration:    160 * time.Second,
+		Bucket:      4 * time.Second,
+		Drive:       Drive{UpdateRate: 100, ReadRate: 500},
+		Seed:        1,
+	}
+}
+
+// QuickConvergenceParams is a scaled-down variant for tests.
+func QuickConvergenceParams() ConvergenceParams {
+	p := DefaultConvergenceParams()
+	p.SwitchAt = 10 * time.Second
+	p.Duration = 30 * time.Second
+	p.Bucket = 2 * time.Second
+	return p
+}
+
+// ConvergenceResult is the regenerated Fig. 4: a per-bucket breakdown of
+// transaction outcomes over time.
+type ConvergenceResult struct {
+	Params ConvergenceParams
+	Series *stats.TimeSeries
+	// SwitchBucket is the bucket index at which clustering started.
+	SwitchBucket int
+}
+
+// RunConvergence regenerates Fig. 4.
+func RunConvergence(p ConvergenceParams) (*ConvergenceResult, error) {
+	col, err := NewColumn(ColumnConfig{
+		DepBound: p.DepBound,
+		Strategy: core.StrategyAbort,
+		Seed:     p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer col.Close()
+
+	series := stats.NewTimeSeries(col.Clk.Now(), p.Bucket)
+	col.OnVerdict(func(v Verdicted) { series.Add(v.At, v.Label()) })
+
+	gen := &workload.Switch{
+		Before: &workload.Uniform{Objects: p.Objects, TxnSize: p.TxnSize},
+		After: &workload.PerfectClusters{
+			Objects:     p.Objects,
+			ClusterSize: p.ClusterSize,
+			TxnSize:     p.TxnSize,
+		},
+	}
+	col.SeedObjects(workload.AllObjectKeys(p.Objects))
+	if err := col.WarmCache(workload.AllObjectKeys(p.Objects)); err != nil {
+		return nil, err
+	}
+	col.Clk.AfterFunc(p.SwitchAt, gen.Flip)
+
+	drive := p.Drive
+	drive.Duration = p.Duration
+	if err := col.Run(drive, gen, gen); err != nil {
+		return nil, err
+	}
+	return &ConvergenceResult{
+		Params:       p,
+		Series:       series,
+		SwitchBucket: int(p.SwitchAt / p.Bucket),
+	}, nil
+}
+
+// Table renders the per-bucket outcome shares over time, marking the
+// switch point.
+func (r *ConvergenceResult) Table() string {
+	var b strings.Builder
+	b.WriteString("Fig. 4 — Convergence after cluster formation")
+	fmt.Fprintf(&b, " (accesses clustered from t=%.0fs)\n", r.Params.SwitchAt.Seconds())
+	fmt.Fprintf(&b, "%8s %14s %14s %14s %12s\n",
+		"t[s]", "consistent[%]", "inconsist[%]", "aborted[%]", "txn/s")
+	for i := 0; i < r.Series.Buckets(); i++ {
+		mark := " "
+		if i == r.SwitchBucket {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%7.0f%s %14.1f %14.1f %14.1f %12.1f\n",
+			r.Series.BucketStart(i).Seconds(), mark,
+			r.Series.Share(i, LabelConsistent),
+			r.Series.Share(i, LabelInconsistent),
+			r.Series.Share(i, LabelAborted),
+			float64(r.Series.Total(i))/r.Series.Width().Seconds())
+	}
+	return b.String()
+}
+
+// WindowShares averages the outcome shares over buckets [from, to).
+func (r *ConvergenceResult) WindowShares(from, to int) (consistent, inconsistent, aborted float64) {
+	var c, i2, a, tot int
+	for i := from; i < to && i < r.Series.Buckets(); i++ {
+		c += r.Series.Count(i, LabelConsistent)
+		i2 += r.Series.Count(i, LabelInconsistent)
+		a += r.Series.Count(i, LabelAborted)
+		tot += r.Series.Total(i)
+	}
+	if tot == 0 {
+		return 0, 0, 0
+	}
+	return 100 * float64(c) / float64(tot), 100 * float64(i2) / float64(tot), 100 * float64(a) / float64(tot)
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tcache/internal/db"
+	"tcache/internal/stats"
+)
+
+// DriftParams parameterizes the Fig. 5 experiment: perfectly clustered
+// accesses whose cluster boundaries shift by one object at a fixed
+// interval (§V-A3, "Drifting clusters").
+type DriftParams struct {
+	Objects     int
+	ClusterSize int
+	TxnSize     int
+	DepBound    int
+	// ShiftEvery is the drift period (3 minutes in the paper).
+	ShiftEvery time.Duration
+	Duration   time.Duration
+	Bucket     time.Duration
+	Drive      Drive
+	Seed       int64
+}
+
+// DefaultDriftParams returns the paper's setup: clusters shift by 1
+// every 3 minutes, 800s total, 2000 objects (0..1999 per §V-A1).
+func DefaultDriftParams() DriftParams {
+	return DriftParams{
+		Objects:     2000,
+		ClusterSize: 5,
+		TxnSize:     5,
+		DepBound:    5,
+		ShiftEvery:  3 * time.Minute,
+		Duration:    800 * time.Second,
+		Bucket:      10 * time.Second,
+		Drive:       Drive{UpdateRate: 100, ReadRate: 500},
+		Seed:        1,
+	}
+}
+
+// QuickDriftParams is a scaled-down variant for tests.
+func QuickDriftParams() DriftParams {
+	p := DefaultDriftParams()
+	p.Objects = 500
+	p.ShiftEvery = 20 * time.Second
+	p.Duration = 70 * time.Second
+	p.Bucket = 5 * time.Second
+	return p
+}
+
+// DriftResult is the regenerated Fig. 5: the committed-inconsistency
+// ratio over time with the shift instants marked.
+type DriftResult struct {
+	Params DriftParams
+	Series *stats.TimeSeries
+	// Shifts are the bucket indices at which the clusters shifted.
+	Shifts []int
+}
+
+// RunDrift regenerates Fig. 5.
+func RunDrift(p DriftParams) (*DriftResult, error) {
+	res, err := runDriftWithPolicy(p, db.MergeRecency)
+	if err != nil {
+		return nil, err
+	}
+	// Trim shift marks that fall beyond the run.
+	for len(res.Shifts) > 0 && res.Shifts[len(res.Shifts)-1] >= res.Series.Buckets() {
+		res.Shifts = res.Shifts[:len(res.Shifts)-1]
+	}
+	return res, nil
+}
+
+// InconsistencyAt returns the committed-inconsistency ratio (percent of
+// committed transactions) in bucket i.
+func (r *DriftResult) InconsistencyAt(i int) float64 {
+	c := r.Series.Count(i, LabelConsistent)
+	in := r.Series.Count(i, LabelInconsistent)
+	if c+in == 0 {
+		return 0
+	}
+	return 100 * float64(in) / float64(c+in)
+}
+
+// Table renders the inconsistency-ratio series with shift marks.
+func (r *DriftResult) Table() string {
+	shiftSet := make(map[int]bool, len(r.Shifts))
+	for _, s := range r.Shifts {
+		shiftSet[s] = true
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 5 — Drifting clusters: inconsistency ratio over time")
+	fmt.Fprintf(&b, " (clusters shift every %.0fs, marked *)\n", r.Params.ShiftEvery.Seconds())
+	fmt.Fprintf(&b, "%8s %20s %14s\n", "t[s]", "inconsistency[%]", "aborted[%]")
+	for i := 0; i < r.Series.Buckets(); i++ {
+		mark := " "
+		if shiftSet[i] {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%7.0f%s %20.2f %14.1f\n",
+			r.Series.BucketStart(i).Seconds(), mark,
+			r.InconsistencyAt(i),
+			r.Series.Share(i, LabelAborted))
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tcache/internal/core"
+	"tcache/internal/kv"
+	"tcache/internal/workload"
+)
+
+// Strategies is the fixed order in which strategy comparisons run.
+var Strategies = []core.Strategy{core.StrategyAbort, core.StrategyEvict, core.StrategyRetry}
+
+// StrategyParams parameterizes the Fig. 6 experiment: comparing ABORT,
+// EVICT and RETRY on the approximate-cluster synthetic workload
+// (§V-A4: 2000 objects, window 5, Pareto α=1, dependency lists of 5).
+type StrategyParams struct {
+	Objects     int
+	ClusterSize int
+	TxnSize     int
+	DepBound    int
+	Alpha       float64
+	Warmup      time.Duration
+	MeasureFor  time.Duration
+	Drive       Drive
+	Seed        int64
+}
+
+// DefaultStrategyParams returns the paper's Fig. 6 setup.
+func DefaultStrategyParams() StrategyParams {
+	return StrategyParams{
+		Objects:     2000,
+		ClusterSize: 5,
+		TxnSize:     5,
+		DepBound:    5,
+		Alpha:       1.0,
+		Warmup:      20 * time.Second,
+		MeasureFor:  60 * time.Second,
+		Drive:       Drive{UpdateRate: 100, ReadRate: 500},
+		Seed:        1,
+	}
+}
+
+// QuickStrategyParams is a scaled-down variant for tests.
+func QuickStrategyParams() StrategyParams {
+	p := DefaultStrategyParams()
+	p.Warmup = 5 * time.Second
+	p.MeasureFor = 20 * time.Second
+	return p
+}
+
+// StrategyRow is one bar of Figs. 6/8: the outcome breakdown under one
+// strategy.
+type StrategyRow struct {
+	Strategy     core.Strategy
+	Consistent   float64 // % of all read-only transactions
+	Inconsistent float64
+	Aborted      float64
+	M            Measurement
+}
+
+// Uncommittable is the paper's comparison metric for EVICT/RETRY: the
+// share of transactions that could not commit consistently (inconsistent
+// commits plus aborts).
+func (r StrategyRow) Uncommittable() float64 { return r.Inconsistent + r.Aborted }
+
+// StrategyResult is the regenerated Fig. 6 (or Fig. 8 for one topology).
+type StrategyResult struct {
+	Title string
+	Rows  []StrategyRow
+}
+
+// RunStrategyComparison regenerates Fig. 6: one run per strategy on
+// identical workload seeds.
+func RunStrategyComparison(p StrategyParams) (*StrategyResult, error) {
+	res := &StrategyResult{Title: "Fig. 6 — strategy efficacy (synthetic, Pareto alpha=1)"}
+	for _, s := range Strategies {
+		gen := &workload.ParetoClusters{
+			Objects:     p.Objects,
+			ClusterSize: p.ClusterSize,
+			TxnSize:     p.TxnSize,
+			Alpha:       p.Alpha,
+		}
+		row, err := runStrategyOnce(ColumnConfig{
+			DepBound: p.DepBound,
+			Strategy: s,
+			Seed:     p.Seed,
+		}, gen, workload.AllObjectKeys(p.Objects), p.Warmup, p.MeasureFor, p.Drive)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runStrategyOnce builds a column, warms it, and measures the outcome
+// breakdown; shared by Figs. 6 and 8.
+func runStrategyOnce(cfg ColumnConfig, gen workload.Generator, keys []kv.Key, warmup, measureFor time.Duration, drive Drive) (StrategyRow, error) {
+	col, err := NewColumn(cfg)
+	if err != nil {
+		return StrategyRow{}, err
+	}
+	defer col.Close()
+	col.SeedObjects(keys)
+	if err := col.WarmCache(keys); err != nil {
+		return StrategyRow{}, err
+	}
+	w := drive
+	w.Duration = warmup
+	if err := col.Run(w, gen, gen); err != nil {
+		return StrategyRow{}, err
+	}
+	meas := drive
+	meas.Duration = measureFor
+	m, err := col.Measure(func() error { return col.Run(meas, gen, gen) })
+	if err != nil {
+		return StrategyRow{}, err
+	}
+	return StrategyRow{
+		Strategy:     cfg.Strategy,
+		Consistent:   m.ConsistentPct(),
+		Inconsistent: m.InconsistentPct(),
+		Aborted:      m.AbortedPct(),
+		M:            m,
+	}, nil
+}
+
+// Table renders the stacked-bar data of Fig. 6 / Fig. 8.
+func (r *StrategyResult) Table() string {
+	var b strings.Builder
+	b.WriteString(r.Title)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%8s %14s %14s %12s %18s\n",
+		"strategy", "consistent[%]", "inconsist[%]", "aborted[%]", "uncommittable[%]")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8s %14.1f %14.1f %12.1f %18.1f\n",
+			row.Strategy, row.Consistent, row.Inconsistent, row.Aborted, row.Uncommittable())
+	}
+	return b.String()
+}
+
+// Row returns the row for strategy s, if present.
+func (r *StrategyResult) Row(s core.Strategy) (StrategyRow, bool) {
+	for _, row := range r.Rows {
+		if row.Strategy == s {
+			return row, true
+		}
+	}
+	return StrategyRow{}, false
+}

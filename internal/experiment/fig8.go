@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tcache/internal/workload"
+)
+
+// RealisticStrategyParams parameterizes Fig. 8: the ABORT/EVICT/RETRY
+// comparison on the realistic topologies with dependency lists of 3.
+type RealisticStrategyParams struct {
+	Topology   TopologyParams
+	DepBound   int
+	WalkSteps  int
+	Warmup     time.Duration
+	MeasureFor time.Duration
+	Drive      Drive
+	Seed       int64
+}
+
+// DefaultRealisticStrategyParams returns the paper's Fig. 8 setup
+// (dependency lists of length 3).
+func DefaultRealisticStrategyParams() RealisticStrategyParams {
+	return RealisticStrategyParams{
+		Topology:   DefaultTopologyParams(),
+		DepBound:   3,
+		WalkSteps:  4,
+		Warmup:     20 * time.Second,
+		MeasureFor: 120 * time.Second,
+		Drive:      Drive{UpdateRate: 100, ReadRate: 500},
+		Seed:       1,
+	}
+}
+
+// QuickRealisticStrategyParams is a scaled-down variant for tests.
+func QuickRealisticStrategyParams() RealisticStrategyParams {
+	p := DefaultRealisticStrategyParams()
+	p.Topology = QuickTopologyParams()
+	p.Warmup = 5 * time.Second
+	p.MeasureFor = 25 * time.Second
+	return p
+}
+
+// RealisticStrategyResult is the regenerated Fig. 8: one StrategyResult
+// per topology.
+type RealisticStrategyResult struct {
+	PerTopology map[TopologyKind]*StrategyResult
+}
+
+// RunStrategyComparisonRealistic regenerates Fig. 8.
+func RunStrategyComparisonRealistic(p RealisticStrategyParams) (*RealisticStrategyResult, error) {
+	out := &RealisticStrategyResult{PerTopology: make(map[TopologyKind]*StrategyResult, 2)}
+	for _, kind := range []TopologyKind{TopologyAmazon, TopologyOrkut} {
+		g, err := BuildTopology(kind, p.Topology)
+		if err != nil {
+			return nil, err
+		}
+		res := &StrategyResult{Title: fmt.Sprintf("Fig. 8 — strategy efficacy (%s, k=%d)", kind, p.DepBound)}
+		for _, s := range Strategies {
+			gen := &workload.GraphWalk{Graph: g, Steps: p.WalkSteps, Prefix: string(kind) + "-"}
+			row, err := runStrategyOnce(ColumnConfig{
+				DepBound: p.DepBound,
+				Strategy: s,
+				Seed:     p.Seed,
+			}, gen, gen.Keys(), p.Warmup, p.MeasureFor, p.Drive)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		out.PerTopology[kind] = res
+	}
+	return out, nil
+}
+
+// Table renders both topologies' breakdowns.
+func (r *RealisticStrategyResult) Table() string {
+	var b strings.Builder
+	for _, kind := range []TopologyKind{TopologyAmazon, TopologyOrkut} {
+		if res, ok := r.PerTopology[kind]; ok {
+			b.WriteString(res.Table())
+		}
+	}
+	return b.String()
+}

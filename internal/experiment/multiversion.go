@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tcache/internal/core"
+	"tcache/internal/workload"
+)
+
+// MultiversionParams parameterizes the §VI extension experiment: T-Cache
+// combined with TxCache-style version retention, on the realistic
+// topologies with the ABORT strategy (so the effect shows up as aborts
+// avoided rather than read-throughs).
+type MultiversionParams struct {
+	Topology   TopologyParams
+	DepBound   int
+	Versions   []int // 1 = plain T-Cache
+	WalkSteps  int
+	Warmup     time.Duration
+	MeasureFor time.Duration
+	Drive      Drive
+	Seed       int64
+}
+
+// DefaultMultiversionParams compares plain T-Cache against 2- and
+// 4-version caches at k=3.
+func DefaultMultiversionParams() MultiversionParams {
+	return MultiversionParams{
+		Topology:   DefaultTopologyParams(),
+		DepBound:   3,
+		Versions:   []int{1, 2, 4},
+		WalkSteps:  4,
+		Warmup:     20 * time.Second,
+		MeasureFor: 90 * time.Second,
+		Drive:      Drive{UpdateRate: 100, ReadRate: 500},
+		Seed:       1,
+	}
+}
+
+// QuickMultiversionParams is a scaled-down variant for tests.
+func QuickMultiversionParams() MultiversionParams {
+	p := DefaultMultiversionParams()
+	p.Topology = QuickTopologyParams()
+	p.Versions = []int{1, 4}
+	p.Warmup = 5 * time.Second
+	p.MeasureFor = 25 * time.Second
+	return p
+}
+
+// MultiversionRow is one configuration's outcome.
+type MultiversionRow struct {
+	Kind          TopologyKind
+	Versions      int
+	Consistent    float64 // % of all read-only transactions
+	Inconsistent  float64
+	Aborted       float64
+	ServedOldRate float64 // multiversion hits per 100 transactions
+	HitRatio      float64
+	M             Measurement
+}
+
+// MultiversionResult is the §VI extension comparison.
+type MultiversionResult struct {
+	Rows []MultiversionRow
+}
+
+// RunMultiversion compares version-retention depths on both topologies.
+func RunMultiversion(p MultiversionParams) (*MultiversionResult, error) {
+	res := &MultiversionResult{}
+	for _, kind := range []TopologyKind{TopologyAmazon, TopologyOrkut} {
+		g, err := BuildTopology(kind, p.Topology)
+		if err != nil {
+			return nil, err
+		}
+		for _, versions := range p.Versions {
+			gen := &workload.GraphWalk{Graph: g, Steps: p.WalkSteps, Prefix: string(kind) + "-"}
+			m, err := measureGraphRun(ColumnConfig{
+				DepBound:     p.DepBound,
+				Strategy:     core.StrategyAbort,
+				Multiversion: versions,
+				Seed:         p.Seed,
+			}, gen, p.Warmup, p.MeasureFor, p.Drive)
+			if err != nil {
+				return nil, err
+			}
+			servedOld := 0.0
+			if n := m.Mon.ReadOnly(); n > 0 {
+				servedOld = 100 * float64(m.Cache.MVServedOld) / float64(n)
+			}
+			res.Rows = append(res.Rows, MultiversionRow{
+				Kind:          kind,
+				Versions:      versions,
+				Consistent:    m.ConsistentPct(),
+				Inconsistent:  m.InconsistentPct(),
+				Aborted:       m.AbortedPct(),
+				ServedOldRate: servedOld,
+				HitRatio:      m.HitRatio(),
+				M:             m,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *MultiversionResult) Table() string {
+	var b strings.Builder
+	b.WriteString("§VI ext. — multiversion T-Cache (ABORT, k=3): versions retained per entry\n")
+	fmt.Fprintf(&b, "%8s %4s %14s %14s %12s %14s %10s\n",
+		"workload", "V", "consistent[%]", "inconsist[%]", "aborted[%]", "servedOld[%]", "hit-ratio")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8s %4d %14.1f %14.1f %12.1f %14.1f %10.3f\n",
+			row.Kind, row.Versions, row.Consistent, row.Inconsistent,
+			row.Aborted, row.ServedOldRate, row.HitRatio)
+	}
+	return b.String()
+}
+
+// Row returns the row for (kind, versions).
+func (r *MultiversionResult) Row(kind TopologyKind, versions int) (MultiversionRow, bool) {
+	for _, row := range r.Rows {
+		if row.Kind == kind && row.Versions == versions {
+			return row, true
+		}
+	}
+	return MultiversionRow{}, false
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TimeSeries buckets labelled event counts into fixed-width windows of
+// virtual time. The convergence experiments (Figs. 4 and 5) use it to plot
+// consistent / inconsistent / aborted transaction rates over time.
+//
+// The zero value is not usable; construct with NewTimeSeries.
+type TimeSeries struct {
+	origin time.Time
+	width  time.Duration
+	// buckets[i][label] counts events in window i.
+	buckets []map[string]int
+	labels  map[string]struct{}
+}
+
+// NewTimeSeries creates a series with the given bucket width; events are
+// bucketed relative to origin.
+func NewTimeSeries(origin time.Time, width time.Duration) *TimeSeries {
+	if width <= 0 {
+		panic("stats: TimeSeries bucket width must be positive")
+	}
+	return &TimeSeries{
+		origin: origin,
+		width:  width,
+		labels: make(map[string]struct{}),
+	}
+}
+
+// Add counts one event with the given label at time t. Events before the
+// origin are dropped.
+func (ts *TimeSeries) Add(t time.Time, label string) {
+	d := t.Sub(ts.origin)
+	if d < 0 {
+		return
+	}
+	i := int(d / ts.width)
+	for len(ts.buckets) <= i {
+		ts.buckets = append(ts.buckets, make(map[string]int))
+	}
+	ts.buckets[i][label]++
+	ts.labels[label] = struct{}{}
+}
+
+// Buckets returns the number of buckets (the index of the last bucket that
+// received an event, plus one).
+func (ts *TimeSeries) Buckets() int { return len(ts.buckets) }
+
+// Origin returns the series' time origin.
+func (ts *TimeSeries) Origin() time.Time { return ts.origin }
+
+// Width returns the bucket width.
+func (ts *TimeSeries) Width() time.Duration { return ts.width }
+
+// Count returns the count for label in bucket i (0 if out of range).
+func (ts *TimeSeries) Count(i int, label string) int {
+	if i < 0 || i >= len(ts.buckets) {
+		return 0
+	}
+	return ts.buckets[i][label]
+}
+
+// Total returns the total count across labels in bucket i.
+func (ts *TimeSeries) Total(i int) int {
+	if i < 0 || i >= len(ts.buckets) {
+		return 0
+	}
+	n := 0
+	for _, c := range ts.buckets[i] {
+		n += c
+	}
+	return n
+}
+
+// Rate returns label's count in bucket i expressed as events per second.
+func (ts *TimeSeries) Rate(i int, label string) float64 {
+	return float64(ts.Count(i, label)) / ts.width.Seconds()
+}
+
+// Share returns label's fraction of bucket i's total as a percentage.
+func (ts *TimeSeries) Share(i int, label string) float64 {
+	return Ratio(float64(ts.Count(i, label)), float64(ts.Total(i)))
+}
+
+// BucketStart returns the start offset of bucket i from the origin.
+func (ts *TimeSeries) BucketStart(i int) time.Duration {
+	return time.Duration(i) * ts.width
+}
+
+// Labels returns the set of labels seen, sorted.
+func (ts *TimeSeries) Labels() []string {
+	out := make([]string, 0, len(ts.labels))
+	for l := range ts.labels {
+		out = append(out, l)
+	}
+	sortStrings(out)
+	return out
+}
+
+// Table renders the series as a fixed-width text table with one row per
+// bucket: time offset, then per-label rates in events/sec.
+func (ts *TimeSeries) Table() string {
+	labels := ts.Labels()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s", "t[s]")
+	for _, l := range labels {
+		fmt.Fprintf(&b, " %14s", l+"/s")
+	}
+	b.WriteByte('\n')
+	for i := 0; i < len(ts.buckets); i++ {
+		fmt.Fprintf(&b, "%10.1f", ts.BucketStart(i).Seconds())
+		for _, l := range labels {
+			fmt.Fprintf(&b, " %14.1f", ts.Rate(i, l))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package storage provides the sharded, versioned in-memory object store
+// underlying both the database shards and the cache. Items carry their
+// commit version and dependency list (kv.Item); the store itself imposes
+// no consistency semantics — that is the job of the database's concurrency
+// control and of the T-Cache protocol.
+package storage
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"tcache/internal/kv"
+)
+
+// Store is a hash-sharded map from keys to versioned items. It is safe for
+// concurrent use. Items are deep-copied on the way in and out, so callers
+// can never alias the store's internal state.
+type Store struct {
+	shards []*shard
+}
+
+type shard struct {
+	mu    sync.RWMutex
+	items map[kv.Key]kv.Item
+}
+
+// NewStore creates a store with the given number of hash shards
+// (values < 1 are treated as 1).
+func NewStore(numShards int) *Store {
+	if numShards < 1 {
+		numShards = 1
+	}
+	s := &Store{shards: make([]*shard, numShards)}
+	for i := range s.shards {
+		s.shards[i] = &shard{items: make(map[kv.Key]kv.Item)}
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the index of the shard responsible for key.
+func (s *Store) ShardFor(key kv.Key) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+func (s *Store) shardOf(key kv.Key) *shard {
+	return s.shards[s.ShardFor(key)]
+}
+
+// Get returns a deep copy of the item stored under key.
+func (s *Store) Get(key kv.Key) (kv.Item, bool) {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	it, ok := sh.items[key]
+	if !ok {
+		return kv.Item{}, false
+	}
+	return it.Clone(), true
+}
+
+// Version returns the stored version of key without copying the payload,
+// and whether the key exists.
+func (s *Store) Version(key kv.Key) (kv.Version, bool) {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	it, ok := sh.items[key]
+	return it.Version, ok
+}
+
+// Put stores a deep copy of item under key, replacing any prior item.
+func (s *Store) Put(key kv.Key, item kv.Item) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.items[key] = item.Clone()
+}
+
+// PutIfNewer stores item only if the stored version is older than
+// item.Version (or the key is absent). It reports whether the store was
+// modified. The cache's fill path uses it so a concurrent invalidation for
+// a newer version is never overwritten by a stale read.
+func (s *Store) PutIfNewer(key kv.Key, item kv.Item) bool {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.items[key]
+	if ok && !cur.Version.Less(item.Version) {
+		return false
+	}
+	sh.items[key] = item.Clone()
+	return true
+}
+
+// Delete removes key and reports whether it was present.
+func (s *Store) Delete(key kv.Key) bool {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.items[key]
+	delete(sh.items, key)
+	return ok
+}
+
+// DeleteIfOlder removes key only if its stored version is strictly older
+// than v, reporting whether it deleted. Invalidation handling uses it: an
+// invalidation for version v must not evict an entry that is already at v
+// or newer.
+func (s *Store) DeleteIfOlder(key kv.Key, v kv.Version) bool {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, ok := sh.items[key]
+	if !ok || !cur.Version.Less(v) {
+		return false
+	}
+	delete(sh.items, key)
+	return true
+}
+
+// Len returns the total number of stored items.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.items)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Keys returns all keys in unspecified order.
+func (s *Store) Keys() []kv.Key {
+	out := make([]kv.Key, 0, s.Len())
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k := range sh.items {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Range calls f for every (key, item) pair until f returns false. The item
+// passed to f is a deep copy. Iteration holds one shard's read lock at a
+// time; concurrent writers may be observed or missed.
+func (s *Store) Range(f func(key kv.Key, item kv.Item) bool) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, it := range sh.items {
+			cp := it.Clone()
+			sh.mu.RUnlock()
+			if !f(k, cp) {
+				return
+			}
+			sh.mu.RLock()
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Clear removes all items.
+func (s *Store) Clear() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.items = make(map[kv.Key]kv.Item)
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tcache/internal/kv"
+)
+
+func item(val string, ver uint64) kv.Item {
+	return kv.Item{Value: kv.Value(val), Version: kv.Version{Counter: ver}}
+}
+
+func TestPutGet(t *testing.T) {
+	s := NewStore(4)
+	s.Put("a", item("va", 1))
+	got, ok := s.Get("a")
+	if !ok || string(got.Value) != "va" || got.Version.Counter != 1 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) = ok")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore(1)
+	s.Put("a", kv.Item{Value: kv.Value("xy"), Deps: kv.DepList{{Key: "d", Version: kv.Version{Counter: 1}}}})
+	got, _ := s.Get("a")
+	got.Value[0] = 'Z'
+	got.Deps[0].Key = "mutated"
+	again, _ := s.Get("a")
+	if string(again.Value) != "xy" || again.Deps[0].Key != "d" {
+		t.Fatal("Get returned aliased internal state")
+	}
+}
+
+func TestPutStoresCopy(t *testing.T) {
+	s := NewStore(1)
+	it := kv.Item{Value: kv.Value("xy")}
+	s.Put("a", it)
+	it.Value[0] = 'Z'
+	got, _ := s.Get("a")
+	if string(got.Value) != "xy" {
+		t.Fatal("Put aliased caller's value")
+	}
+}
+
+func TestVersion(t *testing.T) {
+	s := NewStore(2)
+	s.Put("a", item("v", 7))
+	ver, ok := s.Version("a")
+	if !ok || ver.Counter != 7 {
+		t.Fatalf("Version = %v, %v", ver, ok)
+	}
+	if _, ok := s.Version("nope"); ok {
+		t.Fatal("Version(missing) = ok")
+	}
+}
+
+func TestPutIfNewer(t *testing.T) {
+	s := NewStore(2)
+	if !s.PutIfNewer("a", item("v1", 5)) {
+		t.Fatal("PutIfNewer on absent key = false")
+	}
+	if s.PutIfNewer("a", item("v0", 5)) {
+		t.Fatal("PutIfNewer with equal version = true")
+	}
+	if s.PutIfNewer("a", item("v0", 4)) {
+		t.Fatal("PutIfNewer with older version = true")
+	}
+	if !s.PutIfNewer("a", item("v2", 6)) {
+		t.Fatal("PutIfNewer with newer version = false")
+	}
+	got, _ := s.Get("a")
+	if string(got.Value) != "v2" {
+		t.Fatalf("value = %s, want v2", got.Value)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore(2)
+	s.Put("a", item("v", 1))
+	if !s.Delete("a") {
+		t.Fatal("Delete(present) = false")
+	}
+	if s.Delete("a") {
+		t.Fatal("Delete(absent) = true")
+	}
+}
+
+func TestDeleteIfOlder(t *testing.T) {
+	s := NewStore(2)
+	s.Put("a", item("v", 5))
+	if s.DeleteIfOlder("a", kv.Version{Counter: 5}) {
+		t.Fatal("DeleteIfOlder(equal) deleted")
+	}
+	if s.DeleteIfOlder("a", kv.Version{Counter: 4}) {
+		t.Fatal("DeleteIfOlder(older) deleted")
+	}
+	if !s.DeleteIfOlder("a", kv.Version{Counter: 6}) {
+		t.Fatal("DeleteIfOlder(newer) did not delete")
+	}
+	if s.DeleteIfOlder("missing", kv.Version{Counter: 1}) {
+		t.Fatal("DeleteIfOlder(absent) deleted")
+	}
+}
+
+func TestLenKeysClear(t *testing.T) {
+	s := NewStore(8)
+	for i := 0; i < 100; i++ {
+		s.Put(kv.Key(fmt.Sprintf("k%d", i)), item("v", uint64(i)))
+	}
+	if got := s.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	keys := s.Keys()
+	if len(keys) != 100 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	seen := map[kv.Key]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("Keys returned duplicates")
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("Clear left items")
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := NewStore(4)
+	for i := 0; i < 10; i++ {
+		s.Put(kv.Key(fmt.Sprintf("k%d", i)), item("v", uint64(i)))
+	}
+	n := 0
+	s.Range(func(k kv.Key, it kv.Item) bool {
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("Range visited %d, want 10", n)
+	}
+	n = 0
+	s.Range(func(k kv.Key, it kv.Item) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early-stop Range visited %d, want 3", n)
+	}
+}
+
+func TestShardForStable(t *testing.T) {
+	s := NewStore(16)
+	for i := 0; i < 50; i++ {
+		k := kv.Key(fmt.Sprintf("key-%d", i))
+		a, b := s.ShardFor(k), s.ShardFor(k)
+		if a != b {
+			t.Fatalf("ShardFor(%s) unstable: %d vs %d", k, a, b)
+		}
+		if a < 0 || a >= 16 {
+			t.Fatalf("ShardFor out of range: %d", a)
+		}
+	}
+}
+
+func TestZeroShardsClamped(t *testing.T) {
+	s := NewStore(0)
+	if s.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", s.NumShards())
+	}
+	s.Put("a", item("v", 1))
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("single-shard store lost item")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := kv.Key(fmt.Sprintf("k%d", i%32))
+				switch (g + i) % 4 {
+				case 0:
+					s.Put(k, item("v", uint64(i)))
+				case 1:
+					s.Get(k)
+				case 2:
+					s.PutIfNewer(k, item("w", uint64(i)))
+				case 3:
+					s.Version(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

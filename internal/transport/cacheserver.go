@@ -1,0 +1,169 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"tcache/internal/core"
+	"tcache/internal/kv"
+)
+
+// CacheServer serves a core.Cache over TCP. The cache's backend is
+// typically a DBClient pointed at a tdbd instance, with the invalidation
+// stream bridged by SubscribeInvalidations.
+type CacheServer struct {
+	cache *core.Cache
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	logf func(format string, args ...any)
+}
+
+// NewCacheServer wraps c; call Listen to start accepting.
+func NewCacheServer(c *core.Cache, logf func(string, ...any)) *CacheServer {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &CacheServer{cache: c, conns: make(map[net.Conn]struct{}), logf: logf}
+}
+
+// Listen binds addr and starts serving in the background, returning the
+// bound address.
+func (s *CacheServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting and closes all connections.
+func (s *CacheServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *CacheServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *CacheServer) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("tcached: decode: %v", err)
+			}
+			return
+		}
+		if err := enc.Encode(s.dispatch(req)); err != nil {
+			s.logf("tcached: encode: %v", err)
+			return
+		}
+	}
+}
+
+func (s *CacheServer) dispatch(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{Code: CodeOK}
+
+	case OpRead:
+		val, err := s.cache.Read(kv.TxnID(req.TxnID), req.Key, req.LastOp)
+		return readResponse(val, err)
+
+	case OpGet:
+		val, err := s.cache.Get(req.Key)
+		return readResponse(val, err)
+
+	case OpCommit:
+		s.cache.Commit(kv.TxnID(req.TxnID))
+		return Response{Code: CodeOK}
+
+	case OpAbort:
+		s.cache.Abort(kv.TxnID(req.TxnID))
+		return Response{Code: CodeOK}
+
+	case OpStats:
+		m := s.cache.Metrics()
+		return Response{Code: CodeOK, Stats: map[string]uint64{
+			"reads":          m.Reads,
+			"hits":           m.Hits,
+			"misses":         m.Misses,
+			"txns_started":   m.TxnsStarted,
+			"txns_committed": m.TxnsCommitted,
+			"txns_aborted":   m.TxnsAborted,
+			"detected":       m.Detected,
+			"retries":        m.Retries,
+			"evictions":      m.Evictions,
+		}}
+
+	default:
+		return Response{Code: CodeError, Err: fmt.Sprintf("tcached: unknown op %q", req.Op)}
+	}
+}
+
+func readResponse(val kv.Value, err error) Response {
+	switch {
+	case err == nil:
+		return Response{Code: CodeOK, Value: val, Found: true}
+	case errors.Is(err, core.ErrTxnAborted):
+		return Response{Code: CodeAborted, Err: err.Error()}
+	case errors.Is(err, core.ErrNotFound):
+		return Response{Code: CodeNotFound}
+	default:
+		return Response{Code: CodeError, Err: err.Error()}
+	}
+}

@@ -1,0 +1,259 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"encoding/gob"
+
+	"tcache/internal/core"
+	"tcache/internal/kv"
+)
+
+// Errors mapped from response codes.
+var (
+	// ErrAborted mirrors core.ErrTxnAborted across the wire.
+	ErrAborted = core.ErrTxnAborted
+	// ErrNotFound mirrors core.ErrNotFound across the wire.
+	ErrNotFound = core.ErrNotFound
+	// ErrConflict reports an update-transaction conflict; retry.
+	ErrConflict = errors.New("transport: update conflict, retry")
+)
+
+// conn is one request/response connection with its codecs.
+type conn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func dialConn(addr string) (*conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}, nil
+}
+
+// roundTrip sends req and decodes one response; safe for concurrent use.
+func (cn *conn) roundTrip(req Request) (Response, error) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if err := cn.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("transport: send: %w", err)
+	}
+	var resp Response
+	if err := cn.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("transport: recv: %w", err)
+	}
+	return resp, nil
+}
+
+func (cn *conn) close() { cn.c.Close() }
+
+// DBClient talks to a tdbd instance. It implements core.Backend, so a
+// remote database can back a local cache. Safe for concurrent use; a
+// small connection pool avoids head-of-line blocking.
+type DBClient struct {
+	addr  string
+	pool  []*conn
+	next  atomic.Uint64
+	close sync.Once
+}
+
+var _ core.Backend = (*DBClient)(nil)
+
+// DialDB connects poolSize connections to a tdbd at addr (poolSize < 1
+// means 1).
+func DialDB(addr string, poolSize int) (*DBClient, error) {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	c := &DBClient{addr: addr}
+	for i := 0; i < poolSize; i++ {
+		cn, err := dialConn(addr)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.pool = append(c.pool, cn)
+	}
+	return c, nil
+}
+
+// Close closes all pooled connections.
+func (c *DBClient) Close() {
+	c.close.Do(func() {
+		for _, cn := range c.pool {
+			cn.close()
+		}
+	})
+}
+
+func (c *DBClient) pick() *conn {
+	return c.pool[int(c.next.Add(1))%len(c.pool)]
+}
+
+// Get implements core.Backend: a lock-free committed read.
+func (c *DBClient) Get(key kv.Key) (kv.Item, bool) {
+	resp, err := c.pick().roundTrip(Request{Op: OpGet, Key: key})
+	if err != nil || resp.Code != CodeOK {
+		return kv.Item{}, false
+	}
+	return resp.Item, true
+}
+
+// Update runs one update transaction (read set, then write set) and
+// returns the commit version. Conflicts surface as ErrConflict.
+func (c *DBClient) Update(reads []kv.Key, writes []KeyValue) (kv.Version, error) {
+	resp, err := c.pick().roundTrip(Request{Op: OpUpdate, Reads: reads, Writes: writes})
+	if err != nil {
+		return kv.Version{}, err
+	}
+	switch resp.Code {
+	case CodeOK:
+		return resp.Version, nil
+	case CodeConflict:
+		return kv.Version{}, fmt.Errorf("%w: %s", ErrConflict, resp.Err)
+	default:
+		return kv.Version{}, fmt.Errorf("transport: update: %s", resp.Err)
+	}
+}
+
+// Ping checks liveness.
+func (c *DBClient) Ping() error {
+	resp, err := c.pick().roundTrip(Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Code != CodeOK {
+		return fmt.Errorf("transport: ping: %s", resp.Err)
+	}
+	return nil
+}
+
+// SubscribeInvalidations opens a dedicated connection to a tdbd and
+// streams invalidations into deliver until the connection drops or stop
+// is called. deliver runs on the receive goroutine.
+func SubscribeInvalidations(addr, name string, deliver func(Invalidation)) (stop func(), err error) {
+	cn, err := dialConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cn.roundTrip(Request{Op: OpSubscribe, Subscriber: name})
+	if err != nil {
+		cn.close()
+		return nil, err
+	}
+	if resp.Code != CodeOK {
+		cn.close()
+		return nil, fmt.Errorf("transport: subscribe: %s", resp.Err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			var inv Invalidation
+			if err := cn.dec.Decode(&inv); err != nil {
+				return
+			}
+			deliver(inv)
+		}
+	}()
+	return func() {
+		cn.close()
+		<-done
+	}, nil
+}
+
+// CacheClient talks to a tcached instance.
+type CacheClient struct {
+	cn    *conn
+	txnID atomic.Uint64
+}
+
+// DialCache connects to a tcached at addr.
+func DialCache(addr string) (*CacheClient, error) {
+	cn, err := dialConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &CacheClient{cn: cn}, nil
+}
+
+// Close closes the connection.
+func (c *CacheClient) Close() { c.cn.close() }
+
+// Get performs a plain cache read.
+func (c *CacheClient) Get(key kv.Key) (kv.Value, error) {
+	resp, err := c.cn.roundTrip(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return decodeRead(resp)
+}
+
+// Read performs one transactional read: read(txnID, key, lastOp).
+func (c *CacheClient) Read(txnID uint64, key kv.Key, lastOp bool) (kv.Value, error) {
+	resp, err := c.cn.roundTrip(Request{Op: OpRead, TxnID: txnID, Key: key, LastOp: lastOp})
+	if err != nil {
+		return nil, err
+	}
+	return decodeRead(resp)
+}
+
+// NewTxnID mints a client-unique transaction id.
+func (c *CacheClient) NewTxnID() uint64 { return c.txnID.Add(1) }
+
+// Commit finalizes a transaction without a further read.
+func (c *CacheClient) Commit(txnID uint64) error {
+	_, err := c.cn.roundTrip(Request{Op: OpCommit, TxnID: txnID})
+	return err
+}
+
+// Abort discards a transaction.
+func (c *CacheClient) Abort(txnID uint64) error {
+	_, err := c.cn.roundTrip(Request{Op: OpAbort, TxnID: txnID})
+	return err
+}
+
+// Stats fetches the server's counters.
+func (c *CacheClient) Stats() (map[string]uint64, error) {
+	resp, err := c.cn.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Code != CodeOK {
+		return nil, fmt.Errorf("transport: stats: %s", resp.Err)
+	}
+	return resp.Stats, nil
+}
+
+// Ping checks liveness.
+func (c *CacheClient) Ping() error {
+	resp, err := c.cn.roundTrip(Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Code != CodeOK {
+		return fmt.Errorf("transport: ping: %s", resp.Err)
+	}
+	return nil
+}
+
+func decodeRead(resp Response) (kv.Value, error) {
+	switch resp.Code {
+	case CodeOK:
+		return resp.Value, nil
+	case CodeAborted:
+		return nil, fmt.Errorf("%w: %s", ErrAborted, resp.Err)
+	case CodeNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("transport: read: %s", resp.Err)
+	}
+}

@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"tcache/internal/db"
+	"tcache/internal/kv"
+)
+
+// DBServer serves a db.DB over TCP.
+type DBServer struct {
+	db *db.DB
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	logf func(format string, args ...any)
+}
+
+// NewDBServer wraps d; call Serve to start accepting.
+func NewDBServer(d *db.DB, logf func(string, ...any)) *DBServer {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &DBServer{db: d, conns: make(map[net.Conn]struct{}), logf: logf}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
+// background. It returns the bound address.
+func (s *DBServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting and closes every connection; it blocks until the
+// handler goroutines exit.
+func (s *DBServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *DBServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *DBServer) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *DBServer) handle(conn net.Conn) {
+	defer s.dropConn(conn)
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex // shared with the invalidation pusher
+
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("tdbd: decode: %v", err)
+			}
+			return
+		}
+		if req.Op == OpSubscribe {
+			// Switch to push mode: the ack is the last request/response
+			// exchange on this connection.
+			unsub := s.subscribe(conn, enc, &encMu, req.Subscriber)
+			encMu.Lock()
+			err := enc.Encode(Response{Code: CodeOK})
+			encMu.Unlock()
+			if err != nil {
+				unsub()
+				return
+			}
+			// Block until the peer goes away; unsubscribing stops pushes.
+			var discard Request
+			for dec.Decode(&discard) == nil {
+			}
+			unsub()
+			return
+		}
+		resp := s.dispatch(req)
+		encMu.Lock()
+		err := enc.Encode(resp)
+		encMu.Unlock()
+		if err != nil {
+			s.logf("tdbd: encode: %v", err)
+			return
+		}
+	}
+}
+
+func (s *DBServer) subscribe(conn net.Conn, enc *gob.Encoder, encMu *sync.Mutex, name string) (unsub func()) {
+	if name == "" {
+		name = conn.RemoteAddr().String()
+	}
+	return s.db.Subscribe(name, func(inv db.Invalidation) {
+		encMu.Lock()
+		defer encMu.Unlock()
+		if err := enc.Encode(Invalidation{Key: inv.Key, Version: inv.Version}); err != nil {
+			// The pipeline is asynchronous and unreliable by design;
+			// failures just drop this subscriber's messages.
+			conn.Close()
+		}
+	})
+}
+
+func (s *DBServer) dispatch(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{Code: CodeOK}
+
+	case OpGet:
+		item, ok := s.db.Get(req.Key)
+		if !ok {
+			return Response{Code: CodeNotFound}
+		}
+		return Response{Code: CodeOK, Item: item, Found: true, Value: item.Value}
+
+	case OpUpdate:
+		version, err := s.runUpdate(req)
+		switch {
+		case err == nil:
+			return Response{Code: CodeOK, Version: version}
+		case errors.Is(err, db.ErrConflict):
+			return Response{Code: CodeConflict, Err: err.Error()}
+		default:
+			return Response{Code: CodeError, Err: err.Error()}
+		}
+
+	default:
+		return Response{Code: CodeError, Err: fmt.Sprintf("tdbd: unknown op %q", req.Op)}
+	}
+}
+
+func (s *DBServer) runUpdate(req Request) (kv.Version, error) {
+	txn := s.db.Begin()
+	for _, k := range req.Reads {
+		if _, _, err := txn.Read(k); err != nil {
+			return kv.Version{}, err
+		}
+	}
+	for _, w := range req.Writes {
+		if err := txn.Write(w.Key, w.Value); err != nil {
+			return kv.Version{}, err
+		}
+	}
+	return txn.Commit()
+}

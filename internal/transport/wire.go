@@ -1,0 +1,113 @@
+// Package transport serves the database and the cache over TCP, so the
+// system can be deployed as the paper describes it: a backend database
+// daemon (cmd/tdbd), edge cache daemons close to clients (cmd/tcached),
+// and an asynchronous invalidation stream from the database to each
+// cache. Framing is gob over a plain TCP connection: requests and
+// responses alternate, except on subscription connections, which switch
+// to a server-push stream of invalidations.
+package transport
+
+import (
+	"fmt"
+
+	"tcache/internal/kv"
+)
+
+// Op names a request operation.
+type Op string
+
+// Operations understood by the servers.
+const (
+	// OpPing checks liveness (both servers).
+	OpPing Op = "ping"
+	// OpGet reads one item: lock-free committed read on the DB server,
+	// plain cache read on the cache server.
+	OpGet Op = "get"
+	// OpUpdate runs one update transaction on the DB server: read the
+	// Reads set, then write the Writes set, atomically.
+	OpUpdate Op = "update"
+	// OpSubscribe switches a DB-server connection into a push stream of
+	// invalidations.
+	OpSubscribe Op = "subscribe"
+	// OpRead is the cache server's transactional read:
+	// read(txnID, key, lastOp).
+	OpRead Op = "read"
+	// OpCommit finalizes a cache transaction without a further read.
+	OpCommit Op = "commit"
+	// OpAbort discards a cache transaction.
+	OpAbort Op = "abort"
+	// OpStats fetches the cache server's counters.
+	OpStats Op = "stats"
+)
+
+// KeyValue is one write of an update transaction.
+type KeyValue struct {
+	Key   kv.Key
+	Value kv.Value
+}
+
+// Request is the client→server message.
+type Request struct {
+	Op     Op
+	Key    kv.Key
+	TxnID  uint64
+	LastOp bool
+	// Subscriber names the invalidation subscription (OpSubscribe).
+	Subscriber string
+	Reads      []kv.Key
+	Writes     []KeyValue
+}
+
+// Code classifies a response.
+type Code int
+
+// Response codes.
+const (
+	// CodeOK means the operation succeeded.
+	CodeOK Code = iota + 1
+	// CodeNotFound means the key exists nowhere.
+	CodeNotFound
+	// CodeAborted means the cache aborted the read-only transaction on a
+	// detected inconsistency.
+	CodeAborted
+	// CodeConflict means the update transaction lost a concurrency fight
+	// and should be retried.
+	CodeConflict
+	// CodeError carries any other failure in Err.
+	CodeError
+)
+
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeNotFound:
+		return "not-found"
+	case CodeAborted:
+		return "aborted"
+	case CodeConflict:
+		return "conflict"
+	case CodeError:
+		return "error"
+	default:
+		return fmt.Sprintf("Code(%d)", int(c))
+	}
+}
+
+// Response is the server→client message.
+type Response struct {
+	Code    Code
+	Err     string
+	Value   kv.Value
+	Found   bool
+	Item    kv.Item
+	Version kv.Version
+	// Stats is set for OpStats.
+	Stats map[string]uint64
+}
+
+// Invalidation is pushed on subscription connections.
+type Invalidation struct {
+	Key     kv.Key
+	Version kv.Version
+}

@@ -1,0 +1,152 @@
+// Package wal provides the database's write-ahead log: committed update
+// transactions are appended — version, written items, dependency lists —
+// before they are applied, so a restarted database recovers its exact
+// pre-crash state, including the dependency metadata the T-Cache protocol
+// depends on.
+//
+// Records are length-prefixed gob. Replay tolerates a truncated final
+// record (the usual crash artifact) and rejects corrupted ones.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"tcache/internal/kv"
+)
+
+// Entry is one written object within a committed transaction.
+type Entry struct {
+	Key   kv.Key
+	Value kv.Value
+	Deps  kv.DepList
+}
+
+// Record is one committed update transaction.
+type Record struct {
+	Version kv.Version
+	Writes  []Entry
+}
+
+// ErrCorrupt reports a record whose checksum does not match.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Log is an append-only write-ahead log. It is safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	bw   *bufio.Writer
+	sync bool
+}
+
+// Options configure Open.
+type Options struct {
+	// Sync forces an fsync after every append (durable but slow);
+	// without it the log is flushed to the OS on every append and synced
+	// on Close.
+	Sync bool
+}
+
+// Open opens (or creates) the log at path for appending.
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &Log{f: f, bw: bufio.NewWriter(f), sync: opts.Sync}, nil
+}
+
+// Append writes one record: [len u32][crc u32][gob payload].
+func (l *Log) Append(rec Record) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return fmt.Errorf("wal: encode: %w", err)
+	}
+	var header [8]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.bw.Write(header[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.bw.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close flushes, syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return l.f.Close()
+}
+
+// Replay streams every intact record of the log at path into fn, in
+// append order. A truncated final record (torn write during a crash) ends
+// replay silently; a checksum mismatch returns ErrCorrupt. A missing file
+// replays nothing.
+func Replay(path string, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReader(f)
+	for {
+		var header [8]byte
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // clean end or torn header
+			}
+			return fmt.Errorf("wal: read header: %w", err)
+		}
+		size := binary.LittleEndian.Uint32(header[0:4])
+		want := binary.LittleEndian.Uint32(header[4:8])
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn payload
+			}
+			return fmt.Errorf("wal: read payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return fmt.Errorf("%w: decode: %s", ErrCorrupt, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcache/internal/kv"
+)
+
+// GeneratorFunc adapts a function to the Generator interface.
+type GeneratorFunc func(rng *rand.Rand) []kv.Key
+
+// Pick implements Generator.
+func (f GeneratorFunc) Pick(rng *rand.Rand) []kv.Key { return f(rng) }
+
+// Album models the paper's §II web-album motivation: each album has one
+// access-control list (ACL) object and a set of picture objects. Update
+// transactions either re-share the album (rewrite the ACL together with
+// a couple of pictures) or retag content (rewrite a few pictures);
+// read-only transactions render an album view (the ACL plus some
+// pictures). The dangerous inconsistency is a stale ACL rendered with
+// fresh pictures — the classic "remove the boss from the ACL, then add
+// unflattering pictures".
+//
+// Album exercises the §VII future directions: pinning each picture's
+// dependency on its ACL, and giving ACL objects longer dependency lists
+// than pictures.
+type Album struct {
+	Albums      int
+	PicturesPer int
+	// ACLUpdateProb is the probability that an update transaction is a
+	// re-share (ACL rewrite) rather than a content update.
+	ACLUpdateProb float64
+	// PicsPerUpdate and PicsPerView size the transactions.
+	PicsPerUpdate int
+	PicsPerView   int
+}
+
+// DefaultAlbum returns a balanced configuration.
+func DefaultAlbum() *Album {
+	return &Album{
+		Albums:        100,
+		PicturesPer:   8,
+		ACLUpdateProb: 0.25,
+		PicsPerUpdate: 2,
+		PicsPerView:   3,
+	}
+}
+
+// ACLKey names album a's access-control object.
+func (w *Album) ACLKey(a int) kv.Key {
+	return kv.Key(fmt.Sprintf("album%04d/acl", a))
+}
+
+// PicKey names picture i of album a.
+func (w *Album) PicKey(a, i int) kv.Key {
+	return kv.Key(fmt.Sprintf("album%04d/pic%02d", a, i))
+}
+
+// Keys returns every object key, for seeding.
+func (w *Album) Keys() []kv.Key {
+	out := make([]kv.Key, 0, w.Albums*(1+w.PicturesPer))
+	for a := 0; a < w.Albums; a++ {
+		out = append(out, w.ACLKey(a))
+		for i := 0; i < w.PicturesPer; i++ {
+			out = append(out, w.PicKey(a, i))
+		}
+	}
+	return out
+}
+
+// PictureKeys returns all picture keys (for installing pins).
+func (w *Album) PictureKeys(a int) []kv.Key {
+	out := make([]kv.Key, w.PicturesPer)
+	for i := range out {
+		out[i] = w.PicKey(a, i)
+	}
+	return out
+}
+
+func (w *Album) pics(rng *rand.Rand, a, n int) []kv.Key {
+	out := make([]kv.Key, n)
+	for i := range out {
+		out[i] = w.PicKey(a, rng.Intn(w.PicturesPer))
+	}
+	return out
+}
+
+// UpdateGen generates update transactions: ACL re-shares or content
+// updates.
+func (w *Album) UpdateGen() Generator {
+	return GeneratorFunc(func(rng *rand.Rand) []kv.Key {
+		a := rng.Intn(w.Albums)
+		if rng.Float64() < w.ACLUpdateProb {
+			return append([]kv.Key{w.ACLKey(a)}, w.pics(rng, a, w.PicsPerUpdate)...)
+		}
+		return w.pics(rng, a, w.PicsPerUpdate+1)
+	})
+}
+
+// ReadGen generates album views: the ACL plus a few pictures.
+func (w *Album) ReadGen() Generator {
+	return GeneratorFunc(func(rng *rand.Rand) []kv.Key {
+		a := rng.Intn(w.Albums)
+		// Pictures first: the torn render the paper worries about is a
+		// fresh picture displayed under a stale ACL, which the cache can
+		// only catch from the pictures' dependency entries.
+		return append(w.pics(rng, a, w.PicsPerView), w.ACLKey(a))
+	})
+}

@@ -1,0 +1,384 @@
+// Package tcache is the public API of this repository: an embeddable
+// implementation of T-Cache, the transactional edge cache of
+//
+//	Eyal, Birman, van Renesse — "Cache Serializability: Reducing
+//	Inconsistency in Edge Transactions", ICDCS 2015.
+//
+// It bundles a serializable transactional key-value database (the
+// backend), one or more T-Cache instances fed by asynchronous — and
+// optionally lossy — invalidation streams, and a closure-based
+// transaction API:
+//
+//	db := tcache.OpenDB()
+//	defer db.Close()
+//	cache, _ := tcache.NewCache(db, tcache.WithStrategy(tcache.StrategyRetry))
+//	defer cache.Close()
+//
+//	_ = db.Update(func(tx *tcache.Tx) error {
+//	    tx.Set("train", []byte("in stock"))
+//	    tx.Set("tracks", []byte("in stock"))
+//	    return nil
+//	})
+//
+//	err := cache.ReadTxn(func(tx *tcache.ReadTx) error {
+//	    train, _ := tx.Get("train")
+//	    tracks, _ := tx.Get("tracks")
+//	    _ = train
+//	    _ = tracks
+//	    return nil
+//	})
+//	if errors.Is(err, tcache.ErrTxnAborted) {
+//	    // the cache detected that the reads were not serializable
+//	}
+//
+// Read-only transactions served by the cache never contact the database
+// on hits; the cache detects most non-serializable read sets locally
+// using the bounded dependency lists the database maintains (see
+// DESIGN.md for the protocol).
+package tcache
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tcache/internal/chaos"
+	"tcache/internal/clock"
+	"tcache/internal/core"
+	"tcache/internal/db"
+	"tcache/internal/kv"
+	"tcache/internal/wal"
+)
+
+// Key identifies an object.
+type Key = kv.Key
+
+// Value is an opaque object payload.
+type Value = kv.Value
+
+// Version is a database commit version.
+type Version = kv.Version
+
+// Strategy selects the cache's reaction to a detected inconsistency.
+type Strategy = core.Strategy
+
+// Strategies (§III-B of the paper).
+const (
+	// StrategyAbort aborts the observing transaction.
+	StrategyAbort = core.StrategyAbort
+	// StrategyEvict also evicts the stale cache entry.
+	StrategyEvict = core.StrategyEvict
+	// StrategyRetry additionally re-reads through to the database when
+	// the stale object is the one currently being read.
+	StrategyRetry = core.StrategyRetry
+)
+
+// Errors surfaced by the public API.
+var (
+	// ErrTxnAborted reports that a read-only transaction observed (or
+	// was about to observe) non-serializable data and was aborted.
+	ErrTxnAborted = core.ErrTxnAborted
+	// ErrNotFound reports a key absent from both cache and database.
+	ErrNotFound = core.ErrNotFound
+	// ErrConflict reports an update-transaction concurrency conflict;
+	// DB.Update retries these automatically.
+	ErrConflict = db.ErrConflict
+)
+
+// DB is the transactional backend database.
+type DB struct {
+	inner *db.DB
+}
+
+// DBOption configures OpenDB.
+type DBOption func(*db.Config)
+
+// WithShards sets the number of two-phase-commit participants the key
+// space is partitioned over (default 1).
+func WithShards(n int) DBOption {
+	return func(c *db.Config) { c.Shards = n }
+}
+
+// WithDepListBound sets the dependency-list length k the database
+// maintains per object (default 5, the paper's setting). Longer lists
+// detect more inconsistencies at slightly higher metadata cost; 0
+// disables dependency tracking.
+func WithDepListBound(k int) DBOption {
+	return func(c *db.Config) { c.DepBound = k }
+}
+
+// WithLockTimeout bounds update-transaction lock waits.
+func WithLockTimeout(d time.Duration) DBOption {
+	return func(c *db.Config) { c.LockTimeout = d }
+}
+
+// OpenDB creates an in-process backend database.
+func OpenDB(opts ...DBOption) *DB {
+	cfg := db.Config{DepBound: 5, Shards: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &DB{inner: db.Open(cfg)}
+}
+
+// OpenDurableDB creates (or recovers) a database whose commits are made
+// durable in a write-ahead log at path: values, versions and dependency
+// lists all survive restarts. Compact the log periodically with
+// Backend().Compact().
+func OpenDurableDB(path string, opts ...DBOption) (*DB, error) {
+	cfg := db.Config{DepBound: 5, Shards: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	inner, err := db.Recover(cfg, path, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Close shuts the database down.
+func (d *DB) Close() { d.inner.Close() }
+
+// Backend exposes the underlying database for advanced integrations
+// (e.g. serving it over the wire with the transport package).
+func (d *DB) Backend() *db.DB { return d.inner }
+
+// Tx is an update transaction handle passed to DB.Update.
+type Tx struct {
+	txn *db.Txn
+}
+
+// Get reads key within the update transaction.
+func (t *Tx) Get(key Key) (Value, bool, error) {
+	item, found, err := t.txn.Read(key)
+	if err != nil {
+		return nil, false, err
+	}
+	return item.Value, found, nil
+}
+
+// Set buffers a write of key within the update transaction.
+func (t *Tx) Set(key Key, value Value) error {
+	return t.txn.Write(key, value)
+}
+
+// Update runs fn inside a serializable update transaction, committing on
+// nil return and rolling back on error. Concurrency conflicts (deadlock
+// victims, lock timeouts) are retried transparently.
+func (d *DB) Update(fn func(tx *Tx) error) error {
+	for {
+		txn := d.inner.Begin()
+		err := fn(&Tx{txn: txn})
+		if err != nil {
+			if abortErr := txn.Abort(); abortErr != nil && !errors.Is(abortErr, db.ErrTxnDone) {
+				return fmt.Errorf("tcache: rollback: %w", abortErr)
+			}
+			if errors.Is(err, ErrConflict) {
+				continue
+			}
+			return err
+		}
+		_, err = txn.Commit()
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrConflict):
+			continue
+		default:
+			return err
+		}
+	}
+}
+
+// Get performs a lock-free single-entry read of the latest committed
+// value directly from the database.
+func (d *DB) Get(key Key) (Value, bool) {
+	item, ok := d.inner.Get(key)
+	return item.Value, ok
+}
+
+// Pin declares always-retained dependencies: owner's stored dependency
+// list will always include entries for deps at their current committed
+// versions, regardless of the LRU bound (the paper's §VII suggestion —
+// e.g. pin every album picture to the album's ACL object).
+func (d *DB) Pin(owner Key, deps ...Key) { d.inner.Pin(owner, deps...) }
+
+// Unpin removes previously pinned dependencies of owner.
+func (d *DB) Unpin(owner Key, deps ...Key) { d.inner.Unpin(owner, deps...) }
+
+// Cache is a T-Cache instance attached to a DB.
+type Cache struct {
+	inner *core.Cache
+	unsub func()
+	seq   atomic.Uint64
+}
+
+// cacheOptions collects NewCache settings.
+type cacheOptions struct {
+	core core.Config
+	link chaos.Config
+	// lossy marks that the invalidation link should be routed through a
+	// chaos injector instead of delivered synchronously.
+	lossy bool
+	name  string
+}
+
+// CacheOption configures NewCache.
+type CacheOption func(*cacheOptions)
+
+// WithStrategy sets the inconsistency reaction (default StrategyRetry,
+// the paper's best-performing configuration).
+func WithStrategy(s Strategy) CacheOption {
+	return func(o *cacheOptions) { o.core.Strategy = s }
+}
+
+// WithTTL bounds the life span of cache entries (0 = none).
+func WithTTL(ttl time.Duration) CacheOption {
+	return func(o *cacheOptions) { o.core.TTL = ttl }
+}
+
+// WithCapacity bounds the number of cached entries (0 = unbounded); the
+// least recently used entry is evicted when full.
+func WithCapacity(n int) CacheOption {
+	return func(o *cacheOptions) { o.core.Capacity = n }
+}
+
+// WithMultiversion retains up to n committed versions per cache entry
+// and serves each transaction the newest version that keeps it
+// serializable — the TxCache technique the paper suggests combining with
+// T-Cache (§VI). Values ≤ 1 disable it.
+func WithMultiversion(n int) CacheOption {
+	return func(o *cacheOptions) { o.core.Multiversion = n }
+}
+
+// WithClock substitutes the time source (e.g. a simulation clock).
+func WithClock(c clock.Clock) CacheOption {
+	return func(o *cacheOptions) { o.core.Clock = c }
+}
+
+// WithTxnGC bounds how long idle transaction records are kept before
+// being garbage-collected (protects against clients that never finish).
+func WithTxnGC(d time.Duration) CacheOption {
+	return func(o *cacheOptions) { o.core.TxnGC = d }
+}
+
+// WithLossyLink routes invalidations through an unreliable asynchronous
+// channel that drops a fraction of messages and delays the rest — the
+// environment the paper targets. Without it, invalidations are delivered
+// synchronously (a perfectly reliable link).
+func WithLossyLink(dropRate float64, delay, jitter time.Duration, seed int64) CacheOption {
+	return func(o *cacheOptions) {
+		o.lossy = true
+		o.link = chaos.Config{DropRate: dropRate, BaseDelay: delay, Jitter: jitter, Seed: seed}
+	}
+}
+
+// WithName names the cache's invalidation subscription (useful when
+// attaching several caches to one DB).
+func WithName(name string) CacheOption {
+	return func(o *cacheOptions) { o.name = name }
+}
+
+var _cacheSeq atomic.Uint64
+
+// NewCache attaches a T-Cache to d and subscribes it to the database's
+// invalidation stream.
+func NewCache(d *DB, opts ...CacheOption) (*Cache, error) {
+	o := cacheOptions{}
+	o.core.Backend = d.inner
+	o.core.Strategy = core.StrategyRetry
+	for _, opt := range opts {
+		opt(&o)
+	}
+	inner, err := core.New(o.core)
+	if err != nil {
+		return nil, err
+	}
+	clk := o.core.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	deliver := func(inv db.Invalidation) { inner.Invalidate(inv.Key, inv.Version) }
+	sink := db.InvalidationSink(deliver)
+	if o.lossy {
+		inj := chaos.New[db.Invalidation](clk, o.link)
+		sink = inj.Wrap(deliver)
+	}
+	name := o.name
+	if name == "" {
+		name = fmt.Sprintf("cache-%d", _cacheSeq.Add(1))
+	}
+	unsub := d.inner.Subscribe(name, sink)
+	return &Cache{inner: inner, unsub: unsub}, nil
+}
+
+// Close detaches the cache from the invalidation stream and shuts it
+// down.
+func (c *Cache) Close() {
+	c.unsub()
+	c.inner.Close()
+}
+
+// Core exposes the underlying cache for advanced integrations (metrics,
+// serving it over the wire).
+func (c *Cache) Core() *core.Cache { return c.inner }
+
+// ReadTx is a read-only transaction handle passed to Cache.ReadTxn.
+type ReadTx struct {
+	cache *core.Cache
+	id    kv.TxnID
+	err   error
+}
+
+// Get reads key through the cache within the transaction. After the
+// transaction aborts, further reads return the abort error.
+func (t *ReadTx) Get(key Key) (Value, error) {
+	if t.err != nil && errors.Is(t.err, ErrTxnAborted) {
+		return nil, t.err
+	}
+	val, err := t.cache.Read(t.id, key, false)
+	if err != nil && errors.Is(err, ErrTxnAborted) {
+		t.err = err
+	}
+	return val, err
+}
+
+// ReadTxn runs fn as one read-only transaction against the cache. All
+// Gets inside fn are validated against each other; if the cache detects
+// that they cannot belong to one serializable snapshot the transaction
+// aborts and ReadTxn returns an error wrapping ErrTxnAborted (the caller
+// may simply retry). A cache hit never contacts the database.
+func (c *Cache) ReadTxn(fn func(tx *ReadTx) error) error {
+	id := kv.TxnID(c.seq.Add(1))
+	tx := &ReadTx{cache: c.inner, id: id}
+	err := fn(tx)
+	if tx.err != nil {
+		// Already aborted by the cache.
+		return tx.err
+	}
+	if err != nil {
+		c.inner.Abort(id)
+		return err
+	}
+	c.inner.Commit(id)
+	return nil
+}
+
+// Get performs a plain, non-transactional cache read.
+func (c *Cache) Get(key Key) (Value, error) {
+	return c.inner.Get(key)
+}
+
+// Invalidate applies an invalidation upcall directly (for callers that
+// bridge their own delivery channel).
+func (c *Cache) Invalidate(key Key, version Version) {
+	c.inner.Invalidate(key, version)
+}
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats = core.MetricsSnapshot
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() Stats { return c.inner.Metrics() }
