@@ -8,6 +8,7 @@ package tcache
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"tcache/internal/core"
@@ -185,6 +186,69 @@ func BenchmarkCachePlainGet(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCacheHitReadParallel measures the validated read hot path under
+// concurrent clients (b.RunParallel), the workload the lock-striped shards
+// target: each transaction reads 5 warm keys, transactions run from many
+// goroutines at once. Compare -cpu 1 vs -cpu N to see the scaling; the
+// historical single-mutex cache degraded as cpus grew.
+func BenchmarkCacheHitReadParallel(b *testing.B) {
+	const nKeys = 64
+	d := db.Open(db.Config{DepBound: 5})
+	defer d.Close()
+	seedCluster(b, d, nKeys)
+	cache, err := core.New(core.Config{Backend: d, Strategy: core.StrategyRetry})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cache.Close()
+	warm(b, cache, nKeys)
+
+	var nextID atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := nextID.Add(1)
+			base := int(id*5) % nKeys
+			for r := 0; r < 5; r++ {
+				if _, err := cache.Read(kv.TxnID(id), workload.ObjectKey((base+r)%nKeys), r == 4); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+	b.ReportMetric(5, "reads/txn")
+}
+
+// BenchmarkCachePlainGetParallel measures the consistency-unaware hit path
+// under concurrent clients, as the baseline for the transactional overhead
+// of BenchmarkCacheHitReadParallel.
+func BenchmarkCachePlainGetParallel(b *testing.B) {
+	const nKeys = 64
+	d := db.Open(db.Config{DepBound: 5})
+	defer d.Close()
+	seedCluster(b, d, nKeys)
+	cache, err := core.New(core.Config{Backend: d})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cache.Close()
+	warm(b, cache, nKeys)
+
+	var offset atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(offset.Add(17))
+		for pb.Next() {
+			i++
+			if _, err := cache.Get(workload.ObjectKey(i % nKeys)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkDBUpdateTxn measures a 5-object read-then-write update

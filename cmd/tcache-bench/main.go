@@ -7,6 +7,8 @@
 //	tcache-bench -fig 7c        # one figure: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline
 //	tcache-bench -quick         # scaled-down smoke run
 //	tcache-bench -seed 7        # change the simulation seed
+//	tcache-bench -fig hitpath -cache-shards 8
+//	                            # hot-path throughput vs client concurrency
 //
 // See DESIGN.md for the per-experiment index and EXPERIMENTS.md for
 // recorded paper-vs-measured results.
@@ -29,12 +31,17 @@ func main() {
 	}
 }
 
+// cacheShards is the -cache-shards flag, consumed by the hitpath run
+// (0 = the core package's default).
+var cacheShards int
+
 func run() error {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, all")
+		fig   = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, all")
 		quick = flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
 		seed  = flag.Int64("seed", 1, "simulation seed")
 	)
+	flag.IntVar(&cacheShards, "cache-shards", 0, "cache lock stripes for the hitpath run (0 = GOMAXPROCS, 1 = single mutex)")
 	flag.Parse()
 
 	runs := map[string]func(bool, int64) error{
@@ -51,8 +58,9 @@ func run() error {
 		"lru":      runLRUAblation,
 		"drop":     runDropSweep,
 		"mv":       runMultiversion,
+		"hitpath":  runHitPath,
 	}
-	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv"}
+	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv", "hitpath"}
 
 	selected := strings.Split(*fig, ",")
 	if *fig == "all" {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	tcached [-listen 127.0.0.1:7071] [-db 127.0.0.1:7070] \
-//	        [-strategy retry|evict|abort] [-ttl 0] [-capacity 0]
+//	        [-strategy retry|evict|abort] [-ttl 0] [-capacity 0] [-shards 0]
 package main
 
 import (
@@ -35,6 +35,7 @@ func run() error {
 		strategy = flag.String("strategy", "retry", "inconsistency strategy: abort, evict, or retry")
 		ttl      = flag.Duration("ttl", 0, "cache entry TTL (0 = none)")
 		capacity = flag.Int("capacity", 0, "max cached entries (0 = unbounded)")
+		shards   = flag.Int("shards", 0, "cache lock stripes (0 = GOMAXPROCS, or 1 with -capacity; 1 = single mutex)")
 		txnGC    = flag.Duration("txn-gc", time.Minute, "idle transaction record GC interval (0 = none)")
 		name     = flag.String("name", "", "subscriber name reported to the backend")
 		pool     = flag.Int("backend-conns", 4, "backend connection pool size")
@@ -58,6 +59,7 @@ func run() error {
 		TTL:      *ttl,
 		Capacity: *capacity,
 		TxnGC:    *txnGC,
+		Shards:   *shards,
 	})
 	if err != nil {
 		return err
@@ -82,8 +84,8 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
-	log.Printf("tcached: serving on %s (backend=%s, strategy=%s, ttl=%v)",
-		addr, *dbAddr, strat, *ttl)
+	log.Printf("tcached: serving on %s (backend=%s, strategy=%s, ttl=%v, shards=%d)",
+		addr, *dbAddr, strat, *ttl, cache.Shards())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,3 @@
+module tcache
+
+go 1.22

@@ -10,12 +10,32 @@
 // every new read against that record (§III-B, equations 1 and 2). On a
 // detected inconsistency it applies one of three strategies: ABORT, EVICT,
 // or RETRY.
+//
+// # Concurrency
+//
+// The cache is lock-striped along two independent axes so the hit path
+// scales with cores instead of serializing on one global mutex:
+//
+//   - the entry table (and its LRU ring) is hash-partitioned into
+//     Config.Shards cacheShards, keyed by the same FNV-1a hash the
+//     storage and db packages use;
+//   - the transaction-record table is striped into as many txnStripes,
+//     keyed by TxnID.
+//
+// A transactional read locks exactly one entry shard and one transaction
+// stripe, always in that fixed order (entry shard first), and never holds
+// two locks of the same kind at once; cross-shard work (evicting a stale
+// object that hashes elsewhere) runs after both locks are released.
+// Completion hooks are always invoked with no cache lock held, so hooks
+// may call back into the cache.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcache/internal/clock"
@@ -142,6 +162,15 @@ type Config struct {
 	// serializable (the TxCache technique §VI suggests combining with
 	// T-Cache; see multiversion.go). Values ≤ 1 disable it.
 	Multiversion int
+	// Shards is the number of lock stripes the entry table (with its LRU
+	// ring) and the transaction-record table are each split over. 1
+	// preserves the historical single-mutex semantics exactly. 0 picks a
+	// default: runtime.GOMAXPROCS(0) when the cache is unbounded, or 1
+	// when Capacity > 0 (exact global LRU needs a single shard). With
+	// Shards > 1 and Capacity > 0 the capacity is enforced per shard
+	// (each shard holds ≈ Capacity/Shards entries, at least one), making
+	// eviction approximately — rather than exactly — global LRU.
+	Shards int
 }
 
 // Cache is a T-Cache server. It is safe for concurrent use.
@@ -149,23 +178,35 @@ type Cache struct {
 	cfg Config
 	clk clock.Clock
 
-	mu      sync.Mutex
-	entries map[kv.Key]*entry
-	lruHead *entry // most recently used; doubly linked ring when Capacity > 0
-	lruTail *entry
-	txns    map[kv.TxnID]*txnRecord
-	closed  bool
+	shards  []*cacheShard
+	stripes []*txnStripe
 
-	// pending holds completion reports queued under mu and delivered by
-	// unlockFlush once mu is released.
-	pending []Completion
+	closed atomic.Bool
+
+	// gcMu guards gcTimer against the sweep-vs-Close reschedule race.
+	gcMu    sync.Mutex
+	gcTimer clock.Timer
 
 	hookMu sync.Mutex
 	hooks  []CompletionHook
 
-	gcTimer clock.Timer
-
 	metrics Metrics
+}
+
+// cacheShard is one lock stripe of the entry table: a partition of the key
+// space with its own mutex and LRU ring.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[kv.Key]*entry
+	lruHead *entry // most recently used; doubly linked ring when cap > 0
+	lruTail *entry
+	cap     int // this shard's slice of Config.Capacity; 0 = unbounded
+}
+
+// txnStripe is one lock stripe of the transaction-record table.
+type txnStripe struct {
+	mu   sync.Mutex
+	txns map[kv.TxnID]*txnRecord
 }
 
 type entry struct {
@@ -183,7 +224,8 @@ type entry struct {
 
 // txnRecord tracks one in-flight read-only transaction: the version each
 // key was read at, and the largest version any read (or any read's
-// dependency list) expects for each key.
+// dependency list) expects for each key. Its fields are guarded by the
+// owning stripe's mutex.
 type txnRecord struct {
 	readVer  map[kv.Key]kv.Version
 	expected map[kv.Key]kv.Version
@@ -202,29 +244,82 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Strategy == 0 {
 		cfg.Strategy = StrategyAbort
 	}
+	if cfg.Shards <= 0 {
+		if cfg.Capacity > 0 {
+			cfg.Shards = 1
+		} else {
+			cfg.Shards = runtime.GOMAXPROCS(0)
+		}
+	}
 	c := &Cache{
 		cfg:     cfg,
 		clk:     cfg.Clock,
-		entries: make(map[kv.Key]*entry),
-		txns:    make(map[kv.TxnID]*txnRecord),
+		shards:  make([]*cacheShard, cfg.Shards),
+		stripes: make([]*txnStripe, cfg.Shards),
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{entries: make(map[kv.Key]*entry)}
+		c.stripes[i] = &txnStripe{txns: make(map[kv.TxnID]*txnRecord)}
+	}
+	if cfg.Capacity > 0 {
+		base, rem := cfg.Capacity/cfg.Shards, cfg.Capacity%cfg.Shards
+		for i, sh := range c.shards {
+			sh.cap = base
+			if i < rem {
+				sh.cap++
+			}
+			if sh.cap < 1 {
+				sh.cap = 1
+			}
+		}
 	}
 	if cfg.TxnGC > 0 {
+		// Under gcMu: a tiny TxnGC can fire the sweep (which reassigns
+		// gcTimer under gcMu) before this store completes.
+		c.gcMu.Lock()
 		c.gcTimer = c.clk.AfterFunc(cfg.TxnGC, c.gcSweep)
+		c.gcMu.Unlock()
 	}
 	return c, nil
 }
 
-// Close stops background work. Subsequent reads fail with ErrClosed.
+// Shards returns the number of lock stripes the cache was built with.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shardFor returns the entry shard responsible for key.
+func (c *Cache) shardFor(key kv.Key) *cacheShard {
+	return c.shards[kv.ShardIndex(key, len(c.shards))]
+}
+
+// stripeFor returns the transaction stripe responsible for txnID.
+func (c *Cache) stripeFor(txnID kv.TxnID) *txnStripe {
+	return c.stripes[uint64(txnID)%uint64(len(c.stripes))]
+}
+
+// Close stops background work, aborts every in-flight transaction record,
+// and reports each as an uncommitted Completion to the registered hooks
+// (so monitors never undercount aborts). Subsequent reads fail with
+// ErrClosed. Close is idempotent.
 func (c *Cache) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
-	c.closed = true
+	c.gcMu.Lock()
 	if c.gcTimer != nil {
 		c.gcTimer.Stop()
 	}
+	c.gcMu.Unlock()
+	var comps []Completion
+	for _, st := range c.stripes {
+		st.mu.Lock()
+		for id, rec := range st.txns {
+			comps = append(comps, Completion{TxnID: id, Reads: rec.order, Committed: false})
+			delete(st.txns, id)
+			c.metrics.TxnsAbortedOnClose.Add(1)
+		}
+		st.mu.Unlock()
+	}
+	c.emitAll(comps)
 }
 
 // OnComplete registers a hook observing every finished transaction.
@@ -244,13 +339,21 @@ func (c *Cache) emit(comp Completion) {
 	}
 }
 
+// emitAll delivers queued completion reports with no cache lock held.
+func (c *Cache) emitAll(comps []Completion) {
+	for _, comp := range comps {
+		c.emit(comp)
+	}
+}
+
 // Invalidate is the upcall the database (or its unreliable delivery
 // pipeline) invokes after an update transaction: it evicts the cached
 // entry if it is older than the invalidated version.
 func (c *Cache) Invalidate(key kv.Key, version kv.Version) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
 	if !ok {
 		c.metrics.InvalidationsNoop.Add(1)
 		return
@@ -260,7 +363,7 @@ func (c *Cache) Invalidate(key kv.Key, version kv.Version) {
 		return
 	}
 	if e.item.Version.Less(version) {
-		c.removeEntryLocked(e)
+		sh.removeEntry(e)
 		c.metrics.InvalidationsApplied.Add(1)
 		return
 	}
@@ -269,87 +372,105 @@ func (c *Cache) Invalidate(key kv.Key, version kv.Version) {
 
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ActiveTxns returns the number of in-flight transaction records.
 func (c *Cache) ActiveTxns() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.txns)
+	n := 0
+	for _, st := range c.stripes {
+		st.mu.Lock()
+		n += len(st.txns)
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // Contains reports whether key is currently cached (ignoring TTL).
 func (c *Cache) Contains(key kv.Key) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[key]
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.entries[key]
 	return ok
 }
 
 // gcSweep drops transaction records idle for longer than TxnGC and
 // reschedules itself.
 func (c *Cache) gcSweep() {
-	now := c.clk.Now()
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return
 	}
-	for id, rec := range c.txns {
-		if now.Sub(rec.lastUsed) >= c.cfg.TxnGC {
-			c.pending = append(c.pending, Completion{TxnID: id, Reads: rec.order, Committed: false})
-			delete(c.txns, id)
-			c.metrics.TxnsGCed.Add(1)
+	now := c.clk.Now()
+	var comps []Completion
+	for _, st := range c.stripes {
+		st.mu.Lock()
+		for id, rec := range st.txns {
+			if now.Sub(rec.lastUsed) >= c.cfg.TxnGC {
+				comps = append(comps, Completion{TxnID: id, Reads: rec.order, Committed: false})
+				delete(st.txns, id)
+				c.metrics.TxnsGCed.Add(1)
+			}
 		}
+		st.mu.Unlock()
 	}
-	c.gcTimer = c.clk.AfterFunc(c.cfg.TxnGC, c.gcSweep)
-	c.unlockFlush()
+	c.gcMu.Lock()
+	if !c.closed.Load() {
+		c.gcTimer = c.clk.AfterFunc(c.cfg.TxnGC, c.gcSweep)
+	}
+	c.gcMu.Unlock()
+	c.emitAll(comps)
 }
 
-// removeEntryLocked unlinks e from the map and the LRU list.
-func (c *Cache) removeEntryLocked(e *entry) {
-	delete(c.entries, e.key)
-	c.lruUnlinkLocked(e)
+// removeEntry unlinks e from the shard's map and LRU list. Callers hold
+// sh.mu.
+func (sh *cacheShard) removeEntry(e *entry) {
+	delete(sh.entries, e.key)
+	sh.lruUnlink(e)
 }
 
-func (c *Cache) lruUnlinkLocked(e *entry) {
-	if c.cfg.Capacity <= 0 {
+func (sh *cacheShard) lruUnlink(e *entry) {
+	if sh.cap <= 0 {
 		return
 	}
 	if e.prev != nil {
 		e.prev.next = e.next
-	} else if c.lruHead == e {
-		c.lruHead = e.next
+	} else if sh.lruHead == e {
+		sh.lruHead = e.next
 	}
 	if e.next != nil {
 		e.next.prev = e.prev
-	} else if c.lruTail == e {
-		c.lruTail = e.prev
+	} else if sh.lruTail == e {
+		sh.lruTail = e.prev
 	}
 	e.prev, e.next = nil, nil
 }
 
-func (c *Cache) lruTouchLocked(e *entry) {
-	if c.cfg.Capacity <= 0 || c.lruHead == e {
+func (sh *cacheShard) lruTouch(e *entry) {
+	if sh.cap <= 0 || sh.lruHead == e {
 		return
 	}
-	c.lruUnlinkLocked(e)
-	e.next = c.lruHead
-	if c.lruHead != nil {
-		c.lruHead.prev = e
+	sh.lruUnlink(e)
+	e.next = sh.lruHead
+	if sh.lruHead != nil {
+		sh.lruHead.prev = e
 	}
-	c.lruHead = e
-	if c.lruTail == nil {
-		c.lruTail = e
+	sh.lruHead = e
+	if sh.lruTail == nil {
+		sh.lruTail = e
 	}
 }
 
-// insertLocked adds or replaces the entry for key, enforcing Capacity.
-func (c *Cache) insertLocked(key kv.Key, item kv.Item) *entry {
-	if e, ok := c.entries[key]; ok {
+// insertShardLocked adds or replaces the entry for key, enforcing the
+// shard's capacity slice. Callers hold sh.mu.
+func (c *Cache) insertShardLocked(sh *cacheShard, key kv.Key, item kv.Item) *entry {
+	if e, ok := sh.entries[key]; ok {
 		if e.item.Version.Less(item.Version) {
 			if c.cfg.Multiversion > 1 {
 				c.pushVersionLocked(e, item)
@@ -361,15 +482,15 @@ func (c *Cache) insertLocked(key kv.Key, item kv.Item) *entry {
 			// Re-fetch confirmed the cached newest is the latest again.
 			e.staleLatest = false
 		}
-		c.lruTouchLocked(e)
+		sh.lruTouch(e)
 		return e
 	}
 	e := &entry{key: key, item: item, fetchedAt: c.clk.Now()}
-	c.entries[key] = e
-	c.lruTouchLocked(e)
-	if c.cfg.Capacity > 0 && len(c.entries) > c.cfg.Capacity && c.lruTail != nil && c.lruTail != e {
-		victim := c.lruTail
-		c.removeEntryLocked(victim)
+	sh.entries[key] = e
+	sh.lruTouch(e)
+	if sh.cap > 0 && len(sh.entries) > sh.cap && sh.lruTail != nil && sh.lruTail != e {
+		victim := sh.lruTail
+		sh.removeEntry(victim)
 		c.metrics.CapacityEvictions.Add(1)
 	}
 	return e

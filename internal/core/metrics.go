@@ -11,6 +11,7 @@ type Metrics struct {
 	TxnsStarted          uint64v
 	TxnsCommitted        uint64v
 	TxnsAborted          uint64v
+	TxnsAbortedOnClose   uint64v
 	TxnsGCed             uint64v
 	Detected             uint64v
 	DetectedEq1          uint64v
@@ -37,6 +38,7 @@ type MetricsSnapshot struct {
 	TxnsStarted          uint64
 	TxnsCommitted        uint64
 	TxnsAborted          uint64
+	TxnsAbortedOnClose   uint64
 	TxnsGCed             uint64
 	Detected             uint64
 	DetectedEq1          uint64
@@ -70,6 +72,7 @@ func (c *Cache) Metrics() MetricsSnapshot {
 		TxnsStarted:          c.metrics.TxnsStarted.Load(),
 		TxnsCommitted:        c.metrics.TxnsCommitted.Load(),
 		TxnsAborted:          c.metrics.TxnsAborted.Load(),
+		TxnsAbortedOnClose:   c.metrics.TxnsAbortedOnClose.Load(),
 		TxnsGCed:             c.metrics.TxnsGCed.Load(),
 		Detected:             c.metrics.Detected.Load(),
 		DetectedEq1:          c.metrics.DetectedEq1.Load(),

@@ -24,60 +24,55 @@ import (
 // version passes the same checks.
 
 // readMV is the transactional read path when multiversioning is enabled.
-// Called with c.mu held and the transaction record resolved; returns with
-// c.mu released (via the shared completion-flush paths).
-func (c *Cache) readMV(txnID kv.TxnID, rec *txnRecord, key kv.Key, lastOp bool) (kv.Value, error) {
-	// Resolve the latest committed version first — exactly like the
-	// plain cache (entries whose newest version is known-superseded act
-	// as misses). Retained versions are consulted ONLY when the latest
-	// fails the §III-B checks: multiversioning converts would-be aborts
-	// into consistent serves, never fresh reads into stale ones.
-	item, err := c.lookupLocked(key)
-	if err != nil {
-		if lastOp {
-			c.finishLocked(txnID, rec, true, nil)
-		}
-		c.unlockFlush()
-		return nil, err
-	}
+// Called with sh.mu (the entry shard of key) and st.mu held, the
+// transaction record resolved, and the latest committed version already
+// looked up (item); returns with both locks released (via the shared
+// completion paths).
+//
+// The latest version is preferred — exactly like the plain cache (entries
+// whose newest version is known-superseded act as misses). Retained
+// versions are consulted ONLY when the latest fails the §III-B checks:
+// multiversioning converts would-be aborts into consistent serves, never
+// fresh reads into stale ones.
+func (c *Cache) readMV(sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, lastOp bool) (kv.Value, error) {
 	v, bad := checkRead(rec, key, item)
 	if !bad {
-		return c.serveLocked(txnID, rec, key, item, lastOp)
+		return c.serve(sh, st, txnID, rec, key, item, lastOp)
 	}
-	if e, ok := c.entries[key]; ok {
+	if e, ok := sh.entries[key]; ok {
 		for _, old := range e.older {
 			if _, oldBad := checkRead(rec, key, old); !oldBad {
 				c.metrics.MVServedOld.Add(1)
-				return c.serveLocked(txnID, rec, key, old, lastOp)
+				return c.serve(sh, st, txnID, rec, key, old, lastOp)
 			}
 		}
 	}
-	return c.handleViolationLocked(txnID, rec, key, item, v, lastOp)
+	return c.handleViolation(sh, st, txnID, rec, key, item, v, lastOp)
 }
 
-// serveLocked records the read and returns the value, releasing c.mu.
-func (c *Cache) serveLocked(txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, lastOp bool) (kv.Value, error) {
+// serve records the read and returns the value, releasing st.mu then
+// sh.mu and emitting any completion afterwards.
+func (c *Cache) serve(sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, lastOp bool) (kv.Value, error) {
 	recordRead(rec, key, item)
+	var (
+		comp Completion
+		fin  bool
+	)
 	if lastOp {
-		c.finishLocked(txnID, rec, true, nil)
+		comp, fin = c.finishStripeLocked(st, txnID, rec, true, nil), true
 	}
 	val := item.Value.Clone()
-	c.unlockFlush()
-	return val, nil
-}
-
-// expiredLocked applies the TTL to an entry, removing it when expired.
-func (c *Cache) expiredLocked(e *entry) bool {
-	if c.cfg.TTL > 0 && c.clk.Since(e.fetchedAt) >= c.cfg.TTL {
-		c.removeEntryLocked(e)
-		c.metrics.TTLExpiries.Add(1)
-		return true
+	st.mu.Unlock()
+	sh.mu.Unlock()
+	if fin {
+		c.emit(comp)
 	}
-	return false
+	return val, nil
 }
 
 // pushVersionLocked records that e's current item is superseded by item,
 // retaining the old one in the version history (bounded by Multiversion).
+// Callers hold the entry's shard mutex.
 func (c *Cache) pushVersionLocked(e *entry, item kv.Item) {
 	keep := c.cfg.Multiversion - 1
 	if keep > 0 && !e.item.Version.IsZero() {
@@ -92,7 +87,7 @@ func (c *Cache) pushVersionLocked(e *entry, item kv.Item) {
 }
 
 // invalidateMVLocked marks the entry's newest cached version as
-// superseded instead of evicting it.
+// superseded instead of evicting it. Callers hold the entry's shard mutex.
 func (c *Cache) invalidateMVLocked(e *entry, version kv.Version) {
 	if e.item.Version.Less(version) {
 		e.staleLatest = true
@@ -104,8 +99,9 @@ func (c *Cache) invalidateMVLocked(e *entry, version kv.Version) {
 
 // dropStaleVersionsLocked removes cached versions of e older than
 // staleBelow (EVICT/RETRY semantics under multiversioning); it reports
-// whether the whole entry became empty and was removed.
-func (c *Cache) dropStaleVersionsLocked(e *entry, staleBelow kv.Version) bool {
+// whether the whole entry became empty and was removed. Callers hold
+// sh.mu, the shard owning e.
+func (c *Cache) dropStaleVersionsLocked(sh *cacheShard, e *entry, staleBelow kv.Version) bool {
 	kept := e.older[:0]
 	for _, old := range e.older {
 		if !old.Version.Less(staleBelow) {
@@ -120,7 +116,7 @@ func (c *Cache) dropStaleVersionsLocked(e *entry, staleBelow kv.Version) bool {
 			e.staleLatest = true
 			return false
 		}
-		c.removeEntryLocked(e)
+		sh.removeEntry(e)
 		return true
 	}
 	return false

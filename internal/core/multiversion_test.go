@@ -135,10 +135,11 @@ func TestMVHistoryBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	c.mu.Lock()
-	e := c.entries["A"]
+	sh := c.shardFor("A")
+	sh.mu.Lock()
+	e := sh.entries["A"]
 	n := len(e.older)
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	if n > 2 { // Multiversion=3 → newest + 2 retained
 		t.Fatalf("retained %d old versions, bound is 2", n)
 	}

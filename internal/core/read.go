@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"tcache/internal/kv"
 )
 
@@ -23,51 +25,105 @@ type violation struct {
 // is returned (for StrategyRetry, only when the read-through could not
 // resolve the violation). lastOp lets the cache garbage-collect the
 // transaction record; the transaction is then reported as committed.
+//
+// Locking: Read acquires the entry shard of key, then the transaction
+// stripe of txnID — the fixed order every path in this package follows —
+// and holds at most one lock of each kind at any time.
 func (c *Cache) Read(txnID kv.TxnID, key kv.Key, lastOp bool) (kv.Value, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return nil, ErrClosed
 	}
 	c.metrics.Reads.Add(1)
 
-	rec, ok := c.txns[txnID]
+	// Resolve the transaction record first and stamp lastUsed, so the GC
+	// sweeper never collects a record whose owner is mid-read: the fresh
+	// stamp protects it for a full TxnGC window even if the backend fetch
+	// below stalls. The stripe is released before the entry shard is
+	// taken (the fixed order never holds a stripe while acquiring a
+	// shard) and re-validated afterwards.
+	st := c.stripeFor(txnID)
+	st.mu.Lock()
+	if c.closed.Load() {
+		// Close drained this stripe (or is about to); don't resurrect a
+		// record it would never complete.
+		st.mu.Unlock()
+		return nil, ErrClosed
+	}
+	rec, ok := st.txns[txnID]
 	if !ok {
 		rec = &txnRecord{
 			readVer:  make(map[kv.Key]kv.Version),
 			expected: make(map[kv.Key]kv.Version),
 		}
-		c.txns[txnID] = rec
+		st.txns[txnID] = rec
 		c.metrics.TxnsStarted.Add(1)
 	}
 	rec.lastUsed = c.clk.Now()
+	st.mu.Unlock()
 
-	if c.cfg.Multiversion > 1 {
-		return c.readMV(txnID, rec, key, lastOp)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	item, lerr := c.lookupShardLocked(sh, key)
+	if errors.Is(lerr, ErrClosed) {
+		sh.mu.Unlock()
+		return nil, ErrClosed
 	}
 
-	item, err := c.lookupLocked(key)
-	if err != nil {
+	st.mu.Lock()
+	if cur, ok := st.txns[txnID]; !ok || cur != rec {
+		// The record was finished while no lock was held (Close drained
+		// it, GC collected it, or a concurrent Abort/Commit raced this
+		// read); its completion has already been emitted — don't
+		// resurrect it with its validation state lost.
+		st.mu.Unlock()
+		sh.mu.Unlock()
+		if c.closed.Load() {
+			return nil, ErrClosed
+		}
+		return nil, ErrTxnAborted
+	}
+
+	if lerr != nil {
 		// Backend miss: the read fails but the transaction survives; a
 		// lastOp flag still completes it.
+		var (
+			comp Completion
+			fin  bool
+		)
 		if lastOp {
-			c.finishLocked(txnID, rec, true, nil)
+			comp, fin = c.finishStripeLocked(st, txnID, rec, true, nil), true
 		}
-		c.unlockFlush()
-		return nil, err
+		st.mu.Unlock()
+		sh.mu.Unlock()
+		if fin {
+			c.emit(comp)
+		}
+		return nil, lerr
+	}
+
+	if c.cfg.Multiversion > 1 {
+		return c.readMV(sh, st, txnID, rec, key, item, lastOp)
 	}
 
 	v, bad := checkRead(rec, key, item)
 	if bad {
-		return c.handleViolationLocked(txnID, rec, key, item, v, lastOp)
+		return c.handleViolation(sh, st, txnID, rec, key, item, v, lastOp)
 	}
 
 	recordRead(rec, key, item)
+	var (
+		comp Completion
+		fin  bool
+	)
 	if lastOp {
-		c.finishLocked(txnID, rec, true, nil)
+		comp, fin = c.finishStripeLocked(st, txnID, rec, true, nil), true
 	}
 	val := item.Value.Clone()
-	c.unlockFlush()
+	st.mu.Unlock()
+	sh.mu.Unlock()
+	if fin {
+		c.emit(comp)
+	}
 	return val, nil
 }
 
@@ -75,19 +131,19 @@ func (c *Cache) Read(txnID kv.TxnID, key kv.Key, lastOp bool) (kv.Value, error) 
 // cache access). It shares the store, TTL handling, and miss path with
 // Read.
 func (c *Cache) Get(key kv.Key) (kv.Value, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Load() {
 		return nil, ErrClosed
 	}
 	c.metrics.Reads.Add(1)
-	item, err := c.lookupLocked(key)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	item, err := c.lookupShardLocked(sh, key)
 	if err != nil {
-		c.unlockFlush()
+		sh.mu.Unlock()
 		return nil, err
 	}
 	val := item.Value.Clone()
-	c.unlockFlush()
+	sh.mu.Unlock()
 	return val, nil
 }
 
@@ -96,60 +152,65 @@ func (c *Cache) Get(key kv.Key) (kv.Value, error) {
 // never set lastOp. The transaction is reported as committed. Committing
 // an unknown transaction is a no-op.
 func (c *Cache) Commit(txnID kv.TxnID) {
-	c.mu.Lock()
-	rec, ok := c.txns[txnID]
+	st := c.stripeFor(txnID)
+	st.mu.Lock()
+	rec, ok := st.txns[txnID]
 	if !ok {
-		c.mu.Unlock()
+		st.mu.Unlock()
 		return
 	}
-	c.finishLocked(txnID, rec, true, nil)
-	c.unlockFlush()
+	comp := c.finishStripeLocked(st, txnID, rec, true, nil)
+	st.mu.Unlock()
+	c.emit(comp)
 }
 
 // Abort discards the transaction record without a final read; the
 // transaction is reported as aborted. Aborting an unknown transaction is a
 // no-op (it may have been garbage-collected already).
 func (c *Cache) Abort(txnID kv.TxnID) {
-	c.mu.Lock()
-	rec, ok := c.txns[txnID]
+	st := c.stripeFor(txnID)
+	st.mu.Lock()
+	rec, ok := st.txns[txnID]
 	if !ok {
-		c.mu.Unlock()
+		st.mu.Unlock()
 		return
 	}
 	c.metrics.TxnsAborted.Add(1)
-	c.finishLocked(txnID, rec, false, nil)
-	c.unlockFlush()
+	comp := c.finishStripeLocked(st, txnID, rec, false, nil)
+	st.mu.Unlock()
+	c.emit(comp)
 }
 
-// lookupLocked returns the item for key, filling from the backend on a
-// miss or TTL expiry. It is called with c.mu held and releases and
-// re-acquires it around the backend fetch.
-func (c *Cache) lookupLocked(key kv.Key) (kv.Item, error) {
-	if e, ok := c.entries[key]; ok {
+// lookupShardLocked returns the item for key, filling from the backend on
+// a miss or TTL expiry. It is called with sh.mu held (and no transaction
+// stripe held) and releases and re-acquires sh.mu around the backend
+// fetch.
+func (c *Cache) lookupShardLocked(sh *cacheShard, key kv.Key) (kv.Item, error) {
+	if e, ok := sh.entries[key]; ok {
 		switch {
 		case c.cfg.TTL > 0 && c.clk.Since(e.fetchedAt) >= c.cfg.TTL:
-			c.removeEntryLocked(e)
+			sh.removeEntry(e)
 			c.metrics.TTLExpiries.Add(1)
 		case e.staleLatest:
 			// Multiversioning: the newest cached version is superseded;
 			// the latest must come from the backend.
 		default:
 			c.metrics.Hits.Add(1)
-			c.lruTouchLocked(e)
+			sh.lruTouch(e)
 			return e.item, nil
 		}
 	}
 	c.metrics.Misses.Add(1)
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	item, ok := c.cfg.Backend.Get(key)
-	c.mu.Lock()
-	if c.closed {
+	sh.mu.Lock()
+	if c.closed.Load() {
 		return kv.Item{}, ErrClosed
 	}
 	if !ok {
 		return kv.Item{}, ErrNotFound
 	}
-	e := c.insertLocked(key, item)
+	e := c.insertShardLocked(sh, key, item)
 	return e.item, nil
 }
 
@@ -196,10 +257,17 @@ func recordRead(rec *txnRecord, key kv.Key, item kv.Item) {
 	}
 }
 
-// handleViolationLocked applies the configured strategy to a detected
-// violation. Called with c.mu held; returns with c.mu released. The
-// returned value is non-nil only when StrategyRetry resolved the read.
-func (c *Cache) handleViolationLocked(txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, v violation, lastOp bool) (kv.Value, error) {
+// handleViolation applies the configured strategy to a detected violation.
+// Called with sh.mu (the entry shard of key) and st.mu held; returns with
+// both released. The returned value is non-nil only when StrategyRetry
+// resolved the read.
+//
+// An equation-2 violator is the key being read itself, so RETRY's
+// evict-and-refetch stays within the already-held shard. An equation-1
+// violator may hash to a different shard; it is evicted after both locks
+// are dropped (the eviction is version-conditional, so running it late is
+// safe), keeping the one-entry-shard-at-a-time invariant.
+func (c *Cache) handleViolation(sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, v violation, lastOp bool) (kv.Value, error) {
 	c.metrics.Detected.Add(1)
 	if v.equation == 1 {
 		c.metrics.DetectedEq1.Add(1)
@@ -209,20 +277,48 @@ func (c *Cache) handleViolationLocked(txnID kv.TxnID, rec *txnRecord, key kv.Key
 
 	if c.cfg.Strategy == StrategyRetry && v.equation == 2 {
 		// The violator is the object being read: treat the access as a
-		// miss and serve it from the database (§III-B, RETRY).
+		// miss and serve it from the database (§III-B, RETRY). The stripe
+		// is released around the re-fetch so the sh → st lock order is
+		// re-established afterwards.
 		c.metrics.Retries.Add(1)
-		c.evictStaleLocked(v)
-		fresh, err := c.lookupLocked(key)
+		c.evictStaleShardLocked(sh, v)
+		st.mu.Unlock()
+		fresh, err := c.lookupShardLocked(sh, key)
+		if errors.Is(err, ErrClosed) {
+			sh.mu.Unlock()
+			return nil, ErrClosed
+		}
+		st.mu.Lock()
+		if cur, ok := st.txns[txnID]; !ok || cur != rec {
+			// The record was finished while the stripe was released —
+			// Close drained it, or a concurrent Abort/Commit/GC got there
+			// first — and its completion has already been emitted; don't
+			// finish it twice.
+			st.mu.Unlock()
+			sh.mu.Unlock()
+			if c.closed.Load() {
+				return nil, ErrClosed
+			}
+			return nil, ErrTxnAborted
+		}
 		if err == nil {
 			v2, bad := checkRead(rec, key, fresh)
 			if !bad {
 				c.metrics.RetriesResolved.Add(1)
 				recordRead(rec, key, fresh)
+				var (
+					comp Completion
+					fin  bool
+				)
 				if lastOp {
-					c.finishLocked(txnID, rec, true, nil)
+					comp, fin = c.finishStripeLocked(st, txnID, rec, true, nil), true
 				}
 				val := fresh.Value.Clone()
-				c.unlockFlush()
+				st.mu.Unlock()
+				sh.mu.Unlock()
+				if fin {
+					c.emit(comp)
+				}
 				return val, nil
 			}
 			// The fresh copy exposes a violation among *previous* reads;
@@ -232,61 +328,63 @@ func (c *Cache) handleViolationLocked(txnID kv.TxnID, rec *txnRecord, key kv.Key
 		}
 	}
 
+	// The violating (too-old) object is likely a repeat offender: drop it
+	// so future transactions re-fetch (§III-B, EVICT).
+	var staleShard *cacheShard
 	if c.cfg.Strategy == StrategyEvict || c.cfg.Strategy == StrategyRetry {
-		// The violating (too-old) object is likely a repeat offender:
-		// drop it so future transactions re-fetch (§III-B, EVICT).
-		c.evictStaleLocked(v)
+		staleShard = c.shardFor(v.staleKey)
+		if staleShard == sh {
+			c.evictStaleShardLocked(sh, v)
+			staleShard = nil
+		}
 	}
 
 	c.metrics.TxnsAborted.Add(1)
-	c.finishLocked(txnID, rec, false, &ReadVersion{Key: key, Version: item.Version})
-	c.unlockFlush()
+	comp := c.finishStripeLocked(st, txnID, rec, false, &ReadVersion{Key: key, Version: item.Version})
+	st.mu.Unlock()
+	sh.mu.Unlock()
+	if staleShard != nil {
+		staleShard.mu.Lock()
+		c.evictStaleShardLocked(staleShard, v)
+		staleShard.mu.Unlock()
+	}
+	c.emit(comp)
 	return nil, &InconsistencyError{TxnID: txnID, Key: key, StaleKey: v.staleKey, Equation: v.equation}
 }
 
-// evictStaleLocked removes the violating object's cached copy if it is
-// still older than the version the violation demands.
-func (c *Cache) evictStaleLocked(v violation) {
-	e, ok := c.entries[v.staleKey]
+// evictStaleShardLocked removes the violating object's cached copy if it
+// is still older than the version the violation demands. Callers hold the
+// mutex of sh, the shard of v.staleKey.
+func (c *Cache) evictStaleShardLocked(sh *cacheShard, v violation) {
+	e, ok := sh.entries[v.staleKey]
 	if !ok {
 		return
 	}
 	if c.cfg.Multiversion > 1 {
-		if c.dropStaleVersionsLocked(e, v.staleBelow) {
+		if c.dropStaleVersionsLocked(sh, e, v.staleBelow) {
 			c.metrics.Evictions.Add(1)
 		}
 		return
 	}
 	if e.item.Version.Less(v.staleBelow) {
-		c.removeEntryLocked(e)
+		sh.removeEntry(e)
 		c.metrics.Evictions.Add(1)
 	}
 }
 
-// finishLocked removes the transaction record and queues its completion
-// report; unlockFlush delivers queued reports after c.mu is released.
-// attempted, if non-nil, is the violating read that triggered an abort.
-func (c *Cache) finishLocked(txnID kv.TxnID, rec *txnRecord, committed bool, attempted *ReadVersion) {
-	delete(c.txns, txnID)
+// finishStripeLocked removes the transaction record from its stripe and
+// builds its completion report; callers emit it once every lock is
+// released. attempted, if non-nil, is the violating read that triggered an
+// abort.
+func (c *Cache) finishStripeLocked(st *txnStripe, txnID kv.TxnID, rec *txnRecord, committed bool, attempted *ReadVersion) Completion {
+	delete(st.txns, txnID)
 	if committed {
 		c.metrics.TxnsCommitted.Add(1)
 	}
-	c.pending = append(c.pending, Completion{
+	return Completion{
 		TxnID:     txnID,
 		Reads:     rec.order,
 		Committed: committed,
 		Attempted: attempted,
-	})
-}
-
-// unlockFlush releases c.mu and delivers any queued completion reports to
-// the registered hooks (outside the lock, so hooks may call back into the
-// cache).
-func (c *Cache) unlockFlush() {
-	pend := c.pending
-	c.pending = nil
-	c.mu.Unlock()
-	for _, comp := range pend {
-		c.emit(comp)
 	}
 }

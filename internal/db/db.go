@@ -332,16 +332,8 @@ func (s *shardState) preparedCount() int {
 	return len(s.prepared)
 }
 
-// storageShard hashes a key onto one of n participants. It reuses the
-// storage package's hash via a tiny local copy to avoid exporting it.
+// storageShard hashes a key onto one of n participants (the shared
+// kv.ShardIndex hash, so placement matches the other sharded components).
 func storageShard(key kv.Key, n int) int {
-	if n == 1 {
-		return 0
-	}
-	var h uint32 = 2166136261
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return int(h % uint32(n))
+	return kv.ShardIndex(key, n)
 }

@@ -30,6 +30,22 @@ func (v Value) Clone() Value {
 // the cache uses them to group reads belonging to one transaction.
 type TxnID uint64
 
+// ShardIndex hashes key onto one of n shards with 32-bit FNV-1a. Every
+// hash-sharded component (the storage store, the database's 2PC
+// participants, the cache's lock stripes) uses it, so the algorithm lives
+// in one place. n ≤ 1 always yields 0.
+func ShardIndex(key Key, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
 // Version is the commit version assigned by the database to the transaction
 // that most recently updated an object. Versions are totally ordered,
 // first by Counter and then by the coordinating node, so that versions

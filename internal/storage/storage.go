@@ -6,7 +6,6 @@
 package storage
 
 import (
-	"hash/fnv"
 	"sync"
 
 	"tcache/internal/kv"
@@ -42,9 +41,7 @@ func (s *Store) NumShards() int { return len(s.shards) }
 
 // ShardFor returns the index of the shard responsible for key.
 func (s *Store) ShardFor(key kv.Key) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(s.shards)))
+	return kv.ShardIndex(key, len(s.shards))
 }
 
 func (s *Store) shardOf(key kv.Key) *shard {

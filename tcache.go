@@ -245,6 +245,18 @@ func WithCapacity(n int) CacheOption {
 	return func(o *cacheOptions) { o.core.Capacity = n }
 }
 
+// WithCacheShards sets the number of lock stripes the cache's entry table
+// and transaction-record table are split over, letting the hit path scale
+// across cores instead of serializing on one mutex. 1 preserves the
+// historical single-mutex semantics exactly; 0 (the default) picks
+// runtime.GOMAXPROCS(0) stripes for unbounded caches and 1 when a
+// Capacity is set (exact global LRU needs a single shard). With more than
+// one shard and a Capacity, the bound is enforced per shard, making
+// eviction approximately — rather than exactly — global LRU.
+func WithCacheShards(n int) CacheOption {
+	return func(o *cacheOptions) { o.core.Shards = n }
+}
+
 // WithMultiversion retains up to n committed versions per cache entry
 // and serves each transaction the newest version that keeps it
 // serializable — the TxCache technique the paper suggests combining with
