@@ -6,6 +6,7 @@
 package tcache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -142,6 +143,9 @@ func BenchmarkHeadline(b *testing.B) {
 
 // --- Protocol micro-benchmarks ------------------------------------------
 
+// bgb is the background context used by benchmark reads.
+var bgb = context.Background()
+
 // BenchmarkCacheHitRead measures the §III-B validated read on a warm
 // cache (the latency-critical path: one client-to-cache round trip).
 func BenchmarkCacheHitRead(b *testing.B) {
@@ -159,7 +163,7 @@ func BenchmarkCacheHitRead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		id := kv.TxnID(i + 1)
 		for r := 0; r < 5; r++ {
-			if _, err := cache.Read(id, workload.ObjectKey(r), r == 4); err != nil {
+			if _, err := cache.Read(bgb, id, workload.ObjectKey(r), r == 4); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -182,7 +186,7 @@ func BenchmarkCachePlainGet(b *testing.B) {
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cache.Get(workload.ObjectKey(i % 5)); err != nil {
+		if _, err := cache.Get(bgb, workload.ObjectKey(i%5)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -212,7 +216,7 @@ func BenchmarkCacheHitReadParallel(b *testing.B) {
 			id := nextID.Add(1)
 			base := int(id*5) % nKeys
 			for r := 0; r < 5; r++ {
-				if _, err := cache.Read(kv.TxnID(id), workload.ObjectKey((base+r)%nKeys), r == 4); err != nil {
+				if _, err := cache.Read(bgb, kv.TxnID(id), workload.ObjectKey((base+r)%nKeys), r == 4); err != nil {
 					b.Error(err)
 					return
 				}
@@ -243,7 +247,7 @@ func BenchmarkCachePlainGetParallel(b *testing.B) {
 		i := int(offset.Add(17))
 		for pb.Next() {
 			i++
-			if _, err := cache.Get(workload.ObjectKey(i % nKeys)); err != nil {
+			if _, err := cache.Get(bgb, workload.ObjectKey(i%nKeys)); err != nil {
 				b.Error(err)
 				return
 			}
@@ -338,7 +342,7 @@ func BenchmarkDetectionUnderStaleness(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Cache b, update {a,b} without invalidation, then read a then b.
-		if _, err := cache.Get(workload.ObjectKey(1)); err != nil {
+		if _, err := cache.Get(bgb, workload.ObjectKey(1)); err != nil {
 			b.Fatal(err)
 		}
 		txn := d.Begin()
@@ -355,14 +359,131 @@ func BenchmarkDetectionUnderStaleness(b *testing.B) {
 		}
 		cache.Invalidate(workload.ObjectKey(0), kv.Version{Counter: ^uint64(0)}) // evict a only
 		id := kv.TxnID(i + 1)
-		if _, err := cache.Read(id, workload.ObjectKey(0), false); err != nil {
+		if _, err := cache.Read(bgb, id, workload.ObjectKey(0), false); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := cache.Read(id, workload.ObjectKey(1), true); err != nil &&
+		if _, err := cache.Read(bgb, id, workload.ObjectKey(1), true); err != nil &&
 			!errors.Is(err, core.ErrTxnAborted) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Remote (loopback) benchmarks ---------------------------------------
+
+// remoteBench builds the paper's deployment over loopback: a served DB,
+// a Dial-attached Remote, and a T-Cache on top.
+func remoteBench(b *testing.B, nKeys int) (*DB, *Cache) {
+	b.Helper()
+	ctx := context.Background()
+	d := OpenDB(WithDepListBound(5))
+	b.Cleanup(d.Close)
+	addr, stop, err := ServeDB(d, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(stop)
+	remote, err := Dial(ctx, addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(remote.Close)
+	cache, err := NewCache(remote, WithStrategy(StrategyRetry))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cache.Close)
+	if err := d.Update(ctx, func(tx *Tx) error {
+		for i := 0; i < nKeys; i++ {
+			if err := tx.Set(workload.ObjectKey(i), kv.Value("seed")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return d, cache
+}
+
+// BenchmarkRemoteReadTxn measures a 5-key read-only transaction against
+// a Dial-attached remote backend with a warm cache: the edge hot path —
+// hits are validated locally, no wire traffic.
+func BenchmarkRemoteReadTxn(b *testing.B) {
+	_, cache := remoteBench(b, 5)
+	keys := make([]Key, 5)
+	for i := range keys {
+		keys[i] = workload.ObjectKey(i)
+		if _, err := cache.Get(bgb, keys[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cache.ReadTxn(bgb, func(tx *ReadTx) error {
+			for _, k := range keys {
+				if _, err := tx.Get(bgb, k); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(5, "reads/txn")
+}
+
+// BenchmarkRemoteReadTxnColdSingle measures the same transaction with an
+// always-cold cache and per-key Gets: 5 wire round trips per txn.
+func BenchmarkRemoteReadTxnColdSingle(b *testing.B) {
+	_, cache := remoteBench(b, 5)
+	keys := make([]Key, 5)
+	for i := range keys {
+		keys[i] = workload.ObjectKey(i)
+	}
+	evict := kv.Version{Counter: ^uint64(0) - 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			cache.Invalidate(k, evict)
+		}
+		if err := cache.ReadTxn(bgb, func(tx *ReadTx) error {
+			for _, k := range keys {
+				if _, err := tx.Get(bgb, k); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(5, "roundtrips/txn")
+}
+
+// BenchmarkRemoteReadTxnColdMulti is the batched counterpart: the same 5
+// cold keys through GetMulti, one wire round trip per txn.
+func BenchmarkRemoteReadTxnColdMulti(b *testing.B) {
+	_, cache := remoteBench(b, 5)
+	keys := make([]Key, 5)
+	for i := range keys {
+		keys[i] = workload.ObjectKey(i)
+	}
+	evict := kv.Version{Counter: ^uint64(0) - 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			cache.Invalidate(k, evict)
+		}
+		if err := cache.ReadTxn(bgb, func(tx *ReadTx) error {
+			_, err := tx.GetMulti(bgb, keys...)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1, "roundtrips/txn")
 }
 
 func seedCluster(b *testing.B, d *db.DB, n int) {
@@ -381,7 +502,7 @@ func seedCluster(b *testing.B, d *db.DB, n int) {
 func warm(b *testing.B, cache *core.Cache, n int) {
 	b.Helper()
 	for i := 0; i < n; i++ {
-		if _, err := cache.Get(workload.ObjectKey(i)); err != nil {
+		if _, err := cache.Get(bgb, workload.ObjectKey(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

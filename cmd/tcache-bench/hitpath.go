@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -47,7 +48,7 @@ func runHitPath(quick bool, _ int64) error {
 	}
 	defer cache.Close()
 	for i := 0; i < nKeys; i++ {
-		if _, err := cache.Get(workload.ObjectKey(i)); err != nil {
+		if _, err := cache.Get(context.Background(), workload.ObjectKey(i)); err != nil {
 			return err
 		}
 	}
@@ -90,7 +91,7 @@ func hitPathRate(cache *core.Cache, clients, nKeys, readsPerTxn int, per time.Du
 				base := int(id*uint64(readsPerTxn)) % nKeys
 				for r := 0; r < readsPerTxn; r++ {
 					k := workload.ObjectKey((base + r) % nKeys)
-					if _, err := cache.Read(kv.TxnID(id), k, r == readsPerTxn-1); err != nil {
+					if _, err := cache.Read(context.Background(), kv.TxnID(id), k, r == readsPerTxn-1); err != nil {
 						mu.Lock()
 						if first == nil {
 							first = err

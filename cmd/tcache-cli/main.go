@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	var (
 		dbAddr    = flag.String("db", "127.0.0.1:7070", "tdbd address")
 		cacheAddr = flag.String("cache", "127.0.0.1:7071", "tcached address")
@@ -43,7 +45,7 @@ func run() error {
 		if len(rest) == 0 || len(rest)%2 != 0 {
 			return errors.New("set needs key value pairs")
 		}
-		cli, err := transport.DialDB(*dbAddr, 1)
+		cli, err := transport.DialDB(ctx, *dbAddr, 1)
 		if err != nil {
 			return err
 		}
@@ -54,7 +56,7 @@ func run() error {
 			reads = append(reads, kv.Key(rest[i]))
 			writes = append(writes, transport.KeyValue{Key: kv.Key(rest[i]), Value: kv.Value(rest[i+1])})
 		}
-		version, err := cli.Update(reads, writes)
+		version, err := cli.Update(ctx, reads, writes)
 		if err != nil {
 			return err
 		}
@@ -65,12 +67,15 @@ func run() error {
 		if len(rest) != 1 {
 			return errors.New("get needs exactly one key")
 		}
-		cli, err := transport.DialDB(*dbAddr, 1)
+		cli, err := transport.DialDB(ctx, *dbAddr, 1)
 		if err != nil {
 			return err
 		}
 		defer cli.Close()
-		item, ok := cli.Get(kv.Key(rest[0]))
+		item, ok, err := cli.ReadItem(ctx, kv.Key(rest[0]))
+		if err != nil {
+			return err
+		}
 		if !ok {
 			return fmt.Errorf("%s: not found", rest[0])
 		}
@@ -81,22 +86,26 @@ func run() error {
 		if len(rest) == 0 {
 			return errors.New("read needs at least one key")
 		}
-		cli, err := transport.DialCache(*cacheAddr)
+		cli, err := transport.DialCache(ctx, *cacheAddr)
 		if err != nil {
 			return err
 		}
 		defer cli.Close()
-		id := cli.NewTxnID()
+		keys := make([]kv.Key, len(rest))
 		for i, k := range rest {
-			val, err := cli.Read(id, kv.Key(k), i == len(rest)-1)
-			if errors.Is(err, transport.ErrAborted) {
-				fmt.Println("transaction aborted: inconsistency detected — retry")
-				return nil
-			}
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%s = %q\n", k, val)
+			keys[i] = kv.Key(k)
+		}
+		// One wire round trip for the whole transaction (OpReadMulti).
+		vals, err := cli.ReadMulti(ctx, cli.NewTxnID(), keys, true)
+		if errors.Is(err, transport.ErrAborted) {
+			fmt.Println("transaction aborted: inconsistency detected — retry")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for i, k := range rest {
+			fmt.Printf("%s = %q\n", k, vals[i])
 		}
 		fmt.Println("transaction committed")
 		return nil
@@ -105,12 +114,12 @@ func run() error {
 		if len(rest) != 1 {
 			return errors.New("cget needs exactly one key")
 		}
-		cli, err := transport.DialCache(*cacheAddr)
+		cli, err := transport.DialCache(ctx, *cacheAddr)
 		if err != nil {
 			return err
 		}
 		defer cli.Close()
-		val, err := cli.Get(kv.Key(rest[0]))
+		val, err := cli.Get(ctx, kv.Key(rest[0]))
 		if err != nil {
 			return err
 		}
@@ -118,12 +127,12 @@ func run() error {
 		return nil
 
 	case "stats":
-		cli, err := transport.DialCache(*cacheAddr)
+		cli, err := transport.DialCache(ctx, *cacheAddr)
 		if err != nil {
 			return err
 		}
 		defer cli.Close()
-		stats, err := cli.Stats()
+		stats, err := cli.Stats(ctx)
 		if err != nil {
 			return err
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,6 +43,7 @@ type counters struct {
 }
 
 func run() error {
+	ctx := context.Background()
 	var (
 		dbAddr      = flag.String("db", "127.0.0.1:7070", "tdbd address")
 		cacheAddr   = flag.String("cache", "127.0.0.1:7071", "tcached address")
@@ -55,12 +57,12 @@ func run() error {
 	)
 	flag.Parse()
 
-	dbCli, err := transport.DialDB(*dbAddr, *updaters+1)
+	dbCli, err := transport.DialDB(ctx, *dbAddr, *updaters+1)
 	if err != nil {
 		return err
 	}
 	defer dbCli.Close()
-	if err := dbCli.Ping(); err != nil {
+	if err := dbCli.Ping(ctx); err != nil {
 		return fmt.Errorf("tdbd unreachable: %w", err)
 	}
 
@@ -68,7 +70,7 @@ func run() error {
 	gen := &workload.PerfectClusters{Objects: *objects, ClusterSize: *clusterSize, TxnSize: *txnSize}
 	fmt.Printf("seeding %d objects...\n", *objects)
 	for _, k := range workload.AllObjectKeys(*objects) {
-		if _, err := dbCli.Update(nil, []transport.KeyValue{{Key: k, Value: kv.Value("seed")}}); err != nil {
+		if _, err := dbCli.Update(ctx, nil, []transport.KeyValue{{Key: k, Value: kv.Value("seed")}}); err != nil {
 			return fmt.Errorf("seed %s: %w", k, err)
 		}
 	}
@@ -92,7 +94,7 @@ func run() error {
 					writes[i] = transport.KeyValue{Key: k, Value: kv.Value(fmt.Sprintf("u%d", rng.Int63()))}
 				}
 				t0 := time.Now()
-				if _, err := dbCli.Update(keys, writes); err != nil &&
+				if _, err := dbCli.Update(ctx, keys, writes); err != nil &&
 					!errors.Is(err, transport.ErrConflict) {
 					fmt.Fprintln(os.Stderr, "update:", err)
 					return
@@ -110,7 +112,7 @@ func run() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cli, err := transport.DialCache(*cacheAddr)
+			cli, err := transport.DialCache(ctx, *cacheAddr)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "dial cache:", err)
 				return
@@ -122,15 +124,13 @@ func run() error {
 				id := cli.NewTxnID()
 				t0 := time.Now()
 				aborted := false
-				for i, k := range keys {
-					if _, err := cli.Read(id, k, i == len(keys)-1); err != nil {
-						if errors.Is(err, transport.ErrAborted) {
-							aborted = true
-							break
-						}
+				// One round trip per transaction (OpReadMulti).
+				if _, err := cli.ReadMulti(ctx, id, keys, true); err != nil {
+					if !errors.Is(err, transport.ErrAborted) {
 						fmt.Fprintln(os.Stderr, "read:", err)
 						return
 					}
+					aborted = true
 				}
 				c.mu.Lock()
 				if aborted {
@@ -156,10 +156,10 @@ func run() error {
 	fmt.Printf("aborted (stale): %8d (%.2f%%)\n",
 		c.aborts, 100*float64(c.aborts)/float64(max(1, c.commits+c.aborts)))
 
-	cli, err := transport.DialCache(*cacheAddr)
+	cli, err := transport.DialCache(ctx, *cacheAddr)
 	if err == nil {
 		defer cli.Close()
-		if s, err := cli.Stats(); err == nil {
+		if s, err := cli.Stats(ctx); err == nil {
 			hits, misses := s["hits"], s["misses"]
 			if hits+misses > 0 {
 				fmt.Printf("cache hit ratio: %.3f (detected %d, retries %d)\n",

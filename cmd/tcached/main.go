@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,7 +48,7 @@ func run() error {
 		return err
 	}
 
-	backend, err := transport.DialDB(*dbAddr, *pool)
+	backend, err := transport.DialDB(context.Background(), *dbAddr, *pool)
 	if err != nil {
 		return err
 	}
@@ -70,7 +71,7 @@ func run() error {
 	if subName == "" {
 		subName = fmt.Sprintf("tcached-%d", os.Getpid())
 	}
-	stop, err := transport.SubscribeInvalidations(*dbAddr, subName, func(inv transport.Invalidation) {
+	stop, err := transport.SubscribeInvalidations(context.Background(), *dbAddr, subName, func(inv transport.Invalidation) {
 		cache.Invalidate(inv.Key, inv.Version)
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package tcache_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -10,6 +11,7 @@ import (
 // The basic embedded flow: serializable updates against the database,
 // transactional reads against the cache.
 func Example() {
+	ctx := context.Background()
 	db := tcache.OpenDB()
 	defer db.Close()
 	cache, err := tcache.NewCache(db)
@@ -18,19 +20,19 @@ func Example() {
 	}
 	defer cache.Close()
 
-	_ = db.Update(func(tx *tcache.Tx) error {
+	_ = db.Update(ctx, func(tx *tcache.Tx) error {
 		if err := tx.Set("train", tcache.Value("$29")); err != nil {
 			return err
 		}
 		return tx.Set("tracks", tcache.Value("$12"))
 	})
 
-	_ = cache.ReadTxn(func(tx *tcache.ReadTx) error {
-		train, err := tx.Get("train")
+	_ = cache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
+		train, err := tx.Get(ctx, "train")
 		if err != nil {
 			return err
 		}
-		tracks, err := tx.Get("tracks")
+		tracks, err := tx.Get(ctx, "tracks")
 		if err != nil {
 			return err
 		}
@@ -40,10 +42,91 @@ func Example() {
 	// Output: train $29, tracks $12
 }
 
+// The paper's deployment shape in one process: the database served over
+// TCP (the datacenter), a cache attached through Dial (the edge). The
+// cache fills misses over the wire and receives the database's
+// asynchronous invalidation stream; Backend-agnostic code cannot tell it
+// apart from the embedded form.
+func ExampleDial() {
+	ctx := context.Background()
+
+	// Datacenter side: open a database and serve it.
+	db := tcache.OpenDB()
+	defer db.Close()
+	addr, stop, err := tcache.ServeDB(db, "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer stop()
+
+	// Edge side: dial the database and attach a T-Cache.
+	remote, err := tcache.Dial(ctx, addr)
+	if err != nil {
+		panic(err)
+	}
+	defer remote.Close()
+	cache, err := tcache.NewCache(remote, tcache.WithStrategy(tcache.StrategyRetry))
+	if err != nil {
+		panic(err)
+	}
+	defer cache.Close()
+
+	// Updates can come from anywhere; here, straight into the database.
+	_ = db.Update(ctx, func(tx *tcache.Tx) error {
+		return tx.Set("train", tcache.Value("$29"))
+	})
+
+	val, err := cache.Get(ctx, "train")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("train %s\n", val)
+	// Output: train $29
+}
+
+// GetMulti reads a whole page of keys in one transactional batch: every
+// key missing from the cache is fetched from the backend in a single
+// request (one round trip to a remote database), and every read is still
+// validated against the transaction's §III-B checks.
+func ExampleReadTx_GetMulti() {
+	ctx := context.Background()
+	db := tcache.OpenDB()
+	defer db.Close()
+	cache, err := tcache.NewCache(db)
+	if err != nil {
+		panic(err)
+	}
+	defer cache.Close()
+
+	_ = db.Update(ctx, func(tx *tcache.Tx) error {
+		if err := tx.Set("train", tcache.Value("$29")); err != nil {
+			return err
+		}
+		if err := tx.Set("tracks", tcache.Value("$12")); err != nil {
+			return err
+		}
+		return tx.Set("signal", tcache.Value("$7"))
+	})
+
+	_ = cache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
+		page, err := tx.GetMulti(ctx, "train", "tracks", "signal")
+		if err != nil {
+			return err
+		}
+		for _, v := range page {
+			fmt.Printf("%s ", v)
+		}
+		fmt.Println()
+		return nil
+	})
+	// Output: $29 $12 $7
+}
+
 // A torn read under total invalidation loss: the cache holds a stale
 // "tracks" while "train" is fetched fresh; the dependency list exposes
 // the mismatch and the transaction aborts instead of lying.
 func ExampleCache_ReadTxn_detection() {
+	ctx := context.Background()
 	db := tcache.OpenDB()
 	defer db.Close()
 	cache, err := tcache.NewCache(db,
@@ -56,14 +139,14 @@ func ExampleCache_ReadTxn_detection() {
 	defer cache.Close()
 
 	seed := func(k tcache.Key, v string) {
-		_ = db.Update(func(tx *tcache.Tx) error { return tx.Set(k, tcache.Value(v)) })
+		_ = db.Update(ctx, func(tx *tcache.Tx) error { return tx.Set(k, tcache.Value(v)) })
 	}
 	seed("train", "$29")
 	seed("tracks", "$12")
-	_, _ = cache.Get("tracks") // cache tracks@old
+	_, _ = cache.Get(ctx, "tracks") // cache tracks@old
 
 	// Reprice both in one transaction; the cache hears nothing.
-	_ = db.Update(func(tx *tcache.Tx) error {
+	_ = db.Update(ctx, func(tx *tcache.Tx) error {
 		for _, k := range []tcache.Key{"train", "tracks"} {
 			if _, _, err := tx.Get(k); err != nil {
 				return err
@@ -75,11 +158,11 @@ func ExampleCache_ReadTxn_detection() {
 		return tx.Set("tracks", tcache.Value("$15"))
 	})
 
-	err = cache.ReadTxn(func(tx *tcache.ReadTx) error {
-		if _, err := tx.Get("train"); err != nil { // miss → fresh, with deps
+	err = cache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
+		if _, err := tx.Get(ctx, "train"); err != nil { // miss → fresh, with deps
 			return err
 		}
-		_, err := tx.Get("tracks") // stale cached copy
+		_, err := tx.Get(ctx, "tracks") // stale cached copy
 		return err
 	})
 	fmt.Println("aborted:", errors.Is(err, tcache.ErrTxnAborted))
@@ -89,6 +172,7 @@ func ExampleCache_ReadTxn_detection() {
 // StrategyRetry heals the same situation transparently: the violating
 // read is served from the database and the transaction commits.
 func ExampleWithStrategy_retry() {
+	ctx := context.Background()
 	db := tcache.OpenDB()
 	defer db.Close()
 	cache, err := tcache.NewCache(db,
@@ -100,9 +184,9 @@ func ExampleWithStrategy_retry() {
 	}
 	defer cache.Close()
 
-	_ = db.Update(func(tx *tcache.Tx) error { return tx.Set("tracks", tcache.Value("$12")) })
-	_, _ = cache.Get("tracks")
-	_ = db.Update(func(tx *tcache.Tx) error {
+	_ = db.Update(ctx, func(tx *tcache.Tx) error { return tx.Set("tracks", tcache.Value("$12")) })
+	_, _ = cache.Get(ctx, "tracks")
+	_ = db.Update(ctx, func(tx *tcache.Tx) error {
 		for _, k := range []tcache.Key{"train", "tracks"} {
 			if _, _, err := tx.Get(k); err != nil {
 				return err
@@ -115,11 +199,11 @@ func ExampleWithStrategy_retry() {
 	})
 
 	var tracks tcache.Value
-	err = cache.ReadTxn(func(tx *tcache.ReadTx) error {
-		if _, err := tx.Get("train"); err != nil {
+	err = cache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
+		if _, err := tx.Get(ctx, "train"); err != nil {
 			return err
 		}
-		tracks, err = tx.Get("tracks")
+		tracks, err = tx.Get(ctx, "tracks")
 		return err
 	})
 	fmt.Printf("err=%v tracks=%s\n", err, tracks)

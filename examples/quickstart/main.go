@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := tcache.OpenDB(tcache.WithDepListBound(5))
 	defer db.Close()
 
@@ -31,7 +33,7 @@ func main() {
 
 	// A product page: the toy train and its matching tracks (the paper's
 	// §II example).
-	must(db.Update(func(tx *tcache.Tx) error {
+	must(db.Update(ctx, func(tx *tcache.Tx) error {
 		if err := tx.Set("train", tcache.Value("train: $29")); err != nil {
 			return err
 		}
@@ -39,13 +41,13 @@ func main() {
 	}))
 
 	// The cache serves the tracks once, so it holds a copy.
-	val, err := cache.Get("tracks")
+	val, err := cache.Get(ctx, "tracks")
 	must(err)
 	fmt.Printf("cached: %s\n", val)
 
 	// The vendor repriced the set in one transaction. The invalidations
 	// for this update are lost.
-	must(db.Update(func(tx *tcache.Tx) error {
+	must(db.Update(ctx, func(tx *tcache.Tx) error {
 		for _, k := range []tcache.Key{"train", "tracks"} {
 			if _, _, err := tx.Get(k); err != nil {
 				return err
@@ -61,13 +63,13 @@ func main() {
 	// fresh from the DB) but would see the OLD tracks price from cache.
 	// T-Cache notices that the two cannot belong to one serializable
 	// snapshot and aborts instead of lying.
-	err = cache.ReadTxn(func(tx *tcache.ReadTx) error {
-		train, err := tx.Get("train")
+	err = cache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
+		train, err := tx.Get(ctx, "train")
 		if err != nil {
 			return err
 		}
 		fmt.Printf("read:   %s\n", train)
-		tracks, err := tx.Get("tracks")
+		tracks, err := tx.Get(ctx, "tracks")
 		if err != nil {
 			return err
 		}

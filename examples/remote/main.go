@@ -1,0 +1,112 @@
+// Remote: the paper's actual deployment topology — a datacenter database
+// and an edge T-Cache separated by a real TCP link — in one process. The
+// database is served with tcache.ServeDB (what cmd/tdbd does), the edge
+// attaches with tcache.Dial, and a product page is rendered with one
+// batched transactional read (GetMulti: one wire round trip for all cold
+// keys). The example then demonstrates context cancellation: a read with
+// an already-expired deadline fails fast instead of hanging on the wire.
+//
+// Run with: go run ./examples/remote
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"tcache"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// --- Datacenter side -------------------------------------------------
+	db := tcache.OpenDB(tcache.WithDepListBound(5))
+	defer db.Close()
+	addr, stop, err := tcache.ServeDB(db, "127.0.0.1:0")
+	must(err)
+	defer stop()
+	fmt.Printf("database serving on %s\n", addr)
+
+	must(db.Update(ctx, func(tx *tcache.Tx) error {
+		for _, kv := range [][2]string{
+			{"page/train", "train: $29"},
+			{"page/tracks", "tracks: $12"},
+			{"page/signal", "signal: $7"},
+		} {
+			if err := tx.Set(tcache.Key(kv[0]), tcache.Value(kv[1])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+
+	// --- Edge side -------------------------------------------------------
+	remote, err := tcache.Dial(ctx, addr, tcache.WithPoolSize(2))
+	must(err)
+	defer remote.Close()
+	must(remote.Ping(ctx))
+
+	cache, err := tcache.NewCache(remote,
+		tcache.WithStrategy(tcache.StrategyRetry),
+		tcache.WithName("edge-1"),
+	)
+	must(err)
+	defer cache.Close()
+
+	// Render the product page: one read-only transaction, one round trip
+	// for all three cold keys.
+	err = cache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
+		page, err := tx.GetMulti(ctx, "page/train", "page/tracks", "page/signal")
+		if err != nil {
+			return err
+		}
+		for _, line := range page {
+			fmt.Printf("render: %s\n", line)
+		}
+		return nil
+	})
+	must(err)
+
+	// Updates flow through the database; its invalidation stream reaches
+	// the edge over the subscription connection.
+	must(db.Update(ctx, func(tx *tcache.Tx) error {
+		return tx.Set("page/train", tcache.Value("train: $35"))
+	}))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := cache.Get(ctx, "page/train")
+		must(err)
+		if string(v) == "train: $35" {
+			fmt.Printf("invalidated+refreshed: %s\n", v)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("invalidation never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Context discipline: a cancelled ctx aborts instead of wedging, and
+	// the transaction record is released.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	err = cache.ReadTxn(cancelled, func(tx *tcache.ReadTx) error {
+		_, err := tx.Get(cancelled, "page/tracks")
+		return err
+	})
+	fmt.Printf("cancelled read: err=%v, leaked txns=%d\n",
+		errors.Is(err, context.Canceled), cache.Core().ActiveTxns())
+
+	s := cache.Stats()
+	fmt.Printf("stats: hits=%d misses=%d batch-prefetches=%d\n",
+		s.Hits, s.Misses, s.BatchPrefetches)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

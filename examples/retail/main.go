@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -35,6 +36,7 @@ func productKey(bundle, i int) tcache.Key {
 }
 
 func main() {
+	ctx := context.Background()
 	db := tcache.OpenDB(tcache.WithDepListBound(5))
 	defer db.Close()
 	cache, err := tcache.NewCache(db,
@@ -49,7 +51,7 @@ func main() {
 	// Seed the catalog: every bundle gets a consistent price generation.
 	for b := 0; b < bundles; b++ {
 		b := b
-		must(db.Update(func(tx *tcache.Tx) error {
+		must(db.Update(ctx, func(tx *tcache.Tx) error {
 			for i := 0; i < productsPer; i++ {
 				if err := tx.Set(productKey(b, i), price(0)); err != nil {
 					return err
@@ -70,7 +72,7 @@ func main() {
 			for n := 0; n < updatesEach; n++ {
 				b := rng.Intn(bundles)
 				gen := n + 1
-				must(db.Update(func(tx *tcache.Tx) error {
+				must(db.Update(ctx, func(tx *tcache.Tx) error {
 					for i := 0; i < productsPer; i++ {
 						if _, _, err := tx.Get(productKey(b, i)); err != nil {
 							return err
@@ -100,9 +102,9 @@ func main() {
 				b := rng.Intn(bundles)
 				for attempt := 0; ; attempt++ {
 					var page []string
-					err := cache.ReadTxn(func(tx *tcache.ReadTx) error {
+					err := cache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
 						for i := 0; i < productsPer; i++ {
-							v, err := tx.Get(productKey(b, i))
+							v, err := tx.Get(ctx, productKey(b, i))
 							if err != nil {
 								return err
 							}

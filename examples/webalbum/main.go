@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -31,6 +32,7 @@ func main() {
 // renderOutcome builds the torn-ACL situation and reports what a viewer's
 // render transaction experiences.
 func renderOutcome(pinned bool) string {
+	ctx := context.Background()
 	// Tight dependency budget: each object tracks only 1 dependency.
 	db := tcache.OpenDB(tcache.WithDepListBound(1))
 	defer db.Close()
@@ -50,7 +52,7 @@ func renderOutcome(pinned bool) string {
 	}
 
 	// Initial album: boss can see it.
-	must(db.Update(func(tx *tcache.Tx) error {
+	must(db.Update(ctx, func(tx *tcache.Tx) error {
 		if err := tx.Set(acl, tcache.Value("everyone")); err != nil {
 			return err
 		}
@@ -62,12 +64,12 @@ func renderOutcome(pinned bool) string {
 		return nil
 	}))
 	// The viewer's edge cache has the old ACL.
-	if _, err := cache.Get(acl); err != nil {
+	if _, err := cache.Get(ctx, acl); err != nil {
 		log.Fatal(err)
 	}
 
 	// Lock out the boss and add party pictures — one atomic transaction.
-	must(db.Update(func(tx *tcache.Tx) error {
+	must(db.Update(ctx, func(tx *tcache.Tx) error {
 		if _, _, err := tx.Get(acl); err != nil {
 			return err
 		}
@@ -88,7 +90,7 @@ func renderOutcome(pinned bool) string {
 	// other, displacing the ACL entry from their bound-1 lists.
 	for i := 1; i < pictures; i++ {
 		i := i
-		must(db.Update(func(tx *tcache.Tx) error {
+		must(db.Update(ctx, func(tx *tcache.Tx) error {
 			for _, k := range []tcache.Key{pic(i - 1), pic(i)} {
 				if _, _, err := tx.Get(k); err != nil {
 					return err
@@ -102,13 +104,13 @@ func renderOutcome(pinned bool) string {
 	}
 
 	// The boss's render: fresh pictures (cache misses) + stale ACL (hit).
-	err = cache.ReadTxn(func(tx *tcache.ReadTx) error {
+	err = cache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
 		for i := 0; i < pictures; i++ {
-			if _, err := tx.Get(pic(i)); err != nil {
+			if _, err := tx.Get(ctx, pic(i)); err != nil {
 				return err
 			}
 		}
-		who, err := tx.Get(acl)
+		who, err := tx.Get(ctx, acl)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+
+	"tcache/internal/kv"
+)
+
+// ReadMulti performs the transactional reads of keys, in order, within
+// txnID — semantically identical to calling Read once per key, with the
+// final read carrying lastOp. Its point is the miss path: all keys absent
+// from the cache are prefetched from the backend in ONE batch request
+// (BatchBackend) before the per-key validation runs, so a remote
+// transactional read of N cold keys costs one round trip instead of N.
+//
+// Validation is unchanged: every key still passes the §III-B checks
+// against the transaction record one at a time, and the configured
+// strategy applies to any detected inconsistency. The first error stops
+// the batch and is returned.
+func (c *Cache) ReadMulti(ctx context.Context, txnID kv.TxnID, keys []kv.Key, lastOp bool) ([]kv.Value, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		// An empty batch still honors lastOp: the transaction completes
+		// instead of leaking its record.
+		if lastOp {
+			c.Commit(txnID)
+		}
+		return nil, nil
+	}
+	c.prefetch(ctx, keys)
+	vals := make([]kv.Value, len(keys))
+	for i, key := range keys {
+		val, err := c.Read(ctx, txnID, key, lastOp && i == len(keys)-1)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = val
+	}
+	return vals, nil
+}
+
+// prefetch batch-fetches every key of the read set that the cache cannot
+// currently serve and inserts the results. It is best-effort: a backend
+// that does not batch, a failed batch request, or entries invalidated
+// between prefetch and read all degrade to the ordinary per-key miss
+// path, never to an error. Insertion goes through insertShardLocked, so a
+// prefetched item never replaces a newer cached version.
+func (c *Cache) prefetch(ctx context.Context, keys []kv.Key) {
+	bb, ok := c.cfg.Backend.(BatchBackend)
+	if !ok {
+		return
+	}
+	missing := keys[:0:0]
+	seen := make(map[kv.Key]struct{}, len(keys))
+	for _, key := range keys {
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		sh := c.shardFor(key)
+		sh.mu.Lock()
+		e, cached := sh.entries[key]
+		servable := cached && !e.staleLatest &&
+			!(c.cfg.TTL > 0 && c.clk.Since(e.fetchedAt) >= c.cfg.TTL)
+		sh.mu.Unlock()
+		if !servable {
+			missing = append(missing, key)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	lookups, err := bb.ReadItems(ctx, missing)
+	if err != nil || len(lookups) != len(missing) {
+		c.metrics.BackendErrors.Add(1)
+		return
+	}
+	c.metrics.BatchPrefetches.Add(1)
+	for i, lu := range lookups {
+		if !lu.Found {
+			continue
+		}
+		key := missing[i]
+		sh := c.shardFor(key)
+		sh.mu.Lock()
+		if !c.closed.Load() {
+			e := c.insertShardLocked(sh, key, lu.Item)
+			e.prefetched = true
+		}
+		sh.mu.Unlock()
+		c.metrics.BatchPrefetchedKeys.Add(1)
+	}
+}

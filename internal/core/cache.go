@@ -31,6 +31,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -108,9 +109,21 @@ func (e *InconsistencyError) Error() string {
 func (e *InconsistencyError) Unwrap() error { return ErrTxnAborted }
 
 // Backend is the database interface the cache needs: the lock-free
-// single-entry read used to fill misses. *db.DB implements it.
+// single-entry read used to fill misses. It may be an in-process database
+// (*db.DB) or a remote one reached over the wire (transport.DBClient) —
+// the cache does not care, which is what makes the paper's edge/datacenter
+// split expressible. The context bounds the fetch; a remote backend
+// aborts its round trip when it is cancelled.
 type Backend interface {
-	Get(key kv.Key) (kv.Item, bool)
+	ReadItem(ctx context.Context, key kv.Key) (kv.Item, bool, error)
+}
+
+// BatchBackend is the optional batch extension of Backend: one round trip
+// for many keys. ReadMulti uses it to prefetch all missing keys of a
+// transactional batch read at once; backends that do not implement it are
+// read key by key.
+type BatchBackend interface {
+	ReadItems(ctx context.Context, keys []kv.Key) ([]kv.Lookup, error)
 }
 
 // ReadVersion is one (key, version) pair of a completed transaction's
@@ -213,6 +226,12 @@ type entry struct {
 	key       kv.Key
 	item      kv.Item
 	fetchedAt time.Time
+	// prefetched marks an entry inserted by a batch prefetch whose
+	// triggering read has not consumed it yet: the first read serves it as
+	// a miss (the backend fetch happened, just batched), keeping hit-ratio
+	// accounting — and therefore measured DB load — identical to the
+	// per-key path.
+	prefetched bool
 	// older retains superseded versions, newest first (multiversioning).
 	older []kv.Item
 	// staleLatest marks that item is no longer the latest committed
@@ -478,8 +497,11 @@ func (c *Cache) insertShardLocked(sh *cacheShard, key kv.Key, item kv.Item) *ent
 				e.item = item
 				e.fetchedAt = c.clk.Now()
 			}
-		} else if c.cfg.Multiversion > 1 && e.item.Version == item.Version {
-			// Re-fetch confirmed the cached newest is the latest again.
+		} else if e.item.Version == item.Version {
+			// Re-fetch confirmed the cached item is still current: restart
+			// its TTL (a batch prefetch of a TTL-expired entry lands here)
+			// and, under multiversioning, clear the superseded mark.
+			e.fetchedAt = c.clk.Now()
 			e.staleLatest = false
 		}
 		sh.lruTouch(e)

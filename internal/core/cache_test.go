@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,6 +11,10 @@ import (
 	"tcache/internal/clock"
 	"tcache/internal/kv"
 )
+
+// bgc is the background context used by reads that don't exercise
+// cancellation.
+var bgc = context.Background()
 
 // mapBackend is a trivial Backend for unit tests. Mutations are manual and
 // deliberately do NOT notify the cache, modeling lost invalidations.
@@ -23,15 +28,18 @@ func newMapBackend() *mapBackend {
 	return &mapBackend{items: make(map[kv.Key]kv.Item)}
 }
 
-func (b *mapBackend) Get(key kv.Key) (kv.Item, bool) {
+func (b *mapBackend) ReadItem(ctx context.Context, key kv.Key) (kv.Item, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return kv.Item{}, false, err
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.gets++
 	it, ok := b.items[key]
 	if !ok {
-		return kv.Item{}, false
+		return kv.Item{}, false, nil
 	}
-	return it.Clone(), true
+	return it.Clone(), true, nil
 }
 
 func (b *mapBackend) put(key kv.Key, val string, ver uint64, deps ...kv.DepEntry) {
@@ -69,7 +77,7 @@ func staleBCache(t *testing.T, strategy Strategy) (*Cache, *mapBackend) {
 	c := newCache(t, Config{Backend: b, Strategy: strategy})
 
 	b.put("B", "b-old", 1)
-	if _, err := c.Get("B"); err != nil { // cache B@1
+	if _, err := c.Get(bgc, "B"); err != nil { // cache B@1
 		t.Fatal(err)
 	}
 	// An update transaction writes A and B together; its invalidation for
@@ -84,11 +92,11 @@ func TestMissFillsFromBackendThenHits(t *testing.T) {
 	c := newCache(t, Config{Backend: b})
 	b.put("k", "v", 1)
 
-	val, err := c.Get("k")
+	val, err := c.Get(bgc, "k")
 	if err != nil || string(val) != "v" {
 		t.Fatalf("Get = %q, %v", val, err)
 	}
-	if _, err := c.Get("k"); err != nil {
+	if _, err := c.Get(bgc, "k"); err != nil {
 		t.Fatal(err)
 	}
 	m := c.Metrics()
@@ -102,7 +110,7 @@ func TestMissFillsFromBackendThenHits(t *testing.T) {
 
 func TestGetNotFound(t *testing.T) {
 	c := newCache(t, Config{Backend: newMapBackend()})
-	if _, err := c.Get("ghost"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Get(bgc, "ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
 }
@@ -111,7 +119,7 @@ func TestInvalidateSemantics(t *testing.T) {
 	b := newMapBackend()
 	c := newCache(t, Config{Backend: b})
 	b.put("k", "v", 5)
-	if _, err := c.Get("k"); err != nil {
+	if _, err := c.Get(bgc, "k"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -134,11 +142,11 @@ func TestEq2DetectedAndAborted(t *testing.T) {
 	c, _ := staleBCache(t, StrategyAbort)
 
 	// Read A first: its dependency list expects B@2.
-	if _, err := c.Read(1, "A", false); err != nil {
+	if _, err := c.Read(bgc, 1, "A", false); err != nil {
 		t.Fatal(err)
 	}
 	// Reading the stale cached B@1 must violate equation 2.
-	_, err := c.Read(1, "B", true)
+	_, err := c.Read(bgc, 1, "B", true)
 	if !errors.Is(err, ErrTxnAborted) {
 		t.Fatalf("err = %v, want ErrTxnAborted", err)
 	}
@@ -166,11 +174,11 @@ func TestEq1DetectedAndAborted(t *testing.T) {
 	c, _ := staleBCache(t, StrategyAbort)
 
 	// Read stale B first (it is returned to the client)...
-	if val, err := c.Read(1, "B", false); err != nil || string(val) != "b-old" {
+	if val, err := c.Read(bgc, 1, "B", false); err != nil || string(val) != "b-old" {
 		t.Fatalf("Read(B) = %q, %v", val, err)
 	}
 	// ...then A, whose dependency list exposes that B@1 was stale.
-	_, err := c.Read(1, "A", true)
+	_, err := c.Read(bgc, 1, "A", true)
 	var ie *InconsistencyError
 	if !errors.As(err, &ie) {
 		t.Fatalf("err = %v, want InconsistencyError", err)
@@ -186,10 +194,10 @@ func TestEq1DetectedAndAborted(t *testing.T) {
 func TestEvictStrategyRemovesStaleEntry(t *testing.T) {
 	c, _ := staleBCache(t, StrategyEvict)
 
-	if _, err := c.Read(1, "A", false); err != nil {
+	if _, err := c.Read(bgc, 1, "A", false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read(1, "B", true); !errors.Is(err, ErrTxnAborted) {
+	if _, err := c.Read(bgc, 1, "B", true); !errors.Is(err, ErrTxnAborted) {
 		t.Fatalf("err = %v", err)
 	}
 	if c.Contains("B") {
@@ -199,10 +207,10 @@ func TestEvictStrategyRemovesStaleEntry(t *testing.T) {
 		t.Fatalf("Evictions = %d, want 1", got)
 	}
 	// The next transaction re-fetches fresh B and commits.
-	if _, err := c.Read(2, "A", false); err != nil {
+	if _, err := c.Read(bgc, 2, "A", false); err != nil {
 		t.Fatal(err)
 	}
-	if val, err := c.Read(2, "B", true); err != nil || string(val) != "b-new" {
+	if val, err := c.Read(bgc, 2, "B", true); err != nil || string(val) != "b-new" {
 		t.Fatalf("retry txn: %q, %v", val, err)
 	}
 }
@@ -210,12 +218,12 @@ func TestEvictStrategyRemovesStaleEntry(t *testing.T) {
 func TestRetryResolvesEq2(t *testing.T) {
 	c, _ := staleBCache(t, StrategyRetry)
 
-	if _, err := c.Read(1, "A", false); err != nil {
+	if _, err := c.Read(bgc, 1, "A", false); err != nil {
 		t.Fatal(err)
 	}
 	// The violating object is the one being read: RETRY serves it from
 	// the backend and the transaction commits.
-	val, err := c.Read(1, "B", true)
+	val, err := c.Read(bgc, 1, "B", true)
 	if err != nil {
 		t.Fatalf("RETRY should have resolved: %v", err)
 	}
@@ -235,10 +243,10 @@ func TestRetryCannotFixEq1(t *testing.T) {
 	c, _ := staleBCache(t, StrategyRetry)
 
 	// Stale B already returned to the client: no read-through can help.
-	if _, err := c.Read(1, "B", false); err != nil {
+	if _, err := c.Read(bgc, 1, "B", false); err != nil {
 		t.Fatal(err)
 	}
-	_, err := c.Read(1, "A", true)
+	_, err := c.Read(bgc, 1, "A", true)
 	var ie *InconsistencyError
 	if !errors.As(err, &ie) || ie.Equation != 1 {
 		t.Fatalf("err = %v, want eq.1 InconsistencyError", err)
@@ -255,10 +263,10 @@ func TestConsistentTxnCommits(t *testing.T) {
 	b.put("x", "1", 1)
 	b.put("y", "2", 2, dep("x", 1))
 
-	if _, err := c.Read(7, "x", false); err != nil {
+	if _, err := c.Read(bgc, 7, "x", false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read(7, "y", true); err != nil {
+	if _, err := c.Read(bgc, 7, "y", true); err != nil {
 		t.Fatal(err)
 	}
 	m := c.Metrics()
@@ -271,14 +279,14 @@ func TestLastOpGarbageCollectsRecord(t *testing.T) {
 	b := newMapBackend()
 	c := newCache(t, Config{Backend: b})
 	b.put("x", "1", 1)
-	if _, err := c.Read(1, "x", true); err != nil {
+	if _, err := c.Read(bgc, 1, "x", true); err != nil {
 		t.Fatal(err)
 	}
 	if c.ActiveTxns() != 0 {
 		t.Fatal("record survived lastOp")
 	}
 	// Reusing the ID starts a fresh transaction (per §III-B).
-	if _, err := c.Read(1, "x", false); err != nil {
+	if _, err := c.Read(bgc, 1, "x", false); err != nil {
 		t.Fatal(err)
 	}
 	if c.ActiveTxns() != 1 {
@@ -293,7 +301,7 @@ func TestExplicitAbort(t *testing.T) {
 	b := newMapBackend()
 	c := newCache(t, Config{Backend: b})
 	b.put("x", "1", 1)
-	if _, err := c.Read(3, "x", false); err != nil {
+	if _, err := c.Read(bgc, 3, "x", false); err != nil {
 		t.Fatal(err)
 	}
 	var comp Completion
@@ -315,10 +323,10 @@ func TestCompletionHookOnCommit(t *testing.T) {
 	b.put("y", "2", 6)
 	var comp Completion
 	c.OnComplete(func(cp Completion) { comp = cp })
-	if _, err := c.Read(9, "x", false); err != nil {
+	if _, err := c.Read(bgc, 9, "x", false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read(9, "y", true); err != nil {
+	if _, err := c.Read(bgc, 9, "y", true); err != nil {
 		t.Fatal(err)
 	}
 	if !comp.Committed || comp.TxnID != 9 {
@@ -334,13 +342,13 @@ func TestRepeatedReadSameVersionOK(t *testing.T) {
 	c := newCache(t, Config{Backend: b})
 	b.put("x", "1", 1)
 	for i := 0; i < 3; i++ {
-		if _, err := c.Read(1, "x", false); err != nil {
+		if _, err := c.Read(bgc, 1, "x", false); err != nil {
 			t.Fatal(err)
 		}
 	}
 	var comp Completion
 	c.OnComplete(func(cp Completion) { comp = cp })
-	if _, err := c.Read(1, "x", true); err != nil {
+	if _, err := c.Read(bgc, 1, "x", true); err != nil {
 		t.Fatal(err)
 	}
 	if len(comp.Reads) != 1 {
@@ -352,14 +360,14 @@ func TestRepeatedReadNewerVersionDetected(t *testing.T) {
 	b := newMapBackend()
 	c := newCache(t, Config{Backend: b})
 	b.put("x", "old", 1)
-	if _, err := c.Read(1, "x", false); err != nil {
+	if _, err := c.Read(bgc, 1, "x", false); err != nil {
 		t.Fatal(err)
 	}
 	// The entry is invalidated and the backend moves on; a repeat read
 	// inside the same transaction now returns a different snapshot.
 	b.put("x", "new", 2)
 	c.Invalidate("x", kv.Version{Counter: 2})
-	_, err := c.Read(1, "x", true)
+	_, err := c.Read(bgc, 1, "x", true)
 	var ie *InconsistencyError
 	if !errors.As(err, &ie) || ie.Equation != 1 || ie.StaleKey != "x" {
 		t.Fatalf("err = %v, want eq.1 on x", err)
@@ -371,11 +379,11 @@ func TestTTLExpiry(t *testing.T) {
 	b := newMapBackend()
 	c := newCache(t, Config{Backend: b, Clock: clk, TTL: time.Second})
 	b.put("x", "v1", 1)
-	if _, err := c.Get("x"); err != nil {
+	if _, err := c.Get(bgc, "x"); err != nil {
 		t.Fatal(err)
 	}
 	clk.RunFor(500 * time.Millisecond)
-	if _, err := c.Get("x"); err != nil { // still fresh
+	if _, err := c.Get(bgc, "x"); err != nil { // still fresh
 		t.Fatal(err)
 	}
 	if got := c.Metrics().Hits; got != 1 {
@@ -383,7 +391,7 @@ func TestTTLExpiry(t *testing.T) {
 	}
 	clk.RunFor(600 * time.Millisecond) // now 1.1s since fetch
 	b.put("x", "v2", 2)
-	val, err := c.Get("x")
+	val, err := c.Get(bgc, "x")
 	if err != nil || string(val) != "v2" {
 		t.Fatalf("post-TTL Get = %q, %v", val, err)
 	}
@@ -400,14 +408,14 @@ func TestCapacityLRUEviction(t *testing.T) {
 	b.put("b", "2", 1)
 	b.put("c", "3", 1)
 	for _, k := range []kv.Key{"a", "b"} {
-		if _, err := c.Get(k); err != nil {
+		if _, err := c.Get(bgc, k); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.Get("a"); err != nil { // touch a: b becomes LRU
+	if _, err := c.Get(bgc, "a"); err != nil { // touch a: b becomes LRU
 		t.Fatal(err)
 	}
-	if _, err := c.Get("c"); err != nil { // evicts b
+	if _, err := c.Get(bgc, "c"); err != nil { // evicts b
 		t.Fatal(err)
 	}
 	if c.Contains("b") {
@@ -431,7 +439,7 @@ func TestTxnGCSweep(t *testing.T) {
 	b.put("x", "1", 1)
 	var comps []Completion
 	c.OnComplete(func(cp Completion) { comps = append(comps, cp) })
-	if _, err := c.Read(42, "x", false); err != nil { // never sends lastOp
+	if _, err := c.Read(bgc, 42, "x", false); err != nil { // never sends lastOp
 		t.Fatal(err)
 	}
 	clk.RunFor(2500 * time.Millisecond)
@@ -450,10 +458,10 @@ func TestClosedCacheRejects(t *testing.T) {
 	b := newMapBackend()
 	c := newCache(t, Config{Backend: b})
 	c.Close()
-	if _, err := c.Get("x"); !errors.Is(err, ErrClosed) {
+	if _, err := c.Get(bgc, "x"); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Get = %v", err)
 	}
-	if _, err := c.Read(1, "x", false); !errors.Is(err, ErrClosed) {
+	if _, err := c.Read(bgc, 1, "x", false); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Read = %v", err)
 	}
 	c.Close() // idempotent
@@ -469,16 +477,16 @@ func TestNotFoundKeepsTxnAlive(t *testing.T) {
 	b := newMapBackend()
 	c := newCache(t, Config{Backend: b})
 	b.put("x", "1", 1)
-	if _, err := c.Read(1, "x", false); err != nil {
+	if _, err := c.Read(bgc, 1, "x", false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read(1, "ghost", false); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Read(bgc, 1, "ghost", false); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 	if c.ActiveTxns() != 1 {
 		t.Fatal("not-found read killed the transaction")
 	}
-	if _, err := c.Read(1, "x", true); err != nil {
+	if _, err := c.Read(bgc, 1, "x", true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -508,7 +516,7 @@ func TestConcurrentReaders(t *testing.T) {
 				id := kv.TxnID(g*1000 + i)
 				for r := 0; r < 5; r++ {
 					k := kv.Key(fmt.Sprintf("k%d", (g+i+r)%50))
-					if _, err := c.Read(id, k, r == 4); err != nil &&
+					if _, err := c.Read(bgc, id, k, r == 4); err != nil &&
 						!errors.Is(err, ErrTxnAborted) {
 						t.Errorf("read: %v", err)
 						return
@@ -528,12 +536,12 @@ func TestValueIsolation(t *testing.T) {
 	b := newMapBackend()
 	c := newCache(t, Config{Backend: b})
 	b.put("x", "abc", 1)
-	v1, err := c.Get("x")
+	v1, err := c.Get(bgc, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
 	v1[0] = 'Z'
-	v2, err := c.Get("x")
+	v2, err := c.Get(bgc, "x")
 	if err != nil {
 		t.Fatal(err)
 	}

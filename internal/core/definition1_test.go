@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -9,6 +10,10 @@ import (
 	"tcache/internal/kv"
 	"tcache/internal/monitor"
 )
+
+// bgc is the background context used by reads that don't exercise
+// cancellation.
+var bgc = context.Background()
 
 // TestDefinition1WeakerThanGlobalSerializability demonstrates the point
 // of the paper's Definition 1: transactions through a SINGLE cache are
@@ -62,10 +67,10 @@ func TestDefinition1WeakerThanGlobalSerializability(t *testing.T) {
 
 	// Both caches hold the old versions.
 	for _, c := range []*core.Cache{cacheA, cacheB} {
-		if _, err := c.Get("x"); err != nil {
+		if _, err := c.Get(bgc, "x"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Get("y"); err != nil {
+		if _, err := c.Get(bgc, "y"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -84,10 +89,10 @@ func TestDefinition1WeakerThanGlobalSerializability(t *testing.T) {
 				comp = cp
 			}
 		})
-		if _, err := c.Read(id, "x", false); err != nil {
+		if _, err := c.Read(bgc, id, "x", false); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Read(id, "y", true); err != nil {
+		if _, err := c.Read(bgc, id, "y", true); err != nil {
 			t.Fatal(err)
 		}
 		got := map[kv.Key]kv.Version{}
@@ -209,7 +214,7 @@ func TestPerCacheSerializabilityManyCaches(t *testing.T) {
 		for _, c := range cs {
 			txnID++
 			for j := 0; j < 4; j++ {
-				if _, err := c.Read(txnID, keys[(round+j)%len(keys)], j == 3); err != nil {
+				if _, err := c.Read(bgc, txnID, keys[(round+j)%len(keys)], j == 3); err != nil {
 					break // aborts are fine
 				}
 			}

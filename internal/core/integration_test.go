@@ -54,7 +54,9 @@ func newRig(t *testing.T, cfg rigConfig) *rig {
 		Seed:      cfg.seed + 1,
 	})
 	send := inj.Wrap(func(inv db.Invalidation) { c.Invalidate(inv.Key, inv.Version) })
-	d.Subscribe("cache", send)
+	if _, err := d.Subscribe("cache", send); err != nil {
+		t.Fatal(err)
+	}
 
 	d.OnCommit(func(rec db.CommitRecord) {
 		reads := make([]monitor.Read, len(rec.Reads))
@@ -114,7 +116,7 @@ func (r *rig) updateTxn(t *testing.T, keys []kv.Key) {
 func (r *rig) readTxn(t *testing.T, id kv.TxnID, keys []kv.Key) bool {
 	t.Helper()
 	for i, k := range keys {
-		_, err := r.cache.Read(id, k, i == len(keys)-1)
+		_, err := r.cache.Read(bgc, id, k, i == len(keys)-1)
 		switch {
 		case err == nil:
 		case errors.Is(err, core.ErrTxnAborted):

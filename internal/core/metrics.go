@@ -24,6 +24,9 @@ type Metrics struct {
 	InvalidationsStale   uint64v
 	InvalidationsNoop    uint64v
 	MVServedOld          uint64v
+	BackendErrors        uint64v
+	BatchPrefetches      uint64v
+	BatchPrefetchedKeys  uint64v
 }
 
 // uint64v aliases atomic.Uint64 to keep the struct declaration compact.
@@ -51,6 +54,9 @@ type MetricsSnapshot struct {
 	InvalidationsStale   uint64
 	InvalidationsNoop    uint64
 	MVServedOld          uint64
+	BackendErrors        uint64
+	BatchPrefetches      uint64
+	BatchPrefetchedKeys  uint64
 }
 
 // HitRatio returns hits / (hits + misses), or 1 if there were no reads.
@@ -85,5 +91,8 @@ func (c *Cache) Metrics() MetricsSnapshot {
 		InvalidationsStale:   c.metrics.InvalidationsStale.Load(),
 		InvalidationsNoop:    c.metrics.InvalidationsNoop.Load(),
 		MVServedOld:          c.metrics.MVServedOld.Load(),
+		BackendErrors:        c.metrics.BackendErrors.Load(),
+		BatchPrefetches:      c.metrics.BatchPrefetches.Load(),
+		BatchPrefetchedKeys:  c.metrics.BatchPrefetchedKeys.Load(),
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tcache/internal/kv"
 )
 
@@ -34,7 +36,7 @@ import (
 // versions are consulted ONLY when the latest fails the §III-B checks:
 // multiversioning converts would-be aborts into consistent serves, never
 // fresh reads into stale ones.
-func (c *Cache) readMV(sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, lastOp bool) (kv.Value, error) {
+func (c *Cache) readMV(ctx context.Context, sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, lastOp bool) (kv.Value, error) {
 	v, bad := checkRead(rec, key, item)
 	if !bad {
 		return c.serve(sh, st, txnID, rec, key, item, lastOp)
@@ -47,7 +49,7 @@ func (c *Cache) readMV(sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRe
 			}
 		}
 	}
-	return c.handleViolation(sh, st, txnID, rec, key, item, v, lastOp)
+	return c.handleViolation(ctx, sh, st, txnID, rec, key, item, v, lastOp)
 }
 
 // serve records the read and returns the value, releasing st.mu then

@@ -23,10 +23,10 @@ func TestMVServesOldVersionToPinnedTxn(t *testing.T) {
 	b.put("A", "a-old", 1)
 	b.put("B", "b-old", 1)
 	// Cache both old versions.
-	if _, err := c.Get("A"); err != nil {
+	if _, err := c.Get(bgc, "A"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("B"); err != nil {
+	if _, err := c.Get(bgc, "B"); err != nil {
 		t.Fatal(err)
 	}
 	// An update rewrites both; the cache hears the invalidation for A
@@ -35,17 +35,17 @@ func TestMVServesOldVersionToPinnedTxn(t *testing.T) {
 	b.put("A", "a-new", 2, dep("B", 2))
 	b.put("B", "b-new", 2, dep("A", 2))
 	c.Invalidate("A", kv.Version{Counter: 2})
-	if _, err := c.Get("A"); err != nil { // re-fetch A@2; A@1 retained
+	if _, err := c.Get(bgc, "A"); err != nil { // re-fetch A@2; A@1 retained
 		t.Fatal(err)
 	}
 
 	// A transaction reads stale B first (pinned at the v1 snapshot),
 	// then A. Plain T-Cache must abort (A@2 depends on B@2); the
 	// multiversion cache serves A@1 instead and commits consistently.
-	if val, err := c.Read(1, "B", false); err != nil || string(val) != "b-old" {
+	if val, err := c.Read(bgc, 1, "B", false); err != nil || string(val) != "b-old" {
 		t.Fatalf("Read(B) = %q, %v", val, err)
 	}
-	val, err := c.Read(1, "A", true)
+	val, err := c.Read(bgc, 1, "A", true)
 	if err != nil {
 		t.Fatalf("multiversion read should have served old A: %v", err)
 	}
@@ -66,22 +66,22 @@ func TestMVPlainCacheAbortsInSameScenario(t *testing.T) {
 	c, b := mvCache(t, 1, StrategyAbort)
 	b.put("A", "a-old", 1)
 	b.put("B", "b-old", 1)
-	if _, err := c.Get("A"); err != nil {
+	if _, err := c.Get(bgc, "A"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("B"); err != nil {
+	if _, err := c.Get(bgc, "B"); err != nil {
 		t.Fatal(err)
 	}
 	b.put("A", "a-new", 2, dep("B", 2))
 	b.put("B", "b-new", 2, dep("A", 2))
 	c.Invalidate("A", kv.Version{Counter: 2})
-	if _, err := c.Get("A"); err != nil {
+	if _, err := c.Get(bgc, "A"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read(1, "B", false); err != nil {
+	if _, err := c.Read(bgc, 1, "B", false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read(1, "A", true); !errors.Is(err, ErrTxnAborted) {
+	if _, err := c.Read(bgc, 1, "A", true); !errors.Is(err, ErrTxnAborted) {
 		t.Fatalf("plain cache should abort: %v", err)
 	}
 }
@@ -91,12 +91,12 @@ func TestMVFreshTxnPrefersLatest(t *testing.T) {
 	// version: staleness is bounded by freshness-on-first-read.
 	c, b := mvCache(t, 3, StrategyAbort)
 	b.put("A", "a1", 1)
-	if _, err := c.Get("A"); err != nil {
+	if _, err := c.Get(bgc, "A"); err != nil {
 		t.Fatal(err)
 	}
 	b.put("A", "a2", 2)
 	c.Invalidate("A", kv.Version{Counter: 2})
-	val, err := c.Read(1, "A", true)
+	val, err := c.Read(bgc, 1, "A", true)
 	if err != nil || string(val) != "a2" {
 		t.Fatalf("fresh txn got %q, %v; want latest a2", val, err)
 	}
@@ -109,7 +109,7 @@ func TestMVFreshTxnPrefersLatest(t *testing.T) {
 func TestMVInvalidationDoesNotEvict(t *testing.T) {
 	c, b := mvCache(t, 3, StrategyAbort)
 	b.put("A", "a1", 1)
-	if _, err := c.Get("A"); err != nil {
+	if _, err := c.Get(bgc, "A"); err != nil {
 		t.Fatal(err)
 	}
 	c.Invalidate("A", kv.Version{Counter: 2})
@@ -131,7 +131,7 @@ func TestMVHistoryBounded(t *testing.T) {
 	for v := uint64(1); v <= 10; v++ {
 		b.put("A", "x", v)
 		c.Invalidate("A", kv.Version{Counter: v})
-		if _, err := c.Get("A"); err != nil {
+		if _, err := c.Get(bgc, "A"); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -150,7 +150,7 @@ func TestMVEvictStrategyDropsOnlyStaleVersions(t *testing.T) {
 	b.put("A", "a1", 1)
 	b.put("B", "b1", 1)
 	for _, k := range []kv.Key{"A", "B"} {
-		if _, err := c.Get(k); err != nil {
+		if _, err := c.Get(bgc, k); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -159,15 +159,15 @@ func TestMVEvictStrategyDropsOnlyStaleVersions(t *testing.T) {
 	b.put("A", "a3", 3, dep("B", 2))
 	b.put("B", "b2", 2)
 	c.Invalidate("A", kv.Version{Counter: 3})
-	if _, err := c.Get("A"); err != nil {
+	if _, err := c.Get(bgc, "A"); err != nil {
 		t.Fatal(err)
 	}
 
 	// Reading A@3 then B@1 violates eq.2; EVICT drops B's stale version.
-	if _, err := c.Read(1, "A", false); err != nil {
+	if _, err := c.Read(bgc, 1, "A", false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read(1, "B", true); !errors.Is(err, ErrTxnAborted) {
+	if _, err := c.Read(bgc, 1, "B", true); !errors.Is(err, ErrTxnAborted) {
 		t.Fatalf("expected abort on stale B")
 	}
 	if c.Contains("B") {
@@ -184,15 +184,15 @@ func TestMVRepeatedReadStableUnderChurn(t *testing.T) {
 	// its pinned version instead of aborting on the self check.
 	c, b := mvCache(t, 3, StrategyAbort)
 	b.put("A", "a1", 1)
-	if _, err := c.Read(1, "A", false); err != nil {
+	if _, err := c.Read(bgc, 1, "A", false); err != nil {
 		t.Fatal(err)
 	}
 	b.put("A", "a2", 2)
 	c.Invalidate("A", kv.Version{Counter: 2})
-	if _, err := c.Get("A"); err != nil { // other traffic refreshes A
+	if _, err := c.Get(bgc, "A"); err != nil { // other traffic refreshes A
 		t.Fatal(err)
 	}
-	val, err := c.Read(1, "A", true)
+	val, err := c.Read(bgc, 1, "A", true)
 	if err != nil {
 		t.Fatalf("repeated read aborted despite retained version: %v", err)
 	}
@@ -209,10 +209,10 @@ func TestMVReducesAbortsEndToEnd(t *testing.T) {
 		c := newCache(t, Config{Backend: b, Strategy: StrategyAbort, Multiversion: mv})
 		b.put("A", "a", 1)
 		b.put("B", "b", 1)
-		if _, err := c.Get("A"); err != nil {
+		if _, err := c.Get(bgc, "A"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Get("B"); err != nil {
+		if _, err := c.Get(bgc, "B"); err != nil {
 			t.Fatal(err)
 		}
 		for round := uint64(0); round < 200; round++ {
@@ -221,14 +221,14 @@ func TestMVReducesAbortsEndToEnd(t *testing.T) {
 			b.put("B", "b", ver, dep("A", ver))
 			// Only A's invalidation arrives; some reader refreshes A.
 			c.Invalidate("A", kv.Version{Counter: ver})
-			if _, err := c.Get("A"); err != nil {
+			if _, err := c.Get(bgc, "A"); err != nil {
 				t.Fatal(err)
 			}
 			id := kv.TxnID(round + 1)
-			if _, err := c.Read(id, "B", false); err != nil {
+			if _, err := c.Read(bgc, id, "B", false); err != nil {
 				continue
 			}
-			if _, err := c.Read(id, "A", true); err != nil {
+			if _, err := c.Read(bgc, id, "A", true); err != nil {
 				continue
 			}
 		}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"tcache/internal/kv"
 )
@@ -17,7 +19,7 @@ type violation struct {
 
 // Read is the transactional read interface of §III-B:
 //
-//	read(txnID, key, lastOp)
+//	read(ctx, txnID, key, lastOp)
 //
 // It returns the cached (or fetched) value for key, validating it against
 // every previous read of the same transaction. If an inconsistency is
@@ -26,12 +28,19 @@ type violation struct {
 // resolve the violation). lastOp lets the cache garbage-collect the
 // transaction record; the transaction is then reported as committed.
 //
+// ctx bounds the backend fetch on a miss; a cancellation surfaces as
+// ctx.Err() and leaves the transaction record intact (the caller decides
+// whether to Abort it — Cache.ReadTxn in the public package does).
+//
 // Locking: Read acquires the entry shard of key, then the transaction
 // stripe of txnID — the fixed order every path in this package follows —
 // and holds at most one lock of each kind at any time.
-func (c *Cache) Read(txnID kv.TxnID, key kv.Key, lastOp bool) (kv.Value, error) {
+func (c *Cache) Read(ctx context.Context, txnID kv.TxnID, key kv.Key, lastOp bool) (kv.Value, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c.metrics.Reads.Add(1)
 
@@ -63,7 +72,7 @@ func (c *Cache) Read(txnID kv.TxnID, key kv.Key, lastOp bool) (kv.Value, error) 
 
 	sh := c.shardFor(key)
 	sh.mu.Lock()
-	item, lerr := c.lookupShardLocked(sh, key)
+	item, lerr := c.lookupShardLocked(ctx, sh, key)
 	if errors.Is(lerr, ErrClosed) {
 		sh.mu.Unlock()
 		return nil, ErrClosed
@@ -84,8 +93,9 @@ func (c *Cache) Read(txnID kv.TxnID, key kv.Key, lastOp bool) (kv.Value, error) 
 	}
 
 	if lerr != nil {
-		// Backend miss: the read fails but the transaction survives; a
-		// lastOp flag still completes it.
+		// Backend miss or fetch failure (including ctx cancellation): the
+		// read fails but the transaction survives; a lastOp flag still
+		// completes it.
 		var (
 			comp Completion
 			fin  bool
@@ -102,12 +112,12 @@ func (c *Cache) Read(txnID kv.TxnID, key kv.Key, lastOp bool) (kv.Value, error) 
 	}
 
 	if c.cfg.Multiversion > 1 {
-		return c.readMV(sh, st, txnID, rec, key, item, lastOp)
+		return c.readMV(ctx, sh, st, txnID, rec, key, item, lastOp)
 	}
 
 	v, bad := checkRead(rec, key, item)
 	if bad {
-		return c.handleViolation(sh, st, txnID, rec, key, item, v, lastOp)
+		return c.handleViolation(ctx, sh, st, txnID, rec, key, item, v, lastOp)
 	}
 
 	recordRead(rec, key, item)
@@ -129,15 +139,18 @@ func (c *Cache) Read(txnID kv.TxnID, key kv.Key, lastOp bool) (kv.Value, error) 
 
 // Get is the plain, non-transactional read API (a consistency-unaware
 // cache access). It shares the store, TTL handling, and miss path with
-// Read.
-func (c *Cache) Get(key kv.Key) (kv.Value, error) {
+// Read. ctx bounds the backend fetch on a miss.
+func (c *Cache) Get(ctx context.Context, key kv.Key) (kv.Value, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c.metrics.Reads.Add(1)
 	sh := c.shardFor(key)
 	sh.mu.Lock()
-	item, err := c.lookupShardLocked(sh, key)
+	item, err := c.lookupShardLocked(ctx, sh, key)
 	if err != nil {
 		sh.mu.Unlock()
 		return nil, err
@@ -184,8 +197,9 @@ func (c *Cache) Abort(txnID kv.TxnID) {
 // lookupShardLocked returns the item for key, filling from the backend on
 // a miss or TTL expiry. It is called with sh.mu held (and no transaction
 // stripe held) and releases and re-acquires sh.mu around the backend
-// fetch.
-func (c *Cache) lookupShardLocked(sh *cacheShard, key kv.Key) (kv.Item, error) {
+// fetch. Backend failures (a cancelled ctx, a dead remote peer) surface
+// as the backend's error, distinct from ErrNotFound.
+func (c *Cache) lookupShardLocked(ctx context.Context, sh *cacheShard, key kv.Key) (kv.Item, error) {
 	if e, ok := sh.entries[key]; ok {
 		switch {
 		case c.cfg.TTL > 0 && c.clk.Since(e.fetchedAt) >= c.cfg.TTL:
@@ -194,6 +208,11 @@ func (c *Cache) lookupShardLocked(sh *cacheShard, key kv.Key) (kv.Item, error) {
 		case e.staleLatest:
 			// Multiversioning: the newest cached version is superseded;
 			// the latest must come from the backend.
+		case e.prefetched:
+			e.prefetched = false
+			c.metrics.Misses.Add(1)
+			sh.lruTouch(e)
+			return e.item, nil
 		default:
 			c.metrics.Hits.Add(1)
 			sh.lruTouch(e)
@@ -202,10 +221,14 @@ func (c *Cache) lookupShardLocked(sh *cacheShard, key kv.Key) (kv.Item, error) {
 	}
 	c.metrics.Misses.Add(1)
 	sh.mu.Unlock()
-	item, ok := c.cfg.Backend.Get(key)
+	item, ok, err := c.cfg.Backend.ReadItem(ctx, key)
 	sh.mu.Lock()
 	if c.closed.Load() {
 		return kv.Item{}, ErrClosed
+	}
+	if err != nil {
+		c.metrics.BackendErrors.Add(1)
+		return kv.Item{}, fmt.Errorf("tcache: backend read %q: %w", key, err)
 	}
 	if !ok {
 		return kv.Item{}, ErrNotFound
@@ -267,7 +290,7 @@ func recordRead(rec *txnRecord, key kv.Key, item kv.Item) {
 // violator may hash to a different shard; it is evicted after both locks
 // are dropped (the eviction is version-conditional, so running it late is
 // safe), keeping the one-entry-shard-at-a-time invariant.
-func (c *Cache) handleViolation(sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, v violation, lastOp bool) (kv.Value, error) {
+func (c *Cache) handleViolation(ctx context.Context, sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, v violation, lastOp bool) (kv.Value, error) {
 	c.metrics.Detected.Add(1)
 	if v.equation == 1 {
 		c.metrics.DetectedEq1.Add(1)
@@ -283,7 +306,7 @@ func (c *Cache) handleViolation(sh *cacheShard, st *txnStripe, txnID kv.TxnID, r
 		c.metrics.Retries.Add(1)
 		c.evictStaleShardLocked(sh, v)
 		st.mu.Unlock()
-		fresh, err := c.lookupShardLocked(sh, key)
+		fresh, err := c.lookupShardLocked(ctx, sh, key)
 		if errors.Is(err, ErrClosed) {
 			sh.mu.Unlock()
 			return nil, ErrClosed
@@ -300,6 +323,14 @@ func (c *Cache) handleViolation(sh *cacheShard, st *txnStripe, txnID kv.TxnID, r
 				return nil, ErrClosed
 			}
 			return nil, ErrTxnAborted
+		}
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			// The re-fetch failed outright (ctx cancelled, backend dead):
+			// propagate the failure instead of converting it into an
+			// abort; the transaction record survives for the caller.
+			st.mu.Unlock()
+			sh.mu.Unlock()
+			return nil, err
 		}
 		if err == nil {
 			v2, bad := checkRead(rec, key, fresh)

@@ -42,7 +42,7 @@ func TestShardsOnePreservesSingleMutexSemantics(t *testing.T) {
 	b.put("c", "3", 1)
 
 	for _, k := range []kv.Key{"a", "b", "a", "c"} { // touch a; c evicts b (LRU)
-		if _, err := c.Get(k); err != nil {
+		if _, err := c.Get(bgc, k); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -54,14 +54,14 @@ func TestShardsOnePreservesSingleMutexSemantics(t *testing.T) {
 	// single-mutex cache handled it.
 	b.put("b", "b2", 2)
 	b.put("a", "a2", 2, dep("b", 2))
-	c.Invalidate("a", kv.Version{Counter: 2}) // evict a; stale b stays… but b was LRU-evicted
-	if _, err := c.Get("b"); err != nil {     // refill b@2
+	c.Invalidate("a", kv.Version{Counter: 2})  // evict a; stale b stays… but b was LRU-evicted
+	if _, err := c.Get(bgc, "b"); err != nil { // refill b@2
 		t.Fatal(err)
 	}
-	if _, err := c.Read(1, "a", false); err != nil { // miss → a@2, expects b@2
+	if _, err := c.Read(bgc, 1, "a", false); err != nil { // miss → a@2, expects b@2
 		t.Fatal(err)
 	}
-	if v, err := c.Read(1, "b", true); err != nil || string(v) != "b2" {
+	if v, err := c.Read(bgc, 1, "b", true); err != nil || string(v) != "b2" {
 		t.Fatalf("Read b = %q, %v", v, err)
 	}
 
@@ -105,16 +105,16 @@ func TestCrossShardEq1EvictsInOtherShard(t *testing.T) {
 	keyB, keyA := twoShardKeys(t, c)
 
 	b.put(keyB, "b-old", 1)
-	if _, err := c.Get(keyB); err != nil { // cache B@1
+	if _, err := c.Get(bgc, keyB); err != nil { // cache B@1
 		t.Fatal(err)
 	}
 	b.put(keyB, "b-new", 2)
 	b.put(keyA, "a-new", 2, dep(keyB, 2)) // invalidation for B lost
 
-	if _, err := c.Read(7, keyB, false); err != nil { // reads stale B@1
+	if _, err := c.Read(bgc, 7, keyB, false); err != nil { // reads stale B@1
 		t.Fatal(err)
 	}
-	_, err := c.Read(7, keyA, false) // A@2 expects B@2 → eq.1
+	_, err := c.Read(bgc, 7, keyA, false) // A@2 expects B@2 → eq.1
 	var ie *InconsistencyError
 	if !errors.As(err, &ie) || ie.Equation != 1 || ie.StaleKey != keyB {
 		t.Fatalf("err = %v, want eq.1 violation on %q", err, keyB)
@@ -136,16 +136,16 @@ func TestCrossShardRetryResolvesEq2(t *testing.T) {
 	keyB, keyA := twoShardKeys(t, c)
 
 	b.put(keyB, "b-old", 1)
-	if _, err := c.Get(keyB); err != nil {
+	if _, err := c.Get(bgc, keyB); err != nil {
 		t.Fatal(err)
 	}
 	b.put(keyB, "b-new", 2)
 	b.put(keyA, "a-new", 2, dep(keyB, 2))
 
-	if _, err := c.Read(9, keyA, false); err != nil { // expects B@2
+	if _, err := c.Read(bgc, 9, keyA, false); err != nil { // expects B@2
 		t.Fatal(err)
 	}
-	v, err := c.Read(9, keyB, true) // stale B@1 → eq.2 → retry heals
+	v, err := c.Read(bgc, 9, keyB, true) // stale B@1 → eq.2 → retry heals
 	if err != nil || string(v) != "b-new" {
 		t.Fatalf("Read = %q, %v; want healed b-new", v, err)
 	}
@@ -178,13 +178,13 @@ func TestCloseAbortsInFlightTxns(t *testing.T) {
 		mu.Unlock()
 	})
 
-	if _, err := c.Read(1, "x", false); err != nil {
+	if _, err := c.Read(bgc, 1, "x", false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read(1, "y", false); err != nil {
+	if _, err := c.Read(bgc, 1, "y", false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read(2, "x", false); err != nil {
+	if _, err := c.Read(bgc, 2, "x", false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -261,7 +261,7 @@ func TestShardHammer(t *testing.T) {
 				id := kv.TxnID(g*1_000_000 + i + 1)
 				for r := 0; r < 5; r++ {
 					k := hammerKey((g*31 + i*7 + r*13) % nKeys)
-					if _, err := c.Read(id, k, r == 4); err != nil {
+					if _, err := c.Read(bgc, id, k, r == 4); err != nil {
 						if errors.Is(err, ErrClosed) {
 							return
 						}
@@ -322,7 +322,7 @@ func TestShardHammer(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
-	if _, err := c.Read(999, hammerKey(0), false); !errors.Is(err, ErrClosed) {
+	if _, err := c.Read(bgc, 999, hammerKey(0), false); !errors.Is(err, ErrClosed) {
 		t.Fatalf("post-Close Read = %v, want ErrClosed", err)
 	}
 	if c.ActiveTxns() != 0 {

@@ -10,7 +10,9 @@
 package db
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +34,10 @@ var (
 	ErrClosed = errors.New("db: closed")
 	// ErrAborted is returned by Commit when a prepare hook voted no.
 	ErrAborted = errors.New("db: transaction aborted at prepare")
+	// ErrDuplicateSubscriber is returned by Subscribe when the name is
+	// already taken: silently replacing the previous sink would starve one
+	// of the two caches of invalidations.
+	ErrDuplicateSubscriber = errors.New("db: duplicate subscriber name")
 )
 
 // Config configures a DB.
@@ -206,6 +212,30 @@ func (d *DB) Get(key kv.Key) (kv.Item, bool) {
 	return d.shardFor(key).store.Get(key)
 }
 
+// ReadItem is the cache backend read (core.Backend): a lock-free
+// single-entry read of the current committed item. The in-process store
+// never blocks, so ctx is only checked for early cancellation.
+func (d *DB) ReadItem(ctx context.Context, key kv.Key) (kv.Item, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return kv.Item{}, false, err
+	}
+	item, ok := d.Get(key)
+	return item, ok, nil
+}
+
+// ReadItems is the batch form of ReadItem (core.BatchBackend): one Lookup
+// per requested key, positionally.
+func (d *DB) ReadItems(ctx context.Context, keys []kv.Key) ([]kv.Lookup, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]kv.Lookup, len(keys))
+	for i, k := range keys {
+		out[i].Item, out[i].Found = d.Get(k)
+	}
+	return out, nil
+}
+
 // Seed loads an item without a transaction, for initial data sets. It must
 // not be used concurrently with transactions.
 func (d *DB) Seed(key kv.Key, value kv.Value, version kv.Version) {
@@ -216,17 +246,22 @@ func (d *DB) Seed(key kv.Key, value kv.Value, version kv.Version) {
 	d.shardFor(key).store.Put(key, kv.Item{Value: value, Version: version})
 }
 
-// Subscribe registers an invalidation sink under name, replacing any
-// previous sink with that name. Unsubscribe with the returned cancel.
-func (d *DB) Subscribe(name string, sink InvalidationSink) (cancel func()) {
+// Subscribe registers an invalidation sink under name. A name already in
+// use is rejected with ErrDuplicateSubscriber: silently replacing the
+// previous sink (the historical behavior) starved one of two same-named
+// caches of invalidations. Unsubscribe with the returned cancel.
+func (d *DB) Subscribe(name string, sink InvalidationSink) (cancel func(), err error) {
 	d.subMu.Lock()
 	defer d.subMu.Unlock()
+	if _, taken := d.subs[name]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateSubscriber, name)
+	}
 	d.subs[name] = sink
 	return func() {
 		d.subMu.Lock()
 		defer d.subMu.Unlock()
 		delete(d.subs, name)
-	}
+	}, nil
 }
 
 // OnCommit registers a hook observing every committed update transaction.

@@ -1,10 +1,12 @@
 package db
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"tcache/internal/kv"
 )
@@ -246,7 +248,10 @@ func TestFinishedTxnRejectsOps(t *testing.T) {
 func TestInvalidationsEmitted(t *testing.T) {
 	d := open(t, Config{DepBound: 5})
 	var got []Invalidation
-	cancel := d.Subscribe("c1", func(inv Invalidation) { got = append(got, inv) })
+	cancel, err := d.Subscribe("c1", func(inv Invalidation) { got = append(got, inv) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	v := write(t, d, "a", "b")
 	if len(got) != 2 {
 		t.Fatalf("got %d invalidations, want 2", len(got))
@@ -260,6 +265,78 @@ func TestInvalidationsEmitted(t *testing.T) {
 	write(t, d, "a")
 	if len(got) != 2 {
 		t.Fatal("unsubscribed sink still receiving")
+	}
+}
+
+func TestSubscribeDuplicateNameRejected(t *testing.T) {
+	d := open(t, Config{})
+	cancel, err := d.Subscribe("edge", func(Invalidation) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Subscribe("edge", func(Invalidation) {}); !errors.Is(err, ErrDuplicateSubscriber) {
+		t.Fatalf("duplicate Subscribe = %v, want ErrDuplicateSubscriber", err)
+	}
+	cancel()
+	// The name is free again after unsubscribing.
+	cancel2, err := d.Subscribe("edge", func(Invalidation) {})
+	if err != nil {
+		t.Fatalf("re-Subscribe after cancel = %v", err)
+	}
+	cancel2()
+}
+
+func TestCancelledTxnUnblocksLockWait(t *testing.T) {
+	d := open(t, Config{})
+	write(t, d, "k")
+
+	holder := d.Begin()
+	if err := holder.Write("k", kv.Value("held")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := d.BeginCtx(ctx)
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := waiter.Read("k")
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter queue up
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled lock wait = %v, want context.Canceled", err)
+	}
+
+	// The cancelled waiter withdrew from the queue and released its locks:
+	// a third transaction gets the lock as soon as the holder commits.
+	if _, err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	next := d.Begin()
+	if err := next.Write("k", kv.Value("next")); err != nil {
+		t.Fatalf("post-cancel writer blocked: %v", err)
+	}
+	if _, err := next.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every operation on the cancelled transaction now fails ErrTxnDone.
+	if _, _, err := waiter.Read("k"); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Read on cancelled txn = %v, want ErrTxnDone", err)
+	}
+}
+
+func TestBeginCtxPreCancelled(t *testing.T) {
+	d := open(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	txn := d.BeginCtx(ctx)
+	if err := txn.Write("k", kv.Value("v")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Write = %v, want context.Canceled", err)
+	}
+	if _, err := txn.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Commit after cancelled rollback = %v, want ErrTxnDone", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package db
 
 import (
+	"context"
 	"fmt"
 
 	"tcache/internal/kv"
@@ -11,9 +12,14 @@ import (
 // exclusive locks (strict two-phase locking), and Commit runs two-phase
 // commit across the shards the transaction touched.
 //
+// The transaction carries the context it was begun with (BeginCtx):
+// cancellation aborts blocked lock waits, rolls the transaction back, and
+// surfaces ctx.Err() from the in-flight operation.
+//
 // A Txn is not safe for concurrent use by multiple goroutines.
 type Txn struct {
 	db   *DB
+	ctx  context.Context
 	id   uint64
 	done bool
 
@@ -35,11 +41,24 @@ type writeAccess struct {
 	old   kv.Item // committed item at first write lock (version+deps)
 }
 
-// Begin starts an update transaction.
+// Begin starts an update transaction that cannot be cancelled
+// (equivalent to BeginCtx with context.Background()).
 func (d *DB) Begin() *Txn {
+	return d.BeginCtx(context.Background())
+}
+
+// BeginCtx starts an update transaction bound to ctx: every subsequent
+// Read/Write/Commit checks the context first, and lock waits abort with
+// ctx.Err() when it is cancelled — releasing the transaction's locks and
+// unblocking queued waiters.
+func (d *DB) BeginCtx(ctx context.Context) *Txn {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	d.metrics.TxnsStarted.Add(1)
 	return &Txn{
 		db:     d,
+		ctx:    ctx,
 		id:     d.txnC.Add(1),
 		readIx: make(map[kv.Key]int),
 		wrIx:   make(map[kv.Key]int),
@@ -55,6 +74,10 @@ func (t *Txn) ID() uint64 { return t.id }
 func (t *Txn) Read(key kv.Key) (kv.Item, bool, error) {
 	if t.done {
 		return kv.Item{}, false, ErrTxnDone
+	}
+	if err := t.ctx.Err(); err != nil {
+		t.rollback()
+		return kv.Item{}, false, err
 	}
 	if t.db.closed.Load() {
 		t.rollback()
@@ -86,6 +109,10 @@ func (t *Txn) Write(key kv.Key, value kv.Value) error {
 	if t.done {
 		return ErrTxnDone
 	}
+	if err := t.ctx.Err(); err != nil {
+		t.rollback()
+		return err
+	}
 	if t.db.closed.Load() {
 		t.rollback()
 		return ErrClosed
@@ -106,11 +133,16 @@ func (t *Txn) Write(key kv.Key, value kv.Value) error {
 
 // acquire takes a lock, translating concurrency-control losses into
 // ErrConflict and rolling the transaction back so the caller can retry.
+// A context cancellation is NOT a conflict: it propagates as ctx.Err() so
+// callers stop retrying.
 func (t *Txn) acquire(key kv.Key, mode lock.Mode) error {
-	err := t.db.locks.Acquire(lock.Owner(t.id), string(key), mode)
+	err := t.db.locks.Acquire(t.ctx, lock.Owner(t.id), string(key), mode)
 	switch {
 	case err == nil:
 		return nil
+	case errorsIsAny(err, context.Canceled, context.DeadlineExceeded):
+		t.rollback()
+		return err
 	case errorsIsAny(err, lock.ErrDeadlock, lock.ErrTimeout):
 		t.db.metrics.Conflicts.Add(1)
 		t.rollback()
@@ -193,6 +225,10 @@ func (t *Txn) touchedShards() []*shardState {
 func (t *Txn) Commit() (kv.Version, error) {
 	if t.done {
 		return kv.Version{}, ErrTxnDone
+	}
+	if err := t.ctx.Err(); err != nil {
+		t.rollback()
+		return kv.Version{}, err
 	}
 	if t.db.closed.Load() {
 		t.rollback()

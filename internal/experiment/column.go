@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -153,9 +154,11 @@ func NewColumn(cfg ColumnConfig) (*Column, error) {
 		Jitter:    cfg.InvalJitter,
 		Seed:      cfg.Seed + 104729,
 	})
-	d.Subscribe("cache", inj.Wrap(func(inv db.Invalidation) {
+	if _, err := d.Subscribe("cache", inj.Wrap(func(inv db.Invalidation) {
 		cache.Invalidate(inv.Key, inv.Version)
-	}))
+	})); err != nil {
+		return nil, fmt.Errorf("experiment: subscribe: %w", err)
+	}
 
 	d.OnCommit(func(rec db.CommitRecord) {
 		reads := make([]monitor.Read, len(rec.Reads))
@@ -211,7 +214,7 @@ func (c *Column) SeedObjects(keys []kv.Key) {
 // phase starts from a hot cache (the paper's steady state).
 func (c *Column) WarmCache(keys []kv.Key) error {
 	for _, k := range keys {
-		if _, err := c.Cache.Get(k); err != nil {
+		if _, err := c.Cache.Get(context.Background(), k); err != nil {
 			return fmt.Errorf("experiment: warm %q: %w", k, err)
 		}
 	}
@@ -247,7 +250,7 @@ func (c *Column) RunReadTxn(gen workload.Generator) (bool, error) {
 	c.nextTxnID++
 	id := c.nextTxnID
 	for i, k := range keys {
-		_, err := c.Cache.Read(id, k, i == len(keys)-1)
+		_, err := c.Cache.Read(context.Background(), id, k, i == len(keys)-1)
 		switch {
 		case err == nil:
 		case isAbort(err):

@@ -109,6 +109,13 @@ func (it Item) Clone() Item {
 	return Item{Value: it.Value.Clone(), Version: it.Version, Deps: it.Deps.Clone()}
 }
 
+// Lookup is one result of a batch backend read: the item and whether the
+// key exists. Batch APIs return these positionally, one per requested key.
+type Lookup struct {
+	Item  Item
+	Found bool
+}
+
 // Access is one read-set or write-set tuple presented to the dependency
 // aggregation at commit time: the key accessed, the version relevant to the
 // dependency (the version read for read-set entries; the new transaction

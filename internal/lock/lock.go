@@ -9,6 +9,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -98,8 +99,12 @@ func NewManager(opts ...Option) *Manager {
 // Re-acquiring an already-held mode is a no-op; requesting Exclusive while
 // holding Shared performs an upgrade. It returns ErrDeadlock if waiting
 // would create a wait-for cycle, ErrTimeout if the configured timeout
-// elapses, or ErrClosed if the manager shuts down.
-func (m *Manager) Acquire(owner Owner, key string, mode Mode) error {
+// elapses, ctx.Err() if the context is cancelled while waiting, or
+// ErrClosed if the manager shuts down.
+func (m *Manager) Acquire(ctx context.Context, owner Owner, key string, mode Mode) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -148,16 +153,25 @@ func (m *Manager) Acquire(owner Owner, key string, mode Mode) error {
 	case err := <-w.ready:
 		return err
 	case <-timeoutC:
-		m.mu.Lock()
-		if w.done {
-			// Granted concurrently with the timeout; keep the lock.
-			m.mu.Unlock()
-			return <-w.ready
-		}
-		m.removeWaiterLocked(ls, w)
-		m.mu.Unlock()
-		return ErrTimeout
+		return m.abandonWait(ls, w, ErrTimeout)
+	case <-ctx.Done():
+		return m.abandonWait(ls, w, ctx.Err())
 	}
+}
+
+// abandonWait withdraws w from the queue after a timeout or cancellation,
+// unless the grant raced the wakeup — then the lock is kept.
+func (m *Manager) abandonWait(ls *lockState, w *waiter, reason error) error {
+	m.mu.Lock()
+	if w.done {
+		// Granted concurrently with the timeout/cancel; keep the lock (the
+		// caller's rollback path releases it if the transaction dies).
+		m.mu.Unlock()
+		return <-w.ready
+	}
+	m.removeWaiterLocked(ls, w)
+	m.mu.Unlock()
+	return reason
 }
 
 // TryAcquire acquires without blocking, reporting whether it succeeded.

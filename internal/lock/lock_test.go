@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,12 +9,51 @@ import (
 	"time"
 )
 
-func TestSharedLocksCoexist(t *testing.T) {
+// bg is the background context used by tests that don't exercise
+// cancellation.
+var bg = context.Background()
+
+func TestCancelledWaitUnblocksAndWithdraws(t *testing.T) {
 	m := NewManager()
-	if err := m.Acquire(1, "k", Shared); err != nil {
+	if err := m.Acquire(bg, 1, "k", Exclusive); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "k", Shared); err != nil {
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- m.Acquire(ctx, 2, "k", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Acquire = %v, want context.Canceled", err)
+	}
+	// The withdrawn waiter must not block later waiters: owner 3 queues
+	// behind nobody once 1 releases.
+	got := make(chan error, 1)
+	go func() { got <- m.Acquire(bg, 3, "k", Exclusive) }()
+	m.ReleaseAll(1)
+	if err := <-got; err != nil {
+		t.Fatalf("post-cancel Acquire = %v", err)
+	}
+}
+
+func TestAcquireWithPreCancelledContext(t *testing.T) {
+	m := NewManager()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.Acquire(ctx, 1, "k", Shared); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire = %v, want context.Canceled", err)
+	}
+	if got := m.HeldModes(1); len(got) != 0 {
+		t.Fatalf("cancelled acquire left locks held: %v", got)
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(bg, 1, "k", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(bg, 2, "k", Shared); err != nil {
 		t.Fatal(err)
 	}
 	m.ReleaseAll(1)
@@ -22,7 +62,7 @@ func TestSharedLocksCoexist(t *testing.T) {
 
 func TestExclusiveBlocksShared(t *testing.T) {
 	m := NewManager()
-	if err := m.Acquire(1, "k", Exclusive); err != nil {
+	if err := m.Acquire(bg, 1, "k", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	if m.TryAcquire(2, "k", Shared) {
@@ -37,7 +77,7 @@ func TestExclusiveBlocksShared(t *testing.T) {
 func TestReacquireIsNoop(t *testing.T) {
 	m := NewManager()
 	for i := 0; i < 3; i++ {
-		if err := m.Acquire(1, "k", Exclusive); err != nil {
+		if err := m.Acquire(bg, 1, "k", Exclusive); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -49,11 +89,11 @@ func TestReacquireIsNoop(t *testing.T) {
 
 func TestSharedHolderSatisfiesSharedRequest(t *testing.T) {
 	m := NewManager()
-	if err := m.Acquire(1, "k", Exclusive); err != nil {
+	if err := m.Acquire(bg, 1, "k", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	// Exclusive >= Shared: no downgrade, still granted.
-	if err := m.Acquire(1, "k", Shared); err != nil {
+	if err := m.Acquire(bg, 1, "k", Shared); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.HeldModes(1)["k"]; got != Exclusive {
@@ -63,11 +103,11 @@ func TestSharedHolderSatisfiesSharedRequest(t *testing.T) {
 
 func TestBlockedAcquireWakesOnRelease(t *testing.T) {
 	m := NewManager()
-	if err := m.Acquire(1, "k", Exclusive); err != nil {
+	if err := m.Acquire(bg, 1, "k", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan error, 1)
-	go func() { got <- m.Acquire(2, "k", Exclusive) }()
+	go func() { got <- m.Acquire(bg, 2, "k", Exclusive) }()
 	time.Sleep(10 * time.Millisecond) // let the goroutine enqueue
 	m.ReleaseAll(1)
 	select {
@@ -82,14 +122,14 @@ func TestBlockedAcquireWakesOnRelease(t *testing.T) {
 
 func TestUpgradeSharedToExclusive(t *testing.T) {
 	m := NewManager()
-	if err := m.Acquire(1, "k", Shared); err != nil {
+	if err := m.Acquire(bg, 1, "k", Shared); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "k", Shared); err != nil {
+	if err := m.Acquire(bg, 2, "k", Shared); err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan error, 1)
-	go func() { got <- m.Acquire(1, "k", Exclusive) }()
+	go func() { got <- m.Acquire(bg, 1, "k", Exclusive) }()
 	time.Sleep(10 * time.Millisecond)
 	select {
 	case err := <-got:
@@ -107,17 +147,17 @@ func TestUpgradeSharedToExclusive(t *testing.T) {
 
 func TestDeadlockDetected(t *testing.T) {
 	m := NewManager()
-	if err := m.Acquire(1, "a", Exclusive); err != nil {
+	if err := m.Acquire(bg, 1, "a", Exclusive); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "b", Exclusive); err != nil {
+	if err := m.Acquire(bg, 2, "b", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- m.Acquire(1, "b", Exclusive) }() // 1 waits on 2
+	go func() { errc <- m.Acquire(bg, 1, "b", Exclusive) }() // 1 waits on 2
 	time.Sleep(20 * time.Millisecond)
 	// 2 requesting "a" closes the cycle and must get ErrDeadlock.
-	err := m.Acquire(2, "a", Exclusive)
+	err := m.Acquire(bg, 2, "a", Exclusive)
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("err = %v, want ErrDeadlock", err)
 	}
@@ -132,16 +172,16 @@ func TestDeadlockDetected(t *testing.T) {
 func TestUpgradeDeadlockDetected(t *testing.T) {
 	// Classic upgrade deadlock: both hold S, both request X.
 	m := NewManager()
-	if err := m.Acquire(1, "k", Shared); err != nil {
+	if err := m.Acquire(bg, 1, "k", Shared); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Acquire(2, "k", Shared); err != nil {
+	if err := m.Acquire(bg, 2, "k", Shared); err != nil {
 		t.Fatal(err)
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- m.Acquire(1, "k", Exclusive) }()
+	go func() { errc <- m.Acquire(bg, 1, "k", Exclusive) }()
 	time.Sleep(20 * time.Millisecond)
-	err := m.Acquire(2, "k", Exclusive)
+	err := m.Acquire(bg, 2, "k", Exclusive)
 	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("err = %v, want ErrDeadlock", err)
 	}
@@ -153,10 +193,10 @@ func TestUpgradeDeadlockDetected(t *testing.T) {
 
 func TestTimeout(t *testing.T) {
 	m := NewManager(WithTimeout(20 * time.Millisecond))
-	if err := m.Acquire(1, "k", Exclusive); err != nil {
+	if err := m.Acquire(bg, 1, "k", Exclusive); err != nil {
 		t.Fatal(err)
 	}
-	err := m.Acquire(2, "k", Exclusive)
+	err := m.Acquire(bg, 2, "k", Exclusive)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
@@ -169,17 +209,17 @@ func TestTimeout(t *testing.T) {
 
 func TestCloseWakesWaiters(t *testing.T) {
 	m := NewManager()
-	if err := m.Acquire(1, "k", Exclusive); err != nil {
+	if err := m.Acquire(bg, 1, "k", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	errc := make(chan error, 1)
-	go func() { errc <- m.Acquire(2, "k", Exclusive) }()
+	go func() { errc <- m.Acquire(bg, 2, "k", Exclusive) }()
 	time.Sleep(10 * time.Millisecond)
 	m.Close()
 	if err := <-errc; !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
-	if err := m.Acquire(3, "x", Shared); !errors.Is(err, ErrClosed) {
+	if err := m.Acquire(bg, 3, "x", Shared); !errors.Is(err, ErrClosed) {
 		t.Fatalf("acquire after close = %v, want ErrClosed", err)
 	}
 	m.Close() // idempotent
@@ -187,7 +227,7 @@ func TestCloseWakesWaiters(t *testing.T) {
 
 func TestFIFOOrdering(t *testing.T) {
 	m := NewManager()
-	if err := m.Acquire(1, "k", Exclusive); err != nil {
+	if err := m.Acquire(bg, 1, "k", Exclusive); err != nil {
 		t.Fatal(err)
 	}
 	var mu sync.Mutex
@@ -198,7 +238,7 @@ func TestFIFOOrdering(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := m.Acquire(i, "k", Exclusive); err != nil {
+			if err := m.Acquire(bg, i, "k", Exclusive); err != nil {
 				t.Errorf("owner %d: %v", i, err)
 				return
 			}
@@ -240,12 +280,12 @@ func TestConcurrentStress(t *testing.T) {
 				if k2 < k1 {
 					k1, k2 = k2, k1
 				}
-				if err := m.Acquire(owner, k1, Exclusive); err != nil {
+				if err := m.Acquire(bg, owner, k1, Exclusive); err != nil {
 					t.Errorf("acquire %s: %v", k1, err)
 					return
 				}
 				if k2 != k1 {
-					if err := m.Acquire(owner, k2, Exclusive); err != nil {
+					if err := m.Acquire(bg, owner, k2, Exclusive); err != nil {
 						t.Errorf("acquire %s: %v", k2, err)
 						m.ReleaseAll(owner)
 						return
@@ -276,7 +316,7 @@ func TestModeString(t *testing.T) {
 
 func TestHeldModesSnapshot(t *testing.T) {
 	m := NewManager()
-	if err := m.Acquire(1, "a", Shared); err != nil {
+	if err := m.Acquire(bg, 1, "a", Shared); err != nil {
 		t.Fatal(err)
 	}
 	held := m.HeldModes(1)

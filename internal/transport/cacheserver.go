@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -19,6 +20,10 @@ type CacheServer struct {
 	cache *core.Cache
 	ln    net.Listener
 
+	// ctx is cancelled by Close; it bounds in-flight backend fetches.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -32,7 +37,8 @@ func NewCacheServer(c *core.Cache, logf func(string, ...any)) *CacheServer {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &CacheServer{cache: c, conns: make(map[net.Conn]struct{}), logf: logf}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &CacheServer{cache: c, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{}), logf: logf}
 }
 
 // Listen binds addr and starts serving in the background, returning the
@@ -66,6 +72,7 @@ func (s *CacheServer) Close() {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	s.wg.Wait()
 }
 
@@ -92,6 +99,8 @@ func (s *CacheServer) acceptLoop() {
 }
 
 func (s *CacheServer) handle(conn net.Conn) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -108,24 +117,31 @@ func (s *CacheServer) handle(conn net.Conn) {
 			}
 			return
 		}
-		if err := enc.Encode(s.dispatch(req)); err != nil {
+		if err := enc.Encode(s.dispatch(ctx, req)); err != nil {
 			s.logf("tcached: encode: %v", err)
 			return
 		}
 	}
 }
 
-func (s *CacheServer) dispatch(req Request) Response {
+func (s *CacheServer) dispatch(ctx context.Context, req Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{Code: CodeOK}
 
 	case OpRead:
-		val, err := s.cache.Read(kv.TxnID(req.TxnID), req.Key, req.LastOp)
+		val, err := s.cache.Read(ctx, kv.TxnID(req.TxnID), req.Key, req.LastOp)
 		return readResponse(val, err)
 
+	case OpReadMulti:
+		vals, err := s.cache.ReadMulti(ctx, kv.TxnID(req.TxnID), req.Keys, req.LastOp)
+		if err != nil {
+			return readResponse(nil, err)
+		}
+		return Response{Code: CodeOK, Values: vals, Found: true}
+
 	case OpGet:
-		val, err := s.cache.Get(req.Key)
+		val, err := s.cache.Get(ctx, req.Key)
 		return readResponse(val, err)
 
 	case OpCommit:

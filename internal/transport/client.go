@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"encoding/gob"
 
@@ -21,96 +23,277 @@ var (
 	ErrNotFound = core.ErrNotFound
 	// ErrConflict reports an update-transaction conflict; retry.
 	ErrConflict = errors.New("transport: update conflict, retry")
+	// ErrClientClosed reports an operation on a closed client.
+	ErrClientClosed = errors.New("transport: client closed")
 )
 
-// conn is one request/response connection with its codecs.
+// conn is one request/response connection with its codecs. Callers
+// serialize access (poolSlot.opMu or the subscription goroutine).
 type conn struct {
-	mu  sync.Mutex
 	c   net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
+	// tainted marks that a ctx interrupt fired around (possibly after) a
+	// completed exchange: the socket deadline may be poisoned, so the
+	// connection must not be reused even if the round trip succeeded.
+	tainted bool
 }
 
-func dialConn(addr string) (*conn, error) {
-	c, err := net.Dial("tcp", addr)
+func dialConn(ctx context.Context, addr string) (*conn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}, nil
 }
 
-// roundTrip sends req and decodes one response; safe for concurrent use.
-func (cn *conn) roundTrip(req Request) (Response, error) {
-	cn.mu.Lock()
-	defer cn.mu.Unlock()
-	if err := cn.enc.Encode(req); err != nil {
-		return Response{}, fmt.Errorf("transport: send: %w", err)
+// roundTrip sends req and decodes one response. ctx cancellation
+// interrupts in-flight I/O by forcing a past deadline onto the socket;
+// the gob stream may then be mid-frame, so the caller must discard the
+// connection on any error (and on cn.tainted).
+func (cn *conn) roundTrip(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{}, err
 	}
+	// No goroutine on the happy path: the interrupt runs only if ctx
+	// actually fires.
+	stop := context.AfterFunc(ctx, func() {
+		cn.c.SetDeadline(time.Unix(1, 0)) // interrupt blocked I/O
+	})
+	err := cn.enc.Encode(req)
 	var resp Response
-	if err := cn.dec.Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("transport: recv: %w", err)
+	if err == nil {
+		err = cn.dec.Decode(&resp)
+	}
+	if !stop() {
+		// The interrupt already started — possibly concurrently with a
+		// completed exchange; there is no way to wait it out, so the
+		// connection is done after this call either way.
+		cn.tainted = true
+	}
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Response{}, ctxErr
+		}
+		return Response{}, fmt.Errorf("transport: round trip: %w", err)
 	}
 	return resp, nil
 }
 
 func (cn *conn) close() { cn.c.Close() }
 
-// DBClient talks to a tdbd instance. It implements core.Backend, so a
-// remote database can back a local cache. Safe for concurrent use; a
-// small connection pool avoids head-of-line blocking.
-type DBClient struct {
-	addr  string
-	pool  []*conn
-	next  atomic.Uint64
-	close sync.Once
+// pool is a fixed-size set of lazily (re)dialed connections. A slot whose
+// round trip fails is discarded and redialed on next use, so a restarted
+// server is picked up transparently.
+type pool struct {
+	addr   string
+	slots  []*poolSlot
+	next   atomic.Uint64
+	closed atomic.Bool
 }
 
-var _ core.Backend = (*DBClient)(nil)
+// poolSlot guards its connection with two locks: opMu serializes whole
+// round trips (requests and responses alternate per connection), while
+// connMu guards only the cn pointer. close() takes connMu alone, so it
+// can slam the socket shut under a round trip blocked in opMu — the
+// blocked I/O errors out instead of wedging Close forever.
+type poolSlot struct {
+	opMu   sync.Mutex
+	connMu sync.Mutex
+	cn     *conn
+}
 
-// DialDB connects poolSize connections to a tdbd at addr (poolSize < 1
-// means 1).
-func DialDB(addr string, poolSize int) (*DBClient, error) {
-	if poolSize < 1 {
-		poolSize = 1
+// install stores cn unless the pool is closed, in which case the
+// connection is closed and false returned.
+func (s *poolSlot) install(p *pool, cn *conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if p.closed.Load() {
+		cn.close()
+		return false
 	}
-	c := &DBClient{addr: addr}
-	for i := 0; i < poolSize; i++ {
-		cn, err := dialConn(addr)
-		if err != nil {
-			c.Close()
-			return nil, err
+	s.cn = cn
+	return true
+}
+
+// discard closes and clears the slot's connection if it is still cn.
+func (s *poolSlot) discard(cn *conn) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	cn.close()
+	if s.cn == cn {
+		s.cn = nil
+	}
+}
+
+func newPool(ctx context.Context, addr string, size int) (*pool, error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &pool{addr: addr, slots: make([]*poolSlot, size)}
+	for i := range p.slots {
+		p.slots[i] = &poolSlot{}
+	}
+	// Establish the first connection eagerly so an unreachable address
+	// fails at dial time, not at first use; start the rotation so the
+	// first request lands on it.
+	cn, err := dialConn(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	p.slots[0].cn = cn
+	p.next.Store(^uint64(0))
+	return p, nil
+}
+
+// close closes every pooled connection without waiting for in-flight
+// round trips: a blocked exchange fails with a socket error instead of
+// holding close hostage.
+func (p *pool) close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	for _, s := range p.slots {
+		s.connMu.Lock()
+		if s.cn != nil {
+			s.cn.close()
+			s.cn = nil
 		}
-		c.pool = append(c.pool, cn)
+		s.connMu.Unlock()
 	}
-	return c, nil
+}
+
+// roundTrip runs one request on the next pool slot. A failure on a
+// pooled (possibly stale) connection is retried once on a fresh dial —
+// but only for idempotent operations: an Update whose response was lost
+// may already have been applied.
+func (p *pool) roundTrip(ctx context.Context, req Request) (Response, error) {
+	if p.closed.Load() {
+		return Response{}, ErrClientClosed
+	}
+	s := p.slots[int(p.next.Add(1))%len(p.slots)]
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	s.connMu.Lock()
+	cn := s.cn
+	s.connMu.Unlock()
+	fresh := cn == nil
+	if fresh {
+		if p.closed.Load() {
+			return Response{}, ErrClientClosed
+		}
+		var err error
+		if cn, err = dialConn(ctx, p.addr); err != nil {
+			return Response{}, err
+		}
+		if !s.install(p, cn) {
+			return Response{}, ErrClientClosed
+		}
+	}
+	resp, err := cn.roundTrip(ctx, req)
+	if err == nil && cn.tainted {
+		s.discard(cn)
+		return resp, nil
+	}
+	if err != nil {
+		// The stream may be mid-frame; the connection cannot be reused.
+		s.discard(cn)
+		if p.closed.Load() {
+			return Response{}, ErrClientClosed
+		}
+		if !fresh && idempotent(req.Op) && ctx.Err() == nil {
+			cn, derr := dialConn(ctx, p.addr)
+			if derr != nil {
+				return Response{}, err
+			}
+			if !s.install(p, cn) {
+				return Response{}, ErrClientClosed
+			}
+			resp, err = cn.roundTrip(ctx, req)
+			if err != nil || cn.tainted {
+				s.discard(cn)
+			}
+		}
+	}
+	return resp, err
+}
+
+// idempotent reports whether op can safely be re-sent after a failure
+// whose outcome is unknown. Reads and pings qualify; updates do not (the
+// first send may have committed), and commit/abort acknowledgements are
+// not worth a blind resend either.
+func idempotent(op Op) bool {
+	switch op {
+	case OpGet, OpGetBatch, OpPing, OpStats:
+		return true
+	default:
+		return false
+	}
+}
+
+// DBClient talks to a tdbd instance. It implements core.Backend (and its
+// batch extension), so a remote database can back a local cache. Safe for
+// concurrent use; a small connection pool avoids head-of-line blocking,
+// and failed connections are redialed transparently.
+type DBClient struct {
+	p *pool
+}
+
+var (
+	_ core.Backend      = (*DBClient)(nil)
+	_ core.BatchBackend = (*DBClient)(nil)
+)
+
+// DialDB connects to a tdbd at addr with a pool of poolSize connections
+// (poolSize < 1 means 1). ctx bounds the initial dial.
+func DialDB(ctx context.Context, addr string, poolSize int) (*DBClient, error) {
+	p, err := newPool(ctx, addr, poolSize)
+	if err != nil {
+		return nil, err
+	}
+	return &DBClient{p: p}, nil
 }
 
 // Close closes all pooled connections.
-func (c *DBClient) Close() {
-	c.close.Do(func() {
-		for _, cn := range c.pool {
-			cn.close()
-		}
-	})
-}
+func (c *DBClient) Close() { c.p.close() }
 
-func (c *DBClient) pick() *conn {
-	return c.pool[int(c.next.Add(1))%len(c.pool)]
-}
-
-// Get implements core.Backend: a lock-free committed read.
-func (c *DBClient) Get(key kv.Key) (kv.Item, bool) {
-	resp, err := c.pick().roundTrip(Request{Op: OpGet, Key: key})
-	if err != nil || resp.Code != CodeOK {
-		return kv.Item{}, false
+// ReadItem implements core.Backend: a lock-free committed read, one round
+// trip.
+func (c *DBClient) ReadItem(ctx context.Context, key kv.Key) (kv.Item, bool, error) {
+	resp, err := c.p.roundTrip(ctx, Request{Op: OpGet, Key: key})
+	if err != nil {
+		return kv.Item{}, false, err
 	}
-	return resp.Item, true
+	switch resp.Code {
+	case CodeOK:
+		return resp.Item, true, nil
+	case CodeNotFound:
+		return kv.Item{}, false, nil
+	default:
+		return kv.Item{}, false, fmt.Errorf("transport: get: %s", resp.Err)
+	}
+}
+
+// ReadItems implements core.BatchBackend: all keys in one round trip.
+func (c *DBClient) ReadItems(ctx context.Context, keys []kv.Key) ([]kv.Lookup, error) {
+	resp, err := c.p.roundTrip(ctx, Request{Op: OpGetBatch, Keys: keys})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Code != CodeOK {
+		return nil, fmt.Errorf("transport: get-batch: %s", resp.Err)
+	}
+	if len(resp.Batch) != len(keys) {
+		return nil, fmt.Errorf("transport: get-batch: %d results for %d keys", len(resp.Batch), len(keys))
+	}
+	return resp.Batch, nil
 }
 
 // Update runs one update transaction (read set, then write set) and
 // returns the commit version. Conflicts surface as ErrConflict.
-func (c *DBClient) Update(reads []kv.Key, writes []KeyValue) (kv.Version, error) {
-	resp, err := c.pick().roundTrip(Request{Op: OpUpdate, Reads: reads, Writes: writes})
+func (c *DBClient) Update(ctx context.Context, reads []kv.Key, writes []KeyValue) (kv.Version, error) {
+	resp, err := c.p.roundTrip(ctx, Request{Op: OpUpdate, Reads: reads, Writes: writes})
 	if err != nil {
 		return kv.Version{}, err
 	}
@@ -125,8 +308,8 @@ func (c *DBClient) Update(reads []kv.Key, writes []KeyValue) (kv.Version, error)
 }
 
 // Ping checks liveness.
-func (c *DBClient) Ping() error {
-	resp, err := c.pick().roundTrip(Request{Op: OpPing})
+func (c *DBClient) Ping(ctx context.Context) error {
+	resp, err := c.p.roundTrip(ctx, Request{Op: OpPing})
 	if err != nil {
 		return err
 	}
@@ -136,15 +319,14 @@ func (c *DBClient) Ping() error {
 	return nil
 }
 
-// SubscribeInvalidations opens a dedicated connection to a tdbd and
-// streams invalidations into deliver until the connection drops or stop
-// is called. deliver runs on the receive goroutine.
-func SubscribeInvalidations(addr, name string, deliver func(Invalidation)) (stop func(), err error) {
-	cn, err := dialConn(addr)
+// subscribeConn dials addr and switches the connection into the server's
+// invalidation push mode for subscriber name.
+func subscribeConn(ctx context.Context, addr, name string) (*conn, error) {
+	cn, err := dialConn(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := cn.roundTrip(Request{Op: OpSubscribe, Subscriber: name})
+	resp, err := cn.roundTrip(ctx, Request{Op: OpSubscribe, Subscriber: name})
 	if err != nil {
 		cn.close()
 		return nil, err
@@ -153,44 +335,105 @@ func SubscribeInvalidations(addr, name string, deliver func(Invalidation)) (stop
 		cn.close()
 		return nil, fmt.Errorf("transport: subscribe: %s", resp.Err)
 	}
+	return cn, nil
+}
+
+// SubscribeInvalidations opens a dedicated connection to a tdbd and
+// streams invalidations into deliver until ctx is cancelled or stop is
+// called. When the stream breaks (server restart, network blip) it
+// redials and resubscribes automatically with exponential backoff, so a
+// cache stays attached to its invalidation feed across reconnects;
+// invalidations sent during the gap are lost, which is exactly the lossy
+// asynchronous channel the T-Cache protocol is designed to survive.
+// deliver runs on the receive goroutine.
+//
+// The initial subscribe uses name verbatim, so a second live cache with
+// the same name is rejected (the duplicate-subscriber protection).
+// Reconnect attempts append "#<epoch>" to the name: after a half-open
+// disconnect the server may still hold the previous registration (it
+// only notices the dead peer when a push fails or its read errors), and
+// retrying the bare name would be locked out by our own corpse forever.
+func SubscribeInvalidations(ctx context.Context, addr, name string, deliver func(Invalidation)) (stop func(), err error) {
+	sctx, cancel := context.WithCancel(ctx)
+	cn, err := subscribeConn(sctx, addr, name)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
+		epoch := 0
 		for {
-			var inv Invalidation
-			if err := cn.dec.Decode(&inv); err != nil {
+			streamInvalidations(sctx, cn, deliver)
+			if sctx.Err() != nil {
 				return
 			}
-			deliver(inv)
+			// Reconnect with backoff until the subscription is cancelled.
+			epoch++
+			backoff := 10 * time.Millisecond
+			for {
+				next, err := subscribeConn(sctx, addr, fmt.Sprintf("%s#%d", name, epoch))
+				if err == nil {
+					cn = next
+					break
+				}
+				select {
+				case <-sctx.Done():
+					return
+				case <-time.After(backoff):
+				}
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+			}
 		}
 	}()
 	return func() {
-		cn.close()
+		cancel()
 		<-done
 	}, nil
 }
 
-// CacheClient talks to a tcached instance.
+// streamInvalidations decodes pushes from cn until the connection breaks
+// or ctx is cancelled; it closes cn before returning.
+func streamInvalidations(ctx context.Context, cn *conn, deliver func(Invalidation)) {
+	stop := context.AfterFunc(ctx, cn.close) // unblock the decoder on cancel
+	defer func() {
+		stop()
+		cn.close()
+	}()
+	for {
+		var inv Invalidation
+		if err := cn.dec.Decode(&inv); err != nil {
+			return
+		}
+		deliver(inv)
+	}
+}
+
+// CacheClient talks to a tcached instance. Safe for concurrent use; its
+// single connection redials transparently after failures.
 type CacheClient struct {
-	cn    *conn
+	p     *pool
 	txnID atomic.Uint64
 }
 
-// DialCache connects to a tcached at addr.
-func DialCache(addr string) (*CacheClient, error) {
-	cn, err := dialConn(addr)
+// DialCache connects to a tcached at addr. ctx bounds the dial.
+func DialCache(ctx context.Context, addr string) (*CacheClient, error) {
+	p, err := newPool(ctx, addr, 1)
 	if err != nil {
 		return nil, err
 	}
-	return &CacheClient{cn: cn}, nil
+	return &CacheClient{p: p}, nil
 }
 
 // Close closes the connection.
-func (c *CacheClient) Close() { c.cn.close() }
+func (c *CacheClient) Close() { c.p.close() }
 
 // Get performs a plain cache read.
-func (c *CacheClient) Get(key kv.Key) (kv.Value, error) {
-	resp, err := c.cn.roundTrip(Request{Op: OpGet, Key: key})
+func (c *CacheClient) Get(ctx context.Context, key kv.Key) (kv.Value, error) {
+	resp, err := c.p.roundTrip(ctx, Request{Op: OpGet, Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -198,32 +441,49 @@ func (c *CacheClient) Get(key kv.Key) (kv.Value, error) {
 }
 
 // Read performs one transactional read: read(txnID, key, lastOp).
-func (c *CacheClient) Read(txnID uint64, key kv.Key, lastOp bool) (kv.Value, error) {
-	resp, err := c.cn.roundTrip(Request{Op: OpRead, TxnID: txnID, Key: key, LastOp: lastOp})
+func (c *CacheClient) Read(ctx context.Context, txnID uint64, key kv.Key, lastOp bool) (kv.Value, error) {
+	resp, err := c.p.roundTrip(ctx, Request{Op: OpRead, TxnID: txnID, Key: key, LastOp: lastOp})
 	if err != nil {
 		return nil, err
 	}
 	return decodeRead(resp)
 }
 
+// ReadMulti performs the transactional reads of keys, in order, within
+// txnID — one round trip for the whole batch.
+func (c *CacheClient) ReadMulti(ctx context.Context, txnID uint64, keys []kv.Key, lastOp bool) ([]kv.Value, error) {
+	resp, err := c.p.roundTrip(ctx, Request{Op: OpReadMulti, TxnID: txnID, Keys: keys, LastOp: lastOp})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Code != CodeOK {
+		_, err := decodeRead(resp)
+		return nil, err
+	}
+	if len(resp.Values) != len(keys) {
+		return nil, fmt.Errorf("transport: read-multi: %d values for %d keys", len(resp.Values), len(keys))
+	}
+	return resp.Values, nil
+}
+
 // NewTxnID mints a client-unique transaction id.
 func (c *CacheClient) NewTxnID() uint64 { return c.txnID.Add(1) }
 
 // Commit finalizes a transaction without a further read.
-func (c *CacheClient) Commit(txnID uint64) error {
-	_, err := c.cn.roundTrip(Request{Op: OpCommit, TxnID: txnID})
+func (c *CacheClient) Commit(ctx context.Context, txnID uint64) error {
+	_, err := c.p.roundTrip(ctx, Request{Op: OpCommit, TxnID: txnID})
 	return err
 }
 
 // Abort discards a transaction.
-func (c *CacheClient) Abort(txnID uint64) error {
-	_, err := c.cn.roundTrip(Request{Op: OpAbort, TxnID: txnID})
+func (c *CacheClient) Abort(ctx context.Context, txnID uint64) error {
+	_, err := c.p.roundTrip(ctx, Request{Op: OpAbort, TxnID: txnID})
 	return err
 }
 
 // Stats fetches the server's counters.
-func (c *CacheClient) Stats() (map[string]uint64, error) {
-	resp, err := c.cn.roundTrip(Request{Op: OpStats})
+func (c *CacheClient) Stats(ctx context.Context) (map[string]uint64, error) {
+	resp, err := c.p.roundTrip(ctx, Request{Op: OpStats})
 	if err != nil {
 		return nil, err
 	}
@@ -234,8 +494,8 @@ func (c *CacheClient) Stats() (map[string]uint64, error) {
 }
 
 // Ping checks liveness.
-func (c *CacheClient) Ping() error {
-	resp, err := c.cn.roundTrip(Request{Op: OpPing})
+func (c *CacheClient) Ping(ctx context.Context) error {
+	resp, err := c.p.roundTrip(ctx, Request{Op: OpPing})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -17,6 +18,12 @@ type DBServer struct {
 	db *db.DB
 	ln net.Listener
 
+	// ctx is cancelled by Close; it bounds every in-flight update
+	// transaction, so a blocked lock wait cannot outlive the server (or
+	// wedge Close's wg.Wait).
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -30,7 +37,8 @@ func NewDBServer(d *db.DB, logf func(string, ...any)) *DBServer {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &DBServer{db: d, conns: make(map[net.Conn]struct{}), logf: logf}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &DBServer{db: d, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{}), logf: logf}
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
@@ -49,8 +57,8 @@ func (s *DBServer) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops accepting and closes every connection; it blocks until the
-// handler goroutines exit.
+// Close stops accepting, cancels in-flight transactions, and closes every
+// connection; it blocks until the handler goroutines exit.
 func (s *DBServer) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -65,6 +73,7 @@ func (s *DBServer) Close() {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	s.wg.Wait()
 }
 
@@ -98,6 +107,10 @@ func (s *DBServer) dropConn(conn net.Conn) {
 }
 
 func (s *DBServer) handle(conn net.Conn) {
+	// ctx dies with this connection (and with the whole server), aborting
+	// any update transaction the peer abandoned mid-flight.
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
 	defer s.dropConn(conn)
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -114,9 +127,18 @@ func (s *DBServer) handle(conn net.Conn) {
 		if req.Op == OpSubscribe {
 			// Switch to push mode: the ack is the last request/response
 			// exchange on this connection.
-			unsub := s.subscribe(conn, enc, &encMu, req.Subscriber)
+			unsub, err := s.subscribe(conn, enc, &encMu, req.Subscriber)
+			if err != nil {
+				encMu.Lock()
+				encErr := enc.Encode(Response{Code: CodeError, Err: err.Error()})
+				encMu.Unlock()
+				if encErr != nil {
+					return
+				}
+				continue
+			}
 			encMu.Lock()
-			err := enc.Encode(Response{Code: CodeOK})
+			err = enc.Encode(Response{Code: CodeOK})
 			encMu.Unlock()
 			if err != nil {
 				unsub()
@@ -129,7 +151,7 @@ func (s *DBServer) handle(conn net.Conn) {
 			unsub()
 			return
 		}
-		resp := s.dispatch(req)
+		resp := s.dispatch(ctx, req)
 		encMu.Lock()
 		err := enc.Encode(resp)
 		encMu.Unlock()
@@ -140,7 +162,7 @@ func (s *DBServer) handle(conn net.Conn) {
 	}
 }
 
-func (s *DBServer) subscribe(conn net.Conn, enc *gob.Encoder, encMu *sync.Mutex, name string) (unsub func()) {
+func (s *DBServer) subscribe(conn net.Conn, enc *gob.Encoder, encMu *sync.Mutex, name string) (unsub func(), err error) {
 	if name == "" {
 		name = conn.RemoteAddr().String()
 	}
@@ -155,7 +177,7 @@ func (s *DBServer) subscribe(conn net.Conn, enc *gob.Encoder, encMu *sync.Mutex,
 	})
 }
 
-func (s *DBServer) dispatch(req Request) Response {
+func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
 	switch req.Op {
 	case OpPing:
 		return Response{Code: CodeOK}
@@ -167,8 +189,15 @@ func (s *DBServer) dispatch(req Request) Response {
 		}
 		return Response{Code: CodeOK, Item: item, Found: true, Value: item.Value}
 
+	case OpGetBatch:
+		lookups, err := s.db.ReadItems(ctx, req.Keys)
+		if err != nil {
+			return Response{Code: CodeError, Err: err.Error()}
+		}
+		return Response{Code: CodeOK, Batch: lookups}
+
 	case OpUpdate:
-		version, err := s.runUpdate(req)
+		version, err := s.runUpdate(ctx, req)
 		switch {
 		case err == nil:
 			return Response{Code: CodeOK, Version: version}
@@ -183,8 +212,8 @@ func (s *DBServer) dispatch(req Request) Response {
 	}
 }
 
-func (s *DBServer) runUpdate(req Request) (kv.Version, error) {
-	txn := s.db.Begin()
+func (s *DBServer) runUpdate(ctx context.Context, req Request) (kv.Version, error) {
+	txn := s.db.BeginCtx(ctx)
 	for _, k := range req.Reads {
 		if _, _, err := txn.Read(k); err != nil {
 			return kv.Version{}, err

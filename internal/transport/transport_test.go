@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -25,6 +26,9 @@ type testStack struct {
 	cli      *CacheClient
 }
 
+// bg is the background context for calls that don't exercise cancellation.
+var bg = context.Background()
+
 func newStack(t *testing.T, strategy core.Strategy) *testStack {
 	t.Helper()
 	d := db.Open(db.Config{DepBound: 5})
@@ -37,7 +41,7 @@ func newStack(t *testing.T, strategy core.Strategy) *testStack {
 	}
 	t.Cleanup(dbSrv.Close)
 
-	dbCli, err := DialDB(dbAddr, 2)
+	dbCli, err := DialDB(bg, dbAddr, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +53,7 @@ func newStack(t *testing.T, strategy core.Strategy) *testStack {
 	}
 	t.Cleanup(cache.Close)
 
-	stop, err := SubscribeInvalidations(dbAddr, "edge-1", func(inv Invalidation) {
+	stop, err := SubscribeInvalidations(bg, dbAddr, "edge-1", func(inv Invalidation) {
 		cache.Invalidate(inv.Key, inv.Version)
 	})
 	if err != nil {
@@ -64,7 +68,7 @@ func newStack(t *testing.T, strategy core.Strategy) *testStack {
 	}
 	t.Cleanup(cacheSrv.Close)
 
-	cli, err := DialCache(cacheAddr)
+	cli, err := DialCache(bg, cacheAddr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,29 +82,29 @@ func newStack(t *testing.T, strategy core.Strategy) *testStack {
 
 func TestPingBothServers(t *testing.T) {
 	s := newStack(t, core.StrategyAbort)
-	if err := s.dbCli.Ping(); err != nil {
+	if err := s.dbCli.Ping(bg); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.cli.Ping(); err != nil {
+	if err := s.cli.Ping(bg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUpdateAndGetOverWire(t *testing.T) {
 	s := newStack(t, core.StrategyAbort)
-	v, err := s.dbCli.Update(nil, []KeyValue{{Key: "k", Value: kv.Value("hello")}})
+	v, err := s.dbCli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("hello")}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v.IsZero() {
 		t.Fatal("zero commit version")
 	}
-	item, ok := s.dbCli.Get("k")
-	if !ok || string(item.Value) != "hello" || item.Version != v {
-		t.Fatalf("Get = %+v, %v", item, ok)
+	item, ok, err := s.dbCli.ReadItem(bg, "k")
+	if err != nil || !ok || string(item.Value) != "hello" || item.Version != v {
+		t.Fatalf("ReadItem = %+v, %v, %v", item, ok, err)
 	}
 	// Through the cache server too.
-	val, err := s.cli.Get("k")
+	val, err := s.cli.Get(bg, "k")
 	if err != nil || string(val) != "hello" {
 		t.Fatalf("cache Get = %q, %v", val, err)
 	}
@@ -108,28 +112,28 @@ func TestUpdateAndGetOverWire(t *testing.T) {
 
 func TestGetMissOverWire(t *testing.T) {
 	s := newStack(t, core.StrategyAbort)
-	if _, ok := s.dbCli.Get("ghost"); ok {
-		t.Fatal("found a ghost")
+	if _, ok, err := s.dbCli.ReadItem(bg, "ghost"); ok || err != nil {
+		t.Fatalf("found a ghost (%v, %v)", ok, err)
 	}
-	if _, err := s.cli.Get("ghost"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.cli.Get(bg, "ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("cache miss = %v", err)
 	}
 }
 
 func TestInvalidationsFlowOverWire(t *testing.T) {
 	s := newStack(t, core.StrategyAbort)
-	if _, err := s.dbCli.Update(nil, []KeyValue{{Key: "k", Value: kv.Value("v1")}}); err != nil {
+	if _, err := s.dbCli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("v1")}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.cli.Get("k"); err != nil { // cache k@v1
+	if _, err := s.cli.Get(bg, "k"); err != nil { // cache k@v1
 		t.Fatal(err)
 	}
-	if _, err := s.dbCli.Update(nil, []KeyValue{{Key: "k", Value: kv.Value("v2")}}); err != nil {
+	if _, err := s.dbCli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("v2")}}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		val, err := s.cli.Get("k")
+		val, err := s.cli.Get(bg, "k")
 		if err == nil && string(val) == "v2" {
 			return
 		}
@@ -152,7 +156,7 @@ func newLossyStack(t *testing.T, strategy core.Strategy) (*DBClient, *CacheClien
 		t.Fatal(err)
 	}
 	t.Cleanup(dbSrv.Close)
-	dbCli, err := DialDB(dbAddr, 2)
+	dbCli, err := DialDB(bg, dbAddr, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +172,7 @@ func newLossyStack(t *testing.T, strategy core.Strategy) (*DBClient, *CacheClien
 		t.Fatal(err)
 	}
 	t.Cleanup(cacheSrv.Close)
-	cli, err := DialCache(cacheAddr)
+	cli, err := DialCache(bg, cacheAddr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,17 +184,17 @@ func TestTransactionalReadDetectionOverWire(t *testing.T) {
 	dbCli, cli := newLossyStack(t, core.StrategyAbort)
 	seed := func(k kv.Key, v string) {
 		t.Helper()
-		if _, err := dbCli.Update(nil, []KeyValue{{Key: k, Value: kv.Value(v)}}); err != nil {
+		if _, err := dbCli.Update(bg, nil, []KeyValue{{Key: k, Value: kv.Value(v)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	seed("a", "a0")
 	seed("b", "b0")
-	if _, err := cli.Get("b"); err != nil { // cache b@v0; it will go stale
+	if _, err := cli.Get(bg, "b"); err != nil { // cache b@v0; it will go stale
 		t.Fatal(err)
 	}
 	// One update transaction rewrites both; no invalidations arrive.
-	if _, err := dbCli.Update([]kv.Key{"a", "b"}, []KeyValue{
+	if _, err := dbCli.Update(bg, []kv.Key{"a", "b"}, []KeyValue{
 		{Key: "a", Value: kv.Value("a1")},
 		{Key: "b", Value: kv.Value("b1")},
 	}); err != nil {
@@ -198,10 +202,10 @@ func TestTransactionalReadDetectionOverWire(t *testing.T) {
 	}
 
 	id := cli.NewTxnID()
-	if _, err := cli.Read(id, "a", false); err != nil { // miss: fresh a + deps
+	if _, err := cli.Read(bg, id, "a", false); err != nil { // miss: fresh a + deps
 		t.Fatal(err)
 	}
-	_, err := cli.Read(id, "b", true) // stale cached b: must abort
+	_, err := cli.Read(bg, id, "b", true) // stale cached b: must abort
 	if !errors.Is(err, ErrAborted) {
 		t.Fatalf("wire read of torn snapshot = %v, want ErrAborted", err)
 	}
@@ -209,23 +213,23 @@ func TestTransactionalReadDetectionOverWire(t *testing.T) {
 
 func TestRetryHealsOverWire(t *testing.T) {
 	dbCli, cli := newLossyStack(t, core.StrategyRetry)
-	if _, err := dbCli.Update(nil, []KeyValue{{Key: "b", Value: kv.Value("b0")}}); err != nil {
+	if _, err := dbCli.Update(bg, nil, []KeyValue{{Key: "b", Value: kv.Value("b0")}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cli.Get("b"); err != nil {
+	if _, err := cli.Get(bg, "b"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dbCli.Update([]kv.Key{"a", "b"}, []KeyValue{
+	if _, err := dbCli.Update(bg, []kv.Key{"a", "b"}, []KeyValue{
 		{Key: "a", Value: kv.Value("a1")},
 		{Key: "b", Value: kv.Value("b1")},
 	}); err != nil {
 		t.Fatal(err)
 	}
 	id := cli.NewTxnID()
-	if _, err := cli.Read(id, "a", false); err != nil {
+	if _, err := cli.Read(bg, id, "a", false); err != nil {
 		t.Fatal(err)
 	}
-	val, err := cli.Read(id, "b", true) // RETRY reads through to the DB
+	val, err := cli.Read(bg, id, "b", true) // RETRY reads through to the DB
 	if err != nil || string(val) != "b1" {
 		t.Fatalf("wire RETRY = %q, %v", val, err)
 	}
@@ -233,16 +237,16 @@ func TestRetryHealsOverWire(t *testing.T) {
 
 func TestCacheStatsOverWire(t *testing.T) {
 	s := newStack(t, core.StrategyAbort)
-	if _, err := s.dbCli.Update(nil, []KeyValue{{Key: "k", Value: kv.Value("v")}}); err != nil {
+	if _, err := s.dbCli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("v")}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.cli.Get("k"); err != nil {
+	if _, err := s.cli.Get(bg, "k"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.cli.Get("k"); err != nil {
+	if _, err := s.cli.Get(bg, "k"); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := s.cli.Stats()
+	stats, err := s.cli.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +261,7 @@ func TestConflictSurfacesOverWire(t *testing.T) {
 	// path only on deadlock/timeout; instead exercise CodeError with an
 	// update against a closed DB.
 	s.db.Close()
-	_, err := s.dbCli.Update(nil, []KeyValue{{Key: "k", Value: kv.Value("v")}})
+	_, err := s.dbCli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("v")}})
 	if err == nil {
 		t.Fatal("update against closed DB succeeded")
 	}
@@ -265,14 +269,14 @@ func TestConflictSurfacesOverWire(t *testing.T) {
 
 func TestUnknownOpRejected(t *testing.T) {
 	s := newStack(t, core.StrategyAbort)
-	resp, err := s.cli.cn.roundTrip(Request{Op: "bogus"})
+	resp, err := s.cli.p.roundTrip(bg, Request{Op: "bogus"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Code != CodeError {
 		t.Fatalf("code = %v", resp.Code)
 	}
-	resp, err = s.dbCli.pick().roundTrip(Request{Op: "bogus"})
+	resp, err = s.dbCli.p.roundTrip(bg, Request{Op: "bogus"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +289,7 @@ func TestConcurrentWireClients(t *testing.T) {
 	s := newStack(t, core.StrategyRetry)
 	for i := 0; i < 20; i++ {
 		k := kv.Key(fmt.Sprintf("k%d", i))
-		if _, err := s.dbCli.Update(nil, []KeyValue{{Key: k, Value: kv.Value("v")}}); err != nil {
+		if _, err := s.dbCli.Update(bg, nil, []KeyValue{{Key: k, Value: kv.Value("v")}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -295,7 +299,7 @@ func TestConcurrentWireClients(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cli, err := DialCache(s.cacheSrv.ln.Addr().String())
+			cli, err := DialCache(bg, s.cacheSrv.ln.Addr().String())
 			if err != nil {
 				t.Errorf("dial: %v", err)
 				return
@@ -305,7 +309,7 @@ func TestConcurrentWireClients(t *testing.T) {
 				id := cli.NewTxnID()
 				for r := 0; r < 5; r++ {
 					k := kv.Key(fmt.Sprintf("k%d", (g+i+r)%20))
-					if _, err := cli.Read(id, k, r == 4); err != nil && !errors.Is(err, ErrAborted) {
+					if _, err := cli.Read(bg, id, k, r == 4); err != nil && !errors.Is(err, ErrAborted) {
 						t.Errorf("read: %v", err)
 						return
 					}

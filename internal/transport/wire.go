@@ -23,6 +23,9 @@ const (
 	// OpGet reads one item: lock-free committed read on the DB server,
 	// plain cache read on the cache server.
 	OpGet Op = "get"
+	// OpGetBatch reads many items in one round trip (DB server); the
+	// response carries one Lookup per requested key, positionally.
+	OpGetBatch Op = "get-batch"
 	// OpUpdate runs one update transaction on the DB server: read the
 	// Reads set, then write the Writes set, atomically.
 	OpUpdate Op = "update"
@@ -32,6 +35,9 @@ const (
 	// OpRead is the cache server's transactional read:
 	// read(txnID, key, lastOp).
 	OpRead Op = "read"
+	// OpReadMulti is the cache server's batch transactional read: all of
+	// Keys are read in order within TxnID for one round trip.
+	OpReadMulti Op = "read-multi"
 	// OpCommit finalizes a cache transaction without a further read.
 	OpCommit Op = "commit"
 	// OpAbort discards a cache transaction.
@@ -52,6 +58,8 @@ type Request struct {
 	Key    kv.Key
 	TxnID  uint64
 	LastOp bool
+	// Keys is the key list of batch operations (OpGetBatch, OpReadMulti).
+	Keys []kv.Key
 	// Subscriber names the invalidation subscription (OpSubscribe).
 	Subscriber string
 	Reads      []kv.Key
@@ -102,6 +110,10 @@ type Response struct {
 	Found   bool
 	Item    kv.Item
 	Version kv.Version
+	// Batch is set for OpGetBatch: one Lookup per requested key.
+	Batch []kv.Lookup
+	// Values is set for OpReadMulti: one value per requested key.
+	Values []kv.Value
 	// Stats is set for OpStats.
 	Stats map[string]uint64
 }

@@ -1,0 +1,175 @@
+package tcache
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"tcache/internal/db"
+	"tcache/internal/transport"
+)
+
+// KeyValue is one write of a remote update transaction.
+type KeyValue = transport.KeyValue
+
+// Remote is a backend database reached over TCP — the paper's datacenter
+// side, seen from the edge. It implements Backend (and BatchBackend), so
+// attaching a T-Cache to a remote database is symmetric with the
+// in-process case:
+//
+//	remote, err := tcache.Dial(ctx, "db.example.com:7070")
+//	cache, err := tcache.NewCache(remote)
+//
+// Reads go through a small connection pool that redials failed
+// connections transparently; invalidation subscriptions resubscribe
+// automatically after the stream breaks (server restart, network blip).
+// Invalidations sent while a subscription is down are lost — exactly the
+// lossy asynchronous channel the T-Cache protocol is designed to
+// survive: the cache's dependency checks still abort (or heal) the
+// transactions that would observe the resulting staleness.
+type Remote struct {
+	addr string
+	cli  *transport.DBClient
+
+	// ctx parents every subscription's resubscribe loop; Close cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	stops  map[uint64]func()
+	stopID uint64
+	closed bool
+}
+
+var (
+	_ Backend      = (*Remote)(nil)
+	_ BatchBackend = (*Remote)(nil)
+)
+
+// dialOptions collects Dial settings.
+type dialOptions struct {
+	poolSize int
+}
+
+// DialOption configures Dial.
+type DialOption func(*dialOptions)
+
+// WithPoolSize sets the number of pooled connections used for reads and
+// updates (default 4). Invalidation subscriptions use one dedicated
+// connection each, outside the pool.
+func WithPoolSize(n int) DialOption {
+	return func(o *dialOptions) { o.poolSize = n }
+}
+
+// Dial connects to a database served at addr (a tdbd daemon, or any DB
+// exposed with ServeDB) and returns it as a Backend. ctx bounds the
+// initial dial only; the connection's lifetime is governed by Close.
+func Dial(ctx context.Context, addr string, opts ...DialOption) (*Remote, error) {
+	o := dialOptions{poolSize: 4}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cli, err := transport.DialDB(ctx, addr, o.poolSize)
+	if err != nil {
+		return nil, err
+	}
+	rctx, cancel := context.WithCancel(context.Background())
+	return &Remote{addr: addr, cli: cli, ctx: rctx, cancel: cancel, stops: make(map[uint64]func())}, nil
+}
+
+// Close cancels every subscription and closes all pooled connections.
+func (r *Remote) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	stops := make([]func(), 0, len(r.stops))
+	for _, stop := range r.stops {
+		stops = append(stops, stop)
+	}
+	r.stops = nil
+	r.mu.Unlock()
+	r.cancel()
+	for _, stop := range stops {
+		stop()
+	}
+	r.cli.Close()
+}
+
+// ReadItem implements Backend: one round trip for the committed item.
+func (r *Remote) ReadItem(ctx context.Context, key Key) (Item, bool, error) {
+	return r.cli.ReadItem(ctx, key)
+}
+
+// ReadItems implements BatchBackend: all keys in one round trip.
+func (r *Remote) ReadItems(ctx context.Context, keys []Key) ([]Lookup, error) {
+	return r.cli.ReadItems(ctx, keys)
+}
+
+// Subscribe implements Backend: it opens a dedicated connection that
+// streams the database's invalidations into sink, resubscribing
+// automatically whenever the stream breaks, until the Remote is closed
+// (or the returned cancel is called). A name already registered at the
+// server errors.
+func (r *Remote) Subscribe(name string, sink func(Invalidation)) (cancel func(), err error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("tcache: %w", transport.ErrClientClosed)
+	}
+	r.mu.Unlock()
+	stop, err := transport.SubscribeInvalidations(r.ctx, r.addr, name, func(inv transport.Invalidation) {
+		sink(db.Invalidation{Key: inv.Key, Version: inv.Version})
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		stop()
+		return nil, fmt.Errorf("tcache: %w", transport.ErrClientClosed)
+	}
+	r.stopID++
+	id := r.stopID
+	r.stops[id] = stop
+	r.mu.Unlock()
+	// The returned cancel deregisters itself, so a long-lived Remote
+	// serving many short-lived caches doesn't accumulate dead stops.
+	return func() {
+		r.mu.Lock()
+		delete(r.stops, id)
+		r.mu.Unlock()
+		stop()
+	}, nil
+}
+
+// Update runs one update transaction at the remote database in a single
+// round trip: the Reads set is read under locks, then the Writes set is
+// applied, atomically and serializably. It returns the commit version.
+// Conflicts surface as ErrConflict wrapped in the transport's error; use
+// a loop with backoff (or an in-datacenter DB.Update) for contended
+// workloads.
+func (r *Remote) Update(ctx context.Context, reads []Key, writes []KeyValue) (Version, error) {
+	return r.cli.Update(ctx, reads, writes)
+}
+
+// Ping checks liveness with one round trip.
+func (r *Remote) Ping(ctx context.Context) error {
+	return r.cli.Ping(ctx)
+}
+
+// ServeDB exposes d over TCP at addr (for example "127.0.0.1:0" to pick
+// a free port) so remote caches can Dial it — the programmatic
+// equivalent of running cmd/tdbd. It returns the bound address and a
+// stop function that closes the listener and every connection.
+func ServeDB(d *DB, addr string) (bound string, stop func(), err error) {
+	srv := transport.NewDBServer(d.inner, nil)
+	bound, err = srv.Listen(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, srv.Close, nil
+}

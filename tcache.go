@@ -4,32 +4,43 @@
 //	Eyal, Birman, van Renesse — "Cache Serializability: Reducing
 //	Inconsistency in Edge Transactions", ICDCS 2015.
 //
-// It bundles a serializable transactional key-value database (the
-// backend), one or more T-Cache instances fed by asynchronous — and
-// optionally lossy — invalidation streams, and a closure-based
-// transaction API:
+// The API is context-first and backend-agnostic: a Cache attaches to any
+// Backend — the in-process database returned by OpenDB, or a remote one
+// reached with Dial — and every blocking operation takes a
+// context.Context whose cancellation aborts the work, releases its
+// transaction record, and unblocks lock queues.
 //
 //	db := tcache.OpenDB()
 //	defer db.Close()
 //	cache, _ := tcache.NewCache(db, tcache.WithStrategy(tcache.StrategyRetry))
 //	defer cache.Close()
 //
-//	_ = db.Update(func(tx *tcache.Tx) error {
+//	_ = db.Update(ctx, func(tx *tcache.Tx) error {
 //	    tx.Set("train", []byte("in stock"))
 //	    tx.Set("tracks", []byte("in stock"))
 //	    return nil
 //	})
 //
-//	err := cache.ReadTxn(func(tx *tcache.ReadTx) error {
-//	    train, _ := tx.Get("train")
-//	    tracks, _ := tx.Get("tracks")
-//	    _ = train
-//	    _ = tracks
-//	    return nil
+//	err := cache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
+//	    page, err := tx.GetMulti(ctx, "train", "tracks")
+//	    _ = page
+//	    return err
 //	})
 //	if errors.Is(err, tcache.ErrTxnAborted) {
 //	    // the cache detected that the reads were not serializable
 //	}
+//
+// The paper's deployment — an edge cache separated from the datacenter
+// database by an asynchronous, lossy link — is the remote form of the
+// same five lines:
+//
+//	addr, stop, _ := tcache.ServeDB(db, "0.0.0.0:7070") // in the datacenter
+//	defer stop()
+//
+//	remote, _ := tcache.Dial(ctx, addr) // at the edge
+//	defer remote.Close()
+//	cache, _ := tcache.NewCache(remote)
+//	defer cache.Close()
 //
 // Read-only transactions served by the cache never contact the database
 // on hits; the cache detects most non-serializable read sets locally
@@ -38,8 +49,11 @@
 package tcache
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +73,42 @@ type Value = kv.Value
 
 // Version is a database commit version.
 type Version = kv.Version
+
+// Item is one versioned object as stored by the database: the payload,
+// its commit version, and its bounded dependency list.
+type Item = kv.Item
+
+// Lookup is one result of a batch read: the item and whether it exists.
+type Lookup = kv.Lookup
+
+// Invalidation is the asynchronous message a backend sends to subscribed
+// caches after an update transaction: the key written and its new version.
+type Invalidation = db.Invalidation
+
+// Backend is what a Cache needs from its database: the lock-free
+// single-entry read that fills misses, and an invalidation subscription.
+// Two implementations ship with the package — *DB (in-process) and
+// *Remote (a database reached over TCP via Dial) — and applications may
+// bring their own.
+//
+// Backends that also implement BatchBackend serve GetMulti miss fills in
+// one request instead of one per key.
+type Backend interface {
+	// ReadItem returns the current committed item for key and whether the
+	// key exists. ctx bounds the read; remote implementations abort their
+	// round trip when it is cancelled.
+	ReadItem(ctx context.Context, key Key) (Item, bool, error)
+	// Subscribe registers an invalidation sink under name, returning a
+	// cancel function. Duplicate names error: two caches sharing a name
+	// would starve one of them of invalidations.
+	Subscribe(name string, sink func(Invalidation)) (cancel func(), err error)
+}
+
+// BatchBackend is the optional batch-read extension of Backend: one
+// request for many keys. Both *DB and *Remote implement it.
+type BatchBackend interface {
+	ReadItems(ctx context.Context, keys []Key) ([]Lookup, error)
+}
 
 // Strategy selects the cache's reaction to a detected inconsistency.
 type Strategy = core.Strategy
@@ -82,14 +132,23 @@ var (
 	// ErrNotFound reports a key absent from both cache and database.
 	ErrNotFound = core.ErrNotFound
 	// ErrConflict reports an update-transaction concurrency conflict;
-	// DB.Update retries these automatically.
+	// DB.Update retries these automatically (with jittered backoff).
 	ErrConflict = db.ErrConflict
+	// ErrDuplicateSubscriber reports a Subscribe (or NewCache WithName)
+	// under a name that is already taken on the backend.
+	ErrDuplicateSubscriber = db.ErrDuplicateSubscriber
 )
 
-// DB is the transactional backend database.
+// DB is the transactional backend database. It implements Backend, so a
+// Cache can attach to it directly.
 type DB struct {
 	inner *db.DB
 }
+
+var (
+	_ Backend      = (*DB)(nil)
+	_ BatchBackend = (*DB)(nil)
+)
 
 // DBOption configures OpenDB.
 type DBOption func(*db.Config)
@@ -125,7 +184,7 @@ func OpenDB(opts ...DBOption) *DB {
 // OpenDurableDB creates (or recovers) a database whose commits are made
 // durable in a write-ahead log at path: values, versions and dependency
 // lists all survive restarts. Compact the log periodically with
-// Backend().Compact().
+// Core().Compact().
 func OpenDurableDB(path string, opts ...DBOption) (*DB, error) {
 	cfg := db.Config{DepBound: 5, Shards: 1}
 	for _, o := range opts {
@@ -141,9 +200,27 @@ func OpenDurableDB(path string, opts ...DBOption) (*DB, error) {
 // Close shuts the database down.
 func (d *DB) Close() { d.inner.Close() }
 
-// Backend exposes the underlying database for advanced integrations
-// (e.g. serving it over the wire with the transport package).
-func (d *DB) Backend() *db.DB { return d.inner }
+// Core exposes the underlying database for advanced integrations (e.g.
+// serving it over the wire with the transport package, or compacting a
+// durable log).
+func (d *DB) Core() *db.DB { return d.inner }
+
+// ReadItem implements Backend: the lock-free single-entry read caches use
+// to fill misses.
+func (d *DB) ReadItem(ctx context.Context, key Key) (Item, bool, error) {
+	return d.inner.ReadItem(ctx, key)
+}
+
+// ReadItems implements BatchBackend.
+func (d *DB) ReadItems(ctx context.Context, keys []Key) ([]Lookup, error) {
+	return d.inner.ReadItems(ctx, keys)
+}
+
+// Subscribe implements Backend: it registers an invalidation sink under
+// name. Duplicate names return ErrDuplicateSubscriber.
+func (d *DB) Subscribe(name string, sink func(Invalidation)) (cancel func(), err error) {
+	return d.inner.Subscribe(name, sink)
+}
 
 // Tx is an update transaction handle passed to DB.Update.
 type Tx struct {
@@ -166,37 +243,69 @@ func (t *Tx) Set(key Key, value Value) error {
 
 // Update runs fn inside a serializable update transaction, committing on
 // nil return and rolling back on error. Concurrency conflicts (deadlock
-// victims, lock timeouts) are retried transparently.
-func (d *DB) Update(fn func(tx *Tx) error) error {
+// victims, lock timeouts) are retried transparently with jittered
+// exponential backoff; cancelling ctx stops the retry loop, aborts the
+// in-flight transaction, and unblocks any lock wait it is queued in.
+func (d *DB) Update(ctx context.Context, fn func(tx *Tx) error) error {
+	backoff := time.Millisecond
+	const maxBackoff = 100 * time.Millisecond
 	for {
-		txn := d.inner.Begin()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		txn := d.inner.BeginCtx(ctx)
 		err := fn(&Tx{txn: txn})
 		if err != nil {
 			if abortErr := txn.Abort(); abortErr != nil && !errors.Is(abortErr, db.ErrTxnDone) {
 				return fmt.Errorf("tcache: rollback: %w", abortErr)
 			}
-			if errors.Is(err, ErrConflict) {
-				continue
+			if !errors.Is(err, ErrConflict) {
+				return err
 			}
+		} else {
+			_, err = txn.Commit()
+			if err == nil {
+				return nil
+			}
+			if !errors.Is(err, ErrConflict) {
+				return err
+			}
+		}
+		// Conflict: back off with jitter so colliding retriers spread out
+		// instead of livelocking in step.
+		if err := sleepJittered(ctx, backoff); err != nil {
 			return err
 		}
-		_, err = txn.Commit()
-		switch {
-		case err == nil:
-			return nil
-		case errors.Is(err, ErrConflict):
-			continue
-		default:
-			return err
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
 		}
 	}
 }
 
+// sleepJittered sleeps for a uniformly random duration in [d/2, d),
+// returning early with ctx.Err() on cancellation.
+func sleepJittered(ctx context.Context, d time.Duration) error {
+	jittered := d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Get performs a lock-free single-entry read of the latest committed
-// value directly from the database.
-func (d *DB) Get(key Key) (Value, bool) {
-	item, ok := d.inner.Get(key)
-	return item.Value, ok
+// value directly from the database. The boolean reports presence; the
+// error is non-nil only for a cancelled ctx, so a missing key is never
+// conflated with an aborted read.
+func (d *DB) Get(ctx context.Context, key Key) (Value, bool, error) {
+	item, ok, err := d.inner.ReadItem(ctx, key)
+	if err != nil {
+		return nil, false, err
+	}
+	return item.Value, ok, nil
 }
 
 // Pin declares always-retained dependencies: owner's stored dependency
@@ -208,7 +317,7 @@ func (d *DB) Pin(owner Key, deps ...Key) { d.inner.Pin(owner, deps...) }
 // Unpin removes previously pinned dependencies of owner.
 func (d *DB) Unpin(owner Key, deps ...Key) { d.inner.Unpin(owner, deps...) }
 
-// Cache is a T-Cache instance attached to a DB.
+// Cache is a T-Cache instance attached to a Backend.
 type Cache struct {
 	inner *core.Cache
 	unsub func()
@@ -279,7 +388,8 @@ func WithTxnGC(d time.Duration) CacheOption {
 // WithLossyLink routes invalidations through an unreliable asynchronous
 // channel that drops a fraction of messages and delays the rest — the
 // environment the paper targets. Without it, invalidations are delivered
-// synchronously (a perfectly reliable link).
+// as the backend sends them (for *DB that is synchronous and reliable;
+// for *Remote, whatever the network does).
 func WithLossyLink(dropRate float64, delay, jitter time.Duration, seed int64) CacheOption {
 	return func(o *cacheOptions) {
 		o.lossy = true
@@ -287,19 +397,20 @@ func WithLossyLink(dropRate float64, delay, jitter time.Duration, seed int64) Ca
 	}
 }
 
-// WithName names the cache's invalidation subscription (useful when
-// attaching several caches to one DB).
+// WithName names the cache's invalidation subscription. Names must be
+// unique per backend; NewCache surfaces ErrDuplicateSubscriber on a
+// clash. The default is unique within and across processes.
 func WithName(name string) CacheOption {
 	return func(o *cacheOptions) { o.name = name }
 }
 
 var _cacheSeq atomic.Uint64
 
-// NewCache attaches a T-Cache to d and subscribes it to the database's
-// invalidation stream.
-func NewCache(d *DB, opts ...CacheOption) (*Cache, error) {
+// NewCache attaches a T-Cache to backend b and subscribes it to the
+// backend's invalidation stream.
+func NewCache(b Backend, opts ...CacheOption) (*Cache, error) {
 	o := cacheOptions{}
-	o.core.Backend = d.inner
+	o.core.Backend = b
 	o.core.Strategy = core.StrategyRetry
 	for _, opt := range opts {
 		opt(&o)
@@ -312,17 +423,22 @@ func NewCache(d *DB, opts ...CacheOption) (*Cache, error) {
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	deliver := func(inv db.Invalidation) { inner.Invalidate(inv.Key, inv.Version) }
-	sink := db.InvalidationSink(deliver)
+	deliver := func(inv Invalidation) { inner.Invalidate(inv.Key, inv.Version) }
+	sink := deliver
 	if o.lossy {
-		inj := chaos.New[db.Invalidation](clk, o.link)
+		inj := chaos.New[Invalidation](clk, o.link)
 		sink = inj.Wrap(deliver)
 	}
 	name := o.name
 	if name == "" {
-		name = fmt.Sprintf("cache-%d", _cacheSeq.Add(1))
+		// Unique across processes too: remote backends reject duplicates.
+		name = fmt.Sprintf("cache-%d-%d", os.Getpid(), _cacheSeq.Add(1))
 	}
-	unsub := d.inner.Subscribe(name, sink)
+	unsub, err := b.Subscribe(name, sink)
+	if err != nil {
+		inner.Close()
+		return nil, fmt.Errorf("tcache: subscribe %q: %w", name, err)
+	}
 	return &Cache{inner: inner, unsub: unsub}, nil
 }
 
@@ -344,17 +460,34 @@ type ReadTx struct {
 	err   error
 }
 
-// Get reads key through the cache within the transaction. After the
-// transaction aborts, further reads return the abort error.
-func (t *ReadTx) Get(key Key) (Value, error) {
+// Get reads key through the cache within the transaction. ctx bounds the
+// backend fetch on a miss. After the transaction aborts, further reads
+// return the abort error.
+func (t *ReadTx) Get(ctx context.Context, key Key) (Value, error) {
 	if t.err != nil && errors.Is(t.err, ErrTxnAborted) {
 		return nil, t.err
 	}
-	val, err := t.cache.Read(t.id, key, false)
+	val, err := t.cache.Read(ctx, t.id, key, false)
 	if err != nil && errors.Is(err, ErrTxnAborted) {
 		t.err = err
 	}
 	return val, err
+}
+
+// GetMulti reads keys, in order, within the transaction — semantically
+// identical to one Get per key, but all keys missing from the cache are
+// fetched from the backend in a single batch request (one round trip to a
+// remote database instead of one per key). Every read is validated
+// individually; the first error stops the batch.
+func (t *ReadTx) GetMulti(ctx context.Context, keys ...Key) ([]Value, error) {
+	if t.err != nil && errors.Is(t.err, ErrTxnAborted) {
+		return nil, t.err
+	}
+	vals, err := t.cache.ReadMulti(ctx, t.id, keys, false)
+	if err != nil && errors.Is(err, ErrTxnAborted) {
+		t.err = err
+	}
+	return vals, err
 }
 
 // ReadTxn runs fn as one read-only transaction against the cache. All
@@ -362,13 +495,25 @@ func (t *ReadTx) Get(key Key) (Value, error) {
 // that they cannot belong to one serializable snapshot the transaction
 // aborts and ReadTxn returns an error wrapping ErrTxnAborted (the caller
 // may simply retry). A cache hit never contacts the database.
-func (c *Cache) ReadTxn(fn func(tx *ReadTx) error) error {
+//
+// Cancelling ctx aborts the transaction: the in-flight read returns
+// ctx.Err(), the transaction record is released, and ReadTxn returns the
+// context's error.
+func (c *Cache) ReadTxn(ctx context.Context, fn func(tx *ReadTx) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	id := kv.TxnID(c.seq.Add(1))
 	tx := &ReadTx{cache: c.inner, id: id}
 	err := fn(tx)
 	if tx.err != nil {
 		// Already aborted by the cache.
 		return tx.err
+	}
+	if err == nil {
+		// fn may have swallowed a cancellation; the transaction must not
+		// commit as if the read set were complete.
+		err = ctx.Err()
 	}
 	if err != nil {
 		c.inner.Abort(id)
@@ -379,8 +524,8 @@ func (c *Cache) ReadTxn(fn func(tx *ReadTx) error) error {
 }
 
 // Get performs a plain, non-transactional cache read.
-func (c *Cache) Get(key Key) (Value, error) {
-	return c.inner.Get(key)
+func (c *Cache) Get(ctx context.Context, key Key) (Value, error) {
+	return c.inner.Get(ctx, key)
 }
 
 // Invalidate applies an invalidation upcall directly (for callers that

@@ -1,12 +1,17 @@
 package tcache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 )
+
+// bg is the background context used by tests that don't exercise
+// cancellation.
+var bg = context.Background()
 
 func openPair(t *testing.T, opts ...CacheOption) (*DB, *Cache) {
 	t.Helper()
@@ -22,7 +27,7 @@ func openPair(t *testing.T, opts ...CacheOption) (*DB, *Cache) {
 
 func TestUpdateAndReadTxn(t *testing.T) {
 	d, c := openPair(t)
-	if err := d.Update(func(tx *Tx) error {
+	if err := d.Update(bg, func(tx *Tx) error {
 		if err := tx.Set("train", Value("in stock")); err != nil {
 			return err
 		}
@@ -32,12 +37,12 @@ func TestUpdateAndReadTxn(t *testing.T) {
 	}
 
 	var train, tracks Value
-	err := c.ReadTxn(func(tx *ReadTx) error {
+	err := c.ReadTxn(bg, func(tx *ReadTx) error {
 		var err error
-		if train, err = tx.Get("train"); err != nil {
+		if train, err = tx.Get(bg, "train"); err != nil {
 			return err
 		}
-		tracks, err = tx.Get("tracks")
+		tracks, err = tx.Get(bg, "tracks")
 		return err
 	})
 	if err != nil {
@@ -51,7 +56,7 @@ func TestUpdateAndReadTxn(t *testing.T) {
 func TestUpdateRollsBackOnError(t *testing.T) {
 	d, _ := openPair(t)
 	sentinel := errors.New("boom")
-	err := d.Update(func(tx *Tx) error {
+	err := d.Update(bg, func(tx *Tx) error {
 		if err := tx.Set("k", Value("v")); err != nil {
 			return err
 		}
@@ -60,14 +65,14 @@ func TestUpdateRollsBackOnError(t *testing.T) {
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, ok := d.Get("k"); ok {
+	if _, ok, _ := d.Get(bg, "k"); ok {
 		t.Fatal("rolled-back write visible")
 	}
 }
 
 func TestUpdateReadYourWrites(t *testing.T) {
 	d, _ := openPair(t)
-	if err := d.Update(func(tx *Tx) error {
+	if err := d.Update(bg, func(tx *Tx) error {
 		if err := tx.Set("k", Value("v1")); err != nil {
 			return err
 		}
@@ -89,18 +94,18 @@ func TestReadTxnDetectsTornSnapshot(t *testing.T) {
 	// through dependency lists.
 	d, c := openPair(t, WithStrategy(StrategyAbort), WithLossyLink(1.0, 0, 0, 1))
 	seed := func(k Key) {
-		if err := d.Update(func(tx *Tx) error { return tx.Set(k, Value("v0")) }); err != nil {
+		if err := d.Update(bg, func(tx *Tx) error { return tx.Set(k, Value("v0")) }); err != nil {
 			t.Fatal(err)
 		}
 	}
 	seed("a")
 	seed("b")
 	// Cache b's initial version.
-	if _, err := c.Get("b"); err != nil {
+	if _, err := c.Get(bg, "b"); err != nil {
 		t.Fatal(err)
 	}
 	// One update transaction rewrites both; the cache hears nothing.
-	if err := d.Update(func(tx *Tx) error {
+	if err := d.Update(bg, func(tx *Tx) error {
 		for _, k := range []Key{"a", "b"} {
 			if _, _, err := tx.Get(k); err != nil {
 				return err
@@ -114,11 +119,11 @@ func TestReadTxnDetectsTornSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	err := c.ReadTxn(func(tx *ReadTx) error {
-		if _, err := tx.Get("a"); err != nil { // miss: fresh a with deps
+	err := c.ReadTxn(bg, func(tx *ReadTx) error {
+		if _, err := tx.Get(bg, "a"); err != nil { // miss: fresh a with deps
 			return err
 		}
-		_, err := tx.Get("b") // stale cached b
+		_, err := tx.Get(bg, "b") // stale cached b
 		return err
 	})
 	if !errors.Is(err, ErrTxnAborted) {
@@ -130,14 +135,14 @@ func TestReadTxnRetryStrategyHeals(t *testing.T) {
 	d, c := openPair(t, WithStrategy(StrategyRetry), WithLossyLink(1.0, 0, 0, 1))
 	for _, k := range []Key{"a", "b"} {
 		k := k
-		if err := d.Update(func(tx *Tx) error { return tx.Set(k, Value("v0")) }); err != nil {
+		if err := d.Update(bg, func(tx *Tx) error { return tx.Set(k, Value("v0")) }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.Get("b"); err != nil {
+	if _, err := c.Get(bg, "b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Update(func(tx *Tx) error {
+	if err := d.Update(bg, func(tx *Tx) error {
 		for _, k := range []Key{"a", "b"} {
 			if _, _, err := tx.Get(k); err != nil {
 				return err
@@ -152,12 +157,12 @@ func TestReadTxnRetryStrategyHeals(t *testing.T) {
 	}
 
 	var b Value
-	err := c.ReadTxn(func(tx *ReadTx) error {
-		if _, err := tx.Get("a"); err != nil {
+	err := c.ReadTxn(bg, func(tx *ReadTx) error {
+		if _, err := tx.Get(bg, "a"); err != nil {
 			return err
 		}
 		var err error
-		b, err = tx.Get("b")
+		b, err = tx.Get(bg, "b")
 		return err
 	})
 	if err != nil {
@@ -172,14 +177,14 @@ func TestReadTxnAbortedThenRetrySucceeds(t *testing.T) {
 	d, c := openPair(t, WithStrategy(StrategyEvict), WithLossyLink(1.0, 0, 0, 1))
 	for _, k := range []Key{"a", "b"} {
 		k := k
-		if err := d.Update(func(tx *Tx) error { return tx.Set(k, Value("v0")) }); err != nil {
+		if err := d.Update(bg, func(tx *Tx) error { return tx.Set(k, Value("v0")) }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.Get("b"); err != nil {
+	if _, err := c.Get(bg, "b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Update(func(tx *Tx) error {
+	if err := d.Update(bg, func(tx *Tx) error {
 		for _, k := range []Key{"a", "b"} {
 			if _, _, err := tx.Get(k); err != nil {
 				return err
@@ -194,11 +199,11 @@ func TestReadTxnAbortedThenRetrySucceeds(t *testing.T) {
 	}
 
 	read := func() error {
-		return c.ReadTxn(func(tx *ReadTx) error {
-			if _, err := tx.Get("a"); err != nil {
+		return c.ReadTxn(bg, func(tx *ReadTx) error {
+			if _, err := tx.Get(bg, "a"); err != nil {
 				return err
 			}
-			_, err := tx.Get("b")
+			_, err := tx.Get(bg, "b")
 			return err
 		})
 	}
@@ -213,12 +218,12 @@ func TestReadTxnAbortedThenRetrySucceeds(t *testing.T) {
 
 func TestReadTxnUserErrorAborts(t *testing.T) {
 	d, c := openPair(t)
-	if err := d.Update(func(tx *Tx) error { return tx.Set("k", Value("v")) }); err != nil {
+	if err := d.Update(bg, func(tx *Tx) error { return tx.Set("k", Value("v")) }); err != nil {
 		t.Fatal(err)
 	}
 	sentinel := errors.New("user error")
-	err := c.ReadTxn(func(tx *ReadTx) error {
-		if _, err := tx.Get("k"); err != nil {
+	err := c.ReadTxn(bg, func(tx *ReadTx) error {
+		if _, err := tx.Get(bg, "k"); err != nil {
 			return err
 		}
 		return sentinel
@@ -235,14 +240,14 @@ func TestReadTxnGetAfterAbortFails(t *testing.T) {
 	d, c := openPair(t, WithStrategy(StrategyAbort), WithLossyLink(1.0, 0, 0, 1))
 	for _, k := range []Key{"a", "b"} {
 		k := k
-		if err := d.Update(func(tx *Tx) error { return tx.Set(k, Value("v0")) }); err != nil {
+		if err := d.Update(bg, func(tx *Tx) error { return tx.Set(k, Value("v0")) }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.Get("b"); err != nil {
+	if _, err := c.Get(bg, "b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Update(func(tx *Tx) error {
+	if err := d.Update(bg, func(tx *Tx) error {
 		for _, k := range []Key{"a", "b"} {
 			if _, _, err := tx.Get(k); err != nil {
 				return err
@@ -257,10 +262,10 @@ func TestReadTxnGetAfterAbortFails(t *testing.T) {
 	}
 
 	var after error
-	err := c.ReadTxn(func(tx *ReadTx) error {
-		tx.Get("a")
-		tx.Get("b") // aborts
-		_, after = tx.Get("a")
+	err := c.ReadTxn(bg, func(tx *ReadTx) error {
+		tx.Get(bg, "a")
+		tx.Get(bg, "b") // aborts
+		_, after = tx.Get(bg, "a")
 		return nil
 	})
 	if !errors.Is(err, ErrTxnAborted) {
@@ -273,14 +278,14 @@ func TestReadTxnGetAfterAbortFails(t *testing.T) {
 
 func TestCacheGetNotFound(t *testing.T) {
 	_, c := openPair(t)
-	if _, err := c.Get("ghost"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Get(bg, "ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestConcurrentUpdatesRetryConflicts(t *testing.T) {
 	d, _ := openPair(t)
-	if err := d.Update(func(tx *Tx) error {
+	if err := d.Update(bg, func(tx *Tx) error {
 		for i := 0; i < 4; i++ {
 			if err := tx.Set(Key(fmt.Sprintf("acct%d", i)), Value{100}); err != nil {
 				return err
@@ -299,7 +304,7 @@ func TestConcurrentUpdatesRetryConflicts(t *testing.T) {
 			for i := 0; i < 30; i++ {
 				from := Key(fmt.Sprintf("acct%d", (g+i)%4))
 				to := Key(fmt.Sprintf("acct%d", (g+i+1)%4))
-				if err := d.Update(func(tx *Tx) error {
+				if err := d.Update(bg, func(tx *Tx) error {
 					a, _, err := tx.Get(from)
 					if err != nil {
 						return err
@@ -322,7 +327,7 @@ func TestConcurrentUpdatesRetryConflicts(t *testing.T) {
 	wg.Wait()
 	total := 0
 	for i := 0; i < 4; i++ {
-		v, ok := d.Get(Key(fmt.Sprintf("acct%d", i)))
+		v, ok, _ := d.Get(bg, Key(fmt.Sprintf("acct%d", i)))
 		if !ok {
 			t.Fatal("account missing")
 		}
@@ -335,13 +340,13 @@ func TestConcurrentUpdatesRetryConflicts(t *testing.T) {
 
 func TestStatsExposed(t *testing.T) {
 	d, c := openPair(t)
-	if err := d.Update(func(tx *Tx) error { return tx.Set("k", Value("v")) }); err != nil {
+	if err := d.Update(bg, func(tx *Tx) error { return tx.Set("k", Value("v")) }); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("k"); err != nil {
+	if _, err := c.Get(bg, "k"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("k"); err != nil {
+	if _, err := c.Get(bg, "k"); err != nil {
 		t.Fatal(err)
 	}
 	s := c.Stats()
@@ -364,23 +369,23 @@ func TestMultipleCachesIndependent(t *testing.T) {
 	}
 	defer c2.Close()
 
-	if err := d.Update(func(tx *Tx) error { return tx.Set("k", Value("v1")) }); err != nil {
+	if err := d.Update(bg, func(tx *Tx) error { return tx.Set("k", Value("v1")) }); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c1.Get("k"); err != nil {
+	if _, err := c1.Get(bg, "k"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c2.Get("k"); err != nil {
+	if _, err := c2.Get(bg, "k"); err != nil {
 		t.Fatal(err)
 	}
 	// Reliable links: both caches see the invalidation.
-	if err := d.Update(func(tx *Tx) error { return tx.Set("k", Value("v2")) }); err != nil {
+	if err := d.Update(bg, func(tx *Tx) error { return tx.Set("k", Value("v2")) }); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		v1, _ := c1.Get("k")
-		v2, _ := c2.Get("k")
+		v1, _ := c1.Get(bg, "k")
+		v2, _ := c2.Get(bg, "k")
 		if string(v1) == "v2" && string(v2) == "v2" {
 			break
 		}
@@ -393,17 +398,17 @@ func TestMultipleCachesIndependent(t *testing.T) {
 
 func TestTTLOptionExpiresEntries(t *testing.T) {
 	d, c := openPair(t, WithTTL(10*time.Millisecond), WithLossyLink(1.0, 0, 0, 1))
-	if err := d.Update(func(tx *Tx) error { return tx.Set("k", Value("v1")) }); err != nil {
+	if err := d.Update(bg, func(tx *Tx) error { return tx.Set("k", Value("v1")) }); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("k"); err != nil {
+	if _, err := c.Get(bg, "k"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Update(func(tx *Tx) error { return tx.Set("k", Value("v2")) }); err != nil {
+	if err := d.Update(bg, func(tx *Tx) error { return tx.Set("k", Value("v2")) }); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(20 * time.Millisecond)
-	v, err := c.Get("k")
+	v, err := c.Get(bg, "k")
 	if err != nil || string(v) != "v2" {
 		t.Fatalf("post-TTL read = %q, %v", v, err)
 	}
@@ -415,7 +420,7 @@ func TestOpenDurableDB(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Update(func(tx *Tx) error { return tx.Set("k", Value("v1")) }); err != nil {
+	if err := d.Update(bg, func(tx *Tx) error { return tx.Set("k", Value("v1")) }); err != nil {
 		t.Fatal(err)
 	}
 	d.Close()
@@ -425,14 +430,14 @@ func TestOpenDurableDB(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d2.Close()
-	v, ok := d2.Get("k")
+	v, ok, _ := d2.Get(bg, "k")
 	if !ok || string(v) != "v1" {
 		t.Fatalf("recovered = %q, %v", v, ok)
 	}
-	if err := d2.Backend().Compact(); err != nil {
+	if err := d2.Core().Compact(); err != nil {
 		t.Fatal(err)
 	}
-	if err := d2.Update(func(tx *Tx) error { return tx.Set("k2", Value("v2")) }); err != nil {
+	if err := d2.Update(bg, func(tx *Tx) error { return tx.Set("k2", Value("v2")) }); err != nil {
 		t.Fatal(err)
 	}
 }
