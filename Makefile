@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race vet bench benchsmoke fuzz
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates BENCH_pr3.json — ns/op, B/op, allocs/op for the
+# remote (loopback wire) and hit-path benchmarks — and enforces the
+# checked-in allocs/op budget (bench_budget.json). CI uploads the JSON
+# as an artifact and fails on budget regressions.
+bench:
+	$(GO) run ./cmd/tcache-bench -benchjson BENCH_pr3.json -bench-budget bench_budget.json
+
+# benchsmoke is the CI quick pass: paper figures, hot paths, and the
+# codec micro-benchmarks.
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'Fig|Headline|Cache|Remote' -benchtime 100ms .
+	$(GO) test -run '^$$' -bench 'Codec|WireRoundTrip' -benchtime 100ms ./internal/transport
+
+# fuzz gives the wire codec a short adversarial shake (decoders must
+# never panic or over-allocate; accepted inputs must round-trip).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 30s ./internal/transport

@@ -160,6 +160,7 @@ func BenchmarkCacheHitRead(b *testing.B) {
 	warm(b, cache, 5)
 
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		id := kv.TxnID(i + 1)
 		for r := 0; r < 5; r++ {
@@ -185,6 +186,7 @@ func BenchmarkCachePlainGet(b *testing.B) {
 	warm(b, cache, 5)
 
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := cache.Get(bgb, workload.ObjectKey(i%5)); err != nil {
 			b.Fatal(err)
@@ -211,6 +213,7 @@ func BenchmarkCacheHitReadParallel(b *testing.B) {
 
 	var nextID atomic.Uint64
 	b.ResetTimer()
+	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			id := nextID.Add(1)
@@ -243,6 +246,7 @@ func BenchmarkCachePlainGetParallel(b *testing.B) {
 
 	var offset atomic.Uint64
 	b.ResetTimer()
+	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		i := int(offset.Add(17))
 		for pb.Next() {
@@ -263,6 +267,7 @@ func BenchmarkDBUpdateTxn(b *testing.B) {
 	seedCluster(b, d, 5)
 
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		txn := d.Begin()
 		for r := 0; r < 5; r++ {
@@ -300,6 +305,7 @@ func BenchmarkMergeDeps(b *testing.B) {
 		}
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if got := kv.MergeDeps(6, accesses); len(got) == 0 {
 			b.Fatal("empty merge")
@@ -322,6 +328,7 @@ func BenchmarkMonitorClassify(b *testing.B) {
 		{Key: workload.ObjectKey(4), Version: kv.Version{Counter: 9904}},
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.Classify(reads)
 	}
@@ -340,6 +347,7 @@ func BenchmarkDetectionUnderStaleness(b *testing.B) {
 	defer cache.Close()
 
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		// Cache b, update {a,b} without invalidation, then read a then b.
 		if _, err := cache.Get(bgb, workload.ObjectKey(1)); err != nil {
@@ -419,6 +427,7 @@ func BenchmarkRemoteReadTxn(b *testing.B) {
 		}
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := cache.ReadTxn(bgb, func(tx *ReadTx) error {
 			for _, k := range keys {
@@ -444,6 +453,7 @@ func BenchmarkRemoteReadTxnColdSingle(b *testing.B) {
 	}
 	evict := kv.Version{Counter: ^uint64(0) - 1}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, k := range keys {
 			cache.Invalidate(k, evict)
@@ -472,6 +482,7 @@ func BenchmarkRemoteReadTxnColdMulti(b *testing.B) {
 	}
 	evict := kv.Version{Counter: ^uint64(0) - 1}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, k := range keys {
 			cache.Invalidate(k, evict)
@@ -584,6 +595,7 @@ func BenchmarkMonitorClassifyExact(b *testing.B) {
 		b.Fatal("read set unexpectedly strict-consistent; benchmark would hit the fast path")
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m.ClassifyExact(reads)
 	}

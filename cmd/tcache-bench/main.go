@@ -9,6 +9,9 @@
 //	tcache-bench -seed 7        # change the simulation seed
 //	tcache-bench -fig hitpath -cache-shards 8
 //	                            # hot-path throughput vs client concurrency
+//	tcache-bench -benchjson BENCH_pr3.json -bench-budget bench_budget.json
+//	                            # machine-readable wire/hit-path numbers
+//	                            # (ns/op, B/op, allocs/op) + regression gate
 //
 // See DESIGN.md for the per-experiment index and EXPERIMENTS.md for
 // recorded paper-vs-measured results.
@@ -37,12 +40,18 @@ var cacheShards int
 
 func run() error {
 	var (
-		fig   = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, all")
-		quick = flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
+		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, all")
+		quick     = flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		benchJSON = flag.String("benchjson", "", "run the remote + hit-path benchmarks and write ns/op, B/op, allocs/op JSON to this path (skips -fig)")
+		budget    = flag.String("bench-budget", "", "with -benchjson: fail if any benchmark's allocs/op exceeds its budget in this JSON file")
 	)
 	flag.IntVar(&cacheShards, "cache-shards", 0, "cache lock stripes for the hitpath run (0 = GOMAXPROCS, 1 = single mutex)")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		return runBenchJSON(*benchJSON, *budget)
+	}
 
 	runs := map[string]func(bool, int64) error{
 		"3":        runFig3,

@@ -56,12 +56,31 @@ func (c *Cache) prefetch(ctx context.Context, keys []kv.Key) {
 		return
 	}
 	missing := keys[:0:0]
-	seen := make(map[kv.Key]struct{}, len(keys))
-	for _, key := range keys {
-		if _, dup := seen[key]; dup {
+	// Typical batches are small: linear dedup avoids a map allocation per
+	// batch read. Large batches spill to a map so dedup stays O(n).
+	var seenIdx map[kv.Key]struct{}
+	if len(keys) > 32 {
+		seenIdx = make(map[kv.Key]struct{}, len(keys))
+	}
+	seen := func(key kv.Key, upto []kv.Key) bool {
+		if seenIdx != nil {
+			if _, dup := seenIdx[key]; dup {
+				return true
+			}
+			seenIdx[key] = struct{}{}
+			return false
+		}
+		for _, k := range upto {
+			if k == key {
+				return true
+			}
+		}
+		return false
+	}
+	for i, key := range keys {
+		if seen(key, keys[:i]) {
 			continue
 		}
-		seen[key] = struct{}{}
 		sh := c.shardFor(key)
 		sh.mu.Lock()
 		e, cached := sh.entries[key]

@@ -245,11 +245,127 @@ type entry struct {
 // key was read at, and the largest version any read (or any read's
 // dependency list) expects for each key. Its fields are guarded by the
 // owning stripe's mutex.
+//
+// Both tables are small slices searched linearly, not maps: transactions
+// read a handful of keys (the paper's workloads read ~5), and at that
+// size two slice appends beat two map allocations plus hashed inserts on
+// every read — this is the warm-hit path, where every allocation shows
+// up in the served-read latency.
 type txnRecord struct {
-	readVer  map[kv.Key]kv.Version
-	expected map[kv.Key]kv.Version
-	order    []ReadVersion // reads in order, for completion reports
+	// order doubles as the read-version table: each key's first read is
+	// appended exactly once, in read order, so it serves both the eq.1/2
+	// lookups and the completion report.
+	order []ReadVersion
+	// expected holds the largest version any read (or its dependency
+	// list) expects per key.
+	expected []ReadVersion
+	// readIdx and expIdx index the two tables by key. They stay nil —
+	// and lookups stay linear — until a table outgrows txnRecordSpill,
+	// so a huge batch read degrades to O(1) map lookups instead of
+	// quadratic scans while holding the stripe lock.
+	readIdx  map[kv.Key]int
+	expIdx   map[kv.Key]int
 	lastUsed time.Time
+	// Inline backing arrays sized for the common case (the paper's
+	// workloads read ~5 keys with ~5 dependencies each): a whole record
+	// costs one allocation; larger transactions spill to the heap via
+	// ordinary append.
+	orderBuf    [8]ReadVersion
+	expectedBuf [12]ReadVersion
+}
+
+// txnRecordSpill is the table size beyond which a record builds key
+// indexes. Below it, linear scans over the inline arrays win on both
+// allocations and time.
+const txnRecordSpill = 32
+
+// newTxnRecord allocates a record with its tables pointing at the inline
+// buffers.
+func newTxnRecord() *txnRecord {
+	rec := &txnRecord{}
+	rec.order = rec.orderBuf[:0]
+	rec.expected = rec.expectedBuf[:0]
+	return rec
+}
+
+// readVersion returns the version key was first read at.
+func (rec *txnRecord) readVersion(key kv.Key) (kv.Version, bool) {
+	if rec.readIdx != nil {
+		i, ok := rec.readIdx[key]
+		if !ok {
+			return kv.Version{}, false
+		}
+		return rec.order[i].Version, true
+	}
+	for i := range rec.order {
+		if rec.order[i].Key == key {
+			return rec.order[i].Version, true
+		}
+	}
+	return kv.Version{}, false
+}
+
+// appendRead records the first read of key, maintaining (or building)
+// the spill index.
+func (rec *txnRecord) appendRead(key kv.Key, v kv.Version) {
+	if rec.readIdx == nil && len(rec.order) >= txnRecordSpill {
+		rec.readIdx = make(map[kv.Key]int, 2*len(rec.order))
+		for i := range rec.order {
+			rec.readIdx[rec.order[i].Key] = i
+		}
+	}
+	if rec.readIdx != nil {
+		rec.readIdx[key] = len(rec.order)
+	}
+	rec.order = append(rec.order, ReadVersion{Key: key, Version: v})
+}
+
+// expectedVersion returns the largest version the record expects for key.
+func (rec *txnRecord) expectedVersion(key kv.Key) (kv.Version, bool) {
+	if rec.expIdx != nil {
+		i, ok := rec.expIdx[key]
+		if !ok {
+			return kv.Version{}, false
+		}
+		return rec.expected[i].Version, true
+	}
+	for i := range rec.expected {
+		if rec.expected[i].Key == key {
+			return rec.expected[i].Version, true
+		}
+	}
+	return kv.Version{}, false
+}
+
+// bumpExpected raises the expected version of key to at least v.
+func (rec *txnRecord) bumpExpected(key kv.Key, v kv.Version) {
+	if rec.expIdx != nil {
+		if i, ok := rec.expIdx[key]; ok {
+			if rec.expected[i].Version.Less(v) {
+				rec.expected[i].Version = v
+			}
+			return
+		}
+	} else {
+		for i := range rec.expected {
+			if rec.expected[i].Key == key {
+				if rec.expected[i].Version.Less(v) {
+					rec.expected[i].Version = v
+				}
+				return
+			}
+		}
+		if len(rec.expected) >= txnRecordSpill {
+			rec.expIdx = make(map[kv.Key]int, 2*len(rec.expected))
+			for i := range rec.expected {
+				rec.expIdx[rec.expected[i].Key] = i
+			}
+		}
+	}
+	if rec.expIdx != nil {
+		rec.expIdx[key] = len(rec.expected)
+	}
+	rec.expected = append(rec.expected, ReadVersion{Key: key, Version: v})
 }
 
 // New creates a cache.
@@ -350,6 +466,10 @@ func (c *Cache) OnComplete(h CompletionHook) {
 
 func (c *Cache) emit(comp Completion) {
 	c.hookMu.Lock()
+	if len(c.hooks) == 0 {
+		c.hookMu.Unlock()
+		return
+	}
 	hooks := make([]CompletionHook, len(c.hooks))
 	copy(hooks, c.hooks)
 	c.hookMu.Unlock()

@@ -532,7 +532,11 @@ func TestConcurrentReaders(t *testing.T) {
 	}
 }
 
-func TestValueIsolation(t *testing.T) {
+// TestValueCopyOnWrite pins the copy-on-write contract of the hit path:
+// returned values are shared read-only slices (no per-read copy), a
+// caller that wants to mutate clones first, and an update never mutates
+// a previously served slice — it replaces the cached item wholesale.
+func TestValueCopyOnWrite(t *testing.T) {
 	b := newMapBackend()
 	c := newCache(t, Config{Backend: b})
 	b.put("x", "abc", 1)
@@ -540,12 +544,56 @@ func TestValueIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1[0] = 'Z'
+	// A caller that needs a private copy clones; the clone is isolated.
+	mine := v1.Clone()
+	mine[0] = 'Z'
 	v2, err := c.Get(bgc, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(v2) != "abc" {
-		t.Fatal("returned value aliases cache storage")
+		t.Fatalf("clone mutation leaked into the cache: %q", v2)
+	}
+	// A newer version replaces the item; the previously served slice
+	// still reads the old bytes (copy-on-write, not in-place mutation).
+	b.put("x", "def", 2)
+	c.Invalidate("x", kv.Version{Counter: 2})
+	v3, err := c.Get(bgc, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v3) != "def" {
+		t.Fatalf("Get after update = %q, want %q", v3, "def")
+	}
+	if string(v2) != "abc" {
+		t.Fatalf("served slice mutated in place by update: %q", v2)
+	}
+}
+
+// TestLargeTxnSpillsToIndexes reads far past txnRecordSpill keys in one
+// transaction, forcing the record's tables onto their map indexes, and
+// verifies the §III-B checks still fire through them: a repeated read
+// that comes back newer must still be caught as an eq.1 violation.
+func TestLargeTxnSpillsToIndexes(t *testing.T) {
+	b := newMapBackend()
+	c := newCache(t, Config{Backend: b})
+	const n = 3 * txnRecordSpill
+	keys := make([]kv.Key, n)
+	for i := range keys {
+		keys[i] = kv.Key(fmt.Sprintf("spill-%03d", i))
+		b.put(keys[i], "v1", 1)
+	}
+	const id = kv.TxnID(1)
+	for _, k := range keys {
+		if _, err := c.Read(bgc, id, k, false); err != nil {
+			t.Fatalf("read %s: %v", k, err)
+		}
+	}
+	// The first key moves forward; its cached copy is evicted, so the
+	// repeat read returns a newer version than the record holds.
+	b.put(keys[0], "v9", 9)
+	c.Invalidate(keys[0], kv.Version{Counter: 9})
+	if _, err := c.Read(bgc, id, keys[0], true); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("repeat read of advanced key = %v, want ErrTxnAborted", err)
 	}
 }

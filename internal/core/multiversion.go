@@ -63,7 +63,7 @@ func (c *Cache) serve(sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRec
 	if lastOp {
 		comp, fin = c.finishStripeLocked(st, txnID, rec, true, nil), true
 	}
-	val := item.Value.Clone()
+	val := item.Value // shared read-only; see the hit path in Read
 	st.mu.Unlock()
 	sh.mu.Unlock()
 	if fin {

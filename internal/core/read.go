@@ -22,7 +22,10 @@ type violation struct {
 //	read(ctx, txnID, key, lastOp)
 //
 // It returns the cached (or fetched) value for key, validating it against
-// every previous read of the same transaction. If an inconsistency is
+// every previous read of the same transaction. The returned value is
+// shared with the cache (copy-on-write: updates replace whole items, so
+// a served slice is never mutated) and must be treated as read-only;
+// callers that need to modify it must copy it first (kv.Value.Clone). If an inconsistency is
 // detected the transaction is aborted and an error wrapping ErrTxnAborted
 // is returned (for StrategyRetry, only when the read-through could not
 // resolve the violation). lastOp lets the cache garbage-collect the
@@ -60,14 +63,15 @@ func (c *Cache) Read(ctx context.Context, txnID kv.TxnID, key kv.Key, lastOp boo
 	}
 	rec, ok := st.txns[txnID]
 	if !ok {
-		rec = &txnRecord{
-			readVer:  make(map[kv.Key]kv.Version),
-			expected: make(map[kv.Key]kv.Version),
-		}
+		rec = newTxnRecord()
 		st.txns[txnID] = rec
 		c.metrics.TxnsStarted.Add(1)
 	}
-	rec.lastUsed = c.clk.Now()
+	if c.cfg.TxnGC > 0 {
+		// Only the GC sweeper reads lastUsed; without one, skip the clock
+		// read on every served hit.
+		rec.lastUsed = c.clk.Now()
+	}
 	st.mu.Unlock()
 
 	sh := c.shardFor(key)
@@ -128,7 +132,11 @@ func (c *Cache) Read(ctx context.Context, txnID kv.TxnID, key kv.Key, lastOp boo
 	if lastOp {
 		comp, fin = c.finishStripeLocked(st, txnID, rec, true, nil), true
 	}
-	val := item.Value.Clone()
+	// Copy-on-write sharing: cached values are immutable (updates replace
+	// the whole item, never mutate the slice), so the hit path hands the
+	// caller the cached slice instead of a fresh copy per read. Callers
+	// must treat returned values as read-only.
+	val := item.Value
 	st.mu.Unlock()
 	sh.mu.Unlock()
 	if fin {
@@ -155,7 +163,7 @@ func (c *Cache) Get(ctx context.Context, key kv.Key) (kv.Value, error) {
 		sh.mu.Unlock()
 		return nil, err
 	}
-	val := item.Value.Clone()
+	val := item.Value // shared read-only; see the hit path in Read
 	sh.mu.Unlock()
 	return val, nil
 }
@@ -250,14 +258,14 @@ func (c *Cache) lookupShardLocked(ctx context.Context, sh *cacheShard, key kv.Ke
 // earlier read is stale evidence, exactly as if the current read carried a
 // self-dependency.
 func checkRead(rec *txnRecord, key kv.Key, item kv.Item) (violation, bool) {
-	if exp, ok := rec.expected[key]; ok && item.Version.Less(exp) {
+	if exp, ok := rec.expectedVersion(key); ok && item.Version.Less(exp) {
 		return violation{equation: 2, staleKey: key, staleBelow: exp}, true
 	}
-	if prev, ok := rec.readVer[key]; ok && prev.Less(item.Version) {
+	if prev, ok := rec.readVersion(key); ok && prev.Less(item.Version) {
 		return violation{equation: 1, staleKey: key, staleBelow: item.Version}, true
 	}
 	for _, dep := range item.Deps {
-		if prev, ok := rec.readVer[dep.Key]; ok && prev.Less(dep.Version) {
+		if prev, ok := rec.readVersion(dep.Key); ok && prev.Less(dep.Version) {
 			return violation{equation: 1, staleKey: dep.Key, staleBelow: dep.Version}, true
 		}
 	}
@@ -266,17 +274,12 @@ func checkRead(rec *txnRecord, key kv.Key, item kv.Item) (violation, bool) {
 
 // recordRead folds a successful read into the transaction record.
 func recordRead(rec *txnRecord, key kv.Key, item kv.Item) {
-	if _, seen := rec.readVer[key]; !seen {
-		rec.readVer[key] = item.Version
-		rec.order = append(rec.order, ReadVersion{Key: key, Version: item.Version})
+	if _, seen := rec.readVersion(key); !seen {
+		rec.appendRead(key, item.Version)
 	}
-	if rec.expected[key].Less(item.Version) {
-		rec.expected[key] = item.Version
-	}
+	rec.bumpExpected(key, item.Version)
 	for _, dep := range item.Deps {
-		if rec.expected[dep.Key].Less(dep.Version) {
-			rec.expected[dep.Key] = dep.Version
-		}
+		rec.bumpExpected(dep.Key, dep.Version)
 	}
 }
 
@@ -344,7 +347,7 @@ func (c *Cache) handleViolation(ctx context.Context, sh *cacheShard, st *txnStri
 				if lastOp {
 					comp, fin = c.finishStripeLocked(st, txnID, rec, true, nil), true
 				}
-				val := fresh.Value.Clone()
+				val := fresh.Value // shared read-only; see the hit path in Read
 				st.mu.Unlock()
 				sh.mu.Unlock()
 				if fin {

@@ -206,10 +206,13 @@ func (d *DB) shardFor(key kv.Key) *shardState {
 }
 
 // Get performs a lock-free single-entry read of the current committed
-// item, the path caches use to fill misses. The boolean reports presence.
+// item, the path caches use to fill misses. The boolean reports
+// presence. The returned item shares the store's backing memory
+// (copy-on-write: commits replace items wholesale), so its Value and
+// Deps must be treated as read-only.
 func (d *DB) Get(key kv.Key) (kv.Item, bool) {
 	d.metrics.SingleGets.Add(1)
-	return d.shardFor(key).store.Get(key)
+	return d.shardFor(key).store.GetShared(key)
 }
 
 // ReadItem is the cache backend read (core.Backend): a lock-free

@@ -12,8 +12,10 @@ import (
 )
 
 // Store is a hash-sharded map from keys to versioned items. It is safe for
-// concurrent use. Items are deep-copied on the way in and out, so callers
-// can never alias the store's internal state.
+// concurrent use. Items are deep-copied on the way in, and — except for
+// GetShared, which shares storage under a read-only copy-on-write
+// contract — on the way out, so callers can never alias mutable internal
+// state.
 type Store struct {
 	shards []*shard
 }
@@ -58,6 +60,20 @@ func (s *Store) Get(key kv.Key) (kv.Item, bool) {
 		return kv.Item{}, false
 	}
 	return it.Clone(), true
+}
+
+// GetShared returns the item stored under key without copying — the
+// read hot path. Stored items are effectively immutable: every write
+// path (Put, PutIfNewer) deep-copies on the way in and replaces the map
+// entry wholesale, so a shared item's Value and Deps are never mutated
+// afterwards. Callers must honor the copy-on-write contract and treat
+// them as read-only; use Get for a private copy.
+func (s *Store) GetShared(key kv.Key) (kv.Item, bool) {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	it, ok := sh.items[key]
+	return it, ok
 }
 
 // Version returns the stored version of key without copying the payload,

@@ -1,8 +1,8 @@
 package transport
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -98,29 +98,86 @@ func (s *CacheServer) acceptLoop() {
 	}
 }
 
+// handle serves one connection: version handshake, then request frames
+// dispatched concurrently — a read stuck on a slow backend fetch never
+// head-of-line-blocks the other requests multiplexed on the connection.
 func (s *CacheServer) handle(conn net.Conn) {
-	ctx, cancel := context.WithCancel(s.ctx)
-	defer cancel()
+	// Defer order (LIFO): cancel in-flight fetches, close the connection
+	// — so a dispatch goroutine stuck writing to a peer that stopped
+	// reading errors out instead of wedging the wait — then wait for the
+	// dispatchers.
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+
+	br := bufio.NewReader(conn)
+	if err := serverHandshake(conn, br); err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			s.logf("tcached: handshake: %v", err)
+		}
+		return
+	}
+	fr := newFrameReader(br, s.logf)
+	var writeMu sync.Mutex
+
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
+		typ, id, payload, err := fr.Read()
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("tcached: decode: %v", err)
+				s.logf("tcached: read: %v", err)
 			}
 			return
 		}
-		if err := enc.Encode(s.dispatch(ctx, req)); err != nil {
-			s.logf("tcached: encode: %v", err)
-			return
+		if typ != frameRequest {
+			continue
 		}
+		req, derr := decodeRequest(payload)
+		if derr != nil {
+			s.logf("tcached: decode: %v", derr)
+			resp := Response{Code: CodeError, Err: derr.Error()}
+			if writeResponseFrame(conn, &writeMu, id, &resp) != nil {
+				return
+			}
+			continue
+		}
+		if cacheNonBlocking(req.Op) {
+			// Local-only ops answer inline: no goroutine hop, and they
+			// cannot head-of-line-block the connection.
+			resp := s.dispatch(ctx, req)
+			if err := writeResponseFrame(conn, &writeMu, id, &resp); err != nil {
+				s.logf("tcached: write: %v", err)
+				return
+			}
+			continue
+		}
+		reqWG.Add(1)
+		go func(id uint64, req Request) {
+			defer reqWG.Done()
+			resp := s.dispatch(ctx, req)
+			if err := writeResponseFrame(conn, &writeMu, id, &resp); err != nil {
+				s.logf("tcached: write: %v", err)
+				conn.Close() // unblock the frame reader
+			}
+		}(id, req)
+	}
+}
+
+// cacheNonBlocking reports whether op completes without ever waiting on
+// the backend, so the serving loop may run it inline. Read ops stay on
+// dispatch goroutines: a miss blocks on the backend fetch.
+func cacheNonBlocking(op Op) bool {
+	switch op {
+	case OpPing, OpStats, OpCommit, OpAbort:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -8,8 +9,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"encoding/gob"
 
 	"tcache/internal/core"
 	"tcache/internal/kv"
@@ -27,193 +26,359 @@ var (
 	ErrClientClosed = errors.New("transport: client closed")
 )
 
-// conn is one request/response connection with its codecs. Callers
-// serialize access (poolSlot.opMu or the subscription goroutine).
-type conn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	// tainted marks that a ctx interrupt fired around (possibly after) a
-	// completed exchange: the socket deadline may be poisoned, so the
-	// connection must not be reused even if the round trip succeeded.
-	tainted bool
+// muxResult is one settled round trip.
+type muxResult struct {
+	resp Response
+	err  error
 }
 
-func dialConn(ctx context.Context, addr string) (*conn, error) {
+// muxConn is one multiplexed connection: any number of in-flight round
+// trips share it. A writer goroutine owns the socket's write side and
+// writes whole frames, so a frame is never half-written by a cancelled
+// caller; a demux reader owns the read side and routes each response to
+// the pending call with the matching request id. Cancelling a call's ctx
+// simply abandons its pending slot — the connection stays healthy, unlike
+// the v1 gob transport, which had to poison the socket deadline and
+// discard the connection to interrupt blocked I/O.
+type muxConn struct {
+	c       net.Conn
+	writeCh chan *[]byte
+	nextID  atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxResult
+	closed  bool
+	err     error
+
+	// dead is closed exactly once when the connection fails or is closed.
+	dead chan struct{}
+}
+
+// dialMux dials addr, runs the version handshake, and starts the writer
+// and demux reader. ctx bounds the dial and handshake only.
+func dialMux(ctx context.Context, addr string) (*muxConn, error) {
 	var d net.Dialer
 	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}, nil
+	br := bufio.NewReader(c)
+	// The handshake is the only blocking I/O outside the two goroutines;
+	// interrupt it by poking the deadline if ctx fires.
+	stop := context.AfterFunc(ctx, func() { c.SetDeadline(time.Unix(1, 0)) })
+	err = clientHandshake(c, br)
+	if !stop() && err == nil {
+		// The poke raced a completed handshake; the deadline may be
+		// poisoned, so the connection cannot be trusted.
+		err = ctx.Err()
+	}
+	if err != nil {
+		c.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	cn := &muxConn{
+		c:       c,
+		writeCh: make(chan *[]byte, 64),
+		pending: make(map[uint64]chan muxResult),
+		dead:    make(chan struct{}),
+	}
+	go cn.writeLoop()
+	go cn.readLoop(br)
+	return cn, nil
 }
 
-// roundTrip sends req and decodes one response. ctx cancellation
-// interrupts in-flight I/O by forcing a past deadline onto the socket;
-// the gob stream may then be mid-frame, so the caller must discard the
-// connection on any error (and on cn.tainted).
-func (cn *conn) roundTrip(ctx context.Context, req Request) (Response, error) {
+// alive reports whether the connection can still take requests.
+func (cn *muxConn) alive() bool {
+	select {
+	case <-cn.dead:
+		return false
+	default:
+		return true
+	}
+}
+
+// fail marks the connection dead with err, closes the socket, and
+// settles every pending call. It never blocks and is idempotent.
+func (cn *muxConn) fail(err error) {
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		return
+	}
+	cn.closed = true
+	cn.err = err
+	pending := cn.pending
+	cn.pending = nil
+	cn.mu.Unlock()
+	close(cn.dead)
+	cn.c.Close()
+	for _, ch := range pending {
+		ch <- muxResult{err: err}
+	}
+}
+
+// failErr returns the error the connection died with.
+func (cn *muxConn) failErr() error {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.err != nil {
+		return cn.err
+	}
+	return ErrClientClosed
+}
+
+func (cn *muxConn) writeLoop() {
+	for {
+		select {
+		case buf := <-cn.writeCh:
+			_, err := cn.c.Write(*buf)
+			putFrameBuf(buf)
+			if err != nil {
+				cn.fail(fmt.Errorf("transport: write: %w", err))
+				return
+			}
+		case <-cn.dead:
+			// Recycle anything still queued; enqueuers were settled by fail.
+			for {
+				select {
+				case buf := <-cn.writeCh:
+					putFrameBuf(buf)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (cn *muxConn) readLoop(br *bufio.Reader) {
+	fr := newFrameReader(br, nil)
+	for {
+		typ, id, payload, err := fr.Read()
+		if err != nil {
+			cn.fail(fmt.Errorf("transport: read: %w", err))
+			return
+		}
+		if typ != frameResponse {
+			continue // push frames never appear on a mux connection
+		}
+		cn.mu.Lock()
+		ch, ok := cn.pending[id]
+		if ok {
+			delete(cn.pending, id)
+		}
+		cn.mu.Unlock()
+		if !ok {
+			continue // the caller abandoned the slot (ctx cancelled)
+		}
+		resp, derr := decodeResponse(payload)
+		if derr != nil {
+			ch <- muxResult{err: derr}
+			continue
+		}
+		ch <- muxResult{resp: resp}
+	}
+}
+
+// deregister abandons a pending slot (cancellation path).
+func (cn *muxConn) deregister(id uint64) {
+	cn.mu.Lock()
+	delete(cn.pending, id)
+	cn.mu.Unlock()
+}
+
+// roundTrip sends req and waits for its response, multiplexed with any
+// number of concurrent calls on the same connection. ctx cancellation
+// abandons the pending slot and returns immediately; the connection
+// remains usable for other calls.
+func (cn *muxConn) roundTrip(ctx context.Context, req Request) (Response, error) {
 	if err := ctx.Err(); err != nil {
 		return Response{}, err
 	}
-	// No goroutine on the happy path: the interrupt runs only if ctx
-	// actually fires.
-	stop := context.AfterFunc(ctx, func() {
-		cn.c.SetDeadline(time.Unix(1, 0)) // interrupt blocked I/O
-	})
-	err := cn.enc.Encode(req)
-	var resp Response
-	if err == nil {
-		err = cn.dec.Decode(&resp)
+	id := cn.nextID.Add(1)
+	ch := make(chan muxResult, 1)
+	cn.mu.Lock()
+	if cn.closed {
+		err := cn.err
+		cn.mu.Unlock()
+		return Response{}, err
 	}
-	if !stop() {
-		// The interrupt already started — possibly concurrently with a
-		// completed exchange; there is no way to wait it out, so the
-		// connection is done after this call either way.
-		cn.tainted = true
+	cn.pending[id] = ch
+	cn.mu.Unlock()
+
+	buf := getFrameBuf()
+	b := beginFrame((*buf)[:0], frameRequest, id)
+	b = appendRequest(b, &req)
+	if len(b)-frameHeaderSize > maxFramePayload {
+		*buf = b
+		putFrameBuf(buf)
+		cn.deregister(id)
+		return Response{}, ErrFrameTooLarge
 	}
-	if err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return Response{}, ctxErr
-		}
-		return Response{}, fmt.Errorf("transport: round trip: %w", err)
+	*buf = finishFrame(b)
+
+	select {
+	case cn.writeCh <- buf:
+	case <-cn.dead:
+		putFrameBuf(buf)
+		cn.deregister(id)
+		return Response{}, cn.failErr()
+	case <-ctx.Done():
+		putFrameBuf(buf)
+		cn.deregister(id)
+		return Response{}, ctx.Err()
 	}
-	return resp, nil
+
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		cn.deregister(id)
+		return Response{}, ctx.Err()
+	}
 }
 
-func (cn *conn) close() { cn.c.Close() }
-
-// pool is a fixed-size set of lazily (re)dialed connections. A slot whose
-// round trip fails is discarded and redialed on next use, so a restarted
-// server is picked up transparently.
-type pool struct {
+// mux is a fixed-size set of multiplexed connections. Unlike the v1
+// pool — one connection per in-flight request — N concurrent calls share
+// these few connections; a slot whose connection died is redialed on
+// next use, so a restarted server is picked up transparently.
+type mux struct {
 	addr   string
-	slots  []*poolSlot
+	slots  []*muxSlot
 	next   atomic.Uint64
 	closed atomic.Bool
 }
 
-// poolSlot guards its connection with two locks: opMu serializes whole
-// round trips (requests and responses alternate per connection), while
-// connMu guards only the cn pointer. close() takes connMu alone, so it
-// can slam the socket shut under a round trip blocked in opMu — the
-// blocked I/O errors out instead of wedging Close forever.
-type poolSlot struct {
-	opMu   sync.Mutex
-	connMu sync.Mutex
-	cn     *conn
+type muxSlot struct {
+	mu sync.Mutex
+	cn *muxConn
 }
 
-// install stores cn unless the pool is closed, in which case the
-// connection is closed and false returned.
-func (s *poolSlot) install(p *pool, cn *conn) bool {
-	s.connMu.Lock()
-	defer s.connMu.Unlock()
-	if p.closed.Load() {
-		cn.close()
-		return false
-	}
-	s.cn = cn
-	return true
-}
-
-// discard closes and clears the slot's connection if it is still cn.
-func (s *poolSlot) discard(cn *conn) {
-	s.connMu.Lock()
-	defer s.connMu.Unlock()
-	cn.close()
-	if s.cn == cn {
-		s.cn = nil
-	}
-}
-
-func newPool(ctx context.Context, addr string, size int) (*pool, error) {
+func newMux(ctx context.Context, addr string, size int) (*mux, error) {
 	if size < 1 {
 		size = 1
 	}
-	p := &pool{addr: addr, slots: make([]*poolSlot, size)}
-	for i := range p.slots {
-		p.slots[i] = &poolSlot{}
+	m := &mux{addr: addr, slots: make([]*muxSlot, size)}
+	for i := range m.slots {
+		m.slots[i] = &muxSlot{}
 	}
-	// Establish the first connection eagerly so an unreachable address
-	// fails at dial time, not at first use; start the rotation so the
-	// first request lands on it.
-	cn, err := dialConn(ctx, addr)
+	// Dial the first connection eagerly so an unreachable address fails
+	// at dial time; start the rotation so the first request lands on it.
+	cn, err := dialMux(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
-	p.slots[0].cn = cn
-	p.next.Store(^uint64(0))
-	return p, nil
+	m.slots[0].cn = cn
+	m.next.Store(^uint64(0))
+	return m, nil
 }
 
-// close closes every pooled connection without waiting for in-flight
-// round trips: a blocked exchange fails with a socket error instead of
-// holding close hostage.
-func (p *pool) close() {
-	if p.closed.Swap(true) {
+// grab returns the next slot's connection, redialing if it is absent or
+// dead. fresh reports that the connection was dialed by this call (a
+// failure on it is not a staleness artifact, so it is not retried).
+func (m *mux) grab(ctx context.Context) (s *muxSlot, cn *muxConn, fresh bool, err error) {
+	if m.closed.Load() {
+		return nil, nil, false, ErrClientClosed
+	}
+	s = m.slots[int(m.next.Add(1))%len(m.slots)]
+	s.mu.Lock()
+	if s.cn != nil && s.cn.alive() {
+		cn = s.cn
+		s.mu.Unlock()
+		return s, cn, false, nil
+	}
+	s.cn = nil
+	s.mu.Unlock()
+	// Dial outside the slot lock so Close (and other slot users) never
+	// wait behind a slow dial.
+	dialed, err := dialMux(ctx, m.addr)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	use, err := m.install(s, dialed)
+	if err != nil {
+		dialed.fail(ErrClientClosed)
+		return nil, nil, false, err
+	}
+	if use != dialed {
+		// Lost a concurrent redial race: the winner is live, use it.
+		dialed.fail(ErrClientClosed)
+		return s, use, false, nil
+	}
+	return s, dialed, true, nil
+}
+
+// install offers a freshly dialed connection to slot s, atomically under
+// the slot lock: if the mux closed, it errors (caller discards cn); if a
+// racing dial already installed a live connection, that winner is
+// returned (caller discards cn and uses it); otherwise cn is installed
+// and returned. Doing the decision in one critical section means a slot
+// can never refuse a healthy dial and then turn out empty.
+func (m *mux) install(s *muxSlot, cn *muxConn) (*muxConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if s.cn != nil && s.cn.alive() {
+		return s.cn, nil
+	}
+	s.cn = cn
+	return cn, nil
+}
+
+// close closes every connection without waiting for in-flight round
+// trips; each pending call settles with ErrClientClosed.
+func (m *mux) close() {
+	if m.closed.Swap(true) {
 		return
 	}
-	for _, s := range p.slots {
-		s.connMu.Lock()
-		if s.cn != nil {
-			s.cn.close()
-			s.cn = nil
+	for _, s := range m.slots {
+		s.mu.Lock()
+		cn := s.cn
+		s.cn = nil
+		s.mu.Unlock()
+		if cn != nil {
+			cn.fail(ErrClientClosed)
 		}
-		s.connMu.Unlock()
 	}
 }
 
-// roundTrip runs one request on the next pool slot. A failure on a
-// pooled (possibly stale) connection is retried once on a fresh dial —
-// but only for idempotent operations: an Update whose response was lost
-// may already have been applied.
-func (p *pool) roundTrip(ctx context.Context, req Request) (Response, error) {
-	if p.closed.Load() {
-		return Response{}, ErrClientClosed
-	}
-	s := p.slots[int(p.next.Add(1))%len(p.slots)]
-	s.opMu.Lock()
-	defer s.opMu.Unlock()
-	s.connMu.Lock()
-	cn := s.cn
-	s.connMu.Unlock()
-	fresh := cn == nil
-	if fresh {
-		if p.closed.Load() {
-			return Response{}, ErrClientClosed
-		}
-		var err error
-		if cn, err = dialConn(ctx, p.addr); err != nil {
-			return Response{}, err
-		}
-		if !s.install(p, cn) {
-			return Response{}, ErrClientClosed
-		}
+// roundTrip runs one request on the next connection. A failure on a
+// previously established (possibly stale) connection is retried once on
+// a guaranteed-fresh dial — a server restart leaves every pooled
+// connection half-dead, so rotating to another slot could fail the same
+// way — but only for idempotent operations: an Update whose response
+// was lost may already have been applied.
+func (m *mux) roundTrip(ctx context.Context, req Request) (Response, error) {
+	s, cn, fresh, err := m.grab(ctx)
+	if err != nil {
+		return Response{}, err
 	}
 	resp, err := cn.roundTrip(ctx, req)
-	if err == nil && cn.tainted {
-		s.discard(cn)
-		return resp, nil
+	if err == nil || fresh || ctx.Err() != nil ||
+		errors.Is(err, ErrClientClosed) || errors.Is(err, ErrFrameTooLarge) {
+		return resp, err
 	}
-	if err != nil {
-		// The stream may be mid-frame; the connection cannot be reused.
-		s.discard(cn)
-		if p.closed.Load() {
-			return Response{}, ErrClientClosed
-		}
-		if !fresh && idempotent(req.Op) && ctx.Err() == nil {
-			cn, derr := dialConn(ctx, p.addr)
-			if derr != nil {
-				return Response{}, err
-			}
-			if !s.install(p, cn) {
-				return Response{}, ErrClientClosed
-			}
-			resp, err = cn.roundTrip(ctx, req)
-			if err != nil || cn.tainted {
-				s.discard(cn)
-			}
+	if !idempotent(req.Op) {
+		return resp, err
+	}
+	if m.closed.Load() {
+		return Response{}, ErrClientClosed
+	}
+	redialed, derr := dialMux(ctx, m.addr)
+	if derr != nil {
+		return Response{}, err // report the original failure
+	}
+	resp, err = redialed.roundTrip(ctx, req)
+	if redialed.alive() {
+		if use, ierr := m.install(s, redialed); ierr != nil || use != redialed {
+			// The slot moved on (a racing caller installed its own dial,
+			// or the mux closed); this connection served its one retry.
+			redialed.fail(ErrClientClosed)
 		}
 	}
 	return resp, err
@@ -234,10 +399,10 @@ func idempotent(op Op) bool {
 
 // DBClient talks to a tdbd instance. It implements core.Backend (and its
 // batch extension), so a remote database can back a local cache. Safe for
-// concurrent use; a small connection pool avoids head-of-line blocking,
-// and failed connections are redialed transparently.
+// concurrent use; calls are multiplexed over a small fixed set of
+// connections, and failed connections are redialed transparently.
 type DBClient struct {
-	p *pool
+	mx *mux
 }
 
 var (
@@ -245,23 +410,24 @@ var (
 	_ core.BatchBackend = (*DBClient)(nil)
 )
 
-// DialDB connects to a tdbd at addr with a pool of poolSize connections
-// (poolSize < 1 means 1). ctx bounds the initial dial.
-func DialDB(ctx context.Context, addr string, poolSize int) (*DBClient, error) {
-	p, err := newPool(ctx, addr, poolSize)
+// DialDB connects to a tdbd at addr with conns multiplexed connections
+// (conns < 1 means 1) and negotiates protocol version 2. ctx bounds the
+// initial dial and handshake.
+func DialDB(ctx context.Context, addr string, conns int) (*DBClient, error) {
+	m, err := newMux(ctx, addr, conns)
 	if err != nil {
 		return nil, err
 	}
-	return &DBClient{p: p}, nil
+	return &DBClient{mx: m}, nil
 }
 
-// Close closes all pooled connections.
-func (c *DBClient) Close() { c.p.close() }
+// Close closes all connections.
+func (c *DBClient) Close() { c.mx.close() }
 
 // ReadItem implements core.Backend: a lock-free committed read, one round
 // trip.
 func (c *DBClient) ReadItem(ctx context.Context, key kv.Key) (kv.Item, bool, error) {
-	resp, err := c.p.roundTrip(ctx, Request{Op: OpGet, Key: key})
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpGet, Key: key})
 	if err != nil {
 		return kv.Item{}, false, err
 	}
@@ -277,7 +443,7 @@ func (c *DBClient) ReadItem(ctx context.Context, key kv.Key) (kv.Item, bool, err
 
 // ReadItems implements core.BatchBackend: all keys in one round trip.
 func (c *DBClient) ReadItems(ctx context.Context, keys []kv.Key) ([]kv.Lookup, error) {
-	resp, err := c.p.roundTrip(ctx, Request{Op: OpGetBatch, Keys: keys})
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpGetBatch, Keys: keys})
 	if err != nil {
 		return nil, err
 	}
@@ -287,13 +453,21 @@ func (c *DBClient) ReadItems(ctx context.Context, keys []kv.Key) ([]kv.Lookup, e
 	if len(resp.Batch) != len(keys) {
 		return nil, fmt.Errorf("transport: get-batch: %d results for %d keys", len(resp.Batch), len(keys))
 	}
+	// Batch results are cached long-term by the caller; compact each item
+	// into its own buffer so a surviving cache entry pins only its own
+	// bytes, not the whole batch frame.
+	for i := range resp.Batch {
+		if resp.Batch[i].Found {
+			resp.Batch[i].Item = compactItem(resp.Batch[i].Item)
+		}
+	}
 	return resp.Batch, nil
 }
 
 // Update runs one update transaction (read set, then write set) and
 // returns the commit version. Conflicts surface as ErrConflict.
 func (c *DBClient) Update(ctx context.Context, reads []kv.Key, writes []KeyValue) (kv.Version, error) {
-	resp, err := c.p.roundTrip(ctx, Request{Op: OpUpdate, Reads: reads, Writes: writes})
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpUpdate, Reads: reads, Writes: writes})
 	if err != nil {
 		return kv.Version{}, err
 	}
@@ -309,7 +483,7 @@ func (c *DBClient) Update(ctx context.Context, reads []kv.Key, writes []KeyValue
 
 // Ping checks liveness.
 func (c *DBClient) Ping(ctx context.Context) error {
-	resp, err := c.p.roundTrip(ctx, Request{Op: OpPing})
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpPing})
 	if err != nil {
 		return err
 	}
@@ -319,33 +493,77 @@ func (c *DBClient) Ping(ctx context.Context) error {
 	return nil
 }
 
-// subscribeConn dials addr and switches the connection into the server's
-// invalidation push mode for subscriber name.
-func subscribeConn(ctx context.Context, addr, name string) (*conn, error) {
-	cn, err := dialConn(ctx, addr)
+// subConn is a dedicated push-mode connection (invalidation stream). It
+// bypasses the mux machinery entirely: after the subscribe exchange, the
+// connection carries nothing but server-push invalidation frames, read
+// synchronously by the subscription goroutine.
+type subConn struct {
+	c  net.Conn
+	fr *frameReader
+}
+
+func (sc *subConn) close() { sc.c.Close() }
+
+// subscribeConn dials addr, runs the handshake, and switches the
+// connection into the server's invalidation push mode for subscriber
+// name. ctx bounds the whole exchange.
+func subscribeConn(ctx context.Context, addr, name string) (*subConn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	resp, err := cn.roundTrip(ctx, Request{Op: OpSubscribe, Subscriber: name})
+	br := bufio.NewReader(c)
+	fr := newFrameReader(br, nil)
+	// One goroutine, sequential I/O: interrupt it by poking the deadline
+	// if ctx fires mid-exchange.
+	stop := context.AfterFunc(ctx, func() { c.SetDeadline(time.Unix(1, 0)) })
+	resp, err := func() (Response, error) {
+		if err := clientHandshake(c, br); err != nil {
+			return Response{}, err
+		}
+		req := Request{Op: OpSubscribe, Subscriber: name}
+		if err := writeRequestFrame(c, nil, 1, &req); err != nil {
+			return Response{}, err
+		}
+		for {
+			typ, id, payload, err := fr.Read()
+			if err != nil {
+				return Response{}, err
+			}
+			if typ != frameResponse || id != 1 {
+				continue
+			}
+			return decodeResponse(payload)
+		}
+	}()
+	if !stop() && err == nil {
+		err = ctx.Err()
+	}
 	if err != nil {
-		cn.close()
+		c.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, err
 	}
 	if resp.Code != CodeOK {
-		cn.close()
+		c.Close()
 		return nil, fmt.Errorf("transport: subscribe: %s", resp.Err)
 	}
-	return cn, nil
+	return &subConn{c: c, fr: fr}, nil
 }
 
 // SubscribeInvalidations opens a dedicated connection to a tdbd and
 // streams invalidations into deliver until ctx is cancelled or stop is
-// called. When the stream breaks (server restart, network blip) it
-// redials and resubscribes automatically with exponential backoff, so a
-// cache stays attached to its invalidation feed across reconnects;
-// invalidations sent during the gap are lost, which is exactly the lossy
-// asynchronous channel the T-Cache protocol is designed to survive.
-// deliver runs on the receive goroutine.
+// called. The server batches invalidations that accumulate while a push
+// is in flight into a single frame; deliver is called once per
+// invalidation, on the receive goroutine. When the stream breaks (server
+// restart, network blip) it redials and resubscribes automatically with
+// exponential backoff, so a cache stays attached to its invalidation
+// feed across reconnects; invalidations sent during the gap are lost,
+// which is exactly the lossy asynchronous channel the T-Cache protocol
+// is designed to survive.
 //
 // The initial subscribe uses name verbatim, so a second live cache with
 // the same name is rejected (the duplicate-subscriber protection).
@@ -355,7 +573,7 @@ func subscribeConn(ctx context.Context, addr, name string) (*conn, error) {
 // retrying the bare name would be locked out by our own corpse forever.
 func SubscribeInvalidations(ctx context.Context, addr, name string, deliver func(Invalidation)) (stop func(), err error) {
 	sctx, cancel := context.WithCancel(ctx)
-	cn, err := subscribeConn(sctx, addr, name)
+	sc, err := subscribeConn(sctx, addr, name)
 	if err != nil {
 		cancel()
 		return nil, err
@@ -365,7 +583,7 @@ func SubscribeInvalidations(ctx context.Context, addr, name string, deliver func
 		defer close(done)
 		epoch := 0
 		for {
-			streamInvalidations(sctx, cn, deliver)
+			streamInvalidations(sctx, sc, deliver)
 			if sctx.Err() != nil {
 				return
 			}
@@ -375,7 +593,7 @@ func SubscribeInvalidations(ctx context.Context, addr, name string, deliver func
 			for {
 				next, err := subscribeConn(sctx, addr, fmt.Sprintf("%s#%d", name, epoch))
 				if err == nil {
-					cn = next
+					sc = next
 					break
 				}
 				select {
@@ -395,45 +613,55 @@ func SubscribeInvalidations(ctx context.Context, addr, name string, deliver func
 	}, nil
 }
 
-// streamInvalidations decodes pushes from cn until the connection breaks
-// or ctx is cancelled; it closes cn before returning.
-func streamInvalidations(ctx context.Context, cn *conn, deliver func(Invalidation)) {
-	stop := context.AfterFunc(ctx, cn.close) // unblock the decoder on cancel
+// streamInvalidations decodes push frames from sc until the connection
+// breaks or ctx is cancelled; it closes sc before returning.
+func streamInvalidations(ctx context.Context, sc *subConn, deliver func(Invalidation)) {
+	stop := context.AfterFunc(ctx, sc.close) // unblock the reader on cancel
 	defer func() {
 		stop()
-		cn.close()
+		sc.close()
 	}()
 	for {
-		var inv Invalidation
-		if err := cn.dec.Decode(&inv); err != nil {
+		typ, _, payload, err := sc.fr.Read()
+		if err != nil {
 			return
 		}
-		deliver(inv)
+		if typ != frameInvalidations {
+			continue
+		}
+		invs, err := decodeInvalidations(payload)
+		if err != nil {
+			return
+		}
+		for _, inv := range invs {
+			deliver(inv)
+		}
 	}
 }
 
 // CacheClient talks to a tcached instance. Safe for concurrent use; its
-// single connection redials transparently after failures.
+// calls are multiplexed over one connection, which redials transparently
+// after failures.
 type CacheClient struct {
-	p     *pool
+	mx    *mux
 	txnID atomic.Uint64
 }
 
 // DialCache connects to a tcached at addr. ctx bounds the dial.
 func DialCache(ctx context.Context, addr string) (*CacheClient, error) {
-	p, err := newPool(ctx, addr, 1)
+	m, err := newMux(ctx, addr, 1)
 	if err != nil {
 		return nil, err
 	}
-	return &CacheClient{p: p}, nil
+	return &CacheClient{mx: m}, nil
 }
 
 // Close closes the connection.
-func (c *CacheClient) Close() { c.p.close() }
+func (c *CacheClient) Close() { c.mx.close() }
 
 // Get performs a plain cache read.
 func (c *CacheClient) Get(ctx context.Context, key kv.Key) (kv.Value, error) {
-	resp, err := c.p.roundTrip(ctx, Request{Op: OpGet, Key: key})
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpGet, Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -442,7 +670,7 @@ func (c *CacheClient) Get(ctx context.Context, key kv.Key) (kv.Value, error) {
 
 // Read performs one transactional read: read(txnID, key, lastOp).
 func (c *CacheClient) Read(ctx context.Context, txnID uint64, key kv.Key, lastOp bool) (kv.Value, error) {
-	resp, err := c.p.roundTrip(ctx, Request{Op: OpRead, TxnID: txnID, Key: key, LastOp: lastOp})
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpRead, TxnID: txnID, Key: key, LastOp: lastOp})
 	if err != nil {
 		return nil, err
 	}
@@ -452,7 +680,7 @@ func (c *CacheClient) Read(ctx context.Context, txnID uint64, key kv.Key, lastOp
 // ReadMulti performs the transactional reads of keys, in order, within
 // txnID — one round trip for the whole batch.
 func (c *CacheClient) ReadMulti(ctx context.Context, txnID uint64, keys []kv.Key, lastOp bool) ([]kv.Value, error) {
-	resp, err := c.p.roundTrip(ctx, Request{Op: OpReadMulti, TxnID: txnID, Keys: keys, LastOp: lastOp})
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpReadMulti, TxnID: txnID, Keys: keys, LastOp: lastOp})
 	if err != nil {
 		return nil, err
 	}
@@ -471,19 +699,19 @@ func (c *CacheClient) NewTxnID() uint64 { return c.txnID.Add(1) }
 
 // Commit finalizes a transaction without a further read.
 func (c *CacheClient) Commit(ctx context.Context, txnID uint64) error {
-	_, err := c.p.roundTrip(ctx, Request{Op: OpCommit, TxnID: txnID})
+	_, err := c.mx.roundTrip(ctx, Request{Op: OpCommit, TxnID: txnID})
 	return err
 }
 
 // Abort discards a transaction.
 func (c *CacheClient) Abort(ctx context.Context, txnID uint64) error {
-	_, err := c.p.roundTrip(ctx, Request{Op: OpAbort, TxnID: txnID})
+	_, err := c.mx.roundTrip(ctx, Request{Op: OpAbort, TxnID: txnID})
 	return err
 }
 
 // Stats fetches the server's counters.
 func (c *CacheClient) Stats(ctx context.Context) (map[string]uint64, error) {
-	resp, err := c.p.roundTrip(ctx, Request{Op: OpStats})
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpStats})
 	if err != nil {
 		return nil, err
 	}
@@ -495,7 +723,7 @@ func (c *CacheClient) Stats(ctx context.Context) (map[string]uint64, error) {
 
 // Ping checks liveness.
 func (c *CacheClient) Ping(ctx context.Context) error {
-	resp, err := c.p.roundTrip(ctx, Request{Op: OpPing})
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpPing})
 	if err != nil {
 		return err
 	}

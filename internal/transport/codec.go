@@ -1,0 +1,838 @@
+package transport
+
+// The wire codec: protocol version 2, a hand-written length-prefixed
+// binary framing that replaced the gob streams of version 1.
+//
+// Connections open with an 8-byte handshake in each direction —
+//
+//	[4] magic "TCWP"   [1] protocol version   [3] reserved (zero)
+//
+// — client first, then the server's reply; a version mismatch is
+// detected before any frame is exchanged and surfaces as a descriptive
+// error on both sides.
+//
+// After the handshake the stream is a sequence of frames:
+//
+//	[2] frame magic 0xA9 0x7C
+//	[1] frame type (1 = request, 2 = response, 3 = invalidation batch)
+//	[1] reserved (zero)
+//	[8] request id (big endian; 0 on invalidation batches)
+//	[4] payload length (big endian)
+//	[…] payload
+//
+// The request id correlates responses with requests, which is what lets
+// a client multiplex many in-flight calls over one connection. The
+// per-frame magic lets a reader that finds itself mid-garbage (a stale
+// or half-open connection, a peer that died mid-write) scan forward to
+// the next frame boundary and resynchronize instead of discarding the
+// connection wholesale — something the self-describing gob stream could
+// never do.
+//
+// Payloads are encoded with hand-written append-style encoders: varint
+// lengths, no reflection, no per-message type information. Encoders
+// append into sync.Pool-ed buffers that are recycled after the write;
+// decoders alias byte-slice fields ([]byte values) directly into the
+// frame's payload buffer (freshly allocated per frame, never pooled),
+// so a decoded Response costs one payload allocation plus the slice
+// headers instead of a reflective deep copy.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"unsafe"
+
+	"tcache/internal/kv"
+)
+
+// ProtocolVersion is the wire protocol spoken by this build. Version 1
+// was the gob framing; version 2 is the binary codec in this file.
+const ProtocolVersion = 2
+
+// handshakeMagic opens every connection, in both directions.
+var handshakeMagic = [4]byte{'T', 'C', 'W', 'P'}
+
+const handshakeSize = 8
+
+// Frame layout constants.
+const (
+	frameMagic0     = 0xA9
+	frameMagic1     = 0x7C
+	frameHeaderSize = 16
+
+	frameRequest       = 1
+	frameResponse      = 2
+	frameInvalidations = 3
+
+	// maxFramePayload bounds a frame's payload so a corrupt or hostile
+	// length field cannot trigger a giant allocation. Writers enforce it
+	// too: an oversized frame must never reach the wire, because the
+	// peer's reader would reject its (valid) header as garbage and lose
+	// the stream position — and a payload over 4 GiB would silently
+	// truncate the uint32 length field.
+	maxFramePayload = 64 << 20
+)
+
+// ErrFrameTooLarge reports a message whose encoding exceeds
+// maxFramePayload; it is surfaced to the caller instead of being
+// written, keeping the stream framed.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum payload size")
+
+// Errors surfaced by the codec.
+var (
+	// ErrTruncatedFrame reports a payload that ended mid-field.
+	ErrTruncatedFrame = errors.New("transport: truncated frame payload")
+	// errNotWirePeer reports a peer that did not present the handshake
+	// magic (e.g. a version-1 gob client, or something else entirely).
+	errNotWirePeer = errors.New("transport: peer did not present the tcache wire handshake")
+)
+
+// VersionMismatchError reports a peer speaking a different protocol
+// version; both versions are carried so operators can tell which side is
+// stale.
+type VersionMismatchError struct {
+	Local, Peer byte
+}
+
+func (e *VersionMismatchError) Error() string {
+	return fmt.Sprintf("transport: protocol version mismatch: local speaks v%d, peer speaks v%d", e.Local, e.Peer)
+}
+
+// --- Handshake ----------------------------------------------------------
+
+func handshakeBytes() [handshakeSize]byte {
+	var b [handshakeSize]byte
+	copy(b[:4], handshakeMagic[:])
+	b[4] = ProtocolVersion
+	return b
+}
+
+// readHandshake consumes and validates one handshake, returning the
+// peer's protocol version.
+func readHandshake(r io.Reader) (byte, error) {
+	var b [handshakeSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("transport: read handshake: %w", err)
+	}
+	if [4]byte(b[:4]) != handshakeMagic {
+		return 0, errNotWirePeer
+	}
+	return b[4], nil
+}
+
+// clientHandshake runs the client side: send ours, read the server's,
+// reject a version mismatch.
+func clientHandshake(c net.Conn, r io.Reader) error {
+	hs := handshakeBytes()
+	if _, err := c.Write(hs[:]); err != nil {
+		return fmt.Errorf("transport: write handshake: %w", err)
+	}
+	peer, err := readHandshake(r)
+	if err != nil {
+		return err
+	}
+	if peer != ProtocolVersion {
+		return &VersionMismatchError{Local: ProtocolVersion, Peer: peer}
+	}
+	return nil
+}
+
+// serverHandshake runs the server side: read the client's, always reply
+// with ours (so a mismatched client learns both versions), then reject a
+// mismatch.
+func serverHandshake(c net.Conn, r io.Reader) error {
+	peer, err := readHandshake(r)
+	if err != nil {
+		return err
+	}
+	hs := handshakeBytes()
+	if _, err := c.Write(hs[:]); err != nil {
+		return fmt.Errorf("transport: write handshake: %w", err)
+	}
+	if peer != ProtocolVersion {
+		return &VersionMismatchError{Local: ProtocolVersion, Peer: peer}
+	}
+	return nil
+}
+
+// --- Frame buffers ------------------------------------------------------
+
+// framePool recycles encode buffers on the hot path. Buffers that grew
+// beyond maxPooledBuf are dropped instead of pinned forever.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+const maxPooledBuf = 1 << 20
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	framePool.Put(b)
+}
+
+// beginFrame appends a frame header with a length placeholder; finishFrame
+// patches the length once the payload is appended.
+func beginFrame(b []byte, typ byte, id uint64) []byte {
+	b = append(b, frameMagic0, frameMagic1, typ, 0)
+	b = binary.BigEndian.AppendUint64(b, id)
+	b = binary.BigEndian.AppendUint32(b, 0)
+	return b
+}
+
+func finishFrame(b []byte) []byte {
+	binary.BigEndian.PutUint32(b[frameHeaderSize-4:frameHeaderSize], uint32(len(b)-frameHeaderSize))
+	return b
+}
+
+// --- Frame reading with boundary resync ---------------------------------
+
+// frameReader reads frames off a connection. When the stream position is
+// not a frame boundary (garbage from a half-open peer, a partial write
+// from a dead one) it scans forward byte by byte for the next plausible
+// frame header instead of giving up on the connection.
+type frameReader struct {
+	r    io.Reader
+	hdr  [frameHeaderSize]byte
+	logf func(format string, args ...any)
+	// Resyncs counts the times the reader had to scan for a boundary.
+	Resyncs int
+}
+
+func newFrameReader(r io.Reader, logf func(string, ...any)) *frameReader {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &frameReader{r: r, logf: logf}
+}
+
+// headerValid reports whether fr.hdr is a plausible frame header.
+func (fr *frameReader) headerValid() bool {
+	if fr.hdr[0] != frameMagic0 || fr.hdr[1] != frameMagic1 || fr.hdr[3] != 0 {
+		return false
+	}
+	switch fr.hdr[2] {
+	case frameRequest, frameResponse, frameInvalidations:
+	default:
+		return false
+	}
+	return binary.BigEndian.Uint32(fr.hdr[12:16]) <= maxFramePayload
+}
+
+// Read returns the next frame. The payload is freshly allocated per
+// frame (decoders alias into it), so it is valid indefinitely.
+func (fr *frameReader) Read() (typ byte, id uint64, payload []byte, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	if !fr.headerValid() {
+		// Not at a frame boundary: slide a one-byte window until a
+		// plausible header lines up. A false positive inside payload-like
+		// garbage decodes to a malformed message downstream and is
+		// rejected there; the scan itself never allocates.
+		fr.Resyncs++
+		skipped := 0
+		one := make([]byte, 1)
+		for {
+			copy(fr.hdr[:], fr.hdr[1:])
+			if _, err := io.ReadFull(fr.r, one); err != nil {
+				return 0, 0, nil, err
+			}
+			fr.hdr[frameHeaderSize-1] = one[0]
+			skipped++
+			if fr.headerValid() {
+				break
+			}
+		}
+		fr.logf("transport: stream resynced to frame boundary (skipped %d bytes)", skipped)
+	}
+	typ = fr.hdr[2]
+	id = binary.BigEndian.Uint64(fr.hdr[4:12])
+	n := int(binary.BigEndian.Uint32(fr.hdr[12:16]))
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(fr.r, payload); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return typ, id, payload, nil
+}
+
+// --- Primitive encoders -------------------------------------------------
+//
+// Byte slices and element counts use a nil-aware scheme — 0 encodes nil,
+// n+1 encodes length n — so decode(encode(x)) reproduces x exactly,
+// including the nil/empty distinction (the fuzz round-trip relies on it).
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytesNil(b, p []byte) []byte {
+	if p == nil {
+		return binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(p))+1)
+	return append(b, p...)
+}
+
+// appendCountNil writes the nil-aware element count for a slice of length
+// n (negative means nil).
+func appendCountNil(b []byte, n int) []byte {
+	if n < 0 {
+		return binary.AppendUvarint(b, 0)
+	}
+	return binary.AppendUvarint(b, uint64(n)+1)
+}
+
+func appendVersion(b []byte, v kv.Version) []byte {
+	b = binary.AppendUvarint(b, v.Counter)
+	return binary.AppendUvarint(b, uint64(v.Node))
+}
+
+func appendDepList(b []byte, l kv.DepList) []byte {
+	if l == nil {
+		return appendCountNil(b, -1)
+	}
+	b = appendCountNil(b, len(l))
+	for _, e := range l {
+		b = appendString(b, string(e.Key))
+		b = appendVersion(b, e.Version)
+	}
+	return b
+}
+
+func appendItem(b []byte, it kv.Item) []byte {
+	b = appendBytesNil(b, it.Value)
+	b = appendVersion(b, it.Version)
+	return appendDepList(b, it.Deps)
+}
+
+func appendKeySlice(b []byte, keys []kv.Key) []byte {
+	if keys == nil {
+		return appendCountNil(b, -1)
+	}
+	b = appendCountNil(b, len(keys))
+	for _, k := range keys {
+		b = appendString(b, string(k))
+	}
+	return b
+}
+
+func appendKeyValues(b []byte, kvs []KeyValue) []byte {
+	if kvs == nil {
+		return appendCountNil(b, -1)
+	}
+	b = appendCountNil(b, len(kvs))
+	for _, w := range kvs {
+		b = appendString(b, string(w.Key))
+		b = appendBytesNil(b, w.Value)
+	}
+	return b
+}
+
+func appendValues(b []byte, vals []kv.Value) []byte {
+	if vals == nil {
+		return appendCountNil(b, -1)
+	}
+	b = appendCountNil(b, len(vals))
+	for _, v := range vals {
+		b = appendBytesNil(b, v)
+	}
+	return b
+}
+
+func appendLookups(b []byte, ls []kv.Lookup) []byte {
+	if ls == nil {
+		return appendCountNil(b, -1)
+	}
+	b = appendCountNil(b, len(ls))
+	for _, l := range ls {
+		b = appendItem(b, l.Item)
+		b = appendBool(b, l.Found)
+	}
+	return b
+}
+
+func appendStats(b []byte, m map[string]uint64) []byte {
+	if m == nil {
+		return appendCountNil(b, -1)
+	}
+	b = appendCountNil(b, len(m))
+	for k, v := range m {
+		b = appendString(b, k)
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}
+
+// --- Message encoders ---------------------------------------------------
+
+func appendRequest(b []byte, req *Request) []byte {
+	b = appendString(b, string(req.Op))
+	b = appendString(b, string(req.Key))
+	b = binary.AppendUvarint(b, req.TxnID)
+	b = appendBool(b, req.LastOp)
+	b = appendKeySlice(b, req.Keys)
+	b = appendString(b, req.Subscriber)
+	b = appendKeySlice(b, req.Reads)
+	return appendKeyValues(b, req.Writes)
+}
+
+func appendResponse(b []byte, resp *Response) []byte {
+	b = binary.AppendUvarint(b, uint64(resp.Code))
+	b = appendString(b, resp.Err)
+	b = appendBytesNil(b, resp.Value)
+	b = appendBool(b, resp.Found)
+	b = appendItem(b, resp.Item)
+	b = appendVersion(b, resp.Version)
+	b = appendLookups(b, resp.Batch)
+	b = appendValues(b, resp.Values)
+	return appendStats(b, resp.Stats)
+}
+
+func appendInvalidations(b []byte, invs []Invalidation) []byte {
+	b = binary.AppendUvarint(b, uint64(len(invs)))
+	for _, inv := range invs {
+		b = appendString(b, string(inv.Key))
+		b = appendVersion(b, inv.Version)
+	}
+	return b
+}
+
+// --- Decoder ------------------------------------------------------------
+
+// payloadDecoder walks one frame payload. Every accessor bounds-checks
+// and returns ErrTruncatedFrame instead of panicking; element counts are
+// validated against the remaining payload before any allocation, so an
+// adversarial count cannot force a huge allocation.
+type payloadDecoder struct {
+	b   []byte
+	off int
+}
+
+func (d *payloadDecoder) remaining() int { return len(d.b) - d.off }
+
+func (d *payloadDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncatedFrame
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *payloadDecoder) bool() (bool, error) {
+	if d.remaining() < 1 {
+		return false, ErrTruncatedFrame
+	}
+	v := d.b[d.off] != 0
+	d.off++
+	return v, nil
+}
+
+// take returns n payload bytes, aliasing the payload buffer (zero copy).
+func (d *payloadDecoder) take(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, ErrTruncatedFrame
+	}
+	p := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return p, nil
+}
+
+func (d *payloadDecoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	p, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// stringShared decodes a string whose bytes alias the payload buffer
+// (zero copy, like take). Safe because payload buffers are allocated per
+// frame and never written after decoding; the string pins the payload
+// for as long as it lives, so it is used only where the win is real —
+// the dependency-list keys of response items, the dominant string volume
+// on the read path.
+func (d *payloadDecoder) stringShared() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	p, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	if len(p) == 0 {
+		return "", nil
+	}
+	return unsafe.String(&p[0], len(p)), nil
+}
+
+func (d *payloadDecoder) bytesNil() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return d.take(int(n) - 1)
+}
+
+// countNil decodes a nil-aware element count, validating it against the
+// remaining payload at minBytes per element. Returns -1 for nil.
+func (d *payloadDecoder) countNil(minBytes int) (int, error) {
+	c, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if c == 0 {
+		return -1, nil
+	}
+	n := int(c - 1)
+	// Divide instead of multiplying: a hostile count near 2^64 would
+	// overflow n*minBytes and slip past the guard.
+	if n < 0 || n > d.remaining()/minBytes {
+		return 0, ErrTruncatedFrame
+	}
+	return n, nil
+}
+
+func (d *payloadDecoder) version() (kv.Version, error) {
+	c, err := d.uvarint()
+	if err != nil {
+		return kv.Version{}, err
+	}
+	node, err := d.uvarint()
+	if err != nil {
+		return kv.Version{}, err
+	}
+	return kv.Version{Counter: c, Node: uint32(node)}, nil
+}
+
+func (d *payloadDecoder) depList() (kv.DepList, error) {
+	n, err := d.countNil(3) // key len + 2 version varints
+	if err != nil || n < 0 {
+		return nil, err
+	}
+	l := make(kv.DepList, n)
+	for i := range l {
+		s, err := d.stringShared()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.version()
+		if err != nil {
+			return nil, err
+		}
+		l[i] = kv.DepEntry{Key: kv.Key(s), Version: v}
+	}
+	return l, nil
+}
+
+func (d *payloadDecoder) item() (kv.Item, error) {
+	val, err := d.bytesNil()
+	if err != nil {
+		return kv.Item{}, err
+	}
+	v, err := d.version()
+	if err != nil {
+		return kv.Item{}, err
+	}
+	deps, err := d.depList()
+	if err != nil {
+		return kv.Item{}, err
+	}
+	return kv.Item{Value: val, Version: v, Deps: deps}, nil
+}
+
+func (d *payloadDecoder) keySlice() ([]kv.Key, error) {
+	n, err := d.countNil(1)
+	if err != nil || n < 0 {
+		return nil, err
+	}
+	keys := make([]kv.Key, n)
+	for i := range keys {
+		s, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = kv.Key(s)
+	}
+	return keys, nil
+}
+
+func (d *payloadDecoder) keyValues() ([]KeyValue, error) {
+	n, err := d.countNil(2)
+	if err != nil || n < 0 {
+		return nil, err
+	}
+	kvs := make([]KeyValue, n)
+	for i := range kvs {
+		s, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		val, err := d.bytesNil()
+		if err != nil {
+			return nil, err
+		}
+		kvs[i] = KeyValue{Key: kv.Key(s), Value: val}
+	}
+	return kvs, nil
+}
+
+func (d *payloadDecoder) values() ([]kv.Value, error) {
+	n, err := d.countNil(1)
+	if err != nil || n < 0 {
+		return nil, err
+	}
+	vals := make([]kv.Value, n)
+	for i := range vals {
+		v, err := d.bytesNil()
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+func (d *payloadDecoder) lookups() ([]kv.Lookup, error) {
+	n, err := d.countNil(4)
+	if err != nil || n < 0 {
+		return nil, err
+	}
+	ls := make([]kv.Lookup, n)
+	for i := range ls {
+		it, err := d.item()
+		if err != nil {
+			return nil, err
+		}
+		found, err := d.bool()
+		if err != nil {
+			return nil, err
+		}
+		ls[i] = kv.Lookup{Item: it, Found: found}
+	}
+	return ls, nil
+}
+
+func (d *payloadDecoder) stats() (map[string]uint64, error) {
+	n, err := d.countNil(2)
+	if err != nil || n < 0 {
+		return nil, err
+	}
+	m := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		k, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// --- Message decoders ---------------------------------------------------
+
+func decodeRequest(payload []byte) (Request, error) {
+	d := payloadDecoder{b: payload}
+	var req Request
+	var err error
+	var s string
+	if s, err = d.string(); err != nil {
+		return req, err
+	}
+	req.Op = Op(s)
+	if s, err = d.string(); err != nil {
+		return req, err
+	}
+	req.Key = kv.Key(s)
+	if req.TxnID, err = d.uvarint(); err != nil {
+		return req, err
+	}
+	if req.LastOp, err = d.bool(); err != nil {
+		return req, err
+	}
+	if req.Keys, err = d.keySlice(); err != nil {
+		return req, err
+	}
+	if req.Subscriber, err = d.string(); err != nil {
+		return req, err
+	}
+	if req.Reads, err = d.keySlice(); err != nil {
+		return req, err
+	}
+	if req.Writes, err = d.keyValues(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+func decodeResponse(payload []byte) (Response, error) {
+	d := payloadDecoder{b: payload}
+	var resp Response
+	var err error
+	var code uint64
+	if code, err = d.uvarint(); err != nil {
+		return resp, err
+	}
+	resp.Code = Code(int(code))
+	if resp.Err, err = d.string(); err != nil {
+		return resp, err
+	}
+	if resp.Value, err = d.bytesNil(); err != nil {
+		return resp, err
+	}
+	if resp.Found, err = d.bool(); err != nil {
+		return resp, err
+	}
+	if resp.Item, err = d.item(); err != nil {
+		return resp, err
+	}
+	if resp.Version, err = d.version(); err != nil {
+		return resp, err
+	}
+	if resp.Batch, err = d.lookups(); err != nil {
+		return resp, err
+	}
+	if resp.Values, err = d.values(); err != nil {
+		return resp, err
+	}
+	if resp.Stats, err = d.stats(); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+func decodeInvalidations(payload []byte) ([]Invalidation, error) {
+	d := payloadDecoder{b: payload}
+	c, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n := int(c)
+	if n < 0 || n > d.remaining()/3 {
+		return nil, ErrTruncatedFrame
+	}
+	invs := make([]Invalidation, n)
+	for i := range invs {
+		s, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.version()
+		if err != nil {
+			return nil, err
+		}
+		invs[i] = Invalidation{Key: kv.Key(s), Version: v}
+	}
+	return invs, nil
+}
+
+// compactItem re-homes a decoded item into its own single backing buffer
+// (value bytes plus dependency-key bytes, two allocations total). Items
+// decoded from a batch frame alias the whole frame's payload; a cache
+// that retains one item from a large batch would otherwise pin the
+// entire frame until that entry is evicted. After compaction an item
+// pins exactly its own bytes, while the read path keeps the zero-copy
+// decode for everything transient.
+func compactItem(it kv.Item) kv.Item {
+	n := len(it.Value)
+	for _, e := range it.Deps {
+		n += len(e.Key)
+	}
+	var buf []byte
+	if n > 0 || it.Value != nil {
+		// make with cap 0 still yields a non-nil slice, preserving the
+		// nil/empty distinction for empty values.
+		buf = make([]byte, 0, n)
+	}
+	out := it
+	if it.Value != nil {
+		buf = append(buf, it.Value...)
+		out.Value = kv.Value(buf[:len(it.Value):len(it.Value)])
+	}
+	if it.Deps != nil {
+		deps := make(kv.DepList, len(it.Deps))
+		off := len(buf)
+		for i, e := range it.Deps {
+			deps[i].Version = e.Version
+			if len(e.Key) == 0 {
+				continue
+			}
+			buf = append(buf, e.Key...)
+			deps[i].Key = kv.Key(unsafe.String(&buf[off], len(e.Key)))
+			off += len(e.Key)
+		}
+		out.Deps = deps
+	}
+	return out
+}
+
+// --- Frame write helpers ------------------------------------------------
+
+// writeFrame encodes one message into a pooled buffer and writes it as a
+// single frame. mu, if non-nil, serializes writes on the connection.
+func writeFrame(w io.Writer, mu *sync.Mutex, typ byte, id uint64, encode func([]byte) []byte) error {
+	buf := getFrameBuf()
+	b := beginFrame((*buf)[:0], typ, id)
+	b = encode(b)
+	if len(b)-frameHeaderSize > maxFramePayload {
+		*buf = b
+		putFrameBuf(buf)
+		return ErrFrameTooLarge
+	}
+	b = finishFrame(b)
+	*buf = b
+	if mu != nil {
+		mu.Lock()
+	}
+	_, err := w.Write(b)
+	if mu != nil {
+		mu.Unlock()
+	}
+	putFrameBuf(buf)
+	return err
+}
+
+func writeRequestFrame(w io.Writer, mu *sync.Mutex, id uint64, req *Request) error {
+	return writeFrame(w, mu, frameRequest, id, func(b []byte) []byte { return appendRequest(b, req) })
+}
+
+func writeResponseFrame(w io.Writer, mu *sync.Mutex, id uint64, resp *Response) error {
+	return writeFrame(w, mu, frameResponse, id, func(b []byte) []byte { return appendResponse(b, resp) })
+}
+
+func writeInvalidationFrame(w io.Writer, mu *sync.Mutex, invs []Invalidation) error {
+	return writeFrame(w, mu, frameInvalidations, 0, func(b []byte) []byte { return appendInvalidations(b, invs) })
+}

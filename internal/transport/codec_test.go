@@ -1,0 +1,284 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"tcache/internal/kv"
+)
+
+// sampleRequests covers every field shape the Request encoder handles,
+// including the nil/empty distinctions the codec must preserve.
+func sampleRequests() []Request {
+	return []Request{
+		{},
+		{Op: OpPing},
+		{Op: OpGet, Key: "user:42"},
+		{Op: OpRead, Key: "k", TxnID: 77, LastOp: true},
+		{Op: OpGetBatch, Keys: []kv.Key{"a", "b", "c"}},
+		{Op: OpReadMulti, TxnID: 3, Keys: []kv.Key{}, LastOp: false},
+		{Op: OpSubscribe, Subscriber: "edge-1#4"},
+		{Op: OpUpdate, Reads: []kv.Key{"x"}, Writes: []KeyValue{
+			{Key: "x", Value: kv.Value("v1")},
+			{Key: "y", Value: kv.Value{}},
+			{Key: "z", Value: nil},
+		}},
+		{Op: "bogus", Key: "weird\x00key", Subscriber: "ütf8"},
+	}
+}
+
+// sampleResponses covers every field shape of the Response encoder.
+func sampleResponses() []Response {
+	return []Response{
+		{},
+		{Code: CodeOK},
+		{Code: CodeNotFound, Err: "nope"},
+		{Code: CodeOK, Value: kv.Value("hello"), Found: true},
+		{Code: CodeOK, Value: kv.Value{}, Found: true},
+		{Code: CodeOK, Found: true, Item: kv.Item{
+			Value:   kv.Value("payload"),
+			Version: kv.Version{Counter: 99, Node: 7},
+			Deps: kv.DepList{
+				{Key: "a", Version: kv.Version{Counter: 1}},
+				{Key: "b", Version: kv.Version{Counter: 2, Node: 3}},
+			},
+		}},
+		{Code: CodeOK, Version: kv.Version{Counter: 1 << 60, Node: ^uint32(0)}},
+		{Code: CodeOK, Batch: []kv.Lookup{
+			{Item: kv.Item{Value: kv.Value("v"), Version: kv.Version{Counter: 5}, Deps: kv.DepList{}}, Found: true},
+			{},
+		}},
+		{Code: CodeOK, Values: []kv.Value{kv.Value("a"), nil, kv.Value{}}},
+		{Code: CodeOK, Stats: map[string]uint64{"hits": 12, "misses": 3}},
+		{Code: CodeOK, Stats: map[string]uint64{}},
+		{Code: CodeAborted, Err: "eq.1 violation"},
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, req := range sampleRequests() {
+		enc := appendRequest(nil, &req)
+		got, err := decodeRequest(enc)
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", req, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, req)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, resp := range sampleResponses() {
+		enc := appendResponse(nil, &resp)
+		got, err := decodeResponse(enc)
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", resp, err)
+		}
+		if !reflect.DeepEqual(got, resp) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, resp)
+		}
+	}
+}
+
+func TestInvalidationRoundTrip(t *testing.T) {
+	batches := [][]Invalidation{
+		{{Key: "k", Version: kv.Version{Counter: 9, Node: 2}}},
+		{{Key: "a"}, {Key: "b", Version: kv.Version{Counter: 1}}, {Key: "c", Version: kv.Version{Counter: 1 << 50}}},
+	}
+	for _, invs := range batches {
+		enc := appendInvalidations(nil, invs)
+		got, err := decodeInvalidations(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, invs) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, invs)
+		}
+	}
+}
+
+// TestDecodeTruncatedNeverPanics feeds every strict prefix of valid
+// encodings to the decoders: each must error (the message is incomplete)
+// and none may panic.
+func TestDecodeTruncatedNeverPanics(t *testing.T) {
+	for _, req := range sampleRequests() {
+		enc := appendRequest(nil, &req)
+		for i := 0; i < len(enc); i++ {
+			if _, err := decodeRequest(enc[:i]); err == nil {
+				t.Fatalf("truncated request decode at %d/%d succeeded", i, len(enc))
+			}
+		}
+	}
+	for _, resp := range sampleResponses() {
+		enc := appendResponse(nil, &resp)
+		for i := 0; i < len(enc); i++ {
+			if _, err := decodeResponse(enc[:i]); err == nil {
+				t.Fatalf("truncated response decode at %d/%d succeeded", i, len(enc))
+			}
+		}
+	}
+}
+
+// TestDecodeOversizedCountErrs builds payloads whose element counts claim
+// absurd lengths; the decoder must reject them without attempting the
+// allocation.
+func TestDecodeOversizedCountErrs(t *testing.T) {
+	// A response whose Batch count claims 2^40 lookups.
+	var b []byte
+	b = appendUvarintForTest(b, uint64(CodeOK)) // Code
+	b = appendString(b, "")                     // Err
+	b = appendBytesNil(b, nil)                  // Value
+	b = appendBool(b, false)                    // Found
+	b = appendItem(b, kv.Item{})                // Item
+	b = appendVersion(b, kv.Version{})          // Version
+	b = appendUvarintForTest(b, (1<<40)+1)      // Batch count: 2^40 entries
+	if _, err := decodeResponse(b); !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("oversized batch count: err = %v, want ErrTruncatedFrame", err)
+	}
+
+	// An invalidation batch claiming 2^40 entries.
+	inv := appendUvarintForTest(nil, 1<<40)
+	if _, err := decodeInvalidations(inv); !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("oversized invalidation count: err = %v, want ErrTruncatedFrame", err)
+	}
+}
+
+// appendUvarintForTest mirrors binary.AppendUvarint without importing it
+// at every call site.
+func appendUvarintForTest(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// TestFrameReaderResync writes garbage between two valid frames; the
+// reader must skip to the next frame boundary instead of failing the
+// stream — the recovery the gob framing could not do.
+func TestFrameReaderResync(t *testing.T) {
+	var stream bytes.Buffer
+	req1 := Request{Op: OpPing}
+	if err := writeRequestFrame(&stream, nil, 1, &req1); err != nil {
+		t.Fatal(err)
+	}
+	stream.WriteString("!!this is not a frame boundary!!")
+	req2 := Request{Op: OpGet, Key: "k"}
+	if err := writeRequestFrame(&stream, nil, 2, &req2); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := newFrameReader(&stream, nil)
+	typ, id, payload, err := fr.Read()
+	if err != nil || typ != frameRequest || id != 1 {
+		t.Fatalf("frame 1 = (%d, %d, %v)", typ, id, err)
+	}
+	if got, err := decodeRequest(payload); err != nil || got.Op != OpPing {
+		t.Fatalf("frame 1 decode = %+v, %v", got, err)
+	}
+	typ, id, payload, err = fr.Read()
+	if err != nil || typ != frameRequest || id != 2 {
+		t.Fatalf("frame 2 after garbage = (%d, %d, %v)", typ, id, err)
+	}
+	if got, err := decodeRequest(payload); err != nil || got.Key != "k" {
+		t.Fatalf("frame 2 decode = %+v, %v", got, err)
+	}
+	if fr.Resyncs != 1 {
+		t.Fatalf("Resyncs = %d, want 1", fr.Resyncs)
+	}
+}
+
+// TestFrameReaderOversizedLengthResyncs feeds a header whose length field
+// exceeds the frame cap: the reader must treat it as garbage (no giant
+// allocation) and resync onto the following valid frame.
+func TestFrameReaderOversizedLengthResyncs(t *testing.T) {
+	var stream bytes.Buffer
+	bad := beginFrame(nil, frameRequest, 9)
+	bad[frameHeaderSize-4] = 0xFF // length = 0xFF000000 > maxFramePayload
+	stream.Write(bad)
+	req := Request{Op: OpPing}
+	if err := writeRequestFrame(&stream, nil, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	fr := newFrameReader(&stream, nil)
+	typ, id, _, err := fr.Read()
+	if err != nil || typ != frameRequest || id != 3 {
+		t.Fatalf("frame after oversized header = (%d, %d, %v)", typ, id, err)
+	}
+	if fr.Resyncs == 0 {
+		t.Fatal("oversized header accepted without resync")
+	}
+}
+
+func TestFrameReaderEOFOnGarbageOnly(t *testing.T) {
+	fr := newFrameReader(bytes.NewBufferString("garbage with no frame in it whatsoever"), nil)
+	if _, _, _, err := fr.Read(); !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("garbage-only stream: err = %v, want EOF", err)
+	}
+}
+
+// FuzzCodecRoundTrip drives all three decoders with arbitrary bytes: they
+// must never panic and never over-allocate, and anything they accept must
+// survive an encode/decode round trip unchanged.
+func FuzzCodecRoundTrip(f *testing.F) {
+	for _, req := range sampleRequests() {
+		f.Add(appendRequest(nil, &req))
+	}
+	for _, resp := range sampleResponses() {
+		f.Add(appendResponse(nil, &resp))
+	}
+	f.Add(appendInvalidations(nil, []Invalidation{{Key: "k", Version: kv.Version{Counter: 3}}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := decodeRequest(data); err == nil {
+			enc := appendRequest(nil, &req)
+			again, err := decodeRequest(enc)
+			if err != nil {
+				t.Fatalf("re-decode request: %v", err)
+			}
+			if !reflect.DeepEqual(again, req) {
+				t.Fatalf("request round trip diverged:\n got %#v\nwant %#v", again, req)
+			}
+		}
+		if resp, err := decodeResponse(data); err == nil {
+			enc := appendResponse(nil, &resp)
+			again, err := decodeResponse(enc)
+			if err != nil {
+				t.Fatalf("re-decode response: %v", err)
+			}
+			if !reflect.DeepEqual(again, resp) {
+				t.Fatalf("response round trip diverged:\n got %#v\nwant %#v", again, resp)
+			}
+		}
+		if invs, err := decodeInvalidations(data); err == nil {
+			enc := appendInvalidations(nil, invs)
+			again, err := decodeInvalidations(enc)
+			if err != nil {
+				t.Fatalf("re-decode invalidations: %v", err)
+			}
+			if !reflect.DeepEqual(again, invs) {
+				t.Fatalf("invalidation round trip diverged:\n got %#v\nwant %#v", again, invs)
+			}
+		}
+	})
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	hs := handshakeBytes()
+	v, err := readHandshake(bytes.NewReader(hs[:]))
+	if err != nil || v != ProtocolVersion {
+		t.Fatalf("readHandshake = (%d, %v)", v, err)
+	}
+	if _, err := readHandshake(bytes.NewReader([]byte("NOPE0000"))); !errors.Is(err, errNotWirePeer) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	if _, err := readHandshake(bytes.NewReader([]byte{'T', 'C'})); err == nil {
+		t.Fatal("short handshake accepted")
+	}
+}

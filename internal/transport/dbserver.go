@@ -1,8 +1,8 @@
 package transport
 
 import (
+	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -106,76 +106,208 @@ func (s *DBServer) dropConn(conn net.Conn) {
 	conn.Close()
 }
 
+// handle serves one connection: version handshake, then a stream of
+// request frames, each dispatched on its own goroutine so a blocked
+// update never head-of-line-blocks the reads multiplexed behind it on
+// the same connection. Responses are written under writeMu, tagged with
+// the request id they answer.
 func (s *DBServer) handle(conn net.Conn) {
 	// ctx dies with this connection (and with the whole server), aborting
-	// any update transaction the peer abandoned mid-flight.
+	// any update transaction the peer abandoned mid-flight. Defer order
+	// (LIFO): cancel in-flight work, close the connection — so a dispatch
+	// goroutine stuck writing to a peer that stopped reading errors out
+	// instead of wedging the wait — then wait for the dispatchers.
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	defer s.dropConn(conn)
 	ctx, cancel := context.WithCancel(s.ctx)
 	defer cancel()
-	defer s.dropConn(conn)
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var encMu sync.Mutex // shared with the invalidation pusher
+
+	br := bufio.NewReader(conn)
+	if err := serverHandshake(conn, br); err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			s.logf("tdbd: handshake: %v", err)
+		}
+		return
+	}
+	fr := newFrameReader(br, s.logf)
+	var writeMu sync.Mutex
 
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
+		typ, id, payload, err := fr.Read()
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("tdbd: decode: %v", err)
+				s.logf("tdbd: read: %v", err)
 			}
 			return
 		}
-		if req.Op == OpSubscribe {
-			// Switch to push mode: the ack is the last request/response
-			// exchange on this connection.
-			unsub, err := s.subscribe(conn, enc, &encMu, req.Subscriber)
-			if err != nil {
-				encMu.Lock()
-				encErr := enc.Encode(Response{Code: CodeError, Err: err.Error()})
-				encMu.Unlock()
-				if encErr != nil {
-					return
-				}
-				continue
-			}
-			encMu.Lock()
-			err = enc.Encode(Response{Code: CodeOK})
-			encMu.Unlock()
-			if err != nil {
-				unsub()
+		if typ != frameRequest {
+			continue
+		}
+		req, derr := decodeRequest(payload)
+		if derr != nil {
+			// The frame boundary is intact, so the stream is still good:
+			// answer this id with an error instead of dropping the conn.
+			s.logf("tdbd: decode: %v", derr)
+			resp := Response{Code: CodeError, Err: derr.Error()}
+			if writeResponseFrame(conn, &writeMu, id, &resp) != nil {
 				return
 			}
-			// Block until the peer goes away; unsubscribing stops pushes.
-			var discard Request
-			for dec.Decode(&discard) == nil {
+			continue
+		}
+		if req.Op == OpSubscribe {
+			// Switch to push mode: the ack is the last response on this
+			// connection; from here on the server pushes invalidation
+			// batches and ignores anything else the peer sends.
+			s.servePush(conn, fr, &writeMu, id, req.Subscriber)
+			return
+		}
+		if nonBlocking(req.Op) {
+			// Lock-free reads answer inline: no goroutine hop, and they
+			// cannot head-of-line-block the connection.
+			resp := s.dispatch(ctx, req)
+			if err := writeResponseFrame(conn, &writeMu, id, &resp); err != nil {
+				s.logf("tdbd: write: %v", err)
+				return
 			}
-			unsub()
-			return
+			continue
 		}
-		resp := s.dispatch(ctx, req)
-		encMu.Lock()
-		err := enc.Encode(resp)
-		encMu.Unlock()
-		if err != nil {
-			s.logf("tdbd: encode: %v", err)
-			return
-		}
+		reqWG.Add(1)
+		go func(id uint64, req Request) {
+			defer reqWG.Done()
+			resp := s.dispatch(ctx, req)
+			if err := writeResponseFrame(conn, &writeMu, id, &resp); err != nil {
+				s.logf("tdbd: write: %v", err)
+				conn.Close() // unblock the frame reader
+			}
+		}(id, req)
 	}
 }
 
-func (s *DBServer) subscribe(conn net.Conn, enc *gob.Encoder, encMu *sync.Mutex, name string) (unsub func(), err error) {
+// nonBlocking reports whether op completes without waiting on locks or
+// other transactions, so the serving loop may run it inline instead of
+// paying for a dispatch goroutine. OpUpdate can block on lock queues and
+// must always run concurrently with the reader.
+func nonBlocking(op Op) bool {
+	switch op {
+	case OpGet, OpGetBatch, OpPing, OpStats:
+		return true
+	default:
+		return false
+	}
+}
+
+// servePush turns the connection into an invalidation stream for
+// subscriber name: invalidations emitted by the database are queued and
+// flushed by a pusher goroutine, coalescing everything that accumulated
+// during one in-flight push into a single batched frame.
+func (s *DBServer) servePush(conn net.Conn, fr *frameReader, writeMu *sync.Mutex, id uint64, name string) {
 	if name == "" {
 		name = conn.RemoteAddr().String()
 	}
-	return s.db.Subscribe(name, func(inv db.Invalidation) {
-		encMu.Lock()
-		defer encMu.Unlock()
-		if err := enc.Encode(Invalidation{Key: inv.Key, Version: inv.Version}); err != nil {
-			// The pipeline is asynchronous and unreliable by design;
-			// failures just drop this subscriber's messages.
-			conn.Close()
-		}
+	p := newInvPusher(conn, writeMu)
+	unsub, err := s.db.Subscribe(name, func(inv db.Invalidation) {
+		p.push(Invalidation{Key: inv.Key, Version: inv.Version})
 	})
+	if err != nil {
+		resp := Response{Code: CodeError, Err: err.Error()}
+		_ = writeResponseFrame(conn, writeMu, id, &resp)
+		return
+	}
+	go p.run()
+	defer func() {
+		unsub()
+		p.stop()
+	}()
+	resp := Response{Code: CodeOK}
+	if err := writeResponseFrame(conn, writeMu, id, &resp); err != nil {
+		return
+	}
+	// Block until the peer goes away, discarding anything it sends.
+	for {
+		if _, _, _, err := fr.Read(); err != nil {
+			return
+		}
+	}
 }
+
+// maxQueuedInvalidations bounds a subscriber's backlog. The pipeline is
+// asynchronous and unreliable by design, so overflow drops the oldest
+// queued invalidations rather than blocking the database's commit path.
+const maxQueuedInvalidations = 1 << 16
+
+// invPusher batches invalidations for one subscription connection: the
+// database's sink appends under a mutex and nudges the pusher, which
+// drains the whole backlog into one frame per write. Invalidations that
+// arrive while a frame is being written are coalesced into the next one.
+type invPusher struct {
+	conn    net.Conn
+	writeMu *sync.Mutex
+
+	mu    sync.Mutex
+	queue []Invalidation
+
+	wake chan struct{}
+	done chan struct{}
+}
+
+func newInvPusher(conn net.Conn, writeMu *sync.Mutex) *invPusher {
+	return &invPusher{conn: conn, writeMu: writeMu, wake: make(chan struct{}, 1), done: make(chan struct{})}
+}
+
+func (p *invPusher) push(inv Invalidation) {
+	p.mu.Lock()
+	if len(p.queue) >= maxQueuedInvalidations {
+		p.queue = p.queue[1:]
+	}
+	p.queue = append(p.queue, inv)
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (p *invPusher) run() {
+	for {
+		select {
+		case <-p.wake:
+		case <-p.done:
+			return
+		}
+		p.mu.Lock()
+		batch := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+		if len(batch) == 0 {
+			continue
+		}
+		// Chunk by encoded size: a backlog that built up behind a stalled
+		// push could otherwise exceed the frame payload cap, and failing
+		// the whole flush would flap the subscription forever.
+		for len(batch) > 0 {
+			n, size := 0, 0
+			for n < len(batch) && size < maxInvalidationFrameBytes {
+				size += len(batch[n].Key) + 24 // key bytes + varint/header slack
+				n++
+			}
+			if err := writeInvalidationFrame(p.conn, p.writeMu, batch[:n]); err != nil {
+				// Failures just drop this subscriber's messages; closing
+				// the socket makes the serving loop notice and unsubscribe.
+				p.conn.Close()
+				return
+			}
+			batch = batch[n:]
+		}
+	}
+}
+
+// maxInvalidationFrameBytes bounds one coalesced invalidation frame,
+// comfortably under maxFramePayload. It is a variable only so tests can
+// lower it to exercise the chunking path cheaply.
+var maxInvalidationFrameBytes = 1 << 20
+
+func (p *invPusher) stop() { close(p.done) }
 
 func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
 	switch req.Op {

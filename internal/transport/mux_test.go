@@ -1,0 +1,592 @@
+package transport
+
+// Failure-mode tests for the multiplexed client: concurrent requests
+// sharing one connection, cancellation abandoning a demux slot without
+// killing the connection, server death with several slots pending, the
+// handshake version gate, and frame-boundary resynchronization on a
+// connection that carried garbage — run them with -race; the mux
+// internals are exactly the kind of code that rots without it.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tcache/internal/db"
+	"tcache/internal/kv"
+)
+
+// connCount reports how many live connections the DB server tracks.
+func (s *DBServer) connCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// TestMuxCancelledRequestDoesNotKillConnection runs two requests on ONE
+// connection: the first (an update) blocks server-side behind a held
+// lock and is then ctx-cancelled; the second must complete on the same
+// connection, both while the first is still blocked and after its
+// cancellation — no redial, no poisoned socket.
+func TestMuxCancelledRequestDoesNotKillConnection(t *testing.T) {
+	d := db.Open(db.Config{})
+	t.Cleanup(d.Close)
+	srv := NewDBServer(d, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := DialDB(bg, addr, 1) // one connection: everything multiplexes
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+
+	if _, err := cli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("v0")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	holder := d.Begin()
+	if err := holder.Write("k", kv.Value("held")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := cli.Update(ctx, nil, []KeyValue{{Key: "k", Value: kv.Value("blocked")}})
+		blocked <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the update reach the lock queue
+
+	// A read multiplexed behind the blocked update completes immediately.
+	if item, ok, err := cli.ReadItem(bg, "k"); err != nil || !ok || string(item.Value) != "v0" {
+		t.Fatalf("read during blocked update = %q, %v, %v", item.Value, ok, err)
+	}
+
+	cancel()
+	select {
+	case err := <-blocked:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled update = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled round trip never returned")
+	}
+
+	// The connection survived the cancellation: further reads work and
+	// the server still tracks exactly one request/response connection.
+	if _, ok, err := cli.ReadItem(bg, "k"); err != nil || !ok {
+		t.Fatalf("read after cancel = %v, %v", ok, err)
+	}
+	if n := srv.connCount(); n != 1 {
+		t.Fatalf("server sees %d connections, want 1 (no redial after cancel)", n)
+	}
+	if _, err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerCloseFailsAllPendingSlots parks three concurrent updates on
+// one multiplexed connection behind a held lock, then closes the server:
+// every pending demux slot must settle with an error promptly.
+func TestServerCloseFailsAllPendingSlots(t *testing.T) {
+	d := db.Open(db.Config{})
+	t.Cleanup(d.Close)
+	srv := NewDBServer(d, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialDB(bg, addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+
+	holder := d.Begin()
+	if err := holder.Write("k", kv.Value("held")); err != nil {
+		t.Fatal(err)
+	}
+
+	const pending = 3
+	errc := make(chan error, pending)
+	for i := 0; i < pending; i++ {
+		go func() {
+			_, err := cli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("blocked")}})
+			errc <- err
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // let all three enter the demux table
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server Close hung behind pending requests")
+	}
+	for i := 0; i < pending; i++ {
+		select {
+		case err := <-errc:
+			if err == nil {
+				t.Fatal("blocked update succeeded despite server close")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("pending slot %d never settled after server close", i)
+		}
+	}
+	if _, err := holder.Commit(); err != nil {
+		t.Fatalf("holder commit after server close = %v", err)
+	}
+}
+
+// TestHandshakeVersionMismatch covers both directions of the version
+// gate: a client facing a newer server gets a descriptive error naming
+// both versions, and a server rejects a client that presents a version
+// it does not speak.
+func TestHandshakeVersionMismatch(t *testing.T) {
+	// Fake "future" server speaking version 3.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, handshakeSize)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		hs := handshakeBytes()
+		hs[4] = 3 // future version
+		c.Write(hs[:])
+	}()
+	_, err = DialDB(bg, ln.Addr().String(), 1)
+	if err == nil {
+		t.Fatal("dial against a v3 server succeeded")
+	}
+	var vm *VersionMismatchError
+	if !errors.As(err, &vm) {
+		t.Fatalf("err = %v, want VersionMismatchError", err)
+	}
+	if vm.Local != ProtocolVersion || vm.Peer != 3 {
+		t.Fatalf("mismatch versions = local %d peer %d", vm.Local, vm.Peer)
+	}
+	if !strings.Contains(err.Error(), "version mismatch") {
+		t.Fatalf("error not descriptive: %q", err)
+	}
+
+	// Real server versus a stale (v1-style) client.
+	d := db.Open(db.Config{})
+	t.Cleanup(d.Close)
+	srv := NewDBServer(d, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hs := handshakeBytes()
+	hs[4] = 1
+	if _, err := c.Write(hs[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The server replies with its own handshake (so we learn v2), then
+	// closes without serving frames.
+	peer, err := readHandshake(c)
+	if err != nil || peer != ProtocolVersion {
+		t.Fatalf("server handshake reply = (%d, %v)", peer, err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Fatalf("server kept a v1 connection open (read = %v)", err)
+	}
+}
+
+// TestStaleConnResyncOverWire is the end-to-end frame-boundary recovery
+// demonstration: a raw client handshakes, spews garbage (a half-open
+// peer's leftovers), and then sends a well-formed ping frame. The server
+// resynchronizes at the frame boundary and answers the ping — with the
+// gob framing the stream would have been unusable from the first bad
+// byte.
+func TestStaleConnResyncOverWire(t *testing.T) {
+	d := db.Open(db.Config{})
+	t.Cleanup(d.Close)
+	srv := NewDBServer(d, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hs := handshakeBytes()
+	if _, err := c.Write(hs[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readHandshake(c); err != nil {
+		t.Fatal(err)
+	}
+
+	// Garbage first — a torn frame tail from a previous life.
+	if _, err := c.Write([]byte("torn frame debris \x00\x01\x02 not a boundary")); err != nil {
+		t.Fatal(err)
+	}
+	// Then a valid ping frame.
+	var frame bytes.Buffer
+	req := Request{Op: OpPing}
+	if err := writeRequestFrame(&frame, nil, 42, &req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(frame.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr := newFrameReader(c, nil)
+	typ, id, payload, err := fr.Read()
+	if err != nil {
+		t.Fatalf("no response after resync: %v", err)
+	}
+	if typ != frameResponse || id != 42 {
+		t.Fatalf("response frame = (%d, %d)", typ, id)
+	}
+	resp, err := decodeResponse(payload)
+	if err != nil || resp.Code != CodeOK {
+		t.Fatalf("ping after garbage = %+v, %v", resp, err)
+	}
+}
+
+// TestMuxSharedConnectionConcurrency hammers one connection from many
+// goroutines mixing reads, batch reads, and updates; everything must
+// demultiplex to its caller (values match keys) with no cross-delivery.
+func TestMuxSharedConnectionConcurrency(t *testing.T) {
+	d := db.Open(db.Config{DepBound: 5})
+	t.Cleanup(d.Close)
+	srv := NewDBServer(d, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := DialDB(bg, addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+
+	keys := make([]kv.Key, 8)
+	for i := range keys {
+		keys[i] = kv.Key(string(rune('a' + i)))
+		if _, err := cli.Update(bg, nil, []KeyValue{{Key: keys[i], Value: kv.Value("v-" + string(keys[i]))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := keys[(g+i)%len(keys)]
+				switch i % 3 {
+				case 0:
+					item, ok, err := cli.ReadItem(bg, k)
+					if err != nil || !ok {
+						t.Errorf("ReadItem(%s) = %v, %v", k, ok, err)
+						return
+					}
+					if want := "v-" + string(k); string(item.Value) != want {
+						t.Errorf("cross-delivered response: ReadItem(%s) = %q, want %q", k, item.Value, want)
+						return
+					}
+				case 1:
+					lookups, err := cli.ReadItems(bg, keys[:4])
+					if err != nil || len(lookups) != 4 {
+						t.Errorf("ReadItems = %d, %v", len(lookups), err)
+						return
+					}
+					for j, lu := range lookups {
+						if want := "v-" + string(keys[j]); string(lu.Item.Value) != want {
+							t.Errorf("cross-delivered batch entry %d = %q, want %q", j, lu.Item.Value, want)
+							return
+						}
+					}
+				default:
+					if err := cli.Ping(bg); err != nil {
+						t.Errorf("ping: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestInvalidationBatchCoalescing commits an update writing many keys
+// and verifies every invalidation reaches the subscriber — the DB server
+// flushes them as batched frames, and nothing is lost or reordered
+// within the batch.
+func TestInvalidationBatchCoalescing(t *testing.T) {
+	d := db.Open(db.Config{})
+	t.Cleanup(d.Close)
+	srv := NewDBServer(d, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	var mu sync.Mutex
+	var got []Invalidation
+	stop, err := SubscribeInvalidations(bg, addr, "batch-edge", func(inv Invalidation) {
+		mu.Lock()
+		got = append(got, inv)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop)
+
+	cli, err := DialDB(bg, addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+
+	const n = 32
+	writes := make([]KeyValue, n)
+	for i := range writes {
+		writes[i] = KeyValue{Key: kv.Key(string(rune('A' + i))), Value: kv.Value("v")}
+	}
+	if _, err := cli.Update(bg, nil, writes); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		count := len(got)
+		mu.Unlock()
+		if count == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d invalidations", count, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, inv := range got {
+		if want := kv.Key(string(rune('A' + i))); inv.Key != want {
+			t.Fatalf("invalidation %d = %q, want %q (reordered within batch)", i, inv.Key, want)
+		}
+	}
+}
+
+// TestOversizedRequestRejected sends a request whose encoding exceeds
+// the frame payload cap: the client must reject it locally with
+// ErrFrameTooLarge — never write a frame the peer would have to treat
+// as garbage — and the connection must remain usable.
+func TestOversizedRequestRejected(t *testing.T) {
+	d := db.Open(db.Config{})
+	t.Cleanup(d.Close)
+	srv := NewDBServer(d, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := DialDB(bg, addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+
+	huge := make(kv.Value, maxFramePayload+1)
+	if _, err := cli.Update(bg, nil, []KeyValue{{Key: "k", Value: huge}}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized update = %v, want ErrFrameTooLarge", err)
+	}
+	// The connection was never poisoned: ordinary traffic still works.
+	if err := cli.Ping(bg); err != nil {
+		t.Fatalf("ping after oversized reject = %v", err)
+	}
+	if n := srv.connCount(); n != 1 {
+		t.Fatalf("server sees %d connections, want 1", n)
+	}
+}
+
+// TestIdempotentRetryAfterServerRestart bounces the server under a
+// client whose pooled connections all went stale: the next idempotent
+// read must succeed transparently via the guaranteed-fresh redial.
+func TestIdempotentRetryAfterServerRestart(t *testing.T) {
+	d := db.Open(db.Config{})
+	t.Cleanup(d.Close)
+	srv := NewDBServer(d, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialDB(bg, addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+	if _, err := cli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the second slot too, so both connections are established and
+	// will both be stale after the bounce.
+	if _, _, err := cli.ReadItem(bg, "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close()
+	srv2 := NewDBServer(d, t.Logf)
+	for i := 0; ; i++ {
+		if _, err = srv2.Listen(addr); err == nil {
+			break
+		}
+		if i == 50 {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Cleanup(srv2.Close)
+
+	// Every pooled connection is now half-dead; the reads must still
+	// succeed without surfacing the staleness.
+	for i := 0; i < 4; i++ {
+		if item, ok, err := cli.ReadItem(bg, "k"); err != nil || !ok || string(item.Value) != "v" {
+			t.Fatalf("read %d after restart = %q, %v, %v", i, item.Value, ok, err)
+		}
+	}
+}
+
+// TestCompactItemIndependence verifies that a compacted batch item is
+// equal to the original but shares no memory with the frame it was
+// decoded from.
+func TestCompactItemIndependence(t *testing.T) {
+	payload := appendItem(nil, kv.Item{
+		Value:   kv.Value("value-bytes"),
+		Version: kv.Version{Counter: 7, Node: 1},
+		Deps: kv.DepList{
+			{Key: "dep-a", Version: kv.Version{Counter: 1}},
+			{Key: "", Version: kv.Version{Counter: 2}},
+		},
+	})
+	d := payloadDecoder{b: payload}
+	aliased, err := d.item()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact := compactItem(aliased)
+	if !reflect.DeepEqual(compact, aliased) {
+		t.Fatalf("compactItem changed the item:\n got %#v\nwant %#v", compact, aliased)
+	}
+	// Scribble over the frame payload: the aliased decode changes, the
+	// compacted copy must not.
+	for i := range payload {
+		payload[i] = 'X'
+	}
+	if string(compact.Value) != "value-bytes" || string(compact.Deps[0].Key) != "dep-a" {
+		t.Fatalf("compacted item still aliases the frame: %q %q", compact.Value, compact.Deps[0].Key)
+	}
+}
+
+// TestInvalidationBacklogChunked lowers the per-frame byte cap and
+// pushes a backlog big enough to need several frames: every invalidation
+// must still arrive, in order — the flush splits instead of failing with
+// an oversized frame and flapping the subscription.
+func TestInvalidationBacklogChunked(t *testing.T) {
+	old := maxInvalidationFrameBytes
+	maxInvalidationFrameBytes = 256
+	t.Cleanup(func() { maxInvalidationFrameBytes = old })
+
+	d := db.Open(db.Config{})
+	t.Cleanup(d.Close)
+	srv := NewDBServer(d, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	var mu sync.Mutex
+	var got []Invalidation
+	stop, err := SubscribeInvalidations(bg, addr, "chunk-edge", func(inv Invalidation) {
+		mu.Lock()
+		got = append(got, inv)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop)
+
+	cli, err := DialDB(bg, addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+
+	const n = 64
+	writes := make([]KeyValue, n)
+	for i := range writes {
+		writes[i] = KeyValue{Key: kv.Key(fmt.Sprintf("chunk-key-with-some-length-%03d", i)), Value: kv.Value("v")}
+	}
+	if _, err := cli.Update(bg, nil, writes); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		count := len(got)
+		mu.Unlock()
+		if count == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d invalidations across chunked frames", count, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, inv := range got {
+		if want := kv.Key(fmt.Sprintf("chunk-key-with-some-length-%03d", i)); inv.Key != want {
+			t.Fatalf("invalidation %d = %q, want %q", i, inv.Key, want)
+		}
+	}
+}

@@ -269,14 +269,14 @@ func TestConflictSurfacesOverWire(t *testing.T) {
 
 func TestUnknownOpRejected(t *testing.T) {
 	s := newStack(t, core.StrategyAbort)
-	resp, err := s.cli.p.roundTrip(bg, Request{Op: "bogus"})
+	resp, err := s.cli.mx.roundTrip(bg, Request{Op: "bogus"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Code != CodeError {
 		t.Fatalf("code = %v", resp.Code)
 	}
-	resp, err = s.dbCli.p.roundTrip(bg, Request{Op: "bogus"})
+	resp, err = s.dbCli.mx.roundTrip(bg, Request{Op: "bogus"})
 	if err != nil {
 		t.Fatal(err)
 	}

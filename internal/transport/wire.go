@@ -2,9 +2,11 @@
 // system can be deployed as the paper describes it: a backend database
 // daemon (cmd/tdbd), edge cache daemons close to clients (cmd/tcached),
 // and an asynchronous invalidation stream from the database to each
-// cache. Framing is gob over a plain TCP connection: requests and
-// responses alternate, except on subscription connections, which switch
-// to a server-push stream of invalidations.
+// cache. Framing is the versioned, length-prefixed binary protocol of
+// codec.go over a plain TCP connection: requests carry ids and are
+// multiplexed — many in-flight calls share one connection and responses
+// arrive in completion order — except on subscription connections, which
+// switch to a server-push stream of batched invalidation frames.
 package transport
 
 import (

@@ -20,8 +20,9 @@ type KeyValue = transport.KeyValue
 //	remote, err := tcache.Dial(ctx, "db.example.com:7070")
 //	cache, err := tcache.NewCache(remote)
 //
-// Reads go through a small connection pool that redials failed
-// connections transparently; invalidation subscriptions resubscribe
+// Reads are multiplexed over a small fixed set of connections (the v2
+// binary wire protocol carries a request id per frame) that redial
+// transparently after failures; invalidation subscriptions resubscribe
 // automatically after the stream breaks (server restart, network blip).
 // Invalidations sent while a subscription is down are lost — exactly the
 // lossy asynchronous channel the T-Cache protocol is designed to
@@ -54,9 +55,12 @@ type dialOptions struct {
 // DialOption configures Dial.
 type DialOption func(*dialOptions)
 
-// WithPoolSize sets the number of pooled connections used for reads and
-// updates (default 4). Invalidation subscriptions use one dedicated
-// connection each, outside the pool.
+// WithPoolSize sets the number of multiplexed connections shared by
+// reads and updates (default 4). Unlike a classic pool, a connection is
+// not occupied per in-flight request: any number of concurrent calls
+// interleave over these few connections, demultiplexed by request id.
+// Invalidation subscriptions use one dedicated connection each, outside
+// the set.
 func WithPoolSize(n int) DialOption {
 	return func(o *dialOptions) { o.poolSize = n }
 }

@@ -300,6 +300,10 @@ func sleepJittered(ctx context.Context, d time.Duration) error {
 // value directly from the database. The boolean reports presence; the
 // error is non-nil only for a cancelled ctx, so a missing key is never
 // conflated with an aborted read.
+//
+// The returned Value shares the store's memory (copy-on-write: commits
+// replace items wholesale) and must be treated as read-only; Clone it
+// before modifying.
 func (d *DB) Get(ctx context.Context, key Key) (Value, bool, error) {
 	item, ok, err := d.inner.ReadItem(ctx, key)
 	if err != nil {
@@ -463,6 +467,10 @@ type ReadTx struct {
 // Get reads key through the cache within the transaction. ctx bounds the
 // backend fetch on a miss. After the transaction aborts, further reads
 // return the abort error.
+//
+// The returned Value is shared with the cache (copy-on-write: updates
+// replace whole items rather than mutating served slices) and must be
+// treated as read-only; Clone it before modifying.
 func (t *ReadTx) Get(ctx context.Context, key Key) (Value, error) {
 	if t.err != nil && errors.Is(t.err, ErrTxnAborted) {
 		return nil, t.err
@@ -479,6 +487,9 @@ func (t *ReadTx) Get(ctx context.Context, key Key) (Value, error) {
 // fetched from the backend in a single batch request (one round trip to a
 // remote database instead of one per key). Every read is validated
 // individually; the first error stops the batch.
+//
+// Like Get, the returned Values are shared with the cache and must be
+// treated as read-only; Clone before modifying.
 func (t *ReadTx) GetMulti(ctx context.Context, keys ...Key) ([]Value, error) {
 	if t.err != nil && errors.Is(t.err, ErrTxnAborted) {
 		return nil, t.err
@@ -523,7 +534,9 @@ func (c *Cache) ReadTxn(ctx context.Context, fn func(tx *ReadTx) error) error {
 	return nil
 }
 
-// Get performs a plain, non-transactional cache read.
+// Get performs a plain, non-transactional cache read. The returned
+// Value is shared with the cache and must be treated as read-only;
+// Clone it before modifying.
 func (c *Cache) Get(ctx context.Context, key Key) (Value, error) {
 	return c.inner.Get(ctx, key)
 }
