@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench benchsmoke fuzz
+.PHONY: all build test race vet bench benchcluster benchsmoke clustersmoke fuzz
 
 all: vet build test
 
@@ -22,6 +22,17 @@ vet:
 # as an artifact and fails on budget regressions.
 bench:
 	$(GO) run ./cmd/tcache-bench -benchjson BENCH_pr3.json -bench-budget bench_budget.json
+
+# benchcluster regenerates BENCH_pr4.json — the cluster tier's routing
+# overhead vs plain Dial (warm + cold single-key, batch split, ring
+# lookup) — and gates the zero-extra-allocs warm path.
+benchcluster:
+	$(GO) run ./cmd/tcache-bench -fig cluster
+
+# clustersmoke runs the end-to-end fleet check: 1 tdbd + 3 tcached on
+# loopback, driven by tcache-load -cluster and tcache-cli.
+clustersmoke:
+	./scripts/cluster_smoke.sh
 
 # benchsmoke is the CI quick pass: paper figures, hot paths, and the
 # codec micro-benchmarks.

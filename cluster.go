@@ -1,0 +1,283 @@
+package tcache
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"tcache/internal/cluster"
+	"tcache/internal/core"
+	"tcache/internal/db"
+	"tcache/internal/transport"
+)
+
+// ClusterCache is a T-Cache whose backend is a whole fleet of tcached
+// nodes instead of one database: a consistent-hash ring routes every
+// miss fill (and the invalidation subscription) to the node owning the
+// key, batch reads are split into per-node sub-batches, and a dead node
+// is ejected and routed around while health probes work to re-admit it.
+//
+// It embeds *Cache, so the read API — ReadTxn, Get, GetMulti — is
+// exactly the single-backend one; the paper's per-edge eq.1/eq.2 checks
+// run unchanged in this local cache. What the fleet adds is horizontal
+// capacity and availability, plus a failover guarantee of its own: a
+// read re-routed off a dead (or freshly re-admitted) node carries the
+// high-water version mark of its key range, so a survivor whose cache
+// fell behind this client's history refetches from the database instead
+// of serving versions the client has already seen invalidated
+// (read-your-invalidations across failover).
+type ClusterCache struct {
+	*Cache
+	router *cluster.Router
+}
+
+// clusterOptions collects DialCluster settings.
+type clusterOptions struct {
+	router cluster.Config
+	cache  []CacheOption
+}
+
+// ClusterOption configures DialCluster.
+type ClusterOption func(*clusterOptions)
+
+// WithClusterVNodes sets the virtual-node count per fleet member
+// (default 128). More points smooth the member shares at slightly larger
+// ring memory.
+func WithClusterVNodes(n int) ClusterOption {
+	return func(o *clusterOptions) { o.router.VNodes = n }
+}
+
+// WithClusterPoolSize sets the multiplexed connection count per node
+// (default 2).
+func WithClusterPoolSize(n int) ClusterOption {
+	return func(o *clusterOptions) { o.router.PoolSize = n }
+}
+
+// WithClusterFailThreshold sets how many consecutive transport failures
+// eject a node from routing (default 3).
+func WithClusterFailThreshold(n int) ClusterOption {
+	return func(o *clusterOptions) { o.router.FailThreshold = n }
+}
+
+// WithClusterHealth sets the background health-check period and the
+// per-probe timeout (defaults 500ms, 1s).
+func WithClusterHealth(interval, timeout time.Duration) ClusterOption {
+	return func(o *clusterOptions) {
+		o.router.ProbeInterval = interval
+		o.router.ProbeTimeout = timeout
+	}
+}
+
+// WithClusterProbation sets how long a re-admitted node keeps serving
+// floored reads while it may still be missing invalidations from its
+// absence (default 10s).
+func WithClusterProbation(d time.Duration) ClusterOption {
+	return func(o *clusterOptions) { o.router.Probation = d }
+}
+
+// WithClusterCacheOptions forwards options to the embedded local Cache
+// (strategy, TTL, capacity, shards, ...).
+func WithClusterCacheOptions(opts ...CacheOption) ClusterOption {
+	return func(o *clusterOptions) { o.cache = append(o.cache, opts...) }
+}
+
+// DialCluster connects to a fleet of tcached nodes and returns a
+// ClusterCache attached to it — the multi-edge form of Dial + NewCache:
+//
+//	cc, err := tcache.DialCluster(ctx, []string{"edge1:7071", "edge2:7071", "edge3:7071"})
+//	defer cc.Close()
+//	err = cc.ReadTxn(ctx, func(tx *tcache.ReadTx) error { ... })
+//
+// Nodes that are down at dial time start ejected and join when their
+// health probe succeeds; DialCluster fails only when no node is
+// reachable. ctx bounds the initial dials.
+func DialCluster(ctx context.Context, addrs []string, opts ...ClusterOption) (*ClusterCache, error) {
+	o := clusterOptions{}
+	o.router.Addrs = addrs
+	for _, opt := range opts {
+		opt(&o)
+	}
+	router, err := cluster.NewRouter(ctx, o.router)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := NewCache(&clusterBackend{r: router}, o.cache...)
+	if err != nil {
+		router.Close()
+		return nil, err
+	}
+	return &ClusterCache{Cache: cache, router: router}, nil
+}
+
+// Close shuts the local cache down, then the fleet clients.
+func (c *ClusterCache) Close() {
+	c.Cache.Close()
+	c.router.Close()
+}
+
+// ClusterNode is one fleet member's health, as the router sees it.
+type ClusterNode struct {
+	Addr string
+	// State is "up", "probation" (re-admitted, still serving floored
+	// reads), or "ejected" (routed around, being re-probed).
+	State string
+	// ConsecutiveFails is the current transport-failure streak.
+	ConsecutiveFails int
+}
+
+// Nodes returns each fleet member's health, in DialCluster order.
+func (c *ClusterCache) Nodes() []ClusterNode {
+	infos := c.router.Nodes()
+	out := make([]ClusterNode, len(infos))
+	for i, ni := range infos {
+		out[i] = ClusterNode{Addr: ni.Addr, State: string(ni.State), ConsecutiveFails: ni.ConsecutiveFails}
+	}
+	return out
+}
+
+// ClusterNodeStats is one node's health plus its server-side counters.
+type ClusterNodeStats struct {
+	ClusterNode
+	// Stats are the node's counters (reads, hits, misses, ...); nil when
+	// the node was unreachable.
+	Stats map[string]uint64
+	// Err is the stats-fetch failure, if any.
+	Err string
+}
+
+// ClusterStats aggregates the whole tier's counters: the local cache's
+// view plus every node's, summed and broken down.
+type ClusterStats struct {
+	// Local is the embedded cache's counters (what Cache.Stats alone
+	// would report).
+	Local Stats
+	// Nodes is the per-node breakdown.
+	Nodes []ClusterNodeStats
+	// Aggregate sums each counter over all reachable nodes.
+	Aggregate map[string]uint64
+}
+
+// Stats returns the aggregated cluster counters: unlike the embedded
+// Cache.Stats (which it shadows), it sums every node's server-side
+// counters and exposes the per-node breakdown alongside the local view.
+// Ejected nodes appear in the breakdown with their health state and no
+// counters. ctx bounds the per-node stats round trips.
+func (c *ClusterCache) Stats(ctx context.Context) ClusterStats {
+	nodeStats := c.router.Stats(ctx)
+	out := ClusterStats{
+		Local:     c.Cache.Stats(),
+		Nodes:     make([]ClusterNodeStats, len(nodeStats)),
+		Aggregate: make(map[string]uint64),
+	}
+	for i, ns := range nodeStats {
+		out.Nodes[i] = ClusterNodeStats{
+			ClusterNode: ClusterNode{Addr: ns.Addr, State: string(ns.State), ConsecutiveFails: ns.ConsecutiveFails},
+			Stats:       ns.Stats,
+			Err:         ns.Err,
+		}
+		for k, v := range ns.Stats {
+			out.Aggregate[k] += v
+		}
+	}
+	return out
+}
+
+// clusterBackend adapts the router to the Backend interface (it lives
+// here rather than in the cluster package so that package stays free of
+// the public API's db-typed Invalidation).
+type clusterBackend struct {
+	r *cluster.Router
+}
+
+var (
+	_ Backend      = (*clusterBackend)(nil)
+	_ BatchBackend = (*clusterBackend)(nil)
+)
+
+func (b *clusterBackend) ReadItem(ctx context.Context, key Key) (Item, bool, error) {
+	return b.r.ReadItem(ctx, key)
+}
+
+func (b *clusterBackend) ReadItems(ctx context.Context, keys []Key) ([]Lookup, error) {
+	return b.r.ReadItems(ctx, keys)
+}
+
+func (b *clusterBackend) Subscribe(name string, sink func(Invalidation)) (cancel func(), err error) {
+	return b.r.Subscribe(name, func(inv transport.Invalidation) {
+		sink(db.Invalidation{Key: inv.Key, Version: inv.Version})
+	})
+}
+
+// Edge is a programmatic tcached: a mid-tier cache node that fills from
+// a (usually remote) database, applies and relays its invalidation
+// stream, and serves both the transactional client protocol and the
+// backend protocol cluster routers read through. ServeEdge is to
+// cmd/tcached what ServeDB is to cmd/tdbd.
+type Edge struct {
+	addr    string
+	backend *transport.DBClient
+	cache   *core.Cache
+	srv     *transport.CacheServer
+	unsub   func()
+}
+
+// ServeEdge starts an edge node: it dials the database at dbAddr,
+// attaches a cache (configured by opts; only core cache options apply),
+// subscribes to the invalidation stream — applying it locally and
+// relaying it to downstream subscribers — and serves on listen (for
+// example "127.0.0.1:0"). ctx bounds the initial dial and subscribe.
+func ServeEdge(ctx context.Context, dbAddr, listen string, opts ...CacheOption) (*Edge, error) {
+	o := cacheOptions{}
+	o.core.Strategy = core.StrategyRetry
+	for _, opt := range opts {
+		opt(&o)
+	}
+	backend, err := transport.DialDB(ctx, dbAddr, 4)
+	if err != nil {
+		return nil, err
+	}
+	o.core.Backend = backend
+	cache, err := core.New(o.core)
+	if err != nil {
+		backend.Close()
+		return nil, err
+	}
+	srv := transport.NewCacheServer(cache, nil)
+	name := o.name
+	if name == "" {
+		name = fmt.Sprintf("edge-%d-%d", os.Getpid(), _cacheSeq.Add(1))
+	}
+	unsub, err := transport.SubscribeInvalidations(ctx, dbAddr, name, func(inv transport.Invalidation) {
+		cache.Invalidate(inv.Key, inv.Version)
+		srv.Broadcast(inv)
+	})
+	if err != nil {
+		cache.Close()
+		backend.Close()
+		return nil, fmt.Errorf("tcache: edge subscribe: %w", err)
+	}
+	addr, err := srv.Listen(listen)
+	if err != nil {
+		unsub()
+		cache.Close()
+		backend.Close()
+		return nil, err
+	}
+	return &Edge{addr: addr, backend: backend, cache: cache, srv: srv, unsub: unsub}, nil
+}
+
+// Addr returns the edge's bound listen address.
+func (e *Edge) Addr() string { return e.addr }
+
+// Cache exposes the edge's cache for metrics.
+func (e *Edge) Cache() *core.Cache { return e.cache }
+
+// Close stops serving, detaches from the invalidation stream, and shuts
+// the cache and backend connections down.
+func (e *Edge) Close() {
+	e.srv.Close()
+	e.unsub()
+	e.cache.Close()
+	e.backend.Close()
+}

@@ -1,0 +1,330 @@
+package main
+
+// -fig cluster: the cluster-tier routing-overhead benchmark. It stands
+// up the full multi-edge topology on loopback — one served DB, three
+// edge nodes (ServeEdge), and a DialCluster client — next to the plain
+// single-backend deployment (Dial), and measures the routing tier's
+// cost where it matters:
+//
+//   - warm single-key read (the acceptance metric: a cluster client's
+//     warm hit must stay within a few percent of plain Dial, with zero
+//     extra allocations — the ring is consulted only on fills);
+//   - cold single-key read (one loopback round trip in both setups; the
+//     delta is the ring lookup + health/floor bookkeeping);
+//   - cold 5-key batch (per-node sub-batch split + reassembly);
+//   - the raw ring lookup (must not allocate).
+//
+// Results go to BENCH_pr4.json, and any matching entries in the budget
+// file gate allocs/op regressions; the derived warm-read overhead and
+// extra-alloc figures are recorded alongside.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"tcache"
+	"tcache/internal/cluster"
+	"tcache/internal/kv"
+	"tcache/internal/workload"
+)
+
+const clusterBenchOut = "BENCH_pr4.json"
+
+// clusterAddrs/clusterDB are the -cluster / -cluster-db flags: when set,
+// the cluster benchmarks run against that live fleet instead of a
+// self-built loopback one.
+var clusterAddrs, clusterDB string
+
+// externalCluster dials the fleet named by -cluster and seeds the
+// benchmark keys through -cluster-db.
+func externalCluster(b *testing.B, nKeys int) *tcache.ClusterCache {
+	b.Helper()
+	if clusterDB == "" {
+		b.Fatal("-cluster needs -cluster-db to seed the benchmark keys")
+	}
+	remote, err := tcache.Dial(benchCtx, clusterDB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(remote.Close)
+	for i := 0; i < nKeys; i++ {
+		k := workload.ObjectKey(i)
+		if _, err := remote.Update(benchCtx, []tcache.Key{k},
+			[]tcache.KeyValue{{Key: k, Value: kv.Value("seed")}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cc, err := tcache.DialCluster(benchCtx, cluster.SplitAddrs(clusterAddrs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cc.Close)
+	return cc
+}
+
+// clusterStack builds the cluster topology over loopback — a served DB,
+// nEdges edge nodes, and a DialCluster client attached to all of them —
+// or, with -cluster, attaches to the live external fleet instead.
+func clusterStack(b *testing.B, nEdges, nKeys int) *tcache.ClusterCache {
+	b.Helper()
+	if clusterAddrs != "" {
+		return externalCluster(b, nKeys)
+	}
+	d := tcache.OpenDB(tcache.WithDepListBound(5))
+	b.Cleanup(d.Close)
+	addr, stop, err := tcache.ServeDB(d, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(stop)
+	addrs := make([]string, nEdges)
+	for i := range addrs {
+		edge, err := tcache.ServeEdge(benchCtx, addr, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(edge.Close)
+		addrs[i] = edge.Addr()
+	}
+	cc, err := tcache.DialCluster(benchCtx, addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cc.Close)
+	if err := d.Update(benchCtx, func(tx *tcache.Tx) error {
+		for i := 0; i < nKeys; i++ {
+			if err := tx.Set(workload.ObjectKey(i), kv.Value("seed")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return cc
+}
+
+// warmRead1 measures a warm single-key read transaction on any cache
+// with the shared read API.
+func warmRead1(b *testing.B, read func(ctx context.Context, fn func(tx *tcache.ReadTx) error) error) {
+	key := workload.ObjectKey(0)
+	// Warm once outside the timer.
+	if err := read(benchCtx, func(tx *tcache.ReadTx) error {
+		_, err := tx.Get(benchCtx, key)
+		return err
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := read(benchCtx, func(tx *tcache.ReadTx) error {
+			_, err := tx.Get(benchCtx, key)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRemoteWarmRead1(b *testing.B) {
+	cache := remoteStack(b, 1)
+	warmRead1(b, cache.ReadTxn)
+}
+
+func benchClusterWarmRead1(b *testing.B) {
+	cc := clusterStack(b, 3, 1)
+	warmRead1(b, cc.ReadTxn)
+}
+
+// coldRead1 measures a single-key read whose cache entry was just
+// evicted: one backend round trip per iteration (DB get for the plain
+// stack, routed edge read for the cluster).
+func coldRead1(b *testing.B, cache interface {
+	Invalidate(key tcache.Key, version tcache.Version)
+	ReadTxn(ctx context.Context, fn func(tx *tcache.ReadTx) error) error
+}) {
+	key := workload.ObjectKey(0)
+	evict := kv.Version{Counter: ^uint64(0) - 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Invalidate(key, evict)
+		if err := cache.ReadTxn(benchCtx, func(tx *tcache.ReadTx) error {
+			_, err := tx.Get(benchCtx, key)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRemoteColdRead1(b *testing.B) {
+	cache := remoteStack(b, 1)
+	coldRead1(b, cache)
+}
+
+func benchClusterColdRead1(b *testing.B) {
+	cc := clusterStack(b, 3, 1)
+	coldRead1(b, cc)
+}
+
+func benchClusterColdMulti(b *testing.B) {
+	cc := clusterStack(b, 3, 5)
+	keys := benchKeys(5)
+	evict := kv.Version{Counter: ^uint64(0) - 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			cc.Invalidate(k, evict)
+		}
+		if err := cc.ReadTxn(benchCtx, func(tx *tcache.ReadTx) error {
+			_, err := tx.GetMulti(benchCtx, keys...)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchClusterRingLookup(b *testing.B) {
+	ring, err := cluster.NewRing([]string{"edge-a:7071", "edge-b:7071", "edge-c:7071"}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchKeys(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		m, _ := ring.Lookup(keys[i&63])
+		sink += m
+	}
+	_ = sink
+}
+
+// runClusterFig runs the cluster benchmarks, writes BENCH_pr4.json, and
+// applies the allocs/op budget gate to any cluster entries present in
+// bench_budget.json.
+func runClusterFig(quick bool, seed int64) error {
+	_ = seed // loopback benchmarks carry no simulation randomness
+	fmt.Printf("running cluster routing-overhead benchmarks (this takes ~15s)\n")
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"BenchmarkRemoteWarmRead1", benchRemoteWarmRead1},
+		{"BenchmarkClusterWarmRead1", benchClusterWarmRead1},
+		{"BenchmarkRemoteColdRead1", benchRemoteColdRead1},
+		{"BenchmarkClusterColdRead1", benchClusterColdRead1},
+		{"BenchmarkClusterColdMulti", benchClusterColdMulti},
+		{"BenchmarkClusterRingLookup", benchClusterRingLookup},
+	}
+	if quick {
+		// -quick keeps CI fast: the warm pair (the acceptance metric) and
+		// the ring only.
+		benches = benches[:2]
+		benches = append(benches, struct {
+			name string
+			fn   func(b *testing.B)
+		}{"BenchmarkClusterRingLookup", benchClusterRingLookup})
+	}
+	results := map[string]benchResult{}
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			return fmt.Errorf("%s failed (ran zero iterations)", bench.name)
+		}
+		res := benchResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		results[bench.name] = res
+		fmt.Printf("  %-32s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			bench.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	derived := map[string]float64{}
+	warmRemote, warmCluster := results["BenchmarkRemoteWarmRead1"], results["BenchmarkClusterWarmRead1"]
+	if warmRemote.NsPerOp > 0 {
+		derived["warm_read_overhead_pct"] = 100 * (warmCluster.NsPerOp - warmRemote.NsPerOp) / warmRemote.NsPerOp
+		derived["warm_read_extra_allocs"] = float64(warmCluster.AllocsPerOp - warmRemote.AllocsPerOp)
+	}
+	if cr, ok := results["BenchmarkClusterColdRead1"]; ok {
+		if rr := results["BenchmarkRemoteColdRead1"]; rr.NsPerOp > 0 {
+			derived["cold_read_overhead_pct"] = 100 * (cr.NsPerOp - rr.NsPerOp) / rr.NsPerOp
+		}
+	}
+	fmt.Printf("  warm single-key read overhead vs plain Dial: %+.1f%%, %+.0f allocs\n",
+		derived["warm_read_overhead_pct"], derived["warm_read_extra_allocs"])
+
+	report := struct {
+		Machine map[string]any         `json:"machine"`
+		Results map[string]benchResult `json:"results"`
+		Derived map[string]float64     `json:"derived"`
+	}{
+		Machine: map[string]any{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+		},
+		Results: results,
+		Derived: derived,
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(clusterBenchOut, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", clusterBenchOut)
+
+	// The routing hot path must not allocate beyond the plain stack: gate
+	// it directly (stable across machines, unlike ns/op).
+	if extra := derived["warm_read_extra_allocs"]; extra > 0 {
+		return fmt.Errorf("cluster warm read allocates %+.0f more than plain Dial (routing hot path must add none)", extra)
+	}
+	if budgetRaw, err := os.ReadFile("bench_budget.json"); err == nil {
+		var budget map[string]int64
+		if json.Unmarshal(budgetRaw, &budget) == nil {
+			scoped := map[string]int64{}
+			for name, max := range budget {
+				if _, ok := results[name]; ok {
+					scoped[name] = max
+				}
+			}
+			if len(scoped) > 0 {
+				if err := checkScopedBudget(scoped, results); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkScopedBudget applies the allocs/op gate to the given entries.
+func checkScopedBudget(budget map[string]int64, results map[string]benchResult) error {
+	var failures []string
+	for name, maxAllocs := range budget {
+		if res := results[name]; res.AllocsPerOp > maxAllocs {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds budget %d", name, res.AllocsPerOp, maxAllocs))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "budget FAIL:", f)
+		}
+		return fmt.Errorf("bench budget: %d regression(s)", len(failures))
+	}
+	fmt.Printf("bench budget OK (%d cluster benchmarks within allocs/op budget)\n", len(budget))
+	return nil
+}

@@ -9,6 +9,9 @@
 //	tcache-bench -seed 7        # change the simulation seed
 //	tcache-bench -fig hitpath -cache-shards 8
 //	                            # hot-path throughput vs client concurrency
+//	tcache-bench -fig multiedge # M edges × shared writes: per-edge breakdown
+//	tcache-bench -fig cluster   # cluster-tier routing overhead → BENCH_pr4.json
+//	                            # (-cluster a,b,c -cluster-db d targets a live fleet)
 //	tcache-bench -benchjson BENCH_pr3.json -bench-budget bench_budget.json
 //	                            # machine-readable wire/hit-path numbers
 //	                            # (ns/op, B/op, allocs/op) + regression gate
@@ -40,13 +43,15 @@ var cacheShards int
 
 func run() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, multiedge, cluster, all")
 		quick     = flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		benchJSON = flag.String("benchjson", "", "run the remote + hit-path benchmarks and write ns/op, B/op, allocs/op JSON to this path (skips -fig)")
 		budget    = flag.String("bench-budget", "", "with -benchjson: fail if any benchmark's allocs/op exceeds its budget in this JSON file")
 	)
 	flag.IntVar(&cacheShards, "cache-shards", 0, "cache lock stripes for the hitpath run (0 = GOMAXPROCS, 1 = single mutex)")
+	flag.StringVar(&clusterAddrs, "cluster", "", "comma-separated tcached fleet for the cluster run (default: a self-built loopback fleet; requires -cluster-db)")
+	flag.StringVar(&clusterDB, "cluster-db", "", "tdbd address backing the -cluster fleet (used to seed the benchmark key)")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -54,22 +59,24 @@ func run() error {
 	}
 
 	runs := map[string]func(bool, int64) error{
-		"3":        runFig3,
-		"4":        runFig4,
-		"5":        runFig5,
-		"6":        runFig6,
-		"7ab":      runFig7ab,
-		"7c":       runFig7c,
-		"7d":       runFig7d,
-		"8":        runFig8,
-		"headline": runHeadline,
-		"album":    runAlbum,
-		"lru":      runLRUAblation,
-		"drop":     runDropSweep,
-		"mv":       runMultiversion,
-		"hitpath":  runHitPath,
+		"3":         runFig3,
+		"4":         runFig4,
+		"5":         runFig5,
+		"6":         runFig6,
+		"7ab":       runFig7ab,
+		"7c":        runFig7c,
+		"7d":        runFig7d,
+		"8":         runFig8,
+		"headline":  runHeadline,
+		"album":     runAlbum,
+		"lru":       runLRUAblation,
+		"drop":      runDropSweep,
+		"mv":        runMultiversion,
+		"hitpath":   runHitPath,
+		"multiedge": runMultiEdge,
+		"cluster":   runClusterFig,
 	}
-	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv", "hitpath"}
+	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv", "hitpath", "multiedge", "cluster"}
 
 	selected := strings.Split(*fig, ",")
 	if *fig == "all" {
@@ -264,6 +271,20 @@ func runMultiversion(quick bool, seed int64) error {
 	}
 	p.Seed = seed
 	res, err := experiment.RunMultiversion(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Table())
+	return nil
+}
+
+func runMultiEdge(quick bool, seed int64) error {
+	p := experiment.DefaultMultiEdgeParams()
+	if quick {
+		p = experiment.QuickMultiEdgeParams()
+	}
+	p.Seed = seed
+	res, err := experiment.RunMultiEdge(p)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,12 @@
 //	tcache-cli -cache 127.0.0.1:7071 read key [key ...]   # one read-only txn
 //	tcache-cli -cache 127.0.0.1:7071 cget key             # plain cache read
 //	tcache-cli -cache 127.0.0.1:7071 stats
+//
+// With -cluster, read/cget/stats address a whole fleet of tcached nodes
+// through the consistent-hash routing tier instead of one daemon:
+//
+//	tcache-cli -cluster edge1:7071,edge2:7071,edge3:7071 read key [key ...]
+//	tcache-cli -cluster edge1:7071,edge2:7071,edge3:7071 stats
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"os"
 	"sort"
 
+	"tcache"
+	"tcache/internal/cluster"
 	"tcache/internal/kv"
 	"tcache/internal/transport"
 )
@@ -33,11 +41,18 @@ func run() error {
 	var (
 		dbAddr    = flag.String("db", "127.0.0.1:7070", "tdbd address")
 		cacheAddr = flag.String("cache", "127.0.0.1:7071", "tcached address")
+		clusterFl = flag.String("cluster", "", "comma-separated tcached fleet (read/cget/stats route through the cluster tier instead of -cache)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		return errors.New("usage: tcache-cli [flags] set|get|read|cget|stats ...")
+	}
+	if addrs := cluster.SplitAddrs(*clusterFl); len(addrs) > 0 {
+		switch cmd, rest := args[0], args[1:]; cmd {
+		case "read", "cget", "stats":
+			return runCluster(ctx, addrs, cmd, rest)
+		}
 	}
 
 	switch cmd, rest := args[0], args[1:]; cmd {
@@ -148,5 +163,82 @@ func run() error {
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// runCluster serves the read-side commands through a cluster tier.
+func runCluster(ctx context.Context, addrs []string, cmd string, rest []string) error {
+	cc, err := tcache.DialCluster(ctx, addrs)
+	if err != nil {
+		return err
+	}
+	defer cc.Close()
+
+	switch cmd {
+	case "read":
+		if len(rest) == 0 {
+			return errors.New("read needs at least one key")
+		}
+		keys := make([]tcache.Key, len(rest))
+		for i, k := range rest {
+			keys[i] = tcache.Key(k)
+		}
+		var vals []tcache.Value
+		err := cc.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
+			var err error
+			vals, err = tx.GetMulti(ctx, keys...)
+			return err
+		})
+		if errors.Is(err, tcache.ErrTxnAborted) {
+			fmt.Println("transaction aborted: inconsistency detected — retry")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for i, k := range rest {
+			fmt.Printf("%s = %q\n", k, vals[i])
+		}
+		fmt.Println("transaction committed")
+		return nil
+
+	case "cget":
+		if len(rest) != 1 {
+			return errors.New("cget needs exactly one key")
+		}
+		val, err := cc.Get(ctx, tcache.Key(rest[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s = %q\n", rest[0], val)
+		return nil
+
+	case "stats":
+		st := cc.Stats(ctx)
+		fmt.Printf("local cache: reads %d, hits %d, misses %d\n",
+			st.Local.Reads, st.Local.Hits, st.Local.Misses)
+		for _, ns := range st.Nodes {
+			fmt.Printf("node %s [%s]", ns.Addr, ns.State)
+			if ns.Err != "" {
+				fmt.Printf(" stats error: %s", ns.Err)
+			}
+			fmt.Println()
+			printStats(ns.Stats, "  ")
+		}
+		fmt.Println("aggregate:")
+		printStats(st.Aggregate, "  ")
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func printStats(stats map[string]uint64, indent string) {
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s%-18s %d\n", indent, k, stats[k])
 	}
 }

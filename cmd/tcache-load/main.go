@@ -8,6 +8,12 @@
 //
 //	tcache-load -db 127.0.0.1:7070 -cache 127.0.0.1:7071 \
 //	            -duration 10s -readers 8 -updaters 2 -objects 2000
+//
+// With -cluster, readers attach one local T-Cache to a whole fleet of
+// tcached nodes through the consistent-hash routing tier (updates still
+// go to -db):
+//
+//	tcache-load -db 127.0.0.1:7070 -cluster edge1:7071,edge2:7071,edge3:7071
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"sync"
 	"time"
 
+	"tcache"
+	"tcache/internal/cluster"
 	"tcache/internal/kv"
 	"tcache/internal/stats"
 	"tcache/internal/transport"
@@ -47,15 +55,18 @@ func run() error {
 	var (
 		dbAddr      = flag.String("db", "127.0.0.1:7070", "tdbd address")
 		cacheAddr   = flag.String("cache", "127.0.0.1:7071", "tcached address")
+		clusterFl   = flag.String("cluster", "", "comma-separated tcached fleet; readers route through the cluster tier instead of -cache")
 		duration    = flag.Duration("duration", 10*time.Second, "load duration")
 		readers     = flag.Int("readers", 8, "read-only client goroutines")
 		updaters    = flag.Int("updaters", 2, "update client goroutines")
 		objects     = flag.Int("objects", 2000, "object count")
-		clusterSize = flag.Int("cluster", 5, "cluster size")
+		clusterSize = flag.Int("cluster-size", 5, "workload cluster size (objects per affinity cluster)")
 		txnSize     = flag.Int("txn", 5, "objects per transaction")
 		seed        = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
+
+	clusterAddrs := cluster.SplitAddrs(*clusterFl)
 
 	dbCli, err := transport.DialDB(ctx, *dbAddr, *updaters+1)
 	if err != nil {
@@ -107,26 +118,51 @@ func run() error {
 		}()
 	}
 
+	// In cluster mode every reader shares one local T-Cache attached to
+	// the fleet; otherwise each reader speaks the thin transactional
+	// protocol to the single tcached.
+	var clusterCache *tcache.ClusterCache
+	if len(clusterAddrs) > 0 {
+		var err error
+		clusterCache, err = tcache.DialCluster(ctx, clusterAddrs)
+		if err != nil {
+			return fmt.Errorf("dial cluster: %w", err)
+		}
+		defer clusterCache.Close()
+		fmt.Printf("routing reads over %d-node cluster tier\n", len(clusterAddrs))
+	}
+
 	for r := 0; r < *readers; r++ {
 		r := r
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			cli, err := transport.DialCache(ctx, *cacheAddr)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dial cache:", err)
-				return
-			}
-			defer cli.Close()
 			rng := rand.New(rand.NewSource(*seed + 1000 + int64(r)))
+			runTxn := func(keys []kv.Key) error {
+				return clusterCache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
+					_, err := tx.GetMulti(ctx, keys...)
+					return err
+				})
+			}
+			if clusterCache == nil {
+				cli, err := transport.DialCache(ctx, *cacheAddr)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dial cache:", err)
+					return
+				}
+				defer cli.Close()
+				runTxn = func(keys []kv.Key) error {
+					// One round trip per transaction (OpReadMulti).
+					_, err := cli.ReadMulti(ctx, cli.NewTxnID(), keys, true)
+					return err
+				}
+			}
 			for time.Now().Before(stop) {
 				keys := gen.Pick(rng)
-				id := cli.NewTxnID()
 				t0 := time.Now()
 				aborted := false
-				// One round trip per transaction (OpReadMulti).
-				if _, err := cli.ReadMulti(ctx, id, keys, true); err != nil {
-					if !errors.Is(err, transport.ErrAborted) {
+				if err := runTxn(keys); err != nil {
+					if !errors.Is(err, transport.ErrAborted) && !errors.Is(err, tcache.ErrTxnAborted) {
 						fmt.Fprintln(os.Stderr, "read:", err)
 						return
 					}
@@ -156,6 +192,24 @@ func run() error {
 	fmt.Printf("aborted (stale): %8d (%.2f%%)\n",
 		c.aborts, 100*float64(c.aborts)/float64(max(1, c.commits+c.aborts)))
 
+	if clusterCache != nil {
+		st := clusterCache.Stats(ctx)
+		local := st.Local
+		if local.Reads > 0 {
+			fmt.Printf("local cache hit ratio: %.3f (detected %d, retries %d, floor refetches %d)\n",
+				local.HitRatio(), local.Detected, local.Retries, local.FloorRefetches)
+		}
+		for _, ns := range st.Nodes {
+			hits, misses := ns.Stats["hits"], ns.Stats["misses"]
+			ratio := 0.0
+			if hits+misses > 0 {
+				ratio = float64(hits) / float64(hits+misses)
+			}
+			fmt.Printf("node %-22s [%s] hit ratio %.3f (reads %d, floor refetches %d)\n",
+				ns.Addr, ns.State, ratio, ns.Stats["reads"], ns.Stats["floor_refetches"])
+		}
+		return nil
+	}
 	cli, err := transport.DialCache(ctx, *cacheAddr)
 	if err == nil {
 		defer cli.Close()

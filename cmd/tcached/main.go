@@ -67,19 +67,24 @@ func run() error {
 	}
 	defer cache.Close()
 
+	srv := transport.NewCacheServer(cache, log.Printf)
+
 	subName := *name
 	if subName == "" {
 		subName = fmt.Sprintf("tcached-%d", os.Getpid())
 	}
+	// Apply upstream invalidations locally, then relay them to any
+	// downstream subscribers (cluster clients that picked this node as
+	// their invalidation home).
 	stop, err := transport.SubscribeInvalidations(context.Background(), *dbAddr, subName, func(inv transport.Invalidation) {
 		cache.Invalidate(inv.Key, inv.Version)
+		srv.Broadcast(inv)
 	})
 	if err != nil {
 		return fmt.Errorf("subscribe to %s: %w", *dbAddr, err)
 	}
 	defer stop()
 
-	srv := transport.NewCacheServer(cache, log.Printf)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err

@@ -209,3 +209,57 @@ func ExampleWithStrategy_retry() {
 	fmt.Printf("err=%v tracks=%s\n", err, tracks)
 	// Output: err=<nil> tracks=$15
 }
+
+// DialCluster shards the read path over a fleet of edge nodes: the
+// local cache fills misses through a consistent-hash router that
+// survives losing a node. ServeEdge stands in for cmd/tcached.
+func ExampleDialCluster() {
+	ctx := context.Background()
+
+	// Datacenter: the database, served over TCP.
+	db := tcache.OpenDB()
+	defer db.Close()
+	dbAddr, stopDB, err := tcache.ServeDB(db, "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer stopDB()
+
+	// Edge tier: three cache nodes, each attached to the database.
+	var fleet []string
+	for i := 0; i < 3; i++ {
+		edge, err := tcache.ServeEdge(ctx, dbAddr, "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		defer edge.Close()
+		fleet = append(fleet, edge.Addr())
+	}
+
+	// Client: one cache attached to the whole fleet.
+	cc, err := tcache.DialCluster(ctx, fleet)
+	if err != nil {
+		panic(err)
+	}
+	defer cc.Close()
+
+	_ = db.Update(ctx, func(tx *tcache.Tx) error {
+		if err := tx.Set("train", tcache.Value("in stock")); err != nil {
+			return err
+		}
+		return tx.Set("tracks", tcache.Value("in stock"))
+	})
+
+	err = cc.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
+		page, err := tx.GetMulti(ctx, "train", "tracks")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("train=%s tracks=%s\n", page[0], page[1])
+		return nil
+	})
+	fmt.Printf("err=%v nodes=%d\n", err, len(cc.Nodes()))
+	// Output:
+	// train=in stock tracks=in stock
+	// err=<nil> nodes=3
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"tcache/internal/kv"
+)
+
+func sampleKeys(n int) []kv.Key {
+	keys := make([]kv.Key, n)
+	for i := range keys {
+		keys[i] = kv.Key(fmt.Sprintf("object-%d", i))
+	}
+	return keys
+}
+
+// TestRingDeterministic: two rings built independently from the same
+// membership — in any order — place every key on the same member (by
+// name; indices follow construction order).
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"edge-a:7071", "edge-b:7071", "edge-c:7071", "edge-d:7071"}
+	shuffled := []string{"edge-c:7071", "edge-a:7071", "edge-d:7071", "edge-b:7071"}
+	r1, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sampleKeys(10000) {
+		m1, h1 := r1.Lookup(k)
+		m2, h2 := r2.Lookup(k)
+		if h1 != h2 {
+			t.Fatalf("hash of %q differs across rings", k)
+		}
+		if r1.Members()[m1] != r2.Members()[m2] {
+			t.Fatalf("placement of %q diverged: %s vs %s", k, r1.Members()[m1], r2.Members()[m2])
+		}
+	}
+}
+
+// TestRingBoundedChurn: removing (or adding) one of N members moves at
+// most about K/N of K sampled keys, plus slack for vnode imbalance —
+// the bounded-churn property that makes consistent hashing worth its
+// name.
+func TestRingBoundedChurn(t *testing.T) {
+	const K = 10000
+	keys := sampleKeys(K)
+	members := []string{"edge-a:7071", "edge-b:7071", "edge-c:7071", "edge-d:7071", "edge-e:7071"}
+	full, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for drop := 0; drop < len(members); drop++ {
+		reduced := make([]string, 0, len(members)-1)
+		for i, m := range members {
+			if i != drop {
+				reduced = append(reduced, m)
+			}
+		}
+		sub, err := NewRing(reduced, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			mFull, _ := full.Lookup(k)
+			mSub, _ := sub.Lookup(k)
+			fullName := full.Members()[mFull]
+			subName := sub.Members()[mSub]
+			if fullName != subName {
+				moved++
+				// A key may only move OFF the dropped member; any other
+				// movement would be gratuitous churn.
+				if fullName != members[drop] {
+					t.Fatalf("key %q moved from surviving member %s to %s", k, fullName, subName)
+				}
+			}
+		}
+		// Expected share ≈ K/N; allow 50% relative slack for vnode
+		// placement variance (128 vnodes keeps shares within a few
+		// percent of uniform, so this is generous).
+		bound := int(math.Ceil(float64(K) / float64(len(members)) * 1.5))
+		if moved > bound {
+			t.Fatalf("dropping %s moved %d of %d keys, want ≤ %d", members[drop], moved, K, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("dropping %s moved no keys — the member owned nothing", members[drop])
+		}
+	}
+}
+
+// TestRingDistribution: member shares stay within a reasonable band of
+// uniform.
+func TestRingDistribution(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(members))
+	const K = 20000
+	for _, k := range sampleKeys(K) {
+		m, _ := r.Lookup(k)
+		counts[m]++
+	}
+	want := K / len(members)
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("member %s owns %d of %d keys (expected ≈%d)", members[i], c, K, want)
+		}
+	}
+}
+
+// TestRingRejectsBadMembership covers the constructor's guards.
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+// TestRingLookupNoAlloc pins the zero-allocation routing hot path.
+func TestRingLookupNoAlloc(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := kv.Key("object-42")
+	allocs := testing.AllocsPerRun(1000, func() {
+		m, _ := r.Lookup(key)
+		_ = m
+	})
+	if allocs != 0 {
+		t.Fatalf("ring lookup allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkRingLookup(b *testing.B) {
+	r, err := NewRing([]string{"a", "b", "c", "d", "e"}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := sampleKeys(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		m, _ := r.Lookup(keys[i&63])
+		sink += m
+	}
+	_ = sink
+}

@@ -1,0 +1,741 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tcache/internal/kv"
+	"tcache/internal/transport"
+)
+
+// ErrNoNodes reports that every cluster node is ejected or unreachable.
+var ErrNoNodes = errors.New("cluster: no live nodes")
+
+// rangeBits partitions the hash circle into 2^rangeBits key ranges, each
+// carrying a high-water version mark — the newest commit version the
+// router has observed (served reads plus relayed invalidations) for keys
+// hashing into the range. On a failover read the mark becomes the read
+// floor: the surviving node must serve at least that version or refetch
+// from the database, so a node whose cache fell behind can never hand
+// the client data older than the client's own history.
+const rangeBits = 8
+
+const numRanges = 1 << rangeBits
+
+func rangeOf(hash uint64) int { return int(hash >> (64 - rangeBits)) }
+
+// Config configures a Router.
+type Config struct {
+	// Addrs are the tcached nodes the key space is sharded over.
+	// Required; duplicates error.
+	Addrs []string
+	// VNodes is the virtual-node count per member (0 = DefaultVNodes).
+	VNodes int
+	// PoolSize is the multiplexed connection count per node (0 = 2).
+	PoolSize int
+	// FailThreshold is the consecutive transport-failure count that
+	// ejects a node (0 = 3).
+	FailThreshold int
+	// ProbeInterval is the background health-check period, and the first
+	// re-probe delay of an ejected node (0 = 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health-check ping (0 = 1s).
+	ProbeTimeout time.Duration
+	// ProbeBackoffMax caps the ejected node re-probe backoff (0 = 5s).
+	ProbeBackoffMax time.Duration
+	// Probation is how long a freshly re-admitted node keeps serving
+	// floored reads: while it may have missed invalidations during its
+	// absence, the floor forces it to prove (or refetch) freshness
+	// (0 = 10s).
+	Probation time.Duration
+	// Logf, if set, receives node state transitions.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 2
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ProbeBackoffMax <= 0 {
+		c.ProbeBackoffMax = 5 * time.Second
+	}
+	if c.Probation <= 0 {
+		c.Probation = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// NodeState labels a node's health.
+type NodeState string
+
+// Node states.
+const (
+	// NodeUp is a healthy node serving its key ranges.
+	NodeUp NodeState = "up"
+	// NodeProbation is a re-admitted node still serving floored reads.
+	NodeProbation NodeState = "probation"
+	// NodeEjected is a node removed from routing, being re-probed with
+	// backoff; its key ranges are served by ring successors.
+	NodeEjected NodeState = "ejected"
+)
+
+// node is one tcached member with its health state.
+type node struct {
+	addr string
+	// cli is nil until the first successful dial (a node may be down at
+	// DialCluster time and join later through the probe loop).
+	cli atomic.Pointer[transport.DBClient]
+	// ejected removes the node from routing.
+	ejected atomic.Bool
+	// fails counts consecutive transport failures.
+	fails atomic.Int32
+	// probationUntil is the UnixNano deadline of the post-re-admission
+	// floored-reads window (0 = none).
+	probationUntil atomic.Int64
+	// probing guards against spawning two re-probe loops.
+	probing atomic.Bool
+}
+
+func (n *node) available() bool {
+	return !n.ejected.Load() && n.cli.Load() != nil
+}
+
+func (n *node) inProbation() bool {
+	p := n.probationUntil.Load()
+	return p != 0 && time.Now().UnixNano() < p
+}
+
+func (n *node) state() NodeState {
+	switch {
+	case n.ejected.Load() || n.cli.Load() == nil:
+		return NodeEjected
+	case n.inProbation():
+		return NodeProbation
+	default:
+		return NodeUp
+	}
+}
+
+// Router shards reads over a fleet of tcached nodes. It implements the
+// cache Backend contract (ReadItem, ReadItems, Subscribe-style streams),
+// so a local T-Cache attaches to a whole fleet exactly as it would to
+// one database: the per-edge eq.1/eq.2 checks run unchanged in the local
+// cache, while the router below it handles placement, health, and
+// failover.
+type Router struct {
+	cfg  Config
+	ring *Ring
+	node []*node
+
+	// hw are the per-range high-water marks; see rangeBits.
+	hw [numRanges]atomic.Pointer[kv.Version]
+
+	// ctx parents probes and subscription streams; Close cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	subMu  sync.Mutex
+	subSeq uint64
+	subs   map[uint64]context.CancelFunc
+	closed bool
+}
+
+// NewRouter builds the fleet client: a ring over cfg.Addrs and one
+// multiplexed DBClient per node. Nodes that cannot be dialed start
+// ejected and join when their probe succeeds; only a fleet with zero
+// reachable nodes fails. ctx bounds the initial dials.
+func NewRouter(ctx context.Context, cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Addrs, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rctx, cancel := context.WithCancel(context.Background())
+	r := &Router{
+		cfg:    cfg,
+		ring:   ring,
+		node:   make([]*node, len(cfg.Addrs)),
+		ctx:    rctx,
+		cancel: cancel,
+		subs:   make(map[uint64]context.CancelFunc),
+	}
+	live := 0
+	for i, addr := range cfg.Addrs {
+		n := &node{addr: addr}
+		r.node[i] = n
+		// Nodes fail fast to this router's health machinery: one redial
+		// per call, short backoff, instead of every caller nursing a
+		// flapping node through long retry loops.
+		cli, derr := transport.DialDB(ctx, addr, cfg.PoolSize,
+			transport.WithMaxRedials(1), transport.WithRedialBackoff(time.Millisecond))
+		if derr != nil {
+			cfg.Logf("cluster: node %s unreachable at start: %v", addr, derr)
+			n.ejected.Store(true)
+			r.startProbe(n)
+			continue
+		}
+		n.cli.Store(cli)
+		live++
+	}
+	if live == 0 {
+		r.Close()
+		return nil, fmt.Errorf("%w: none of %d nodes reachable", ErrNoNodes, len(cfg.Addrs))
+	}
+	r.wg.Add(1)
+	go r.healthLoop()
+	return r, nil
+}
+
+// Close stops health checking and subscriptions and closes every node
+// client.
+func (r *Router) Close() {
+	r.subMu.Lock()
+	if r.closed {
+		r.subMu.Unlock()
+		return
+	}
+	r.closed = true
+	r.subMu.Unlock()
+	r.cancel()
+	r.wg.Wait()
+	for _, n := range r.node {
+		if cli := n.cli.Load(); cli != nil {
+			cli.Close()
+		}
+	}
+}
+
+// Nodes returns each node's address and current health state, in
+// configuration order.
+func (r *Router) Nodes() []NodeInfo {
+	out := make([]NodeInfo, len(r.node))
+	for i, n := range r.node {
+		out[i] = NodeInfo{Addr: n.addr, State: n.state(), ConsecutiveFails: int(n.fails.Load())}
+	}
+	return out
+}
+
+// NodeInfo describes one node's health.
+type NodeInfo struct {
+	Addr             string
+	State            NodeState
+	ConsecutiveFails int
+}
+
+// --- Watermarks ---------------------------------------------------------
+
+// observe raises the high-water mark of rg to at least v. Raising
+// allocates one Version box; the steady state (no newer version) is a
+// single atomic load.
+func (r *Router) observe(rg int, v kv.Version) {
+	if v.IsZero() {
+		return
+	}
+	for {
+		p := r.hw[rg].Load()
+		if p != nil && !p.Less(v) {
+			return
+		}
+		nv := v
+		if r.hw[rg].CompareAndSwap(p, &nv) {
+			return
+		}
+	}
+}
+
+// floorFor returns the high-water mark of rg (zero when none recorded).
+func (r *Router) floorFor(rg int) kv.Version {
+	if p := r.hw[rg].Load(); p != nil {
+		return *p
+	}
+	return kv.Version{}
+}
+
+// --- Health -------------------------------------------------------------
+
+// recordFailure counts one transport failure against n, ejecting it at
+// the threshold and starting its re-probe loop.
+func (r *Router) recordFailure(n *node) {
+	if int(n.fails.Add(1)) < r.cfg.FailThreshold {
+		return
+	}
+	if n.ejected.CompareAndSwap(false, true) {
+		r.cfg.Logf("cluster: node %s ejected after %d consecutive failures", n.addr, r.cfg.FailThreshold)
+	}
+	r.startProbe(n)
+}
+
+func (n *node) recordSuccess() {
+	if n.fails.Load() != 0 {
+		n.fails.Store(0)
+	}
+}
+
+// startProbe launches the re-probe loop for an ejected node (at most one
+// per node at a time). The wg.Add runs under subMu against the closed
+// flag for the same reason Subscribe's does: reads racing Close may
+// still be recording failures.
+func (r *Router) startProbe(n *node) {
+	if !n.probing.CompareAndSwap(false, true) {
+		return
+	}
+	r.subMu.Lock()
+	if r.closed {
+		r.subMu.Unlock()
+		n.probing.Store(false)
+		return
+	}
+	r.wg.Add(1)
+	r.subMu.Unlock()
+	go r.probeLoop(n)
+}
+
+// probeLoop re-probes an ejected node with exponential backoff until it
+// answers a ping, then re-admits it into probation: it serves again, but
+// with read floors attached until Probation elapses, since it may have
+// missed invalidations while out.
+func (r *Router) probeLoop(n *node) {
+	defer r.wg.Done()
+	defer n.probing.Store(false)
+	backoff := r.cfg.ProbeInterval
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-timer.C:
+		}
+		if r.probeOnce(n) {
+			n.probationUntil.Store(time.Now().Add(r.cfg.Probation).UnixNano())
+			n.fails.Store(0)
+			n.ejected.Store(false)
+			r.cfg.Logf("cluster: node %s re-admitted (probation %v)", n.addr, r.cfg.Probation)
+			return
+		}
+		if backoff *= 2; backoff > r.cfg.ProbeBackoffMax {
+			backoff = r.cfg.ProbeBackoffMax
+		}
+		timer.Reset(backoff)
+	}
+}
+
+// probeOnce pings n, dialing its client first if the node was never
+// reached (or its client was torn down).
+func (r *Router) probeOnce(n *node) bool {
+	ctx, cancel := context.WithTimeout(r.ctx, r.cfg.ProbeTimeout)
+	defer cancel()
+	cli := n.cli.Load()
+	if cli == nil {
+		dialed, err := transport.DialDB(ctx, n.addr, r.cfg.PoolSize,
+			transport.WithMaxRedials(1), transport.WithRedialBackoff(time.Millisecond))
+		if err != nil {
+			return false
+		}
+		if !n.cli.CompareAndSwap(nil, dialed) {
+			dialed.Close()
+		}
+		cli = n.cli.Load()
+	}
+	return cli.Ping(ctx) == nil
+}
+
+// healthLoop pings every routed node each ProbeInterval so a quiet
+// cluster still notices a dead node before the next client read does.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		var wg sync.WaitGroup
+		for _, n := range r.node {
+			if !n.available() {
+				continue
+			}
+			wg.Add(1)
+			go func(n *node) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(r.ctx, r.cfg.ProbeTimeout)
+				defer cancel()
+				if err := n.cli.Load().Ping(ctx); err != nil {
+					// The probe owns its deadline, so DeadlineExceeded here
+					// means the node held the connection open but never
+					// answered — the fail-slow case the probe timeout exists
+					// to catch; only a dying router (r.ctx cancelled) makes
+					// the error meaningless.
+					if r.ctx.Err() == nil &&
+						(errors.Is(err, transport.ErrUnavailable) || errors.Is(err, context.DeadlineExceeded)) {
+						r.recordFailure(n)
+					}
+					return
+				}
+				n.recordSuccess()
+			}(n)
+		}
+		wg.Wait()
+	}
+}
+
+// --- Routing ------------------------------------------------------------
+
+// ReadItem implements the Backend read: route key to its ring owner and
+// read it there, failing over clockwise to the next live node when the
+// owner is down. Off-owner reads (and reads on a probation node) carry
+// the range's high-water floor, so a survivor whose cache is behind the
+// client's history refetches from the database instead of serving stale
+// data. The routing decision itself never allocates.
+func (r *Router) ReadItem(ctx context.Context, key kv.Key) (kv.Item, bool, error) {
+	home, hash := r.ring.Lookup(key)
+	rg := rangeOf(hash)
+	var (
+		seen    memberSet
+		lastErr error
+	)
+	for pi, steps := r.ring.Start(hash), 0; steps < r.ring.NumPoints(); pi, steps = r.ring.NextPoint(pi), steps+1 {
+		m := r.ring.PointMember(pi)
+		if !seen.add(m) {
+			continue
+		}
+		n := r.node[m]
+		if !n.available() {
+			continue
+		}
+		var floor kv.Version
+		if m != home || n.inProbation() {
+			floor = r.floorFor(rg)
+		}
+		item, ok, err := n.cli.Load().ReadItemFloor(ctx, key, floor)
+		if err == nil {
+			n.recordSuccess()
+			if ok {
+				r.observe(rg, item.Version)
+			}
+			return item, ok, nil
+		}
+		if ctx.Err() != nil {
+			return kv.Item{}, false, err
+		}
+		if !errors.Is(err, transport.ErrUnavailable) {
+			// The node answered: an application-level error is not a
+			// health signal, and another node would answer the same.
+			return kv.Item{}, false, err
+		}
+		r.recordFailure(n)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = ErrNoNodes
+	}
+	return kv.Item{}, false, fmt.Errorf("cluster: read %q: %w", key, lastErr)
+}
+
+// serveFor returns the node index that currently serves hash, walking
+// the ring past unavailable members and members in excluded (nodes that
+// already failed within the calling batch read — ejection needs a
+// failure streak, but one call must route around a dead node at the
+// first failure), and whether the read needs the range floor (off-owner
+// or probation). ok is false when no node remains. Never allocates.
+func (r *Router) serveFor(hash uint64, excluded *memberSet) (member int, floored, ok bool) {
+	home := -1
+	var seen memberSet
+	for pi, steps := r.ring.Start(hash), 0; steps < r.ring.NumPoints(); pi, steps = r.ring.NextPoint(pi), steps+1 {
+		m := r.ring.PointMember(pi)
+		if !seen.add(m) {
+			continue
+		}
+		if home == -1 {
+			home = m
+		}
+		n := r.node[m]
+		if !n.available() || excluded.has(m) {
+			continue
+		}
+		return m, m != home || n.inProbation(), true
+	}
+	return 0, false, false
+}
+
+// ReadItems implements the batch Backend read: keys are grouped into
+// per-node sub-batches (floored and unfloored separately), the
+// sub-batches run concurrently, and the results are reassembled in
+// request order. A sub-batch that fails on a dead node is re-routed to
+// the survivors and retried; only a fleet-wide outage or an
+// application-level error fails the call.
+func (r *Router) ReadItems(ctx context.Context, keys []kv.Key) ([]kv.Lookup, error) {
+	out := make([]kv.Lookup, len(keys))
+	hashes := make([]uint64, len(keys))
+	for i, k := range keys {
+		hashes[i] = KeyHash(k)
+	}
+	remaining := make([]int, len(keys))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	// Each round assigns the remaining keys to live nodes and runs the
+	// sub-batches; keys on a node that died mid-round roll into the next
+	// round, which routes around it — via the per-call exclusion set the
+	// moment it fails once (global ejection needs a failure streak, so a
+	// 2-node fleet would otherwise burn every round on the same dead
+	// node and error with survivors standing by). Each failing round
+	// excludes at least one more member, so len(node) rounds bound the
+	// walk even if every node dies in sequence.
+	var excluded memberSet
+	for round := 0; len(remaining) > 0 && round <= len(r.node); round++ {
+		groups := make(map[int]*subBatch)
+		for _, i := range remaining {
+			m, floored, ok := r.serveFor(hashes[i], &excluded)
+			if !ok {
+				return nil, fmt.Errorf("cluster: read batch: %w", ErrNoNodes)
+			}
+			gk := m << 1
+			if floored {
+				gk |= 1
+			}
+			g := groups[gk]
+			if g == nil {
+				g = &subBatch{node: m, floored: floored}
+				groups[gk] = g
+			}
+			g.keys = append(g.keys, keys[i])
+			g.idx = append(g.idx, i)
+			if floored {
+				if f := r.floorFor(rangeOf(hashes[i])); g.floor.Less(f) {
+					g.floor = f
+				}
+			}
+		}
+		var wg sync.WaitGroup
+		for _, g := range groups {
+			wg.Add(1)
+			go func(g *subBatch) {
+				defer wg.Done()
+				g.lookups, g.err = r.node[g.node].cli.Load().ReadItemsFloor(ctx, g.keys, g.floor)
+			}(g)
+		}
+		wg.Wait()
+		remaining = remaining[:0]
+		for _, g := range groups {
+			n := r.node[g.node]
+			if g.err != nil {
+				if ctx.Err() != nil {
+					return nil, g.err
+				}
+				if !errors.Is(g.err, transport.ErrUnavailable) {
+					return nil, g.err
+				}
+				r.recordFailure(n)
+				excluded.add(g.node)
+				remaining = append(remaining, g.idx...)
+				continue
+			}
+			n.recordSuccess()
+			for j, lu := range g.lookups {
+				i := g.idx[j]
+				out[i] = lu
+				if lu.Found {
+					r.observe(rangeOf(hashes[i]), lu.Item.Version)
+				}
+			}
+		}
+	}
+	if len(remaining) > 0 {
+		return nil, fmt.Errorf("cluster: read batch: %w", ErrNoNodes)
+	}
+	return out, nil
+}
+
+// subBatch is the per-node slice of one batch read.
+type subBatch struct {
+	node    int
+	floored bool
+	floor   kv.Version
+	keys    []kv.Key
+	idx     []int
+	lookups []kv.Lookup
+	err     error
+}
+
+// --- Invalidation subscription ------------------------------------------
+
+// Subscribe attaches an invalidation sink to the fleet: the router
+// subscribes to ONE live node (every tcached relays the database's full
+// stream, so one home suffices), raising the per-range high-water marks
+// before delivering, and fails the subscription over to a survivor when
+// its home node dies. Invalidations sent during the failover gap are
+// lost — the same lossy asynchronous channel the T-Cache protocol is
+// designed to survive, and exactly why failover reads carry floors.
+//
+// The initial subscribe must succeed on some node (a duplicate name is
+// reported immediately); reconnects append "#<epoch>" to sidestep a
+// half-open corpse registration, as the single-backend subscription
+// does.
+func (r *Router) Subscribe(name string, sink func(transport.Invalidation)) (cancel func(), err error) {
+	r.subMu.Lock()
+	if r.closed {
+		r.subMu.Unlock()
+		return nil, transport.ErrClientClosed
+	}
+	r.subMu.Unlock()
+
+	deliver := func(inv transport.Invalidation) {
+		r.observe(rangeOf(KeyHash(inv.Key)), inv.Version)
+		sink(inv)
+	}
+
+	sctx, scancel := context.WithCancel(r.ctx)
+	st, err := r.openSub(sctx, name)
+	if err != nil {
+		scancel()
+		return nil, err
+	}
+
+	r.subMu.Lock()
+	if r.closed {
+		r.subMu.Unlock()
+		scancel()
+		st.Close()
+		return nil, transport.ErrClientClosed
+	}
+	r.subSeq++
+	id := r.subSeq
+	r.subs[id] = scancel
+	// Under subMu with the closed re-check: Close sets closed under this
+	// mutex before it calls wg.Wait, so an Add outside the critical
+	// section could race Wait (documented WaitGroup misuse) and leave
+	// the stream goroutine outliving Close.
+	r.wg.Add(1)
+	r.subMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer r.wg.Done()
+		defer close(done)
+		epoch := 0
+		cur := st
+		for {
+			cur.Run(sctx, deliver)
+			cur.Close()
+			if sctx.Err() != nil {
+				return
+			}
+			// The stream broke: fail over to any live node with backoff.
+			epoch++
+			backoff := 10 * time.Millisecond
+			for {
+				next, serr := r.openSub(sctx, fmt.Sprintf("%s#%d", name, epoch))
+				if serr == nil {
+					cur = next
+					break
+				}
+				select {
+				case <-sctx.Done():
+					return
+				case <-time.After(backoff):
+				}
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+			}
+		}
+	}()
+	return func() {
+		r.subMu.Lock()
+		delete(r.subs, id)
+		r.subMu.Unlock()
+		scancel()
+		<-done
+	}, nil
+}
+
+// openSub opens an invalidation stream on the first node that accepts
+// it, starting at the name's hash position so many subscribers spread
+// over the fleet. A node that answers with a refusal (duplicate name)
+// surfaces that error; unreachable nodes are skipped.
+func (r *Router) openSub(ctx context.Context, name string) (*transport.InvStream, error) {
+	start := int(fnv64(name) % uint64(len(r.node)))
+	var lastErr error
+	for off := 0; off < len(r.node); off++ {
+		n := r.node[(start+off)%len(r.node)]
+		if !n.available() {
+			continue
+		}
+		st, err := transport.OpenInvalidationStream(ctx, n.addr, name)
+		if err == nil {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		if !errors.Is(err, transport.ErrUnavailable) {
+			return nil, err // the node answered and refused: report it
+		}
+		r.recordFailure(n)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = ErrNoNodes
+	}
+	return nil, lastErr
+}
+
+// --- Stats --------------------------------------------------------------
+
+// NodeStats is one node's health plus its server-side counters.
+type NodeStats struct {
+	Addr             string
+	State            NodeState
+	ConsecutiveFails int
+	// Stats are the node's OpStats counters; nil when unreachable.
+	Stats map[string]uint64
+	// Err is the fetch failure, if any.
+	Err string
+}
+
+// Stats fetches every node's counters concurrently (ejected nodes are
+// reported with their state and no counters) and the per-node health
+// breakdown.
+func (r *Router) Stats(ctx context.Context) []NodeStats {
+	out := make([]NodeStats, len(r.node))
+	var wg sync.WaitGroup
+	for i, n := range r.node {
+		out[i] = NodeStats{Addr: n.addr, State: n.state(), ConsecutiveFails: int(n.fails.Load())}
+		cli := n.cli.Load()
+		if !n.available() || cli == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, cli *transport.DBClient) {
+			defer wg.Done()
+			stats, err := cli.Stats(ctx)
+			if err != nil {
+				out[i].Err = err.Error()
+				return
+			}
+			out[i].Stats = stats
+		}(i, cli)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"tcache/internal/kv"
+)
+
+// GetItem is the item-granular, non-transactional read that lets a Cache
+// act as the Backend of another cache — the mid-tier role of a clustered
+// edge deployment. It serves the cached item (value, commit version, and
+// dependency list) on a hit and fills from this cache's own backend on a
+// miss, exactly like Get, but keeps the metadata the downstream cache
+// needs for its §III-B checks.
+//
+// floor is the caller's read floor: a cached entry whose version is
+// older than floor is refetched from the backend instead of served, so a
+// client that already observed a newer version of this key's range (a
+// cluster router failing over from a dead node) is never handed data
+// staler than its own history. The zero floor disables the check.
+//
+// The returned Item shares the cache's memory (copy-on-write; see Read)
+// and must be treated as read-only.
+func (c *Cache) GetItem(ctx context.Context, key kv.Key, floor kv.Version) (kv.Item, bool, error) {
+	if c.closed.Load() {
+		return kv.Item{}, false, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return kv.Item{}, false, err
+	}
+	c.metrics.Reads.Add(1)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	item, err := c.lookupFloorShardLocked(ctx, sh, key, floor)
+	sh.mu.Unlock()
+	if errors.Is(err, ErrNotFound) {
+		return kv.Item{}, false, nil
+	}
+	if err != nil {
+		return kv.Item{}, false, err
+	}
+	return item, true, nil
+}
+
+// GetItems is the batch form of GetItem: one Lookup per requested key,
+// positionally. Keys the cache can serve (version ≥ floor, not expired)
+// come from the cache; all remaining keys are fetched from the backend
+// in a single batch request when the backend supports batching, and
+// inserted so later reads hit. A backend failure fails the whole call.
+//
+// Like GetItem, returned Items share the cache's memory and must be
+// treated as read-only.
+func (c *Cache) GetItems(ctx context.Context, keys []kv.Key, floor kv.Version) ([]kv.Lookup, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]kv.Lookup, len(keys))
+	var missing []kv.Key
+	var missingIdx []int
+	for i, key := range keys {
+		c.metrics.Reads.Add(1)
+		sh := c.shardFor(key)
+		sh.mu.Lock()
+		e, cached := sh.entries[key]
+		// Mirrors lookupFloorShardLocked's hit check, including the
+		// expiry removal: an expired entry left in place would be pinned
+		// forever if the backend no longer has the key.
+		switch {
+		case !cached:
+		case c.cfg.TTL > 0 && c.clk.Since(e.fetchedAt) >= c.cfg.TTL:
+			sh.removeEntry(e)
+			c.metrics.TTLExpiries.Add(1)
+		case e.item.Version.Less(floor):
+			c.metrics.FloorRefetches.Add(1)
+		case e.staleLatest:
+		default:
+			c.metrics.Hits.Add(1)
+			sh.lruTouch(e)
+			out[i] = kv.Lookup{Item: e.item, Found: true}
+			sh.mu.Unlock()
+			continue
+		}
+		sh.mu.Unlock()
+		c.metrics.Misses.Add(1)
+		missing = append(missing, key)
+		missingIdx = append(missingIdx, i)
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+
+	lookups, err := c.fetchItems(ctx, missing)
+	if err != nil {
+		c.metrics.BackendErrors.Add(1)
+		return nil, err
+	}
+	for j, lu := range lookups {
+		if !lu.Found {
+			continue
+		}
+		key := missing[j]
+		sh := c.shardFor(key)
+		sh.mu.Lock()
+		if c.closed.Load() {
+			sh.mu.Unlock()
+			return nil, ErrClosed
+		}
+		c.insertShardLocked(sh, key, lu.Item)
+		sh.mu.Unlock()
+		out[missingIdx[j]] = lu
+	}
+	return out, nil
+}
+
+// fetchItems reads keys from the backend, batched when it supports it.
+func (c *Cache) fetchItems(ctx context.Context, keys []kv.Key) ([]kv.Lookup, error) {
+	if bb, ok := c.cfg.Backend.(BatchBackend); ok {
+		lookups, err := bb.ReadItems(ctx, keys)
+		if err != nil {
+			return nil, err
+		}
+		if len(lookups) != len(keys) {
+			return nil, errors.New("tcache: batch backend returned mismatched lookup count")
+		}
+		return lookups, nil
+	}
+	lookups := make([]kv.Lookup, len(keys))
+	for i, key := range keys {
+		item, ok, err := c.cfg.Backend.ReadItem(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		lookups[i] = kv.Lookup{Item: item, Found: ok}
+	}
+	return lookups, nil
+}

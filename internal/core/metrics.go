@@ -27,6 +27,7 @@ type Metrics struct {
 	BackendErrors        uint64v
 	BatchPrefetches      uint64v
 	BatchPrefetchedKeys  uint64v
+	FloorRefetches       uint64v
 }
 
 // uint64v aliases atomic.Uint64 to keep the struct declaration compact.
@@ -57,6 +58,7 @@ type MetricsSnapshot struct {
 	BackendErrors        uint64
 	BatchPrefetches      uint64
 	BatchPrefetchedKeys  uint64
+	FloorRefetches       uint64
 }
 
 // HitRatio returns hits / (hits + misses), or 1 if there were no reads.
@@ -94,5 +96,6 @@ func (c *Cache) Metrics() MetricsSnapshot {
 		BackendErrors:        c.metrics.BackendErrors.Load(),
 		BatchPrefetches:      c.metrics.BatchPrefetches.Load(),
 		BatchPrefetchedKeys:  c.metrics.BatchPrefetchedKeys.Load(),
+		FloorRefetches:       c.metrics.FloorRefetches.Load(),
 	}
 }

@@ -208,11 +208,28 @@ func (c *Cache) Abort(txnID kv.TxnID) {
 // fetch. Backend failures (a cancelled ctx, a dead remote peer) surface
 // as the backend's error, distinct from ErrNotFound.
 func (c *Cache) lookupShardLocked(ctx context.Context, sh *cacheShard, key kv.Key) (kv.Item, error) {
+	return c.lookupFloorShardLocked(ctx, sh, key, kv.Version{})
+}
+
+// lookupFloorShardLocked is lookupShardLocked with a read floor: a cached
+// entry older than floor is not served but refetched from the backend —
+// the caller (a cluster router's failed-over read) has already observed a
+// newer version in this key's range, so the local copy cannot be trusted.
+// The refetched item is served whatever its version: the backend chain
+// bottoms out at the database, which is authoritative, and a floor
+// inflated by a neighbouring key's commit must not turn into an error.
+// The zero floor disables the check.
+func (c *Cache) lookupFloorShardLocked(ctx context.Context, sh *cacheShard, key kv.Key, floor kv.Version) (kv.Item, error) {
 	if e, ok := sh.entries[key]; ok {
 		switch {
 		case c.cfg.TTL > 0 && c.clk.Since(e.fetchedAt) >= c.cfg.TTL:
 			sh.removeEntry(e)
 			c.metrics.TTLExpiries.Add(1)
+		case e.item.Version.Less(floor):
+			// Too old for the caller: fall through to the backend fetch.
+			// The entry stays cached — insertShardLocked below replaces it
+			// only with something newer.
+			c.metrics.FloorRefetches.Add(1)
 		case e.staleLatest:
 			// Multiversioning: the newest cached version is superseded;
 			// the latest must come from the backend.

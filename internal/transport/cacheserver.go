@@ -10,12 +10,20 @@ import (
 	"sync"
 
 	"tcache/internal/core"
+	"tcache/internal/db"
 	"tcache/internal/kv"
 )
 
 // CacheServer serves a core.Cache over TCP. The cache's backend is
 // typically a DBClient pointed at a tdbd instance, with the invalidation
 // stream bridged by SubscribeInvalidations.
+//
+// Beyond the client-facing transactional protocol (OpRead, OpReadMulti,
+// OpCommit, OpAbort), a CacheServer also speaks the backend protocol —
+// item-granular OpGet and OpGetBatch (with read floors) plus OpSubscribe
+// push relays — so a tcached can itself be the Backend of downstream
+// caches: the mid-tier of a clustered edge deployment. The owner bridges
+// its upstream invalidation stream into Broadcast to feed the relays.
 type CacheServer struct {
 	cache *core.Cache
 	ln    net.Listener
@@ -29,6 +37,10 @@ type CacheServer struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// subs are the downstream invalidation relays, by subscriber name.
+	subMu sync.Mutex
+	subs  map[string]*invPusher
+
 	logf func(format string, args ...any)
 }
 
@@ -38,7 +50,33 @@ func NewCacheServer(c *core.Cache, logf func(string, ...any)) *CacheServer {
 		logf = func(string, ...any) {}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &CacheServer{cache: c, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{}), logf: logf}
+	return &CacheServer{
+		cache: c, ctx: ctx, cancel: cancel,
+		conns: make(map[net.Conn]struct{}),
+		subs:  make(map[string]*invPusher),
+		logf:  logf,
+	}
+}
+
+// Broadcast relays one invalidation to every downstream subscriber. The
+// owning daemon calls it from its upstream subscription sink (after
+// applying the invalidation to its own cache), turning the server into a
+// relay hop of the database's asynchronous invalidation pipeline — as
+// lossy as the rest of it, which the T-Cache protocol tolerates by
+// design.
+func (s *CacheServer) Broadcast(inv Invalidation) {
+	s.subMu.Lock()
+	for _, p := range s.subs {
+		p.push(inv)
+	}
+	s.subMu.Unlock()
+}
+
+// Subscribers returns the number of connected downstream relays.
+func (s *CacheServer) Subscribers() int {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	return len(s.subs)
 }
 
 // Listen binds addr and starts serving in the background, returning the
@@ -147,6 +185,12 @@ func (s *CacheServer) handle(conn net.Conn) {
 			}
 			continue
 		}
+		if req.Op == OpSubscribe {
+			// Switch to push mode: relay this cache's upstream invalidation
+			// stream (fed via Broadcast) to the downstream subscriber.
+			s.servePush(conn, fr, &writeMu, id, req.Subscriber)
+			return
+		}
 		if cacheNonBlocking(req.Op) {
 			// Local-only ops answer inline: no goroutine hop, and they
 			// cannot head-of-line-block the connection.
@@ -181,6 +225,45 @@ func cacheNonBlocking(op Op) bool {
 	}
 }
 
+// servePush turns the connection into an invalidation relay for
+// subscriber name, mirroring the DB server's push mode: invalidations
+// fed to Broadcast are queued and flushed in coalesced batch frames. A
+// name already registered errors — two downstream caches sharing a name
+// would starve one of them, exactly the duplicate-subscriber protection
+// the database applies.
+func (s *CacheServer) servePush(conn net.Conn, fr *frameReader, writeMu *sync.Mutex, id uint64, name string) {
+	if name == "" {
+		name = conn.RemoteAddr().String()
+	}
+	p := newInvPusher(conn, writeMu)
+	s.subMu.Lock()
+	if _, dup := s.subs[name]; dup {
+		s.subMu.Unlock()
+		resp := Response{Code: CodeError, Err: fmt.Sprintf("%v: %q", db.ErrDuplicateSubscriber, name)}
+		_ = writeResponseFrame(conn, writeMu, id, &resp)
+		return
+	}
+	s.subs[name] = p
+	s.subMu.Unlock()
+	go p.run()
+	defer func() {
+		s.subMu.Lock()
+		delete(s.subs, name)
+		s.subMu.Unlock()
+		p.stop()
+	}()
+	resp := Response{Code: CodeOK}
+	if err := writeResponseFrame(conn, writeMu, id, &resp); err != nil {
+		return
+	}
+	// Block until the peer goes away, discarding anything it sends.
+	for {
+		if _, _, _, err := fr.Read(); err != nil {
+			return
+		}
+	}
+}
+
 func (s *CacheServer) dispatch(ctx context.Context, req Request) Response {
 	switch req.Op {
 	case OpPing:
@@ -198,8 +281,25 @@ func (s *CacheServer) dispatch(ctx context.Context, req Request) Response {
 		return Response{Code: CodeOK, Values: vals, Found: true}
 
 	case OpGet:
-		val, err := s.cache.Get(ctx, req.Key)
-		return readResponse(val, err)
+		// Item-granular so a DBClient peer (a downstream cache's backend)
+		// gets version and dependency list; plain cache clients keep
+		// reading Value and ignore the rest.
+		item, ok, err := s.cache.GetItem(ctx, req.Key, req.MinVersion)
+		switch {
+		case err != nil:
+			return Response{Code: CodeError, Err: err.Error()}
+		case !ok:
+			return Response{Code: CodeNotFound}
+		default:
+			return Response{Code: CodeOK, Value: item.Value, Found: true, Item: item}
+		}
+
+	case OpGetBatch:
+		lookups, err := s.cache.GetItems(ctx, req.Keys, req.MinVersion)
+		if err != nil {
+			return Response{Code: CodeError, Err: err.Error()}
+		}
+		return Response{Code: CodeOK, Batch: lookups}
 
 	case OpCommit:
 		s.cache.Commit(kv.TxnID(req.TxnID))
@@ -212,15 +312,17 @@ func (s *CacheServer) dispatch(ctx context.Context, req Request) Response {
 	case OpStats:
 		m := s.cache.Metrics()
 		return Response{Code: CodeOK, Stats: map[string]uint64{
-			"reads":          m.Reads,
-			"hits":           m.Hits,
-			"misses":         m.Misses,
-			"txns_started":   m.TxnsStarted,
-			"txns_committed": m.TxnsCommitted,
-			"txns_aborted":   m.TxnsAborted,
-			"detected":       m.Detected,
-			"retries":        m.Retries,
-			"evictions":      m.Evictions,
+			"reads":             m.Reads,
+			"hits":              m.Hits,
+			"misses":            m.Misses,
+			"txns_started":      m.TxnsStarted,
+			"txns_committed":    m.TxnsCommitted,
+			"txns_aborted":      m.TxnsAborted,
+			"detected":          m.Detected,
+			"retries":           m.Retries,
+			"evictions":         m.Evictions,
+			"floor_refetches":   m.FloorRefetches,
+			"relay_subscribers": uint64(s.Subscribers()),
 		}}
 
 	default:

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -24,7 +25,27 @@ var (
 	ErrConflict = errors.New("transport: update conflict, retry")
 	// ErrClientClosed reports an operation on a closed client.
 	ErrClientClosed = errors.New("transport: client closed")
+	// ErrUnavailable marks transport-level failures — a dial that never
+	// connected, a connection that died mid-call, a stream that stopped
+	// framing — as opposed to application-level error responses from a
+	// live server. Health checkers (the cluster router) eject a node only
+	// on errors carrying this marker: a server that answers, even with an
+	// error, is alive.
+	ErrUnavailable = errors.New("transport: peer unavailable")
 )
+
+// wrapUnavail tags a transport-level failure with ErrUnavailable. Context
+// cancellations, client-side faults (ErrFrameTooLarge), and deliberate
+// closes (ErrClientClosed) keep their identity untagged: none of them
+// says anything about the peer's health.
+func wrapUnavail(err error) error {
+	if err == nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrClientClosed) || errors.Is(err, ErrFrameTooLarge) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrUnavailable, err)
+}
 
 // muxResult is one settled round trip.
 type muxResult struct {
@@ -241,12 +262,45 @@ func (cn *muxConn) roundTrip(ctx context.Context, req Request) (Response, error)
 	}
 }
 
+// ClientOption tunes a DBClient's (or CacheClient's) failure handling.
+type ClientOption func(*clientConfig)
+
+// clientConfig carries the tunables shared by both client types.
+type clientConfig struct {
+	maxRedials    int
+	redialBackoff time.Duration
+}
+
+func defaultClientConfig() clientConfig {
+	return clientConfig{maxRedials: 2, redialBackoff: 2 * time.Millisecond}
+}
+
+// WithMaxRedials caps how many guaranteed-fresh redials one idempotent
+// call may attempt after failing on a previously established (possibly
+// stale) connection. The default is 2: one immediate (the common
+// server-restart case, where every pooled connection is half-dead and a
+// fresh dial succeeds at once) and one more after a jittered backoff. A
+// cluster router sets 1 so a flapping node fails fast to the health
+// checker instead of being nursed per-call; 0 disables the retry
+// entirely.
+func WithMaxRedials(n int) ClientOption {
+	return func(c *clientConfig) { c.maxRedials = n }
+}
+
+// WithRedialBackoff sets the base delay before the second and later
+// redial attempts of one call (default 2ms, doubling per attempt,
+// uniformly jittered to avoid retry convoys).
+func WithRedialBackoff(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.redialBackoff = d }
+}
+
 // mux is a fixed-size set of multiplexed connections. Unlike the v1
 // pool — one connection per in-flight request — N concurrent calls share
 // these few connections; a slot whose connection died is redialed on
 // next use, so a restarted server is picked up transparently.
 type mux struct {
 	addr   string
+	cfg    clientConfig
 	slots  []*muxSlot
 	next   atomic.Uint64
 	closed atomic.Bool
@@ -257,11 +311,11 @@ type muxSlot struct {
 	cn *muxConn
 }
 
-func newMux(ctx context.Context, addr string, size int) (*mux, error) {
+func newMux(ctx context.Context, addr string, size int, cfg clientConfig) (*mux, error) {
 	if size < 1 {
 		size = 1
 	}
-	m := &mux{addr: addr, slots: make([]*muxSlot, size)}
+	m := &mux{addr: addr, cfg: cfg, slots: make([]*muxSlot, size)}
 	for i := range m.slots {
 		m.slots[i] = &muxSlot{}
 	}
@@ -348,40 +402,78 @@ func (m *mux) close() {
 }
 
 // roundTrip runs one request on the next connection. A failure on a
-// previously established (possibly stale) connection is retried once on
-// a guaranteed-fresh dial — a server restart leaves every pooled
+// previously established (possibly stale) connection is retried on a
+// guaranteed-fresh dial — a server restart leaves every pooled
 // connection half-dead, so rotating to another slot could fail the same
-// way — but only for idempotent operations: an Update whose response
-// was lost may already have been applied.
+// way — but only for idempotent operations (an Update whose response was
+// lost may already have been applied), and for at most cfg.maxRedials
+// attempts per call, with a jittered exponential backoff before the
+// second and later attempts. The cap is what lets a flapping node fail
+// fast to a cluster health checker instead of being retried forever by
+// every caller.
 func (m *mux) roundTrip(ctx context.Context, req Request) (Response, error) {
 	s, cn, fresh, err := m.grab(ctx)
 	if err != nil {
-		return Response{}, err
+		return Response{}, wrapUnavail(err)
 	}
 	resp, err := cn.roundTrip(ctx, req)
 	if err == nil || fresh || ctx.Err() != nil ||
 		errors.Is(err, ErrClientClosed) || errors.Is(err, ErrFrameTooLarge) {
-		return resp, err
+		return resp, wrapUnavail(err)
 	}
 	if !idempotent(req.Op) {
-		return resp, err
+		return resp, wrapUnavail(err)
 	}
-	if m.closed.Load() {
-		return Response{}, ErrClientClosed
-	}
-	redialed, derr := dialMux(ctx, m.addr)
-	if derr != nil {
-		return Response{}, err // report the original failure
-	}
-	resp, err = redialed.roundTrip(ctx, req)
-	if redialed.alive() {
-		if use, ierr := m.install(s, redialed); ierr != nil || use != redialed {
-			// The slot moved on (a racing caller installed its own dial,
-			// or the mux closed); this connection served its one retry.
-			redialed.fail(ErrClientClosed)
+	backoff := m.cfg.redialBackoff
+	for attempt := 0; attempt < m.cfg.maxRedials; attempt++ {
+		if attempt > 0 {
+			// Jittered: colliding retriers spread out instead of redialing
+			// in lockstep against a struggling server.
+			if serr := sleepJittered(ctx, backoff); serr != nil {
+				return Response{}, wrapUnavail(err) // report the request failure, not the sleep
+			}
+			backoff *= 2
+		}
+		if m.closed.Load() {
+			return Response{}, ErrClientClosed
+		}
+		redialed, derr := dialMux(ctx, m.addr)
+		if derr != nil {
+			if ctx.Err() != nil {
+				return Response{}, ctx.Err()
+			}
+			continue // the node may be mid-restart; back off and re-dial
+		}
+		resp, err = redialed.roundTrip(ctx, req)
+		if redialed.alive() {
+			if use, ierr := m.install(s, redialed); ierr != nil || use != redialed {
+				// The slot moved on (a racing caller installed its own dial,
+				// or the mux closed); this connection served its one retry.
+				redialed.fail(ErrClientClosed)
+			}
+		}
+		if err == nil || ctx.Err() != nil || errors.Is(err, ErrFrameTooLarge) {
+			return resp, err
 		}
 	}
-	return resp, err
+	return resp, wrapUnavail(err)
+}
+
+// sleepJittered sleeps a uniformly random duration in [d/2, d), bailing
+// out early with ctx.Err() on cancellation.
+func sleepJittered(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	jittered := d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // idempotent reports whether op can safely be re-sent after a failure
@@ -410,11 +502,16 @@ var (
 	_ core.BatchBackend = (*DBClient)(nil)
 )
 
-// DialDB connects to a tdbd at addr with conns multiplexed connections
-// (conns < 1 means 1) and negotiates protocol version 2. ctx bounds the
-// initial dial and handshake.
-func DialDB(ctx context.Context, addr string, conns int) (*DBClient, error) {
-	m, err := newMux(ctx, addr, conns)
+// DialDB connects to a backend-protocol server at addr — a tdbd, or a
+// tcached acting as the mid-tier of a cluster — with conns multiplexed
+// connections (conns < 1 means 1) and negotiates the protocol version.
+// ctx bounds the initial dial and handshake.
+func DialDB(ctx context.Context, addr string, conns int, opts ...ClientOption) (*DBClient, error) {
+	cfg := defaultClientConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := newMux(ctx, addr, conns, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -427,7 +524,15 @@ func (c *DBClient) Close() { c.mx.close() }
 // ReadItem implements core.Backend: a lock-free committed read, one round
 // trip.
 func (c *DBClient) ReadItem(ctx context.Context, key kv.Key) (kv.Item, bool, error) {
-	resp, err := c.mx.roundTrip(ctx, Request{Op: OpGet, Key: key})
+	return c.ReadItemFloor(ctx, key, kv.Version{})
+}
+
+// ReadItemFloor is ReadItem with a read floor: a tcached mid-tier serves
+// its cached copy only if its version is at least floor, refetching from
+// its own backend otherwise. A tdbd ignores the floor (its reads are
+// always current). The zero floor is plain ReadItem.
+func (c *DBClient) ReadItemFloor(ctx context.Context, key kv.Key, floor kv.Version) (kv.Item, bool, error) {
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpGet, Key: key, MinVersion: floor})
 	if err != nil {
 		return kv.Item{}, false, err
 	}
@@ -443,7 +548,12 @@ func (c *DBClient) ReadItem(ctx context.Context, key kv.Key) (kv.Item, bool, err
 
 // ReadItems implements core.BatchBackend: all keys in one round trip.
 func (c *DBClient) ReadItems(ctx context.Context, keys []kv.Key) ([]kv.Lookup, error) {
-	resp, err := c.mx.roundTrip(ctx, Request{Op: OpGetBatch, Keys: keys})
+	return c.ReadItemsFloor(ctx, keys, kv.Version{})
+}
+
+// ReadItemsFloor is ReadItems with a read floor; see ReadItemFloor.
+func (c *DBClient) ReadItemsFloor(ctx context.Context, keys []kv.Key, floor kv.Version) ([]kv.Lookup, error) {
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpGetBatch, Keys: keys, MinVersion: floor})
 	if err != nil {
 		return nil, err
 	}
@@ -493,6 +603,19 @@ func (c *DBClient) Ping(ctx context.Context) error {
 	return nil
 }
 
+// Stats fetches the server's counters — a tdbd's database metrics, or a
+// tcached mid-tier's cache metrics.
+func (c *DBClient) Stats(ctx context.Context) (map[string]uint64, error) {
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Code != CodeOK {
+		return nil, fmt.Errorf("transport: stats: %s", resp.Err)
+	}
+	return resp.Stats, nil
+}
+
 // subConn is a dedicated push-mode connection (invalidation stream). It
 // bypasses the mux machinery entirely: after the subscribe exchange, the
 // connection carries nothing but server-push invalidation frames, read
@@ -511,7 +634,7 @@ func subscribeConn(ctx context.Context, addr, name string) (*subConn, error) {
 	var d net.Dialer
 	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return nil, wrapUnavail(fmt.Errorf("transport: dial %s: %w", addr, err))
 	}
 	br := bufio.NewReader(c)
 	fr := newFrameReader(br, nil)
@@ -545,9 +668,13 @@ func subscribeConn(ctx context.Context, addr, name string) (*subConn, error) {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
-		return nil, err
+		// The exchange never completed: a health signal, not a refusal.
+		return nil, wrapUnavail(err)
 	}
 	if resp.Code != CodeOK {
+		// The server answered and refused (duplicate subscriber name,
+		// usually): deliberately NOT ErrUnavailable — retrying elsewhere
+		// or later would not help.
 		c.Close()
 		return nil, fmt.Errorf("transport: subscribe: %s", resp.Err)
 	}
@@ -613,6 +740,35 @@ func SubscribeInvalidations(ctx context.Context, addr, name string, deliver func
 	}, nil
 }
 
+// InvStream is ONE open subscription connection — no automatic
+// reconnect, unlike SubscribeInvalidations. Callers that fail over
+// between addresses (the cluster router) own the retry loop.
+type InvStream struct {
+	sc *subConn
+}
+
+// OpenInvalidationStream dials addr (a tdbd, or a tcached relaying its
+// backend's stream) and registers subscriber name. A refused subscribe
+// (duplicate name, version mismatch) errors immediately; an unreachable
+// peer errors with ErrUnavailable in the chain. ctx bounds the exchange.
+func OpenInvalidationStream(ctx context.Context, addr, name string) (*InvStream, error) {
+	sc, err := subscribeConn(ctx, addr, name)
+	if err != nil {
+		return nil, err
+	}
+	return &InvStream{sc: sc}, nil
+}
+
+// Run delivers invalidations until the stream breaks or ctx is
+// cancelled; the connection is closed when it returns. Run consumes the
+// stream — call it once.
+func (s *InvStream) Run(ctx context.Context, deliver func(Invalidation)) {
+	streamInvalidations(ctx, s.sc, deliver)
+}
+
+// Close tears the connection down (Run, if in flight, returns).
+func (s *InvStream) Close() { s.sc.close() }
+
 // streamInvalidations decodes push frames from sc until the connection
 // breaks or ctx is cancelled; it closes sc before returning.
 func streamInvalidations(ctx context.Context, sc *subConn, deliver func(Invalidation)) {
@@ -648,8 +804,12 @@ type CacheClient struct {
 }
 
 // DialCache connects to a tcached at addr. ctx bounds the dial.
-func DialCache(ctx context.Context, addr string) (*CacheClient, error) {
-	m, err := newMux(ctx, addr, 1)
+func DialCache(ctx context.Context, addr string, opts ...ClientOption) (*CacheClient, error) {
+	cfg := defaultClientConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := newMux(ctx, addr, 1, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -49,8 +49,11 @@ import (
 )
 
 // ProtocolVersion is the wire protocol spoken by this build. Version 1
-// was the gob framing; version 2 is the binary codec in this file.
-const ProtocolVersion = 2
+// was the gob framing; version 2 introduced the binary codec in this
+// file; version 3 added the MinVersion read floor to requests (the
+// cluster tier's read-your-invalidations guard) — same framing, one more
+// request field.
+const ProtocolVersion = 3
 
 // handshakeMagic opens every connection, in both directions.
 var handshakeMagic = [4]byte{'T', 'C', 'W', 'P'}
@@ -394,7 +397,8 @@ func appendRequest(b []byte, req *Request) []byte {
 	b = appendKeySlice(b, req.Keys)
 	b = appendString(b, req.Subscriber)
 	b = appendKeySlice(b, req.Reads)
-	return appendKeyValues(b, req.Writes)
+	b = appendKeyValues(b, req.Writes)
+	return appendVersion(b, req.MinVersion)
 }
 
 func appendResponse(b []byte, resp *Response) []byte {
@@ -693,6 +697,9 @@ func decodeRequest(payload []byte) (Request, error) {
 		return req, err
 	}
 	if req.Writes, err = d.keyValues(); err != nil {
+		return req, err
+	}
+	if req.MinVersion, err = d.version(); err != nil {
 		return req, err
 	}
 	return req, nil

@@ -339,6 +339,19 @@ func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
 			return Response{Code: CodeError, Err: err.Error()}
 		}
 
+	case OpStats:
+		m := s.db.Metrics()
+		return Response{Code: CodeOK, Stats: map[string]uint64{
+			"txns_started":       m.TxnsStarted,
+			"txns_committed":     m.TxnsCommitted,
+			"txns_aborted":       m.TxnsAborted,
+			"conflicts":          m.Conflicts,
+			"txn_reads":          m.TxnReads,
+			"txn_writes":         m.TxnWrites,
+			"single_gets":        m.SingleGets,
+			"invalidations_sent": m.InvalidationsSent,
+		}}
+
 	default:
 		return Response{Code: CodeError, Err: fmt.Sprintf("tdbd: unknown op %q", req.Op)}
 	}

@@ -175,18 +175,18 @@ func TestHandshakeVersionMismatch(t *testing.T) {
 			return
 		}
 		hs := handshakeBytes()
-		hs[4] = 3 // future version
+		hs[4] = ProtocolVersion + 1 // future version
 		c.Write(hs[:])
 	}()
 	_, err = DialDB(bg, ln.Addr().String(), 1)
 	if err == nil {
-		t.Fatal("dial against a v3 server succeeded")
+		t.Fatalf("dial against a v%d server succeeded", ProtocolVersion+1)
 	}
 	var vm *VersionMismatchError
 	if !errors.As(err, &vm) {
 		t.Fatalf("err = %v, want VersionMismatchError", err)
 	}
-	if vm.Local != ProtocolVersion || vm.Peer != 3 {
+	if vm.Local != ProtocolVersion || vm.Peer != ProtocolVersion+1 {
 		t.Fatalf("mismatch versions = local %d peer %d", vm.Local, vm.Peer)
 	}
 	if !strings.Contains(err.Error(), "version mismatch") {

@@ -66,6 +66,13 @@ type Request struct {
 	Subscriber string
 	Reads      []kv.Key
 	Writes     []KeyValue
+	// MinVersion is the read floor of OpGet and OpGetBatch on a cache
+	// server: a cached entry older than this is refetched from the
+	// backend instead of served, so a cluster client that already
+	// observed a newer version (or relayed a newer invalidation) is never
+	// handed stale data by a failed-over node. The zero version means no
+	// floor; the DB server ignores it (its reads are always current).
+	MinVersion kv.Version
 }
 
 // Code classifies a response.

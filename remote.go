@@ -165,6 +165,13 @@ func (r *Remote) Ping(ctx context.Context) error {
 	return r.cli.Ping(ctx)
 }
 
+// Stats fetches the remote database's counters (transactions, conflicts,
+// reads served, invalidations sent) in one round trip — the server-side
+// complement of the local Cache.Stats view.
+func (r *Remote) Stats(ctx context.Context) (map[string]uint64, error) {
+	return r.cli.Stats(ctx)
+}
+
 // ServeDB exposes d over TCP at addr (for example "127.0.0.1:0" to pick
 // a free port) so remote caches can Dial it — the programmatic
 // equivalent of running cmd/tdbd. It returns the bound address and a

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Cluster e2e smoke: spawn 1 tdbd + 3 tcached on loopback, drive the
+# fleet with tcache-load -cluster, exercise tcache-cli's cluster
+# commands, and verify all three nodes actually served traffic.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp -d)
+LOGS=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$BIN" "$LOGS"' EXIT
+
+echo "== building =="
+go build -o "$BIN" ./cmd/tdbd ./cmd/tcached ./cmd/tcache-load ./cmd/tcache-cli
+
+DB=127.0.0.1:7470
+EDGES=(127.0.0.1:7471 127.0.0.1:7472 127.0.0.1:7473)
+
+# wait_up polls until the daemon at $1 answers the wire protocol, or
+# fails the smoke after ~10s.
+wait_up() {
+  local out
+  for _ in $(seq 1 50); do
+    # "not found" is the expected answer for an unseeded key; the cli
+    # exits nonzero for it, so capture rather than pipe under pipefail.
+    out=$("$BIN/tcache-cli" -db "$1" get __probe__ 2>&1 || true)
+    if [[ "$out" == *"not found"* ]]; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "FAIL: daemon at $1 never came up" >&2
+  for f in "$LOGS"/*.log; do echo "--- $f"; cat "$f"; done >&2
+  return 1
+}
+
+echo "== spawning tdbd on $DB =="
+"$BIN/tdbd" -listen "$DB" >"$LOGS/tdbd.log" 2>&1 &
+wait_up "$DB"
+
+for i in "${!EDGES[@]}"; do
+  addr=${EDGES[$i]}
+  echo "== spawning tcached $i on $addr =="
+  "$BIN/tcached" -listen "$addr" -db "$DB" -name "smoke-edge-$i" >"$LOGS/tcached-$i.log" 2>&1 &
+done
+for addr in "${EDGES[@]}"; do
+  wait_up "$addr"
+done
+echo "== all daemons up =="
+
+CLUSTER=$(IFS=,; echo "${EDGES[*]}")
+
+echo "== tcache-load -cluster =="
+"$BIN/tcache-load" -db "$DB" -cluster "$CLUSTER" \
+  -duration 3s -readers 4 -updaters 2 -objects 300 | tee "$LOGS/load.log"
+
+grep -q "routing reads over 3-node cluster tier" "$LOGS/load.log"
+# The load must have committed read transactions.
+read_txns=$(awk '/read txns:/ {print $3}' "$LOGS/load.log")
+if [ "${read_txns:-0}" -le 0 ]; then
+  echo "FAIL: no read transactions served" >&2
+  exit 1
+fi
+# Every node must have served reads (the ring spreads 300 objects).
+nodes_serving=$(awk '/^node .*reads [1-9]/ {n++} END {print n+0}' "$LOGS/load.log")
+if [ "$nodes_serving" -ne 3 ]; then
+  echo "FAIL: only $nodes_serving of 3 nodes served reads" >&2
+  cat "$LOGS/load.log"
+  exit 1
+fi
+
+echo "== tcache-cli cluster round trip =="
+"$BIN/tcache-cli" -db "$DB" set smoke-key smoke-value
+"$BIN/tcache-cli" -cluster "$CLUSTER" read smoke-key | tee "$LOGS/cli.log"
+grep -q 'smoke-key = "smoke-value"' "$LOGS/cli.log"
+"$BIN/tcache-cli" -cluster "$CLUSTER" stats | grep -q "aggregate:"
+
+echo "== cluster smoke OK =="
