@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench benchcluster benchsmoke clustersmoke fuzz
+.PHONY: all build test race vet bench benchcluster benchwrite benchsmoke clustersmoke fuzz
 
 all: vet build test
 
@@ -29,8 +29,15 @@ bench:
 benchcluster:
 	$(GO) run ./cmd/tcache-bench -fig cluster
 
+# benchwrite regenerates BENCH_pr5.json — the unified write path's cost
+# per tier (in-process, remote validated round trip, cache with
+# self-invalidation) — and gates allocs/op against the budget.
+benchwrite:
+	$(GO) run ./cmd/tcache-bench -fig writepath
+
 # clustersmoke runs the end-to-end fleet check: 1 tdbd + 3 tcached on
-# loopback, driven by tcache-load -cluster and tcache-cli.
+# loopback, driven by tcache-load -cluster (with a -write-mix share
+# committed through the edge relay) and tcache-cli.
 clustersmoke:
 	./scripts/cluster_smoke.sh
 

@@ -191,8 +191,9 @@ type clusterBackend struct {
 }
 
 var (
-	_ Backend      = (*clusterBackend)(nil)
-	_ BatchBackend = (*clusterBackend)(nil)
+	_ Backend        = (*clusterBackend)(nil)
+	_ BatchBackend   = (*clusterBackend)(nil)
+	_ UpdaterBackend = (*clusterBackend)(nil)
 )
 
 func (b *clusterBackend) ReadItem(ctx context.Context, key Key) (Item, bool, error) {
@@ -201,6 +202,15 @@ func (b *clusterBackend) ReadItem(ctx context.Context, key Key) (Item, bool, err
 
 func (b *clusterBackend) ReadItems(ctx context.Context, keys []Key) ([]Lookup, error) {
 	return b.r.ReadItems(ctx, keys)
+}
+
+// ValidatedUpdate relays an optimistic commit through a live edge node
+// (which forwards it to the database) and raises the router's per-range
+// write marks, so this client's subsequent reads on ANY node are floored
+// at its own commit — the cluster half of read-your-writes. This is what
+// makes ClusterCache.Update (inherited from the embedded Cache) work.
+func (b *clusterBackend) ValidatedUpdate(ctx context.Context, reads []ObservedRead, writes []KeyValue) (Version, error) {
+	return b.r.ValidatedUpdate(ctx, reads, writes)
 }
 
 func (b *clusterBackend) Subscribe(name string, sink func(Invalidation)) (cancel func(), err error) {

@@ -117,6 +117,9 @@ func checkBenchBudget(path string, results map[string]benchResult) error {
 		if strings.HasPrefix(name, "BenchmarkCluster") {
 			continue // gated by the cluster runner (-fig cluster)
 		}
+		if strings.HasPrefix(name, "BenchmarkWritePath") {
+			continue // gated by the write-path runner (-fig writepath)
+		}
 		checked++
 		res, ok := results[name]
 		if !ok {

@@ -51,12 +51,15 @@ func externalCluster(b *testing.B, nKeys int) *tcache.ClusterCache {
 		b.Fatal(err)
 	}
 	b.Cleanup(remote.Close)
-	for i := 0; i < nKeys; i++ {
-		k := workload.ObjectKey(i)
-		if _, err := remote.Update(benchCtx, []tcache.Key{k},
-			[]tcache.KeyValue{{Key: k, Value: kv.Value("seed")}}); err != nil {
-			b.Fatal(err)
+	if err := remote.Update(benchCtx, func(tx *tcache.Tx) error {
+		for i := 0; i < nKeys; i++ {
+			if err := tx.Set(workload.ObjectKey(i), kv.Value("seed")); err != nil {
+				return err
+			}
 		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
 	}
 	cc, err := tcache.DialCluster(benchCtx, cluster.SplitAddrs(clusterAddrs))
 	if err != nil {
@@ -325,6 +328,6 @@ func checkScopedBudget(budget map[string]int64, results map[string]benchResult) 
 		}
 		return fmt.Errorf("bench budget: %d regression(s)", len(failures))
 	}
-	fmt.Printf("bench budget OK (%d cluster benchmarks within allocs/op budget)\n", len(budget))
+	fmt.Printf("bench budget OK (%d benchmarks within allocs/op budget)\n", len(budget))
 	return nil
 }

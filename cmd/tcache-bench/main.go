@@ -12,6 +12,7 @@
 //	tcache-bench -fig multiedge # M edges × shared writes: per-edge breakdown
 //	tcache-bench -fig cluster   # cluster-tier routing overhead → BENCH_pr4.json
 //	                            # (-cluster a,b,c -cluster-db d targets a live fleet)
+//	tcache-bench -fig writepath # unified Update across DB/Remote/Cache → BENCH_pr5.json
 //	tcache-bench -benchjson BENCH_pr3.json -bench-budget bench_budget.json
 //	                            # machine-readable wire/hit-path numbers
 //	                            # (ns/op, B/op, allocs/op) + regression gate
@@ -43,7 +44,7 @@ var cacheShards int
 
 func run() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, multiedge, cluster, all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, multiedge, cluster, writepath, all")
 		quick     = flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		benchJSON = flag.String("benchjson", "", "run the remote + hit-path benchmarks and write ns/op, B/op, allocs/op JSON to this path (skips -fig)")
@@ -75,8 +76,9 @@ func run() error {
 		"hitpath":   runHitPath,
 		"multiedge": runMultiEdge,
 		"cluster":   runClusterFig,
+		"writepath": runWritePath,
 	}
-	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv", "hitpath", "multiedge", "cluster"}
+	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv", "hitpath", "multiedge", "cluster", "writepath"}
 
 	selected := strings.Split(*fig, ",")
 	if *fig == "all" {

@@ -60,22 +60,28 @@ func run() error {
 		if len(rest) == 0 || len(rest)%2 != 0 {
 			return errors.New("set needs key value pairs")
 		}
-		cli, err := transport.DialDB(ctx, *dbAddr, 1)
+		remote, err := tcache.Dial(ctx, *dbAddr)
 		if err != nil {
 			return err
 		}
-		defer cli.Close()
-		var reads []kv.Key
-		var writes []transport.KeyValue
-		for i := 0; i < len(rest); i += 2 {
-			reads = append(reads, kv.Key(rest[i]))
-			writes = append(writes, transport.KeyValue{Key: kv.Key(rest[i]), Value: kv.Value(rest[i+1])})
-		}
-		version, err := cli.Update(ctx, reads, writes)
-		if err != nil {
+		defer remote.Close()
+		// One unified read-modify-write transaction: read each key (the
+		// observed versions are validated at commit), then write it —
+		// committed in a single round trip, conflicts retried.
+		if err := remote.Update(ctx, func(tx *tcache.Tx) error {
+			for i := 0; i < len(rest); i += 2 {
+				if _, _, err := tx.Get(ctx, kv.Key(rest[i])); err != nil {
+					return err
+				}
+				if err := tx.Set(kv.Key(rest[i]), kv.Value(rest[i+1])); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Printf("committed at version %s\n", version)
+		fmt.Println("committed")
 		return nil
 
 	case "get":

@@ -10,10 +10,19 @@
 //	            -duration 10s -readers 8 -updaters 2 -objects 2000
 //
 // With -cluster, readers attach one local T-Cache to a whole fleet of
-// tcached nodes through the consistent-hash routing tier (updates still
-// go to -db):
+// tcached nodes through the consistent-hash routing tier, and updates
+// commit through the same tier (relayed by an edge node to the
+// database):
 //
 //	tcache-load -db 127.0.0.1:7070 -cluster edge1:7071,edge2:7071,edge3:7071
+//
+// All writes go through the unified tcache.Updater API — read-modify-
+// write closures validated and committed in one round trip, conflicts
+// retried with jittered backoff. -write-mix additionally turns the given
+// fraction of every reader's transactions into such closures, modelling
+// edge clients that both read and write:
+//
+//	tcache-load -cluster edge1:7071,edge2:7071 -write-mix 0.1
 package main
 
 import (
@@ -50,15 +59,34 @@ type counters struct {
 	updateLat stats.Sample
 }
 
+// updateTxn runs one read-modify-write transaction over keys through the
+// unified API: read every key, write every key.
+func updateTxn(ctx context.Context, up tcache.Updater, keys []kv.Key, tag string) error {
+	return up.Update(ctx, func(tx *tcache.Tx) error {
+		for _, k := range keys {
+			if _, _, err := tx.Get(ctx, k); err != nil {
+				return err
+			}
+		}
+		for _, k := range keys {
+			if err := tx.Set(k, kv.Value(tag)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 func run() error {
 	ctx := context.Background()
 	var (
 		dbAddr      = flag.String("db", "127.0.0.1:7070", "tdbd address")
 		cacheAddr   = flag.String("cache", "127.0.0.1:7071", "tcached address")
-		clusterFl   = flag.String("cluster", "", "comma-separated tcached fleet; readers route through the cluster tier instead of -cache")
+		clusterFl   = flag.String("cluster", "", "comma-separated tcached fleet; reads AND updates route through the cluster tier instead of -cache/-db")
 		duration    = flag.Duration("duration", 10*time.Second, "load duration")
 		readers     = flag.Int("readers", 8, "read-only client goroutines")
 		updaters    = flag.Int("updaters", 2, "update client goroutines")
+		writeMix    = flag.Float64("write-mix", 0, "fraction of each reader's transactions that are read-modify-write closures through the unified Update API (0..1)")
 		objects     = flag.Int("objects", 2000, "object count")
 		clusterSize = flag.Int("cluster-size", 5, "workload cluster size (objects per affinity cluster)")
 		txnSize     = flag.Int("txn", 5, "objects per transaction")
@@ -68,22 +96,52 @@ func run() error {
 
 	clusterAddrs := cluster.SplitAddrs(*clusterFl)
 
-	dbCli, err := transport.DialDB(ctx, *dbAddr, *updaters+1)
+	// The datacenter-side handle: pings, seeding, and the updater used
+	// when no cluster tier is configured.
+	remote, err := tcache.Dial(ctx, *dbAddr, tcache.WithPoolSize(*updaters+1))
 	if err != nil {
 		return err
 	}
-	defer dbCli.Close()
-	if err := dbCli.Ping(ctx); err != nil {
+	defer remote.Close()
+	if err := remote.Ping(ctx); err != nil {
 		return fmt.Errorf("tdbd unreachable: %w", err)
 	}
 
-	// Seed the key space.
+	// Seed the key space through the unified API, chunked so each commit
+	// is one round trip instead of one per object.
 	gen := &workload.PerfectClusters{Objects: *objects, ClusterSize: *clusterSize, TxnSize: *txnSize}
 	fmt.Printf("seeding %d objects...\n", *objects)
-	for _, k := range workload.AllObjectKeys(*objects) {
-		if _, err := dbCli.Update(ctx, nil, []transport.KeyValue{{Key: k, Value: kv.Value("seed")}}); err != nil {
-			return fmt.Errorf("seed %s: %w", k, err)
+	all := workload.AllObjectKeys(*objects)
+	const seedChunk = 100
+	for start := 0; start < len(all); start += seedChunk {
+		chunk := all[start:min(start+seedChunk, len(all))]
+		if err := remote.Update(ctx, func(tx *tcache.Tx) error {
+			for _, k := range chunk {
+				if err := tx.Set(k, kv.Value("seed")); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("seed chunk at %d: %w", start, err)
 		}
+	}
+
+	// In cluster mode every reader shares one local T-Cache attached to
+	// the fleet, and updates commit through the same tier (an edge node
+	// relays them to the database); otherwise readers speak the thin
+	// transactional protocol to the single tcached and updates go
+	// straight to the database.
+	var clusterCache *tcache.ClusterCache
+	var updater tcache.Updater = remote
+	if len(clusterAddrs) > 0 {
+		clusterCache, err = tcache.DialCluster(ctx, clusterAddrs)
+		if err != nil {
+			return fmt.Errorf("dial cluster: %w", err)
+		}
+		defer clusterCache.Close()
+		updater = clusterCache
+		fmt.Printf("routing reads and updates over %d-node cluster tier\n", len(clusterAddrs))
 	}
 
 	var (
@@ -91,6 +149,27 @@ func run() error {
 		wg   sync.WaitGroup
 		stop = time.Now().Add(*duration)
 	)
+	// Workers share a deadline so conflict-retry loops cannot overrun the
+	// measurement window.
+	loadCtx, cancelLoad := context.WithDeadline(ctx, stop)
+	defer cancelLoad()
+
+	runUpdate := func(rng *rand.Rand, u int) bool {
+		keys := dedup(gen.Pick(rng))
+		t0 := time.Now()
+		err := updateTxn(loadCtx, updater, keys, fmt.Sprintf("u%d-%d", u, rng.Int63()))
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "update:", err)
+			}
+			return false
+		}
+		c.mu.Lock()
+		c.updates++
+		c.updateLat.Add(float64(time.Since(t0).Microseconds()))
+		c.mu.Unlock()
+		return true
+	}
 
 	for u := 0; u < *updaters; u++ {
 		u := u
@@ -99,37 +178,11 @@ func run() error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(u)))
 			for time.Now().Before(stop) {
-				keys := dedup(gen.Pick(rng))
-				writes := make([]transport.KeyValue, len(keys))
-				for i, k := range keys {
-					writes[i] = transport.KeyValue{Key: k, Value: kv.Value(fmt.Sprintf("u%d", rng.Int63()))}
-				}
-				t0 := time.Now()
-				if _, err := dbCli.Update(ctx, keys, writes); err != nil &&
-					!errors.Is(err, transport.ErrConflict) {
-					fmt.Fprintln(os.Stderr, "update:", err)
+				if !runUpdate(rng, u) {
 					return
 				}
-				c.mu.Lock()
-				c.updates++
-				c.updateLat.Add(float64(time.Since(t0).Microseconds()))
-				c.mu.Unlock()
 			}
 		}()
-	}
-
-	// In cluster mode every reader shares one local T-Cache attached to
-	// the fleet; otherwise each reader speaks the thin transactional
-	// protocol to the single tcached.
-	var clusterCache *tcache.ClusterCache
-	if len(clusterAddrs) > 0 {
-		var err error
-		clusterCache, err = tcache.DialCluster(ctx, clusterAddrs)
-		if err != nil {
-			return fmt.Errorf("dial cluster: %w", err)
-		}
-		defer clusterCache.Close()
-		fmt.Printf("routing reads over %d-node cluster tier\n", len(clusterAddrs))
 	}
 
 	for r := 0; r < *readers; r++ {
@@ -139,8 +192,8 @@ func run() error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + 1000 + int64(r)))
 			runTxn := func(keys []kv.Key) error {
-				return clusterCache.ReadTxn(ctx, func(tx *tcache.ReadTx) error {
-					_, err := tx.GetMulti(ctx, keys...)
+				return clusterCache.ReadTxn(loadCtx, func(tx *tcache.ReadTx) error {
+					_, err := tx.GetMulti(loadCtx, keys...)
 					return err
 				})
 			}
@@ -153,15 +206,26 @@ func run() error {
 				defer cli.Close()
 				runTxn = func(keys []kv.Key) error {
 					// One round trip per transaction (OpReadMulti).
-					_, err := cli.ReadMulti(ctx, cli.NewTxnID(), keys, true)
+					_, err := cli.ReadMulti(loadCtx, cli.NewTxnID(), keys, true)
 					return err
 				}
 			}
 			for time.Now().Before(stop) {
+				if *writeMix > 0 && rng.Float64() < *writeMix {
+					// This transaction writes: a read-modify-write closure
+					// through the same tier the reads use.
+					if !runUpdate(rng, 1000+r) {
+						return
+					}
+					continue
+				}
 				keys := gen.Pick(rng)
 				t0 := time.Now()
 				aborted := false
 				if err := runTxn(keys); err != nil {
+					if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+						return
+					}
 					if !errors.Is(err, transport.ErrAborted) && !errors.Is(err, tcache.ErrTxnAborted) {
 						fmt.Fprintln(os.Stderr, "read:", err)
 						return
@@ -237,9 +301,3 @@ func dedup(keys []kv.Key) []kv.Key {
 	return out
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

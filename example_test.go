@@ -148,7 +148,7 @@ func ExampleCache_ReadTxn_detection() {
 	// Reprice both in one transaction; the cache hears nothing.
 	_ = db.Update(ctx, func(tx *tcache.Tx) error {
 		for _, k := range []tcache.Key{"train", "tracks"} {
-			if _, _, err := tx.Get(k); err != nil {
+			if _, _, err := tx.Get(ctx, k); err != nil {
 				return err
 			}
 		}
@@ -188,7 +188,7 @@ func ExampleWithStrategy_retry() {
 	_, _ = cache.Get(ctx, "tracks")
 	_ = db.Update(ctx, func(tx *tcache.Tx) error {
 		for _, k := range []tcache.Key{"train", "tracks"} {
-			if _, _, err := tx.Get(k); err != nil {
+			if _, _, err := tx.Get(ctx, k); err != nil {
 				return err
 			}
 		}
@@ -262,4 +262,55 @@ func ExampleDialCluster() {
 	// Output:
 	// train=in stock tracks=in stock
 	// err=<nil> nodes=3
+}
+
+// The unified write path: the SAME read-modify-write closure commits
+// through every tier — the in-process database, a remote database over
+// the wire (one validated round trip), and an edge cache (which then
+// reads its own write immediately, before any invalidation arrives).
+func ExampleUpdater() {
+	ctx := context.Background()
+	db := tcache.OpenDB()
+	defer db.Close()
+	addr, stopDB, err := tcache.ServeDB(db, "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer stopDB()
+	remote, err := tcache.Dial(ctx, addr)
+	if err != nil {
+		panic(err)
+	}
+	defer remote.Close()
+	cache, err := tcache.NewCache(remote)
+	if err != nil {
+		panic(err)
+	}
+	defer cache.Close()
+
+	// One closure, any tier.
+	restock := func(tx *tcache.Tx) error {
+		cur, found, err := tx.Get(ctx, "stock")
+		if err != nil {
+			return err
+		}
+		n := 0
+		if found {
+			n = int(cur[0] - '0')
+		}
+		return tx.Set("stock", tcache.Value{byte('0' + n + 1)})
+	}
+
+	for _, up := range []tcache.Updater{db, remote, cache} {
+		if err := up.Update(ctx, restock); err != nil {
+			panic(err)
+		}
+	}
+
+	// The cache reads its own write instantly (self-invalidation), no
+	// matter how slow or lossy the invalidation stream is.
+	v, err := cache.Get(ctx, "stock")
+	fmt.Printf("stock=%s err=%v\n", v, err)
+	// Output:
+	// stock=3 err=<nil>
 }

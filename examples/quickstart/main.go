@@ -49,7 +49,7 @@ func main() {
 	// for this update are lost.
 	must(db.Update(ctx, func(tx *tcache.Tx) error {
 		for _, k := range []tcache.Key{"train", "tracks"} {
-			if _, _, err := tx.Get(k); err != nil {
+			if _, _, err := tx.Get(ctx, k); err != nil {
 				return err
 			}
 		}

@@ -74,7 +74,7 @@ func main() {
 				gen := n + 1
 				must(db.Update(ctx, func(tx *tcache.Tx) error {
 					for i := 0; i < productsPer; i++ {
-						if _, _, err := tx.Get(productKey(b, i)); err != nil {
+						if _, _, err := tx.Get(ctx, productKey(b, i)); err != nil {
 							return err
 						}
 					}

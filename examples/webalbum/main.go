@@ -70,14 +70,14 @@ func renderOutcome(pinned bool) string {
 
 	// Lock out the boss and add party pictures — one atomic transaction.
 	must(db.Update(ctx, func(tx *tcache.Tx) error {
-		if _, _, err := tx.Get(acl); err != nil {
+		if _, _, err := tx.Get(ctx, acl); err != nil {
 			return err
 		}
 		if err := tx.Set(acl, tcache.Value("friends-only")); err != nil {
 			return err
 		}
 		for i := 0; i < 2; i++ {
-			if _, _, err := tx.Get(pic(i)); err != nil {
+			if _, _, err := tx.Get(ctx, pic(i)); err != nil {
 				return err
 			}
 			if err := tx.Set(pic(i), tcache.Value("party")); err != nil {
@@ -92,7 +92,7 @@ func renderOutcome(pinned bool) string {
 		i := i
 		must(db.Update(ctx, func(tx *tcache.Tx) error {
 			for _, k := range []tcache.Key{pic(i - 1), pic(i)} {
-				if _, _, err := tx.Get(k); err != nil {
+				if _, _, err := tx.Get(ctx, k); err != nil {
 					return err
 				}
 				if err := tx.Set(k, tcache.Value("retagged")); err != nil {

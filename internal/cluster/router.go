@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tcache/internal/db"
 	"tcache/internal/kv"
 	"tcache/internal/transport"
 )
@@ -146,6 +147,20 @@ type Router struct {
 	// hw are the per-range high-water marks; see rangeBits.
 	hw [numRanges]atomic.Pointer[kv.Version]
 
+	// upNext rotates update relays round-robin over the nodes.
+	upNext atomic.Uint64
+
+	// wm are the per-range write marks: versions this client's own
+	// committed updates produced (and the committed versions its
+	// validation conflicts revealed). Unlike hw — which guards only
+	// failover reads — a write mark floors EVERY read of its range, home
+	// node included: the home node learns of the commit through the same
+	// asynchronous invalidation stream as everyone else, so without the
+	// floor a client could commit a write and read the stale value
+	// straight back from its own home node. Raised only by the write
+	// path, so read-only deployments never pay for it.
+	wm [numRanges]atomic.Pointer[kv.Version]
+
 	// ctx parents probes and subscription streams; Close cancels it.
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -241,31 +256,51 @@ type NodeInfo struct {
 
 // --- Watermarks ---------------------------------------------------------
 
-// observe raises the high-water mark of rg to at least v. Raising
-// allocates one Version box; the steady state (no newer version) is a
-// single atomic load.
-func (r *Router) observe(rg int, v kv.Version) {
+// raiseMark lifts a per-range mark to at least v. Raising allocates one
+// Version box; the steady state (no newer version) is a single atomic
+// load.
+func raiseMark(p *atomic.Pointer[kv.Version], v kv.Version) {
 	if v.IsZero() {
 		return
 	}
 	for {
-		p := r.hw[rg].Load()
-		if p != nil && !p.Less(v) {
+		cur := p.Load()
+		if cur != nil && !cur.Less(v) {
 			return
 		}
 		nv := v
-		if r.hw[rg].CompareAndSwap(p, &nv) {
+		if p.CompareAndSwap(cur, &nv) {
 			return
 		}
 	}
 }
 
-// floorFor returns the high-water mark of rg (zero when none recorded).
-func (r *Router) floorFor(rg int) kv.Version {
-	if p := r.hw[rg].Load(); p != nil {
-		return *p
+func loadMark(p *atomic.Pointer[kv.Version]) kv.Version {
+	if v := p.Load(); v != nil {
+		return *v
 	}
 	return kv.Version{}
+}
+
+// observe raises the high-water mark of rg to at least v.
+func (r *Router) observe(rg int, v kv.Version) { raiseMark(&r.hw[rg], v) }
+
+// floorFor returns the high-water mark of rg (zero when none recorded).
+func (r *Router) floorFor(rg int) kv.Version { return loadMark(&r.hw[rg]) }
+
+// observeWrite raises the write mark of rg to at least v.
+func (r *Router) observeWrite(rg int, v kv.Version) { raiseMark(&r.wm[rg], v) }
+
+// readFloor is the floor a read of range rg must carry: always at least
+// the range's write mark (read-your-writes), plus the failover
+// high-water mark when the read is routed off its home node or onto a
+// probation node.
+func (r *Router) readFloor(rg int, offHome bool) kv.Version {
+	f := loadMark(&r.wm[rg])
+	if offHome {
+		f = kv.Max(f, r.floorFor(rg))
+	}
+	return f
 }
 
 // --- Health -------------------------------------------------------------
@@ -422,10 +457,7 @@ func (r *Router) ReadItem(ctx context.Context, key kv.Key) (kv.Item, bool, error
 		if !n.available() {
 			continue
 		}
-		var floor kv.Version
-		if m != home || n.inProbation() {
-			floor = r.floorFor(rg)
-		}
+		floor := r.readFloor(rg, m != home || n.inProbation())
 		item, ok, err := n.cli.Load().ReadItemFloor(ctx, key, floor)
 		if err == nil {
 			n.recordSuccess()
@@ -520,10 +552,8 @@ func (r *Router) ReadItems(ctx context.Context, keys []kv.Key) ([]kv.Lookup, err
 			}
 			g.keys = append(g.keys, keys[i])
 			g.idx = append(g.idx, i)
-			if floored {
-				if f := r.floorFor(rangeOf(hashes[i])); g.floor.Less(f) {
-					g.floor = f
-				}
+			if f := r.readFloor(rangeOf(hashes[i]), floored); g.floor.Less(f) {
+				g.floor = f
 			}
 		}
 		var wg sync.WaitGroup
@@ -575,6 +605,53 @@ type subBatch struct {
 	idx     []int
 	lookups []kv.Lookup
 	err     error
+}
+
+// --- Updates -------------------------------------------------------------
+
+// ValidatedUpdate implements the write half of the backend contract
+// (core.UpdaterBackend): the optimistic update is relayed through a
+// live node — any tcached forwards it to the database, which validates
+// the observed read versions and commits — and the per-range write
+// marks are raised so this client's subsequent reads, on any node,
+// carry a floor at least as new as its own commit (read-your-writes
+// across the tier) or as the conflicting committed version (so a stale
+// mid-tier copy cannot livelock the retry). Relays rotate round-robin
+// over the live nodes so a writing fleet spreads its update traffic
+// instead of funnelling through one member.
+//
+// Updates are not idempotent: a transport failure after the frame was
+// sent leaves the outcome unknown, so the call is NOT failed over to
+// another node — the failure surfaces to the caller, and the node's
+// health accounting takes the hit.
+func (r *Router) ValidatedUpdate(ctx context.Context, reads []kv.ObservedRead, writes []kv.KeyValue) (kv.Version, error) {
+	var n *node
+	start := int((r.upNext.Add(1) - 1) % uint64(len(r.node)))
+	for off := 0; off < len(r.node); off++ {
+		if cand := r.node[(start+off)%len(r.node)]; cand.available() {
+			n = cand
+			break
+		}
+	}
+	if n == nil {
+		return kv.Version{}, fmt.Errorf("cluster: update: %w", ErrNoNodes)
+	}
+	version, err := n.cli.Load().ValidatedUpdate(ctx, reads, writes)
+	if err != nil {
+		var ce *db.ConflictError
+		if errors.As(err, &ce) && ce.Found {
+			r.observeWrite(rangeOf(KeyHash(ce.Key)), ce.Current)
+		}
+		if ctx.Err() == nil && errors.Is(err, transport.ErrUnavailable) {
+			r.recordFailure(n)
+		}
+		return kv.Version{}, err
+	}
+	n.recordSuccess()
+	for _, w := range writes {
+		r.observeWrite(rangeOf(KeyHash(w.Key)), version)
+	}
+	return version, nil
 }
 
 // --- Invalidation subscription ------------------------------------------

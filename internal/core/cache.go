@@ -126,6 +126,18 @@ type BatchBackend interface {
 	ReadItems(ctx context.Context, keys []kv.Key) ([]kv.Lookup, error)
 }
 
+// UpdaterBackend is the optional write extension of Backend: one
+// optimistic update transaction, validated and committed atomically.
+// The observed read versions are re-checked against the committed state
+// and the writes applied only if all still match; a mismatch fails with
+// the backend's conflict error (db.ConflictError for the in-process
+// database, relayed across the wire by the transport). Backends that
+// implement it (*db.DB, transport.DBClient, cluster.Router) let a cache
+// sitting on top offer the unified read-modify-write API.
+type UpdaterBackend interface {
+	ValidatedUpdate(ctx context.Context, reads []kv.ObservedRead, writes []kv.KeyValue) (kv.Version, error)
+}
+
 // ReadVersion is one (key, version) pair of a completed transaction's
 // read set, reported to completion observers.
 type ReadVersion struct {
@@ -420,6 +432,11 @@ func New(cfg Config) (*Cache, error) {
 
 // Shards returns the number of lock stripes the cache was built with.
 func (c *Cache) Shards() int { return len(c.shards) }
+
+// Backend returns the backend the cache fills misses from, so owners
+// (the cache server relaying updates, the public API's write path) can
+// discover its optional capabilities — BatchBackend, UpdaterBackend.
+func (c *Cache) Backend() Backend { return c.cfg.Backend }
 
 // shardFor returns the entry shard responsible for key.
 func (c *Cache) shardFor(key kv.Key) *cacheShard {

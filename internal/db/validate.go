@@ -1,0 +1,71 @@
+package db
+
+import (
+	"context"
+	"fmt"
+
+	"tcache/internal/kv"
+)
+
+// ConflictError is the ErrConflict flavor ValidatedUpdate raises when an
+// observed read no longer matches the committed state. It names the key
+// and the committed version that superseded the observation, so an
+// optimistic caller (an edge cache, a cluster router) can invalidate its
+// stale copy — and floor its refetch — before retrying, instead of
+// re-reading the same stale version forever.
+type ConflictError struct {
+	// Key is the first observed read that failed validation.
+	Key kv.Key
+	// Current is the version committed for Key at validation time (zero
+	// when the key does not exist).
+	Current kv.Version
+	// Found reports whether Key currently exists.
+	Found bool
+}
+
+func (e *ConflictError) Error() string {
+	if !e.Found {
+		return fmt.Sprintf("db: validation conflict on %q: key no longer exists", e.Key)
+	}
+	return fmt.Sprintf("db: validation conflict on %q: committed version is now %s", e.Key, e.Current)
+}
+
+// Unwrap makes errors.Is(err, ErrConflict) hold.
+func (e *ConflictError) Unwrap() error { return ErrConflict }
+
+// ValidatedUpdate commits one optimistic update transaction: every
+// observed read is re-read under a shared lock and compared against the
+// version (and presence) the client saw; if all still match, the write
+// set is applied through the ordinary two-phase commit, atomically and
+// serializably. The first mismatch aborts with a ConflictError wrapping
+// ErrConflict — the caller's optimistic snapshot is stale and the
+// transaction must be retried against fresh reads.
+//
+// This is the server half of the one-round-trip edge write path: the
+// client runs its closure against snapshot reads (its cache, or
+// lock-free ReadItem calls), buffers the writes, and ships both sets
+// here for validation-and-commit in a single exchange. Blind writes
+// (an empty read set) commit unconditionally.
+func (d *DB) ValidatedUpdate(ctx context.Context, reads []kv.ObservedRead, writes []kv.KeyValue) (kv.Version, error) {
+	txn := d.BeginCtx(ctx)
+	for _, r := range reads {
+		item, found, err := txn.Read(r.Key)
+		if err != nil {
+			// Lock conflicts and cancellations already rolled the
+			// transaction back.
+			return kv.Version{}, err
+		}
+		if found != r.Found || (found && item.Version != r.Version) {
+			d.metrics.Conflicts.Add(1)
+			d.metrics.TxnsAborted.Add(1)
+			txn.rollback()
+			return kv.Version{}, &ConflictError{Key: r.Key, Current: item.Version, Found: found}
+		}
+	}
+	for _, w := range writes {
+		if err := txn.Write(w.Key, w.Value); err != nil {
+			return kv.Version{}, err
+		}
+	}
+	return txn.Commit()
+}

@@ -1,0 +1,99 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tcache/internal/kv"
+)
+
+func seedOne(t *testing.T, d *DB, key kv.Key, val string) kv.Version {
+	t.Helper()
+	txn := d.Begin()
+	if err := txn.Write(key, kv.Value(val)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := txn.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestValidatedUpdateCommits(t *testing.T) {
+	d := Open(Config{DepBound: 5})
+	defer d.Close()
+	ctx := context.Background()
+	v1 := seedOne(t, d, "k", "v1")
+
+	vt, err := d.ValidatedUpdate(ctx,
+		[]kv.ObservedRead{{Key: "k", Version: v1, Found: true}, {Key: "absent", Found: false}},
+		[]kv.KeyValue{{Key: "k", Value: kv.Value("v2")}, {Key: "k2", Value: kv.Value("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Less(vt) {
+		t.Fatalf("commit version %s not after observed %s", vt, v1)
+	}
+	item, ok := d.Get("k")
+	if !ok || string(item.Value) != "v2" || item.Version != vt {
+		t.Fatalf("committed item = %q@%s, %v", item.Value, item.Version, ok)
+	}
+	if item, ok := d.Get("k2"); !ok || item.Version != vt {
+		t.Fatal("second write of the atomic commit missing")
+	}
+}
+
+func TestValidatedUpdateConflicts(t *testing.T) {
+	d := Open(Config{DepBound: 5})
+	defer d.Close()
+	ctx := context.Background()
+	v1 := seedOne(t, d, "k", "v1")
+	v2 := seedOne(t, d, "k", "v2")
+
+	t.Run("stale version", func(t *testing.T) {
+		_, err := d.ValidatedUpdate(ctx,
+			[]kv.ObservedRead{{Key: "k", Version: v1, Found: true}},
+			[]kv.KeyValue{{Key: "k", Value: kv.Value("doomed")}})
+		if !errors.Is(err, ErrConflict) {
+			t.Fatalf("stale observation = %v, want ErrConflict", err)
+		}
+		var ce *ConflictError
+		if !errors.As(err, &ce) || ce.Key != "k" || ce.Current != v2 || !ce.Found {
+			t.Fatalf("conflict detail = %+v, want k@%s", ce, v2)
+		}
+		if item, _ := d.Get("k"); string(item.Value) != "v2" {
+			t.Fatalf("rejected commit leaked a write: %q", item.Value)
+		}
+	})
+
+	t.Run("presence mismatch", func(t *testing.T) {
+		_, err := d.ValidatedUpdate(ctx,
+			[]kv.ObservedRead{{Key: "k", Found: false}}, // observed missing, exists now
+			[]kv.KeyValue{{Key: "other", Value: kv.Value("x")}})
+		var ce *ConflictError
+		if !errors.As(err, &ce) || !ce.Found {
+			t.Fatalf("presence mismatch = %v", err)
+		}
+		if _, ok := d.Get("other"); ok {
+			t.Fatal("rejected commit leaked a write")
+		}
+	})
+
+	t.Run("locks released after conflict", func(t *testing.T) {
+		// A fresh transaction must be able to lock the conflicting key
+		// immediately: the rejected validation rolled everything back.
+		seedOne(t, d, "k", "v3")
+	})
+
+	t.Run("cancelled ctx", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		_, err := d.ValidatedUpdate(cctx,
+			[]kv.ObservedRead{{Key: "k", Version: v2, Found: true}}, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled validated update = %v", err)
+		}
+	})
+}

@@ -116,6 +116,24 @@ type Lookup struct {
 	Found bool
 }
 
+// ObservedRead is one read of an optimistic update transaction as the
+// client observed it: the key, the committed version that was served,
+// and whether the key existed. A validated commit re-reads every
+// observed key under lock and applies the write set only if each still
+// matches — the version carried here is what makes one-round-trip
+// optimistic commits serializable.
+type ObservedRead struct {
+	Key     Key
+	Version Version
+	Found   bool
+}
+
+// KeyValue is one buffered write of an update transaction.
+type KeyValue struct {
+	Key   Key
+	Value Value
+}
+
 // Access is one read-set or write-set tuple presented to the dependency
 // aggregation at commit time: the key accessed, the version relevant to the
 // dependency (the version read for read-set entries; the new transaction

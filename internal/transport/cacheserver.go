@@ -301,6 +301,10 @@ func (s *CacheServer) dispatch(ctx context.Context, req Request) Response {
 		}
 		return Response{Code: CodeOK, Batch: lookups}
 
+	case OpUpdate:
+		version, err := s.runUpdate(ctx, req)
+		return updateResponse(version, err)
+
 	case OpCommit:
 		s.cache.Commit(kv.TxnID(req.TxnID))
 		return Response{Code: CodeOK}
@@ -328,6 +332,37 @@ func (s *CacheServer) dispatch(ctx context.Context, req Request) Response {
 	default:
 		return Response{Code: CodeError, Err: fmt.Sprintf("tcached: unknown op %q", req.Op)}
 	}
+}
+
+// runUpdate relays a validated update through this cache's backend —
+// the mid-tier role of the unified write path: edge clients commit
+// through whichever tcached they reach, which forwards the observed
+// read versions and writes upstream (ultimately to the database, which
+// validates and commits). On a commit, the relay applies the writes'
+// invalidations to its own cache synchronously, so the node that
+// carried the update serves it immediately; on a validation conflict it
+// evicts its own stale copy of the conflicting key, so retries routed
+// through it refetch instead of re-reading the same stale version.
+func (s *CacheServer) runUpdate(ctx context.Context, req Request) (kv.Version, error) {
+	if req.ReadVersions == nil {
+		return kv.Version{}, errors.New("tcached: update requires the validated form (protocol v4 ReadVersions)")
+	}
+	ub, ok := s.cache.Backend().(core.UpdaterBackend)
+	if !ok {
+		return kv.Version{}, fmt.Errorf("tcached: backend %T does not support updates", s.cache.Backend())
+	}
+	version, err := ub.ValidatedUpdate(ctx, req.ReadVersions, req.Writes)
+	if err != nil {
+		var ce *db.ConflictError
+		if errors.As(err, &ce) && ce.Found {
+			s.cache.Invalidate(ce.Key, ce.Current)
+		}
+		return kv.Version{}, err
+	}
+	for _, w := range req.Writes {
+		s.cache.Invalidate(w.Key, version)
+	}
+	return version, nil
 }
 
 func readResponse(val kv.Value, err error) Response {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tcache/internal/core"
+	"tcache/internal/db"
 	"tcache/internal/kv"
 )
 
@@ -21,8 +22,10 @@ var (
 	ErrAborted = core.ErrTxnAborted
 	// ErrNotFound mirrors core.ErrNotFound across the wire.
 	ErrNotFound = core.ErrNotFound
-	// ErrConflict reports an update-transaction conflict; retry.
-	ErrConflict = errors.New("transport: update conflict, retry")
+	// ErrConflict reports an update-transaction conflict; retry. It
+	// wraps db.ErrConflict so callers can match either identity no
+	// matter which side of the wire the conflict surfaced on.
+	ErrConflict = fmt.Errorf("transport: update conflict, retry: %w", db.ErrConflict)
 	// ErrClientClosed reports an operation on a closed client.
 	ErrClientClosed = errors.New("transport: client closed")
 	// ErrUnavailable marks transport-level failures — a dial that never
@@ -574,17 +577,56 @@ func (c *DBClient) ReadItemsFloor(ctx context.Context, keys []kv.Key, floor kv.V
 	return resp.Batch, nil
 }
 
-// Update runs one update transaction (read set, then write set) and
-// returns the commit version. Conflicts surface as ErrConflict.
+// Update runs one legacy static-set update transaction (read set under
+// locks, then write set) and returns the commit version. Conflicts
+// surface as ErrConflict. It remains as the raw-op access the transport
+// tests (and seeding tools) need; the unified write path commits through
+// ValidatedUpdate instead.
 func (c *DBClient) Update(ctx context.Context, reads []kv.Key, writes []KeyValue) (kv.Version, error) {
 	resp, err := c.mx.roundTrip(ctx, Request{Op: OpUpdate, Reads: reads, Writes: writes})
 	if err != nil {
 		return kv.Version{}, err
 	}
+	return decodeUpdate(resp)
+}
+
+// ValidatedUpdate implements core.UpdaterBackend over the wire: one
+// OpUpdate round trip carrying the closure's observed read versions; the
+// server re-validates them under lock and commits the writes atomically.
+// A validation failure comes back as a *db.ConflictError (wrapping
+// ErrConflict and db.ErrConflict) naming the stale key and its committed
+// version, so the caller can invalidate its copy before retrying. The
+// call is not idempotent: a transport failure after the frame was sent
+// leaves the outcome unknown, so it is never blind-resent.
+func (c *DBClient) ValidatedUpdate(ctx context.Context, reads []kv.ObservedRead, writes []kv.KeyValue) (kv.Version, error) {
+	if reads == nil {
+		// Non-nil marks the validated form on the wire; nil would select
+		// the legacy static-set path.
+		reads = []kv.ObservedRead{}
+	}
+	resp, err := c.mx.roundTrip(ctx, Request{Op: OpUpdate, ReadVersions: reads, Writes: writes})
+	if err != nil {
+		return kv.Version{}, err
+	}
+	return decodeUpdate(resp)
+}
+
+var _ core.UpdaterBackend = (*DBClient)(nil)
+
+// decodeUpdate maps an OpUpdate response, rehydrating the validation
+// conflict detail when the server supplied one.
+func decodeUpdate(resp Response) (kv.Version, error) {
 	switch resp.Code {
 	case CodeOK:
 		return resp.Version, nil
 	case CodeConflict:
+		if resp.ConflictKey != "" {
+			// Wrap under both conflict identities: transport callers match
+			// ErrConflict, the shared retry driver matches db.ErrConflict,
+			// and errors.As still reaches the detail.
+			return kv.Version{}, fmt.Errorf("%w: %w",
+				ErrConflict, &db.ConflictError{Key: resp.ConflictKey, Current: resp.ConflictVersion, Found: resp.ConflictFound})
+		}
 		return kv.Version{}, fmt.Errorf("%w: %s", ErrConflict, resp.Err)
 	default:
 		return kv.Version{}, fmt.Errorf("transport: update: %s", resp.Err)

@@ -51,9 +51,11 @@ import (
 // ProtocolVersion is the wire protocol spoken by this build. Version 1
 // was the gob framing; version 2 introduced the binary codec in this
 // file; version 3 added the MinVersion read floor to requests (the
-// cluster tier's read-your-invalidations guard) — same framing, one more
-// request field.
-const ProtocolVersion = 3
+// cluster tier's read-your-invalidations guard); version 4 added the
+// validated-update fields (ReadVersions on requests, the conflict
+// detail on responses) that carry the unified optimistic write path —
+// same framing each time, negotiated exactly like v2/v3.
+const ProtocolVersion = 4
 
 // handshakeMagic opens every connection, in both directions.
 var handshakeMagic = [4]byte{'T', 'C', 'W', 'P'}
@@ -352,6 +354,19 @@ func appendKeyValues(b []byte, kvs []KeyValue) []byte {
 	return b
 }
 
+func appendObservedReads(b []byte, rs []ObservedRead) []byte {
+	if rs == nil {
+		return appendCountNil(b, -1)
+	}
+	b = appendCountNil(b, len(rs))
+	for _, r := range rs {
+		b = appendString(b, string(r.Key))
+		b = appendVersion(b, r.Version)
+		b = appendBool(b, r.Found)
+	}
+	return b
+}
+
 func appendValues(b []byte, vals []kv.Value) []byte {
 	if vals == nil {
 		return appendCountNil(b, -1)
@@ -398,7 +413,8 @@ func appendRequest(b []byte, req *Request) []byte {
 	b = appendString(b, req.Subscriber)
 	b = appendKeySlice(b, req.Reads)
 	b = appendKeyValues(b, req.Writes)
-	return appendVersion(b, req.MinVersion)
+	b = appendVersion(b, req.MinVersion)
+	return appendObservedReads(b, req.ReadVersions)
 }
 
 func appendResponse(b []byte, resp *Response) []byte {
@@ -410,7 +426,10 @@ func appendResponse(b []byte, resp *Response) []byte {
 	b = appendVersion(b, resp.Version)
 	b = appendLookups(b, resp.Batch)
 	b = appendValues(b, resp.Values)
-	return appendStats(b, resp.Stats)
+	b = appendStats(b, resp.Stats)
+	b = appendString(b, string(resp.ConflictKey))
+	b = appendVersion(b, resp.ConflictVersion)
+	return appendBool(b, resp.ConflictFound)
 }
 
 func appendInvalidations(b []byte, invs []Invalidation) []byte {
@@ -610,6 +629,30 @@ func (d *payloadDecoder) keyValues() ([]KeyValue, error) {
 	return kvs, nil
 }
 
+func (d *payloadDecoder) observedReads() ([]ObservedRead, error) {
+	n, err := d.countNil(4) // key len + 2 version varints + found bool
+	if err != nil || n < 0 {
+		return nil, err
+	}
+	rs := make([]ObservedRead, n)
+	for i := range rs {
+		s, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.version()
+		if err != nil {
+			return nil, err
+		}
+		found, err := d.bool()
+		if err != nil {
+			return nil, err
+		}
+		rs[i] = ObservedRead{Key: kv.Key(s), Version: v, Found: found}
+	}
+	return rs, nil
+}
+
 func (d *payloadDecoder) values() ([]kv.Value, error) {
 	n, err := d.countNil(1)
 	if err != nil || n < 0 {
@@ -702,6 +745,9 @@ func decodeRequest(payload []byte) (Request, error) {
 	if req.MinVersion, err = d.version(); err != nil {
 		return req, err
 	}
+	if req.ReadVersions, err = d.observedReads(); err != nil {
+		return req, err
+	}
 	return req, nil
 }
 
@@ -736,6 +782,17 @@ func decodeResponse(payload []byte) (Response, error) {
 		return resp, err
 	}
 	if resp.Stats, err = d.stats(); err != nil {
+		return resp, err
+	}
+	var ck string
+	if ck, err = d.string(); err != nil {
+		return resp, err
+	}
+	resp.ConflictKey = kv.Key(ck)
+	if resp.ConflictVersion, err = d.version(); err != nil {
+		return resp, err
+	}
+	if resp.ConflictFound, err = d.bool(); err != nil {
 		return resp, err
 	}
 	return resp, nil

@@ -330,14 +330,7 @@ func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
 
 	case OpUpdate:
 		version, err := s.runUpdate(ctx, req)
-		switch {
-		case err == nil:
-			return Response{Code: CodeOK, Version: version}
-		case errors.Is(err, db.ErrConflict):
-			return Response{Code: CodeConflict, Err: err.Error()}
-		default:
-			return Response{Code: CodeError, Err: err.Error()}
-		}
+		return updateResponse(version, err)
 
 	case OpStats:
 		m := s.db.Metrics()
@@ -358,6 +351,11 @@ func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
 }
 
 func (s *DBServer) runUpdate(ctx context.Context, req Request) (kv.Version, error) {
+	if req.ReadVersions != nil {
+		// The validated (protocol v4) form: observed read versions are
+		// re-checked under lock, then the writes commit atomically.
+		return s.db.ValidatedUpdate(ctx, req.ReadVersions, req.Writes)
+	}
 	txn := s.db.BeginCtx(ctx)
 	for _, k := range req.Reads {
 		if _, _, err := txn.Read(k); err != nil {
@@ -370,4 +368,23 @@ func (s *DBServer) runUpdate(ctx context.Context, req Request) (kv.Version, erro
 		}
 	}
 	return txn.Commit()
+}
+
+// updateResponse maps an update outcome onto the wire, carrying the
+// validation conflict detail (stale key + committed version) when there
+// is one so optimistic clients can heal their caches before retrying.
+func updateResponse(version kv.Version, err error) Response {
+	switch {
+	case err == nil:
+		return Response{Code: CodeOK, Version: version}
+	case errors.Is(err, db.ErrConflict):
+		resp := Response{Code: CodeConflict, Err: err.Error()}
+		var ce *db.ConflictError
+		if errors.As(err, &ce) {
+			resp.ConflictKey, resp.ConflictVersion, resp.ConflictFound = ce.Key, ce.Current, ce.Found
+		}
+		return resp
+	default:
+		return Response{Code: CodeError, Err: err.Error()}
+	}
 }

@@ -1,0 +1,227 @@
+package transport
+
+// Tests for the protocol-v4 validated update: the OpUpdate form that
+// carries observed read versions, the conflict detail coming back over
+// the wire, and the cache server's mid-tier relay with synchronous
+// self-invalidation.
+
+import (
+	"errors"
+	"testing"
+
+	"tcache/internal/core"
+	"tcache/internal/db"
+	"tcache/internal/kv"
+)
+
+// TestValidatedUpdateOverWire commits one optimistic transaction through
+// the DB server: fresh observations commit in one round trip, stale ones
+// come back as a *db.ConflictError carrying the stale key and the
+// committed version — matchable under both ErrConflict identities.
+func TestValidatedUpdateOverWire(t *testing.T) {
+	s := newStack(t, core.StrategyAbort)
+	v1, err := s.dbCli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("v1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh observation: commits, version advances.
+	v2, err := s.dbCli.ValidatedUpdate(bg,
+		[]ObservedRead{{Key: "k", Version: v1, Found: true}},
+		[]KeyValue{{Key: "k", Value: kv.Value("v2")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Less(v2) {
+		t.Fatalf("commit version %s not after %s", v2, v1)
+	}
+	if item, ok, _ := s.dbCli.ReadItem(bg, "k"); !ok || string(item.Value) != "v2" || item.Version != v2 {
+		t.Fatalf("committed item = %q@%s", item.Value, item.Version)
+	}
+
+	// Stale observation (still v1): rejected, with the detail intact.
+	_, err = s.dbCli.ValidatedUpdate(bg,
+		[]ObservedRead{{Key: "k", Version: v1, Found: true}},
+		[]KeyValue{{Key: "k", Value: kv.Value("v3")}})
+	if !errors.Is(err, ErrConflict) || !errors.Is(err, db.ErrConflict) {
+		t.Fatalf("stale update = %v, want ErrConflict under both identities", err)
+	}
+	var ce *db.ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("conflict detail lost over the wire: %v", err)
+	}
+	if ce.Key != "k" || ce.Current != v2 || !ce.Found {
+		t.Fatalf("conflict detail = %+v, want k@%s", ce, v2)
+	}
+	if item, _, _ := s.dbCli.ReadItem(bg, "k"); string(item.Value) != "v2" {
+		t.Fatalf("rejected commit leaked: %q", item.Value)
+	}
+
+	// Presence mismatch: observing a key as absent that now exists.
+	_, err = s.dbCli.ValidatedUpdate(bg,
+		[]ObservedRead{{Key: "k", Found: false}},
+		[]KeyValue{{Key: "other", Value: kv.Value("x")}})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("presence mismatch = %v, want ErrConflict", err)
+	}
+
+	// Blind write (empty observed set): commits unconditionally.
+	if _, err := s.dbCli.ValidatedUpdate(bg, nil, []KeyValue{{Key: "blind", Value: kv.Value("b")}}); err != nil {
+		t.Fatalf("blind validated write = %v", err)
+	}
+}
+
+// silentMidTier builds a cache server over a DB with NO invalidation
+// bridge: its cache only learns of writes through the update relay's
+// self-invalidation (or by refetching) — which is exactly what these
+// tests need to observe.
+func silentMidTier(t *testing.T) (dbCli *DBClient, cache *core.Cache, cacheAddr string) {
+	t.Helper()
+	d := db.Open(db.Config{DepBound: 5})
+	t.Cleanup(d.Close)
+	dbSrv := NewDBServer(d, t.Logf)
+	dbAddr, err := dbSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dbSrv.Close)
+	dbCli, err = DialDB(bg, dbAddr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dbCli.Close)
+	cache, err = core.New(core.Config{Backend: dbCli, Strategy: core.StrategyRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cache.Close)
+	srv := NewCacheServer(cache, t.Logf)
+	cacheAddr, err = srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return dbCli, cache, cacheAddr
+}
+
+// TestMidTierRelaysValidatedUpdate: an edge client commits THROUGH a
+// tcached (the cache server relays OpUpdate to its backend), and the
+// relay applies the writes' invalidations to its own cache
+// synchronously — with no invalidation stream at all, the relaying node
+// serves the new value immediately after the update returns.
+func TestMidTierRelaysValidatedUpdate(t *testing.T) {
+	dbCli, _, cacheAddr := silentMidTier(t)
+	v1, err := dbCli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("old")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edge, err := DialDB(bg, cacheAddr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+
+	// Warm the mid-tier cache through the edge client.
+	if item, ok, err := edge.ReadItem(bg, "k"); err != nil || !ok || string(item.Value) != "old" {
+		t.Fatalf("warmup = %q, %v, %v", item.Value, ok, err)
+	}
+
+	// Commit through the mid-tier.
+	v2, err := edge.ValidatedUpdate(bg,
+		[]ObservedRead{{Key: "k", Version: v1, Found: true}},
+		[]KeyValue{{Key: "k", Value: kv.Value("new")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Less(v2) {
+		t.Fatalf("relay returned version %s, not after %s", v2, v1)
+	}
+
+	// Self-invalidation is synchronous: with no invalidation stream, an
+	// unfloored read through the same node must already see "new".
+	if item, ok, err := edge.ReadItem(bg, "k"); err != nil || !ok || string(item.Value) != "new" {
+		t.Fatalf("read after relayed update = %q, %v, %v (mid-tier still stale)", item.Value, ok, err)
+	}
+
+	// Conflict healing at the relay: let the DB move on underneath the
+	// mid-tier's (now re-cached) copy, then fail a validation through it.
+	v3, err := dbCli.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("newer")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = edge.ValidatedUpdate(bg,
+		[]ObservedRead{{Key: "k", Version: v2, Found: true}},
+		[]KeyValue{{Key: "k", Value: kv.Value("doomed")}})
+	var ce *db.ConflictError
+	if !errors.As(err, &ce) || ce.Current != v3 {
+		t.Fatalf("relayed conflict = %v, want detail at %s", err, v3)
+	}
+	// The relay evicted its stale copy: the next unfloored read refetches.
+	if item, _, err := edge.ReadItem(bg, "k"); err != nil || string(item.Value) != "newer" {
+		t.Fatalf("read after relayed conflict = %q, %v (stale copy not healed)", item.Value, err)
+	}
+}
+
+// TestMidTierRejectsLegacyUpdate: the cache server only relays the
+// validated form; the static-set op is a DB-server-only legacy.
+func TestMidTierRejectsLegacyUpdate(t *testing.T) {
+	_, _, cacheAddr := silentMidTier(t)
+	edge, err := DialDB(bg, cacheAddr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edge.Close()
+	if _, err := edge.Update(bg, nil, []KeyValue{{Key: "k", Value: kv.Value("x")}}); err == nil {
+		t.Fatal("legacy static-set update accepted by the cache server")
+	}
+}
+
+// TestValidatedUpdateCodecRoundTrip pins the v4 fields through the
+// codec: observed reads on requests (including the nil/empty
+// distinction that selects the op form) and the conflict detail on
+// responses.
+func TestValidatedUpdateCodecRoundTrip(t *testing.T) {
+	req := Request{
+		Op:     OpUpdate,
+		Writes: []KeyValue{{Key: "w", Value: kv.Value("v")}},
+		ReadVersions: []ObservedRead{
+			{Key: "a", Version: kv.Version{Counter: 7, Node: 2}, Found: true},
+			{Key: "gone", Found: false},
+		},
+	}
+	b := appendRequest(nil, &req)
+	got, err := decodeRequest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ReadVersions) != 2 || got.ReadVersions[0] != req.ReadVersions[0] || got.ReadVersions[1] != req.ReadVersions[1] {
+		t.Fatalf("ReadVersions = %+v", got.ReadVersions)
+	}
+
+	// nil (legacy) vs empty (validated blind write) must survive.
+	legacy := Request{Op: OpUpdate}
+	if got, err := decodeRequest(appendRequest(nil, &legacy)); err != nil || got.ReadVersions != nil {
+		t.Fatalf("nil ReadVersions decoded as %+v, %v", got.ReadVersions, err)
+	}
+	blind := Request{Op: OpUpdate, ReadVersions: []ObservedRead{}}
+	if got, err := decodeRequest(appendRequest(nil, &blind)); err != nil || got.ReadVersions == nil || len(got.ReadVersions) != 0 {
+		t.Fatalf("empty ReadVersions decoded as %+v, %v", got.ReadVersions, err)
+	}
+
+	resp := Response{
+		Code:            CodeConflict,
+		Err:             "stale",
+		ConflictKey:     "a",
+		ConflictVersion: kv.Version{Counter: 9, Node: 1},
+		ConflictFound:   true,
+	}
+	rb := appendResponse(nil, &resp)
+	rgot, err := decodeResponse(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rgot.ConflictKey != "a" || rgot.ConflictVersion != resp.ConflictVersion || !rgot.ConflictFound {
+		t.Fatalf("conflict detail = %+v", rgot)
+	}
+}

@@ -28,8 +28,13 @@ const (
 	// OpGetBatch reads many items in one round trip (DB server); the
 	// response carries one Lookup per requested key, positionally.
 	OpGetBatch Op = "get-batch"
-	// OpUpdate runs one update transaction on the DB server: read the
-	// Reads set, then write the Writes set, atomically.
+	// OpUpdate runs one update transaction. With ReadVersions set
+	// (protocol v4, the unified write path) the server validates the
+	// observed read versions and commits the Writes atomically, or
+	// rejects with CodeConflict; a cache server relays the op to its own
+	// backend, so edge clients commit through the mid-tier. Without
+	// ReadVersions it is the legacy static-set form: read the Reads set
+	// under locks, then write the Writes set (DB server only).
 	OpUpdate Op = "update"
 	// OpSubscribe switches a DB-server connection into a push stream of
 	// invalidations.
@@ -49,10 +54,12 @@ const (
 )
 
 // KeyValue is one write of an update transaction.
-type KeyValue struct {
-	Key   kv.Key
-	Value kv.Value
-}
+type KeyValue = kv.KeyValue
+
+// ObservedRead is one validated read of an update transaction: the
+// version (and presence) the client observed, which the server re-checks
+// under lock before committing.
+type ObservedRead = kv.ObservedRead
 
 // Request is the client→server message.
 type Request struct {
@@ -66,6 +73,12 @@ type Request struct {
 	Subscriber string
 	Reads      []kv.Key
 	Writes     []KeyValue
+	// ReadVersions is the observed read set of a validated OpUpdate
+	// (protocol v4): the server re-reads each key under lock and commits
+	// the Writes only if every version (and presence) still matches.
+	// nil selects the legacy static-set update; an empty non-nil slice is
+	// a blind validated write.
+	ReadVersions []ObservedRead
 	// MinVersion is the read floor of OpGet and OpGetBatch on a cache
 	// server: a cached entry older than this is refetched from the
 	// backend instead of served, so a cluster client that already
@@ -125,6 +138,15 @@ type Response struct {
 	Values []kv.Value
 	// Stats is set for OpStats.
 	Stats map[string]uint64
+	// ConflictKey and ConflictVersion detail a CodeConflict from a
+	// validated OpUpdate (protocol v4): the observed read that failed
+	// validation and the version now committed for it (ConflictFound
+	// false means the key no longer exists). An optimistic client uses
+	// them to invalidate its stale copy before retrying. Empty when the
+	// conflict came from lock arbitration rather than validation.
+	ConflictKey     kv.Key
+	ConflictVersion kv.Version
+	ConflictFound   bool
 }
 
 // Invalidation is pushed on subscription connections.

@@ -9,9 +9,6 @@ import (
 	"tcache/internal/transport"
 )
 
-// KeyValue is one write of a remote update transaction.
-type KeyValue = transport.KeyValue
-
 // Remote is a backend database reached over TCP — the paper's datacenter
 // side, seen from the edge. It implements Backend (and BatchBackend), so
 // attaching a T-Cache to a remote database is symmetric with the
@@ -150,14 +147,19 @@ func (r *Remote) Subscribe(name string, sink func(Invalidation)) (cancel func(),
 	}, nil
 }
 
-// Update runs one update transaction at the remote database in a single
-// round trip: the Reads set is read under locks, then the Writes set is
-// applied, atomically and serializably. It returns the commit version.
-// Conflicts surface as ErrConflict wrapped in the transport's error; use
-// a loop with backoff (or an in-datacenter DB.Update) for contended
-// workloads.
-func (r *Remote) Update(ctx context.Context, reads []Key, writes []KeyValue) (Version, error) {
-	return r.cli.Update(ctx, reads, writes)
+// ValidatedUpdate implements UpdaterBackend: one OpUpdate round trip
+// carrying the observed read versions, which the database validates
+// under lock before committing the writes atomically. Most callers want
+// Update (the closure form, which records the observations and retries
+// conflicts); this is the raw capability a Cache attached to this
+// Remote commits through.
+//
+// (The historical static-set Remote.Update(ctx, reads, writes) — reads
+// under locks, no versions, no closure — was replaced by the unified
+// API; the transport package's DBClient.Update keeps the raw op for
+// tests.)
+func (r *Remote) ValidatedUpdate(ctx context.Context, reads []ObservedRead, writes []KeyValue) (Version, error) {
+	return r.cli.ValidatedUpdate(ctx, reads, writes)
 }
 
 // Ping checks liveness with one round trip.

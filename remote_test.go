@@ -63,7 +63,7 @@ func (r *remoteRig) tearSnapshot(t *testing.T) {
 	}
 	if err := r.db.Update(ctx, func(tx *tcache.Tx) error {
 		for _, k := range []tcache.Key{"a", "b"} {
-			if _, _, err := tx.Get(k); err != nil {
+			if _, _, err := tx.Get(ctx, k); err != nil {
 				return err
 			}
 		}
@@ -194,21 +194,28 @@ func TestRemoteGetMultiBatchesMisses(t *testing.T) {
 	}
 }
 
-// TestRemoteUpdateRoundTrip covers Remote.Update: a locked read set plus
-// writes in one round trip, visible to the cache via invalidation.
+// TestRemoteUpdateRoundTrip covers the unified Remote.Update: a closure
+// committed in one validated round trip, visible to the cache via
+// invalidation — and through the raw ValidatedUpdate capability, whose
+// commit version must be non-zero.
 func TestRemoteUpdateRoundTrip(t *testing.T) {
 	r := newRemoteRig(t)
 	ctx := context.Background()
-	v, err := r.remote.Update(ctx, nil, []tcache.KeyValue{{Key: "k", Value: tcache.Value("v1")}})
+	if err := r.remote.Update(ctx, func(tx *tcache.Tx) error {
+		return tx.Set("k", tcache.Value("v1"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	val, err := r.cache.Get(ctx, "k")
+	if err != nil || string(val) != "v1" {
+		t.Fatalf("cache read of remote update = %q, %v", val, err)
+	}
+	v, err := r.remote.ValidatedUpdate(ctx, nil, []tcache.KeyValue{{Key: "k", Value: tcache.Value("v2")}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v.IsZero() {
 		t.Fatal("zero commit version")
-	}
-	val, err := r.cache.Get(ctx, "k")
-	if err != nil || string(val) != "v1" {
-		t.Fatalf("cache read of remote update = %q, %v", val, err)
 	}
 }
 

@@ -49,15 +49,22 @@ echo "== all daemons up =="
 
 CLUSTER=$(IFS=,; echo "${EDGES[*]}")
 
-echo "== tcache-load -cluster =="
+echo "== tcache-load -cluster (with -write-mix through the relay) =="
 "$BIN/tcache-load" -db "$DB" -cluster "$CLUSTER" \
-  -duration 3s -readers 4 -updaters 2 -objects 300 | tee "$LOGS/load.log"
+  -duration 3s -readers 4 -updaters 2 -write-mix 0.1 -objects 300 | tee "$LOGS/load.log"
 
-grep -q "routing reads over 3-node cluster tier" "$LOGS/load.log"
+grep -q "routing reads and updates over 3-node cluster tier" "$LOGS/load.log"
 # The load must have committed read transactions.
 read_txns=$(awk '/read txns:/ {print $3}' "$LOGS/load.log")
 if [ "${read_txns:-0}" -le 0 ]; then
   echo "FAIL: no read transactions served" >&2
+  exit 1
+fi
+# And update transactions through the unified write path (updaters plus
+# the readers' write-mix share, relayed by the edge nodes).
+update_txns=$(awk '/update txns:/ {print $3}' "$LOGS/load.log")
+if [ "${update_txns:-0}" -le 0 ]; then
+  echo "FAIL: no update transactions committed" >&2
   exit 1
 fi
 # Every node must have served reads (the ring spreads 300 objects).

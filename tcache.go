@@ -52,7 +52,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"os"
 	"sync/atomic"
 	"time"
@@ -131,8 +130,10 @@ var (
 	ErrTxnAborted = core.ErrTxnAborted
 	// ErrNotFound reports a key absent from both cache and database.
 	ErrNotFound = core.ErrNotFound
-	// ErrConflict reports an update-transaction concurrency conflict;
-	// DB.Update retries these automatically (with jittered backoff).
+	// ErrConflict reports an update-transaction concurrency conflict —
+	// a lock arbitration loss in the database, or a stale optimistic
+	// snapshot rejected at validation. Every Updater implementation
+	// retries these automatically (with jittered backoff).
 	ErrConflict = db.ErrConflict
 	// ErrDuplicateSubscriber reports a Subscribe (or NewCache WithName)
 	// under a name that is already taken on the backend.
@@ -140,7 +141,8 @@ var (
 )
 
 // DB is the transactional backend database. It implements Backend, so a
-// Cache can attach to it directly.
+// Cache can attach to it directly, and Updater/UpdaterBackend, so it is
+// one end of the unified write path.
 type DB struct {
 	inner *db.DB
 }
@@ -220,80 +222,6 @@ func (d *DB) ReadItems(ctx context.Context, keys []Key) ([]Lookup, error) {
 // name. Duplicate names return ErrDuplicateSubscriber.
 func (d *DB) Subscribe(name string, sink func(Invalidation)) (cancel func(), err error) {
 	return d.inner.Subscribe(name, sink)
-}
-
-// Tx is an update transaction handle passed to DB.Update.
-type Tx struct {
-	txn *db.Txn
-}
-
-// Get reads key within the update transaction.
-func (t *Tx) Get(key Key) (Value, bool, error) {
-	item, found, err := t.txn.Read(key)
-	if err != nil {
-		return nil, false, err
-	}
-	return item.Value, found, nil
-}
-
-// Set buffers a write of key within the update transaction.
-func (t *Tx) Set(key Key, value Value) error {
-	return t.txn.Write(key, value)
-}
-
-// Update runs fn inside a serializable update transaction, committing on
-// nil return and rolling back on error. Concurrency conflicts (deadlock
-// victims, lock timeouts) are retried transparently with jittered
-// exponential backoff; cancelling ctx stops the retry loop, aborts the
-// in-flight transaction, and unblocks any lock wait it is queued in.
-func (d *DB) Update(ctx context.Context, fn func(tx *Tx) error) error {
-	backoff := time.Millisecond
-	const maxBackoff = 100 * time.Millisecond
-	for {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		txn := d.inner.BeginCtx(ctx)
-		err := fn(&Tx{txn: txn})
-		if err != nil {
-			if abortErr := txn.Abort(); abortErr != nil && !errors.Is(abortErr, db.ErrTxnDone) {
-				return fmt.Errorf("tcache: rollback: %w", abortErr)
-			}
-			if !errors.Is(err, ErrConflict) {
-				return err
-			}
-		} else {
-			_, err = txn.Commit()
-			if err == nil {
-				return nil
-			}
-			if !errors.Is(err, ErrConflict) {
-				return err
-			}
-		}
-		// Conflict: back off with jitter so colliding retriers spread out
-		// instead of livelocking in step.
-		if err := sleepJittered(ctx, backoff); err != nil {
-			return err
-		}
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
-		}
-	}
-}
-
-// sleepJittered sleeps for a uniformly random duration in [d/2, d),
-// returning early with ctx.Err() on cancellation.
-func sleepJittered(ctx context.Context, d time.Duration) error {
-	jittered := d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
-	t := time.NewTimer(jittered)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }
 
 // Get performs a lock-free single-entry read of the latest committed

@@ -76,7 +76,7 @@ func TestUpdateReadYourWrites(t *testing.T) {
 		if err := tx.Set("k", Value("v1")); err != nil {
 			return err
 		}
-		val, found, err := tx.Get("k")
+		val, found, err := tx.Get(bg, "k")
 		if err != nil {
 			return err
 		}
@@ -107,7 +107,7 @@ func TestReadTxnDetectsTornSnapshot(t *testing.T) {
 	// One update transaction rewrites both; the cache hears nothing.
 	if err := d.Update(bg, func(tx *Tx) error {
 		for _, k := range []Key{"a", "b"} {
-			if _, _, err := tx.Get(k); err != nil {
+			if _, _, err := tx.Get(bg, k); err != nil {
 				return err
 			}
 			if err := tx.Set(k, Value("v1")); err != nil {
@@ -144,7 +144,7 @@ func TestReadTxnRetryStrategyHeals(t *testing.T) {
 	}
 	if err := d.Update(bg, func(tx *Tx) error {
 		for _, k := range []Key{"a", "b"} {
-			if _, _, err := tx.Get(k); err != nil {
+			if _, _, err := tx.Get(bg, k); err != nil {
 				return err
 			}
 			if err := tx.Set(k, Value("v1")); err != nil {
@@ -186,7 +186,7 @@ func TestReadTxnAbortedThenRetrySucceeds(t *testing.T) {
 	}
 	if err := d.Update(bg, func(tx *Tx) error {
 		for _, k := range []Key{"a", "b"} {
-			if _, _, err := tx.Get(k); err != nil {
+			if _, _, err := tx.Get(bg, k); err != nil {
 				return err
 			}
 			if err := tx.Set(k, Value("v1")); err != nil {
@@ -249,7 +249,7 @@ func TestReadTxnGetAfterAbortFails(t *testing.T) {
 	}
 	if err := d.Update(bg, func(tx *Tx) error {
 		for _, k := range []Key{"a", "b"} {
-			if _, _, err := tx.Get(k); err != nil {
+			if _, _, err := tx.Get(bg, k); err != nil {
 				return err
 			}
 			if err := tx.Set(k, Value("v1")); err != nil {
@@ -305,11 +305,11 @@ func TestConcurrentUpdatesRetryConflicts(t *testing.T) {
 				from := Key(fmt.Sprintf("acct%d", (g+i)%4))
 				to := Key(fmt.Sprintf("acct%d", (g+i+1)%4))
 				if err := d.Update(bg, func(tx *Tx) error {
-					a, _, err := tx.Get(from)
+					a, _, err := tx.Get(bg, from)
 					if err != nil {
 						return err
 					}
-					b, _, err := tx.Get(to)
+					b, _, err := tx.Get(bg, to)
 					if err != nil {
 						return err
 					}

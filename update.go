@@ -1,0 +1,348 @@
+package tcache
+
+// The unified write path. One API — Update(ctx, func(tx *Tx) error) —
+// implemented by every tier of the deployment:
+//
+//   - *DB runs the closure inside an interactive serializable update
+//     transaction (strict two-phase locking, the in-process path);
+//   - *Remote runs the closure against optimistic snapshot reads and
+//     commits reads-and-writes in ONE validated wire round trip;
+//   - *Cache and *ClusterCache do the same, serving the closure's reads
+//     from the cache when possible, and on commit apply their own
+//     writes' invalidations locally and synchronously — so the edge
+//     reads its writes before the asynchronous invalidation stream
+//     catches up.
+//
+// All three retry concurrency conflicts through the same jittered
+// exponential backoff driver, so contended writers behave identically
+// whether they commit in process, over the wire, or through a cluster.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tcache/internal/db"
+	"tcache/internal/kv"
+)
+
+// Updater is the unified write capability: run fn inside a serializable
+// update transaction, committing on nil return and rolling back on
+// error, with concurrency conflicts retried transparently. It is
+// implemented by *DB, *Remote, *Cache, and *ClusterCache, so
+// application code performing read-modify-write is indifferent to
+// whether it runs in the datacenter, at the edge against a remote
+// database, or behind a whole cluster tier.
+type Updater interface {
+	Update(ctx context.Context, fn func(tx *Tx) error) error
+}
+
+var _ = []Updater{(*DB)(nil), (*Remote)(nil), (*Cache)(nil), (*ClusterCache)(nil)}
+
+// ObservedRead is one read an optimistic update transaction observed:
+// the key, the version served, and whether the key existed.
+type ObservedRead = kv.ObservedRead
+
+// KeyValue is one buffered write of an update transaction.
+type KeyValue = kv.KeyValue
+
+// ConflictError details a rejected optimistic commit: the observed read
+// that failed validation and the version now committed for it. It wraps
+// ErrConflict; Update retries these internally, so applications only see
+// it if they inspect errors returned by fn or use UpdaterBackend
+// directly.
+type ConflictError = db.ConflictError
+
+// UpdaterBackend is the optional write extension of Backend: one
+// optimistic update transaction validated and committed atomically —
+// the observed read versions are re-checked against the committed state
+// and the writes applied only if all still match; a mismatch fails with
+// a *ConflictError. *DB and *Remote implement it (and so does the
+// cluster tier), which is what lets a Cache attached to them offer
+// Update.
+type UpdaterBackend interface {
+	ValidatedUpdate(ctx context.Context, reads []ObservedRead, writes []KeyValue) (Version, error)
+}
+
+var _ = []UpdaterBackend{(*DB)(nil), (*Remote)(nil)}
+
+// ErrUpdatesUnsupported reports an Update on a cache whose backend does
+// not implement UpdaterBackend.
+var ErrUpdatesUnsupported = errors.New("tcache: backend does not support updates")
+
+// Tx is the transaction handle passed to an Updater's Update closure:
+// reads within the transaction, buffered writes that become visible
+// atomically at commit.
+type Tx struct {
+	h txHandle
+}
+
+// txHandle is the per-backend transaction mechanism behind Tx: an
+// interactive 2PL transaction for *DB, an optimistic buffered one for
+// the remote and cache tiers.
+type txHandle interface {
+	get(ctx context.Context, key Key) (Value, bool, error)
+	set(key Key, value Value) error
+}
+
+// Get reads key within the update transaction: the transaction's own
+// buffered write if there is one, otherwise the backing snapshot (a
+// locked read for *DB, the cache or a lock-free backend read for the
+// optimistic tiers — re-validated at commit). The boolean reports
+// whether the key exists; ctx bounds a blocking or remote read.
+//
+// As everywhere in this package, the returned Value may share memory
+// with the store or cache and must be treated as read-only; Clone it
+// before modifying.
+func (t *Tx) Get(ctx context.Context, key Key) (Value, bool, error) {
+	return t.h.get(ctx, key)
+}
+
+// Set buffers a write of key within the update transaction; it becomes
+// visible (and durable, on a durable DB) atomically at commit.
+func (t *Tx) Set(key Key, value Value) error {
+	return t.h.set(key, value)
+}
+
+// --- Shared conflict-retry driver ---------------------------------------
+
+// retryConflicts runs attempt, retrying ErrConflict failures with
+// jittered exponential backoff until ctx is cancelled. Every Updater
+// implementation commits through this one driver, so conflict behavior
+// is identical across the in-process, remote, and cluster write paths.
+func retryConflicts(ctx context.Context, attempt func(ctx context.Context) error) error {
+	backoff := time.Millisecond
+	const maxBackoff = 100 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := attempt(ctx)
+		if err == nil || !errors.Is(err, ErrConflict) {
+			return err
+		}
+		// Conflict: back off with jitter so colliding retriers spread out
+		// instead of livelocking in step.
+		if err := sleepJittered(ctx, backoff); err != nil {
+			return err
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// sleepJittered sleeps for a uniformly random duration in [d/2, d),
+// returning early with ctx.Err() on cancellation.
+func sleepJittered(ctx context.Context, d time.Duration) error {
+	jittered := d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// --- *DB: the interactive in-process implementation ----------------------
+
+// dbTx adapts an interactive db.Txn to the Tx handle.
+type dbTx struct {
+	txn *db.Txn
+}
+
+func (t dbTx) get(ctx context.Context, key Key) (Value, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	item, found, err := t.txn.Read(key)
+	if err != nil {
+		return nil, false, err
+	}
+	return item.Value, found, nil
+}
+
+func (t dbTx) set(key Key, value Value) error {
+	return t.txn.Write(key, value)
+}
+
+// Update implements Updater: fn runs inside an interactive serializable
+// update transaction (reads take shared locks, writes exclusive ones),
+// committing on nil return and rolling back on error. Concurrency
+// conflicts (deadlock victims, lock timeouts) are retried transparently
+// with jittered exponential backoff; cancelling ctx stops the retry
+// loop, aborts the in-flight transaction, and unblocks any lock wait it
+// is queued in.
+func (d *DB) Update(ctx context.Context, fn func(tx *Tx) error) error {
+	return retryConflicts(ctx, func(ctx context.Context) error {
+		txn := d.inner.BeginCtx(ctx)
+		if err := fn(&Tx{h: dbTx{txn: txn}}); err != nil {
+			if abortErr := txn.Abort(); abortErr != nil && !errors.Is(abortErr, db.ErrTxnDone) {
+				return rollbackError(err, abortErr)
+			}
+			return err
+		}
+		_, err := txn.Commit()
+		return err
+	})
+}
+
+// rollbackError combines a closure's failure with a failed rollback so
+// neither is lost: historically the rollback error silently replaced the
+// closure's, hiding the primary cause. Both remain matchable with
+// errors.Is/As.
+func rollbackError(fnErr, abortErr error) error {
+	return errors.Join(fnErr, fmt.Errorf("tcache: rollback: %w", abortErr))
+}
+
+// ValidatedUpdate implements UpdaterBackend on the in-process database:
+// the observed reads are re-read under shared locks and compared, and
+// the writes committed only if every version still matches.
+func (d *DB) ValidatedUpdate(ctx context.Context, reads []ObservedRead, writes []KeyValue) (Version, error) {
+	return d.inner.ValidatedUpdate(ctx, reads, writes)
+}
+
+// --- Optimistic implementation (Remote, Cache, ClusterCache) --------------
+
+// snapshotRead is the source an optimistic transaction reads from: the
+// cache for a cache-attached updater, a lock-free backend read otherwise.
+type snapshotRead func(ctx context.Context, key Key) (Item, bool, error)
+
+// occTx is an optimistic update transaction: snapshot reads recorded
+// first-read-wins (so the closure sees a stable snapshot and the commit
+// can validate it), writes buffered until commit.
+type occTx struct {
+	read   snapshotRead
+	reads  []ObservedRead
+	vals   []Value // value at first read, aligned with reads
+	writes []KeyValue
+}
+
+func (o *occTx) get(ctx context.Context, key Key) (Value, bool, error) {
+	// Read-your-writes within the closure: serve the buffered write.
+	for i := range o.writes {
+		if o.writes[i].Key == key {
+			return o.writes[i].Value.Clone(), true, nil
+		}
+	}
+	// Repeat reads serve the recorded observation: the closure sees one
+	// stable snapshot even if the backend moves underneath it.
+	for i := range o.reads {
+		if o.reads[i].Key == key {
+			return o.vals[i], o.reads[i].Found, nil
+		}
+	}
+	item, found, err := o.read(ctx, key)
+	if err != nil {
+		return nil, false, err
+	}
+	o.reads = append(o.reads, ObservedRead{Key: key, Version: item.Version, Found: found})
+	o.vals = append(o.vals, item.Value)
+	if !found {
+		return nil, false, nil
+	}
+	return item.Value, true, nil
+}
+
+func (o *occTx) set(key Key, value Value) error {
+	v := value.Clone()
+	for i := range o.writes {
+		if o.writes[i].Key == key {
+			o.writes[i].Value = v
+			return nil
+		}
+	}
+	o.writes = append(o.writes, KeyValue{Key: key, Value: v})
+	return nil
+}
+
+// occUpdate is the shared optimistic driver: run fn against snapshot
+// reads, commit the observed read versions plus buffered writes in one
+// ValidatedUpdate, and retry conflicts. committed (optional) runs after
+// a successful commit with the writes and their commit version — the
+// self-invalidation hook; conflicted (optional) runs on each validation
+// conflict before the retry — the cache-healing hook.
+func occUpdate(ctx context.Context, fn func(tx *Tx) error, read snapshotRead, ub UpdaterBackend,
+	committed func(writes []KeyValue, version Version), conflicted func(*ConflictError)) error {
+	return retryConflicts(ctx, func(ctx context.Context) error {
+		o := &occTx{read: read}
+		if err := fn(&Tx{h: o}); err != nil {
+			return err
+		}
+		version, err := ub.ValidatedUpdate(ctx, o.reads, o.writes)
+		if err != nil {
+			var ce *ConflictError
+			if conflicted != nil && errors.As(err, &ce) {
+				conflicted(ce)
+			}
+			return err
+		}
+		if committed != nil {
+			committed(o.writes, version)
+		}
+		return nil
+	})
+}
+
+// Update implements Updater over the wire: fn runs against optimistic
+// snapshot reads (lock-free ReadItem round trips), the writes are
+// buffered, and the whole transaction commits in ONE OpUpdate round
+// trip carrying the observed read versions — the database validates
+// them under lock and commits atomically, or rejects the stale snapshot
+// with a conflict, which is retried here against fresh reads.
+//
+// Cancelling ctx abandons the in-flight round trip; a commit frame
+// already sent may still apply at the database (the outcome of the
+// abandoned attempt is unknown, as with any cancelled remote write).
+func (r *Remote) Update(ctx context.Context, fn func(tx *Tx) error) error {
+	return occUpdate(ctx, fn, func(ctx context.Context, key Key) (Item, bool, error) {
+		return r.cli.ReadItem(ctx, key)
+	}, r, nil, nil)
+}
+
+// Update implements Updater on a cache: fn's reads are served from the
+// cache when it can (missing keys fill from the backend as usual), the
+// writes are buffered, and the transaction commits through the
+// backend's ValidatedUpdate — for a *Remote backend that is one wire
+// round trip; through a cluster tier, one round trip to a relaying edge
+// node. The cache requires its Backend to implement UpdaterBackend and
+// returns ErrUpdatesUnsupported otherwise.
+//
+// On commit the cache applies its own writes' invalidations locally and
+// synchronously (self-invalidation), so a read on this cache
+// immediately after Update observes the written value — read-your-writes
+// at the edge — even while the asynchronous invalidation stream is
+// still in flight (or lossy). On a validation conflict the stale cached
+// copy of the conflicting key is evicted before the retry, so the fresh
+// attempt re-reads through to the backend instead of re-observing the
+// same stale version.
+func (c *Cache) Update(ctx context.Context, fn func(tx *Tx) error) error {
+	ub, ok := c.inner.Backend().(UpdaterBackend)
+	if !ok {
+		return fmt.Errorf("%w (%T)", ErrUpdatesUnsupported, c.inner.Backend())
+	}
+	return occUpdate(ctx, fn,
+		func(ctx context.Context, key Key) (Item, bool, error) {
+			return c.inner.GetItem(ctx, key, kv.Version{})
+		},
+		ub,
+		func(writes []KeyValue, version Version) {
+			// Self-invalidation: our own commit's invalidations, applied
+			// synchronously instead of waiting for the async stream.
+			for _, w := range writes {
+				c.inner.Invalidate(w.Key, version)
+			}
+		},
+		func(ce *ConflictError) {
+			// Heal the cache: the committed version moved past what we
+			// served; evict so the retry refetches.
+			if ce.Found {
+				c.inner.Invalidate(ce.Key, ce.Current)
+			}
+		},
+	)
+}

@@ -1,0 +1,96 @@
+package tcache
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRollbackErrorKeepsBothCauses is the regression test for the
+// error-shadowing bug in DB.Update: when the closure fails AND the
+// rollback fails, the combined error must still match the closure's
+// error (the primary cause) as well as the rollback's — the old code
+// returned only the rollback error, silently discarding what actually
+// went wrong.
+func TestRollbackErrorKeepsBothCauses(t *testing.T) {
+	fnErr := errors.New("closure failed")
+	abortErr := errors.New("rollback failed")
+	err := rollbackError(fnErr, abortErr)
+	if !errors.Is(err, fnErr) {
+		t.Fatalf("combined error lost the closure's error: %v", err)
+	}
+	if !errors.Is(err, abortErr) {
+		t.Fatalf("combined error lost the rollback error: %v", err)
+	}
+}
+
+// TestDBUpdateClosureErrorNotShadowed pins the ordinary rollback path:
+// the closure's error comes back verbatim even when the transaction was
+// already finished by the time Update rolls it back (Abort returning
+// ErrTxnDone must not replace it).
+func TestDBUpdateClosureErrorNotShadowed(t *testing.T) {
+	d := OpenDB()
+	defer d.Close()
+	sentinel := errors.New("business-logic failure")
+	err := d.Update(context.Background(), func(tx *Tx) error {
+		if err := tx.Set("k", Value("doomed")); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Update = %v, want the closure's sentinel error", err)
+	}
+	if _, ok, _ := d.Get(context.Background(), "k"); ok {
+		t.Fatal("rolled-back write is visible")
+	}
+}
+
+// TestOccTxSnapshotSemantics covers the optimistic transaction handle:
+// read-your-buffered-writes inside the closure, first-read-wins repeat
+// reads (a stable snapshot even if the source moves), and not-found
+// observations recorded for validation.
+func TestOccTxSnapshotSemantics(t *testing.T) {
+	ctx := context.Background()
+	version := Version{Counter: 1}
+	source := map[Key]Value{"a": Value("a1")}
+	o := &occTx{read: func(ctx context.Context, key Key) (Item, bool, error) {
+		v, ok := source[key]
+		return Item{Value: v, Version: version}, ok, nil
+	}}
+	tx := &Tx{h: o}
+
+	// First read observes the source.
+	if v, ok, err := tx.Get(ctx, "a"); err != nil || !ok || string(v) != "a1" {
+		t.Fatalf("first read = %q, %v, %v", v, ok, err)
+	}
+	// The source moves on; the repeat read still serves the snapshot.
+	source["a"] = Value("a2")
+	if v, _, _ := tx.Get(ctx, "a"); string(v) != "a1" {
+		t.Fatalf("repeat read = %q, want the first-read snapshot \"a1\"", v)
+	}
+	// Buffered writes are served back (read-your-writes in the closure).
+	if err := tx.Set("a", Value("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := tx.Get(ctx, "a"); !ok || string(v) != "mine" {
+		t.Fatalf("read of buffered write = %q, %v", v, ok)
+	}
+	// A missing key is recorded as a not-found observation.
+	if _, ok, err := tx.Get(ctx, "missing"); err != nil || ok {
+		t.Fatalf("missing key = %v, %v", ok, err)
+	}
+	if len(o.reads) != 2 {
+		t.Fatalf("observed reads = %d, want 2 (a, missing)", len(o.reads))
+	}
+	if o.reads[0].Key != "a" || o.reads[0].Version != version || !o.reads[0].Found {
+		t.Fatalf("observation[0] = %+v", o.reads[0])
+	}
+	if o.reads[1].Key != "missing" || o.reads[1].Found {
+		t.Fatalf("observation[1] = %+v", o.reads[1])
+	}
+	// The write buffer kept the last value per key, exactly once.
+	if len(o.writes) != 1 || string(o.writes[0].Value) != "mine" {
+		t.Fatalf("write buffer = %+v", o.writes)
+	}
+}
