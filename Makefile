@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench benchcluster benchwrite benchsmoke clustersmoke fuzz
+.PHONY: all build test race vet lint bench benchcluster benchwrite benchsmoke clustersmoke fuzz
 
-all: vet build test
+all: lint build test
 
 build:
 	$(GO) build ./...
@@ -16,22 +16,28 @@ race:
 vet:
 	$(GO) vet ./...
 
-# bench regenerates BENCH_pr3.json — ns/op, B/op, allocs/op for the
-# remote (loopback wire) and hit-path benchmarks — and enforces the
-# checked-in allocs/op budget (bench_budget.json). CI uploads the JSON
-# as an artifact and fails on budget regressions.
+# lint is the full static-analysis gate: go vet, staticcheck (when
+# installed — CI always runs it via its pinned action), and tcachelint,
+# the repo's own analyzer suite (see README "Static analysis").
+# tcachelint is built from this module's working tree, so the analyzer
+# version can never drift from the code it checks.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	$(GO) run ./cmd/tcachelint ./...
+
+# The bench* targets each regenerate one checked-in benchmark JSON and
+# enforce its allocs/op budget; CI uploads the files as artifacts and
+# fails on regressions:
+#   bench        BENCH_pr3.json  remote (loopback wire) + hit-path
+#   benchcluster BENCH_pr4.json  cluster routing overhead vs plain Dial
+#   benchwrite   BENCH_pr5.json  unified write path cost per tier
 bench:
 	$(GO) run ./cmd/tcache-bench -benchjson BENCH_pr3.json -bench-budget bench_budget.json
 
-# benchcluster regenerates BENCH_pr4.json — the cluster tier's routing
-# overhead vs plain Dial (warm + cold single-key, batch split, ring
-# lookup) — and gates the zero-extra-allocs warm path.
 benchcluster:
 	$(GO) run ./cmd/tcache-bench -fig cluster
 
-# benchwrite regenerates BENCH_pr5.json — the unified write path's cost
-# per tier (in-process, remote validated round trip, cache with
-# self-invalidation) — and gates allocs/op against the budget.
 benchwrite:
 	$(GO) run ./cmd/tcache-bench -fig writepath
 
@@ -41,11 +47,12 @@ benchwrite:
 clustersmoke:
 	./scripts/cluster_smoke.sh
 
-# benchsmoke is the CI quick pass: paper figures, hot paths, and the
-# codec micro-benchmarks.
+# benchsmoke is the CI quick pass: paper figures, hot paths, the codec
+# micro-benchmarks, and the PR 5 unified write-path benches.
 benchsmoke:
 	$(GO) test -run '^$$' -bench 'Fig|Headline|Cache|Remote' -benchtime 100ms .
 	$(GO) test -run '^$$' -bench 'Codec|WireRoundTrip' -benchtime 100ms ./internal/transport
+	$(GO) run ./cmd/tcache-bench -fig writepath -quick
 
 # fuzz gives the wire codec a short adversarial shake (decoders must
 # never panic or over-allocate; accepted inputs must round-trip).

@@ -24,7 +24,7 @@ import (
 // reports the detection ratio at the most clustered point.
 func BenchmarkFig3AlphaSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunAlphaSweep(experiment.QuickAlphaParams())
+		res, err := experiment.RunAlphaSweep(context.Background(), experiment.QuickAlphaParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -37,7 +37,7 @@ func BenchmarkFig3AlphaSweep(b *testing.B) {
 // reports the post-switch inconsistent share.
 func BenchmarkFig4Convergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunConvergence(experiment.QuickConvergenceParams())
+		res, err := experiment.RunConvergence(context.Background(), experiment.QuickConvergenceParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,7 +50,7 @@ func BenchmarkFig4Convergence(b *testing.B) {
 // the number of cluster shifts simulated.
 func BenchmarkFig5Drift(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunDrift(experiment.QuickDriftParams())
+		res, err := experiment.RunDrift(context.Background(), experiment.QuickDriftParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func BenchmarkFig5Drift(b *testing.B) {
 // to ABORT's (the paper's ~23%).
 func BenchmarkFig6Strategies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunStrategyComparison(experiment.QuickStrategyParams())
+		res, err := experiment.RunStrategyComparison(context.Background(), experiment.QuickStrategyParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +92,7 @@ func BenchmarkFig7abTopologies(b *testing.B) {
 // percentage of the k=0 value.
 func BenchmarkFig7cDepListSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunDepListSweep(experiment.QuickDepSweepParams())
+		res, err := experiment.RunDepListSweep(context.Background(), experiment.QuickDepSweepParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +107,7 @@ func BenchmarkFig7cDepListSweep(b *testing.B) {
 // multiplier at the shortest TTL.
 func BenchmarkFig7dTTLSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunTTLSweep(experiment.QuickTTLSweepParams())
+		res, err := experiment.RunTTLSweep(context.Background(), experiment.QuickTTLSweepParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +120,7 @@ func BenchmarkFig7dTTLSweep(b *testing.B) {
 // ABORT detection ratio on the Amazon workload (the paper's 70%).
 func BenchmarkFig8StrategiesRealistic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunStrategyComparisonRealistic(experiment.QuickRealisticStrategyParams())
+		res, err := experiment.RunStrategyComparisonRealistic(context.Background(), experiment.QuickRealisticStrategyParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func BenchmarkFig8StrategiesRealistic(b *testing.B) {
 // consistent-rate increase on the Amazon workload (the paper's 33–58%).
 func BenchmarkHeadline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunHeadline(experiment.QuickHeadlineParams())
+		res, err := experiment.RunHeadline(context.Background(), experiment.QuickHeadlineParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -523,7 +523,7 @@ func warm(b *testing.B, cache *core.Cache, n int) {
 // reports the detection gain of pinning over plain LRU.
 func BenchmarkExtAlbumPinning(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunAlbum(experiment.QuickAlbumParams())
+		res, err := experiment.RunAlbum(context.Background(), experiment.QuickAlbumParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -537,7 +537,7 @@ func BenchmarkExtAlbumPinning(b *testing.B) {
 // reports the positional policy's excess inconsistency.
 func BenchmarkExtLRUAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunMergeAblation(experiment.QuickMergeAblationParams())
+		res, err := experiment.RunMergeAblation(context.Background(), experiment.QuickMergeAblationParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -549,7 +549,7 @@ func BenchmarkExtLRUAblation(b *testing.B) {
 // reports T-Cache's committed inconsistency at 80% loss.
 func BenchmarkExtDropSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunDropSweep(experiment.QuickDropSweepParams())
+		res, err := experiment.RunDropSweep(context.Background(), experiment.QuickDropSweepParams())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -562,7 +562,7 @@ func BenchmarkExtDropSweep(b *testing.B) {
 // reports the abort reduction of a 4-version cache over plain T-Cache.
 func BenchmarkExtMultiversion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.RunMultiversion(experiment.QuickMultiversionParams())
+		res, err := experiment.RunMultiversion(context.Background(), experiment.QuickMultiversionParams())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -104,7 +105,7 @@ func runFig3(quick bool, seed int64) error {
 		p = experiment.QuickAlphaParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunAlphaSweep(p)
+	res, err := experiment.RunAlphaSweep(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -118,7 +119,7 @@ func runFig4(quick bool, seed int64) error {
 		p = experiment.QuickConvergenceParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunConvergence(p)
+	res, err := experiment.RunConvergence(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -132,7 +133,7 @@ func runFig5(quick bool, seed int64) error {
 		p = experiment.QuickDriftParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunDrift(p)
+	res, err := experiment.RunDrift(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -146,7 +147,7 @@ func runFig6(quick bool, seed int64) error {
 		p = experiment.QuickStrategyParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunStrategyComparison(p)
+	res, err := experiment.RunStrategyComparison(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -174,7 +175,7 @@ func runFig7c(quick bool, seed int64) error {
 		p = experiment.QuickDepSweepParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunDepListSweep(p)
+	res, err := experiment.RunDepListSweep(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -188,7 +189,7 @@ func runFig7d(quick bool, seed int64) error {
 		p = experiment.QuickTTLSweepParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunTTLSweep(p)
+	res, err := experiment.RunTTLSweep(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -202,7 +203,7 @@ func runFig8(quick bool, seed int64) error {
 		p = experiment.QuickRealisticStrategyParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunStrategyComparisonRealistic(p)
+	res, err := experiment.RunStrategyComparisonRealistic(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -216,7 +217,7 @@ func runHeadline(quick bool, seed int64) error {
 		p = experiment.QuickHeadlineParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunHeadline(p)
+	res, err := experiment.RunHeadline(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -230,7 +231,7 @@ func runAlbum(quick bool, seed int64) error {
 		p = experiment.QuickAlbumParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunAlbum(p)
+	res, err := experiment.RunAlbum(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -244,7 +245,7 @@ func runLRUAblation(quick bool, seed int64) error {
 		p = experiment.QuickMergeAblationParams()
 	}
 	p.Drift.Seed = seed
-	res, err := experiment.RunMergeAblation(p)
+	res, err := experiment.RunMergeAblation(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -258,7 +259,7 @@ func runDropSweep(quick bool, seed int64) error {
 		p = experiment.QuickDropSweepParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunDropSweep(p)
+	res, err := experiment.RunDropSweep(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -272,7 +273,7 @@ func runMultiversion(quick bool, seed int64) error {
 		p = experiment.QuickMultiversionParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunMultiversion(p)
+	res, err := experiment.RunMultiversion(context.Background(), p)
 	if err != nil {
 		return err
 	}
@@ -286,7 +287,7 @@ func runMultiEdge(quick bool, seed int64) error {
 		p = experiment.QuickMultiEdgeParams()
 	}
 	p.Seed = seed
-	res, err := experiment.RunMultiEdge(p)
+	res, err := experiment.RunMultiEdge(context.Background(), p)
 	if err != nil {
 		return err
 	}

@@ -300,4 +300,3 @@ func dedup(keys []kv.Key) []kv.Key {
 	}
 	return out
 }
-

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,7 +38,7 @@ func main() {
 		Drive:      experiment.Drive{UpdateRate: 100, ReadRate: 500},
 		Seed:       1,
 	}
-	series, err := experiment.RunDepListSweep(p)
+	series, err := experiment.RunDepListSweep(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}

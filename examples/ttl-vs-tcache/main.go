@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,7 +32,7 @@ func main() {
 		Drive:      drive,
 		Seed:       1,
 	}
-	depRes, err := experiment.RunDepListSweep(dep)
+	depRes, err := experiment.RunDepListSweep(context.Background(), dep)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func main() {
 		Drive:      drive,
 		Seed:       1,
 	}
-	ttlRes, err := experiment.RunTTLSweep(ttl)
+	ttlRes, err := experiment.RunTTLSweep(context.Background(), ttl)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -166,7 +166,7 @@ type Router struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	subMu  sync.Mutex
+	subMu  sync.Mutex //tcache:lockclass sub
 	subSeq uint64
 	subs   map[uint64]context.CancelFunc
 	closed bool
@@ -182,6 +182,7 @@ func NewRouter(ctx context.Context, cfg Config) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore ctxdiscipline the router outlives any single caller; its lifetime ends at Close, which calls cancel
 	rctx, cancel := context.WithCancel(context.Background())
 	r := &Router{
 		cfg:    cfg,

@@ -552,3 +552,55 @@ func TestHealthEjectsFailSlowNode(t *testing.T) {
 		return router.Nodes()[1].State == cluster.NodeEjected
 	})
 }
+
+// TestConflictDoesNotTripEjection is the regression guard for the
+// failure-accounting audit: an application-level error answered by a
+// live node (a validation conflict here) is not a transport failure and
+// must never advance the consecutive-failure counter, no matter how
+// many times it repeats. Only ErrUnavailable-class errors are health
+// signals.
+func TestConflictDoesNotTripEjection(t *testing.T) {
+	rg := newRig(t, 2)
+	keys := testKeys(4)
+	rg.set(keys, "v1")
+
+	r, err := cluster.NewRouter(bg, fastConfig(rg.addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// The observed read claims keys[0] was absent; it exists, so the
+	// database rejects the update with a conflict — over and over, well
+	// past FailThreshold (2 in fastConfig).
+	stale := []kv.ObservedRead{{Key: keys[0], Found: false}}
+	write := []kv.KeyValue{{Key: keys[0], Value: kv.Value("clobber")}}
+	for i := 0; i < 6; i++ {
+		_, err := r.ValidatedUpdate(bg, stale, write)
+		if !errors.Is(err, transport.ErrConflict) {
+			t.Fatalf("update %d: want ErrConflict, got %v", i, err)
+		}
+	}
+
+	for _, ni := range r.Nodes() {
+		if ni.ConsecutiveFails != 0 {
+			t.Errorf("node %s: ConsecutiveFails = %d after conflicts, want 0", ni.Addr, ni.ConsecutiveFails)
+		}
+		if ni.State != cluster.NodeUp {
+			t.Errorf("node %s: state = %s after conflicts, want %s", ni.Addr, ni.State, cluster.NodeUp)
+		}
+	}
+
+	// The fleet must still serve reads and accept a valid update.
+	if _, ok, err := r.ReadItem(bg, keys[0]); err != nil || !ok {
+		t.Fatalf("read after conflicts: ok=%v err=%v", ok, err)
+	}
+	item, _, err := r.ReadItem(bg, keys[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []kv.ObservedRead{{Key: keys[1], Version: item.Version, Found: true}}
+	if _, err := r.ValidatedUpdate(bg, good, []kv.KeyValue{{Key: keys[1], Value: kv.Value("v2")}}); err != nil {
+		t.Fatalf("valid update after conflicts: %v", err)
+	}
+}

@@ -159,7 +159,11 @@ type Completion struct {
 	Attempted *ReadVersion
 }
 
-// CompletionHook observes finished read-only transactions.
+// CompletionHook observes finished read-only transactions. Hooks run
+// user code and are always emitted with no cache lock held; tcachelint's
+// nolockedcalls analyzer enforces that.
+//
+//tcache:hook
 type CompletionHook func(Completion)
 
 // Config configures a Cache.
@@ -218,10 +222,17 @@ type Cache struct {
 	metrics Metrics
 }
 
+// The locking protocol (PR 1), as enforced by tcachelint's lockorder
+// analyzer: an entry-shard lock may be held when acquiring a txn-stripe
+// lock, never the reverse, and at most one lock of each kind is held at
+// a time.
+//
+//tcache:lockorder shard < stripe
+
 // cacheShard is one lock stripe of the entry table: a partition of the key
 // space with its own mutex and LRU ring.
 type cacheShard struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //tcache:lockclass shard
 	entries map[kv.Key]*entry
 	lruHead *entry // most recently used; doubly linked ring when cap > 0
 	lruTail *entry
@@ -230,7 +241,7 @@ type cacheShard struct {
 
 // txnStripe is one lock stripe of the transaction-record table.
 type txnStripe struct {
-	mu   sync.Mutex
+	mu   sync.Mutex //tcache:lockclass stripe
 	txns map[kv.TxnID]*txnRecord
 }
 
@@ -301,6 +312,8 @@ func newTxnRecord() *txnRecord {
 }
 
 // readVersion returns the version key was first read at.
+//
+//tcache:hotpath
 func (rec *txnRecord) readVersion(key kv.Key) (kv.Version, bool) {
 	if rec.readIdx != nil {
 		i, ok := rec.readIdx[key]
@@ -319,6 +332,8 @@ func (rec *txnRecord) readVersion(key kv.Key) (kv.Version, bool) {
 
 // appendRead records the first read of key, maintaining (or building)
 // the spill index.
+//
+//tcache:hotpath
 func (rec *txnRecord) appendRead(key kv.Key, v kv.Version) {
 	if rec.readIdx == nil && len(rec.order) >= txnRecordSpill {
 		rec.readIdx = make(map[kv.Key]int, 2*len(rec.order))
@@ -333,6 +348,8 @@ func (rec *txnRecord) appendRead(key kv.Key, v kv.Version) {
 }
 
 // expectedVersion returns the largest version the record expects for key.
+//
+//tcache:hotpath
 func (rec *txnRecord) expectedVersion(key kv.Key) (kv.Version, bool) {
 	if rec.expIdx != nil {
 		i, ok := rec.expIdx[key]
@@ -350,6 +367,8 @@ func (rec *txnRecord) expectedVersion(key kv.Key) (kv.Version, bool) {
 }
 
 // bumpExpected raises the expected version of key to at least v.
+//
+//tcache:hotpath
 func (rec *txnRecord) bumpExpected(key kv.Key, v kv.Version) {
 	if rec.expIdx != nil {
 		if i, ok := rec.expIdx[key]; ok {
@@ -439,11 +458,15 @@ func (c *Cache) Shards() int { return len(c.shards) }
 func (c *Cache) Backend() Backend { return c.cfg.Backend }
 
 // shardFor returns the entry shard responsible for key.
+//
+//tcache:hotpath
 func (c *Cache) shardFor(key kv.Key) *cacheShard {
 	return c.shards[kv.ShardIndex(key, len(c.shards))]
 }
 
 // stripeFor returns the transaction stripe responsible for txnID.
+//
+//tcache:hotpath
 func (c *Cache) stripeFor(txnID kv.TxnID) *txnStripe {
 	return c.stripes[uint64(txnID)%uint64(len(c.stripes))]
 }
@@ -586,11 +609,17 @@ func (c *Cache) gcSweep() {
 
 // removeEntry unlinks e from the shard's map and LRU list. Callers hold
 // sh.mu.
+//
+//tcache:holds shard
 func (sh *cacheShard) removeEntry(e *entry) {
 	delete(sh.entries, e.key)
 	sh.lruUnlink(e)
 }
 
+// lruUnlink removes e from the LRU ring. Callers hold sh.mu.
+//
+//tcache:hotpath
+//tcache:holds shard
 func (sh *cacheShard) lruUnlink(e *entry) {
 	if sh.cap <= 0 {
 		return
@@ -608,6 +637,10 @@ func (sh *cacheShard) lruUnlink(e *entry) {
 	e.prev, e.next = nil, nil
 }
 
+// lruTouch moves e to the ring's head. Callers hold sh.mu.
+//
+//tcache:hotpath
+//tcache:holds shard
 func (sh *cacheShard) lruTouch(e *entry) {
 	if sh.cap <= 0 || sh.lruHead == e {
 		return
@@ -625,6 +658,9 @@ func (sh *cacheShard) lruTouch(e *entry) {
 
 // insertShardLocked adds or replaces the entry for key, enforcing the
 // shard's capacity slice. Callers hold sh.mu.
+//
+//tcache:hotpath
+//tcache:holds shard
 func (c *Cache) insertShardLocked(sh *cacheShard, key kv.Key, item kv.Item) *entry {
 	if e, ok := sh.entries[key]; ok {
 		if e.item.Version.Less(item.Version) {

@@ -36,6 +36,8 @@ import (
 // versions are consulted ONLY when the latest fails the §III-B checks:
 // multiversioning converts would-be aborts into consistent serves, never
 // fresh reads into stale ones.
+//
+//tcache:holds shard,stripe
 func (c *Cache) readMV(ctx context.Context, sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, lastOp bool) (kv.Value, error) {
 	v, bad := checkRead(rec, key, item)
 	if !bad {
@@ -54,6 +56,8 @@ func (c *Cache) readMV(ctx context.Context, sh *cacheShard, st *txnStripe, txnID
 
 // serve records the read and returns the value, releasing st.mu then
 // sh.mu and emitting any completion afterwards.
+//
+//tcache:holds shard,stripe
 func (c *Cache) serve(sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, lastOp bool) (kv.Value, error) {
 	recordRead(rec, key, item)
 	var (
@@ -75,6 +79,8 @@ func (c *Cache) serve(sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRec
 // pushVersionLocked records that e's current item is superseded by item,
 // retaining the old one in the version history (bounded by Multiversion).
 // Callers hold the entry's shard mutex.
+//
+//tcache:holds shard
 func (c *Cache) pushVersionLocked(e *entry, item kv.Item) {
 	keep := c.cfg.Multiversion - 1
 	if keep > 0 && !e.item.Version.IsZero() {
@@ -90,6 +96,8 @@ func (c *Cache) pushVersionLocked(e *entry, item kv.Item) {
 
 // invalidateMVLocked marks the entry's newest cached version as
 // superseded instead of evicting it. Callers hold the entry's shard mutex.
+//
+//tcache:holds shard
 func (c *Cache) invalidateMVLocked(e *entry, version kv.Version) {
 	if e.item.Version.Less(version) {
 		e.staleLatest = true
@@ -103,6 +111,8 @@ func (c *Cache) invalidateMVLocked(e *entry, version kv.Version) {
 // staleBelow (EVICT/RETRY semantics under multiversioning); it reports
 // whether the whole entry became empty and was removed. Callers hold
 // sh.mu, the shard owning e.
+//
+//tcache:holds shard
 func (c *Cache) dropStaleVersionsLocked(sh *cacheShard, e *entry, staleBelow kv.Version) bool {
 	kept := e.older[:0]
 	for _, old := range e.older {

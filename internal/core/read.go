@@ -38,6 +38,8 @@ type violation struct {
 // Locking: Read acquires the entry shard of key, then the transaction
 // stripe of txnID — the fixed order every path in this package follows —
 // and holds at most one lock of each kind at any time.
+//
+//tcache:hotpath
 func (c *Cache) Read(ctx context.Context, txnID kv.TxnID, key kv.Key, lastOp bool) (kv.Value, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
@@ -148,6 +150,8 @@ func (c *Cache) Read(ctx context.Context, txnID kv.TxnID, key kv.Key, lastOp boo
 // Get is the plain, non-transactional read API (a consistency-unaware
 // cache access). It shares the store, TTL handling, and miss path with
 // Read. ctx bounds the backend fetch on a miss.
+//
+//tcache:hotpath
 func (c *Cache) Get(ctx context.Context, key kv.Key) (kv.Value, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
@@ -207,6 +211,9 @@ func (c *Cache) Abort(txnID kv.TxnID) {
 // stripe held) and releases and re-acquires sh.mu around the backend
 // fetch. Backend failures (a cancelled ctx, a dead remote peer) surface
 // as the backend's error, distinct from ErrNotFound.
+//
+//tcache:hotpath
+//tcache:holds shard
 func (c *Cache) lookupShardLocked(ctx context.Context, sh *cacheShard, key kv.Key) (kv.Item, error) {
 	return c.lookupFloorShardLocked(ctx, sh, key, kv.Version{})
 }
@@ -219,6 +226,9 @@ func (c *Cache) lookupShardLocked(ctx context.Context, sh *cacheShard, key kv.Ke
 // bottoms out at the database, which is authoritative, and a floor
 // inflated by a neighbouring key's commit must not turn into an error.
 // The zero floor disables the check.
+//
+//tcache:hotpath
+//tcache:holds shard
 func (c *Cache) lookupFloorShardLocked(ctx context.Context, sh *cacheShard, key kv.Key, floor kv.Version) (kv.Item, error) {
 	if e, ok := sh.entries[key]; ok {
 		switch {
@@ -253,6 +263,7 @@ func (c *Cache) lookupFloorShardLocked(ctx context.Context, sh *cacheShard, key 
 	}
 	if err != nil {
 		c.metrics.BackendErrors.Add(1)
+		//lint:ignore hotalloc backend-error path only; the hit path above returns before reaching this allocation
 		return kv.Item{}, fmt.Errorf("tcache: backend read %q: %w", key, err)
 	}
 	if !ok {
@@ -274,6 +285,8 @@ func (c *Cache) lookupFloorShardLocked(ctx context.Context, sh *cacheShard, key 
 // is also reported as an equation-1 violation on the key itself: the
 // earlier read is stale evidence, exactly as if the current read carried a
 // self-dependency.
+//
+//tcache:hotpath
 func checkRead(rec *txnRecord, key kv.Key, item kv.Item) (violation, bool) {
 	if exp, ok := rec.expectedVersion(key); ok && item.Version.Less(exp) {
 		return violation{equation: 2, staleKey: key, staleBelow: exp}, true
@@ -290,6 +303,8 @@ func checkRead(rec *txnRecord, key kv.Key, item kv.Item) (violation, bool) {
 }
 
 // recordRead folds a successful read into the transaction record.
+//
+//tcache:hotpath
 func recordRead(rec *txnRecord, key kv.Key, item kv.Item) {
 	if _, seen := rec.readVersion(key); !seen {
 		rec.appendRead(key, item.Version)
@@ -310,6 +325,8 @@ func recordRead(rec *txnRecord, key kv.Key, item kv.Item) {
 // violator may hash to a different shard; it is evicted after both locks
 // are dropped (the eviction is version-conditional, so running it late is
 // safe), keeping the one-entry-shard-at-a-time invariant.
+//
+//tcache:holds shard,stripe
 func (c *Cache) handleViolation(ctx context.Context, sh *cacheShard, st *txnStripe, txnID kv.TxnID, rec *txnRecord, key kv.Key, item kv.Item, v violation, lastOp bool) (kv.Value, error) {
 	c.metrics.Detected.Add(1)
 	if v.equation == 1 {
@@ -406,6 +423,8 @@ func (c *Cache) handleViolation(ctx context.Context, sh *cacheShard, st *txnStri
 // evictStaleShardLocked removes the violating object's cached copy if it
 // is still older than the version the violation demands. Callers hold the
 // mutex of sh, the shard of v.staleKey.
+//
+//tcache:holds shard
 func (c *Cache) evictStaleShardLocked(sh *cacheShard, v violation) {
 	e, ok := sh.entries[v.staleKey]
 	if !ok {
@@ -427,6 +446,8 @@ func (c *Cache) evictStaleShardLocked(sh *cacheShard, v violation) {
 // builds its completion report; callers emit it once every lock is
 // released. attempted, if non-nil, is the violating read that triggered an
 // abort.
+//
+//tcache:holds stripe
 func (c *Cache) finishStripeLocked(st *txnStripe, txnID kv.TxnID, rec *txnRecord, committed bool, attempted *ReadVersion) Completion {
 	delete(st.txns, txnID)
 	if committed {

@@ -137,7 +137,10 @@ type DB struct {
 
 	// commitMu serializes the decide+apply phase of 2PC, which makes
 	// version order equal commit order and keeps hooks totally ordered.
-	commitMu sync.Mutex
+	// The commit lock is taken before any shard lock, never after:
+	//
+	//tcache:lockorder commit < dbshard
+	commitMu sync.Mutex //tcache:lockclass commit
 	versionC atomic.Uint64
 	txnC     atomic.Uint64
 
@@ -321,7 +324,7 @@ type shardState struct {
 	id    int
 	store *storage.Store
 
-	mu       sync.Mutex
+	mu       sync.Mutex //tcache:lockclass dbshard
 	prepared map[uint64][]preparedWrite
 }
 

@@ -82,12 +82,14 @@ func (d *DB) Compact() error {
 		_ = fresh.Close()
 	}
 	if appendErr != nil {
+		//lint:ignore nolockedcalls compaction deliberately quiesces commits by holding commitMu across the file swap; this is a cold admin path
 		_ = os.Remove(tmp)
 		return fmt.Errorf("db: compact: %w", appendErr)
 	}
 	if err := d.wal.Close(); err != nil {
 		return fmt.Errorf("db: compact: close old log: %w", err)
 	}
+	//lint:ignore nolockedcalls compaction deliberately quiesces commits by holding commitMu across the file swap; this is a cold admin path
 	if err := os.Rename(tmp, d.walPath); err != nil {
 		return fmt.Errorf("db: compact: swap: %w", err)
 	}
@@ -101,6 +103,8 @@ func (d *DB) Compact() error {
 
 // logCommitLocked appends the transaction to the WAL (write-ahead: called
 // between prepare and apply, under commitMu). A nil wal is a no-op.
+//
+//tcache:holds commit
 func (d *DB) logCommitLocked(version kv.Version, byShard map[*shardState][]preparedWrite) error {
 	if d.wal == nil {
 		return nil

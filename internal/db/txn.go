@@ -44,6 +44,7 @@ type writeAccess struct {
 // Begin starts an update transaction that cannot be cancelled
 // (equivalent to BeginCtx with context.Background()).
 func (d *DB) Begin() *Txn {
+	//lint:ignore ctxdiscipline Begin is the documented no-cancellation variant; callers wanting cancellation use BeginCtx
 	return d.BeginCtx(context.Background())
 }
 
@@ -53,6 +54,7 @@ func (d *DB) Begin() *Txn {
 // unblocking queued waiters.
 func (d *DB) BeginCtx(ctx context.Context) *Txn {
 	if ctx == nil {
+		//lint:ignore ctxdiscipline nil means the caller explicitly opted out of cancellation
 		ctx = context.Background()
 	}
 	d.metrics.TxnsStarted.Add(1)

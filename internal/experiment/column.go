@@ -212,9 +212,9 @@ func (c *Column) SeedObjects(keys []kv.Key) {
 
 // WarmCache touches every key once through the cache so the measured
 // phase starts from a hot cache (the paper's steady state).
-func (c *Column) WarmCache(keys []kv.Key) error {
+func (c *Column) WarmCache(ctx context.Context, keys []kv.Key) error {
 	for _, k := range keys {
-		if _, err := c.Cache.Get(context.Background(), k); err != nil {
+		if _, err := c.Cache.Get(ctx, k); err != nil {
 			return fmt.Errorf("experiment: warm %q: %w", k, err)
 		}
 	}
@@ -245,12 +245,12 @@ func (c *Column) RunUpdateTxn(gen workload.Generator) error {
 
 // RunReadTxn executes one read-only transaction over gen's key set
 // through the cache, reporting whether it committed.
-func (c *Column) RunReadTxn(gen workload.Generator) (bool, error) {
+func (c *Column) RunReadTxn(ctx context.Context, gen workload.Generator) (bool, error) {
 	keys := gen.Pick(c.readRNG)
 	c.nextTxnID++
 	id := c.nextTxnID
 	for i, k := range keys {
-		_, err := c.Cache.Read(context.Background(), id, k, i == len(keys)-1)
+		_, err := c.Cache.Read(ctx, id, k, i == len(keys)-1)
 		switch {
 		case err == nil:
 		case isAbort(err):
@@ -291,7 +291,7 @@ func (d Drive) withDefaults() Drive {
 // Run schedules the client load on the virtual clock and executes it to
 // completion. updGen and readGen generate the respective access sets. It
 // may be called repeatedly to extend a run (state carries over).
-func (c *Column) Run(d Drive, updGen, readGen workload.Generator) error {
+func (c *Column) Run(ctx context.Context, d Drive, updGen, readGen workload.Generator) error {
 	d = d.withDefaults()
 	var firstErr error
 	keep := func(err error) {
@@ -312,7 +312,7 @@ func (c *Column) Run(d Drive, updGen, readGen workload.Generator) error {
 		}
 	}
 	readTick = func() {
-		_, err := c.RunReadTxn(readGen)
+		_, err := c.RunReadTxn(ctx, readGen)
 		keep(err)
 		if next := c.Clk.Now().Add(readInterval); next.Before(end) {
 			c.Clk.At(next, readTick)

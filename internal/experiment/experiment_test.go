@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -16,10 +17,10 @@ func TestColumnBasicRun(t *testing.T) {
 	defer col.Close()
 	gen := &workload.PerfectClusters{Objects: 100, ClusterSize: 5, TxnSize: 5}
 	col.SeedObjects(workload.AllObjectKeys(100))
-	if err := col.WarmCache(workload.AllObjectKeys(100)); err != nil {
+	if err := col.WarmCache(context.Background(), workload.AllObjectKeys(100)); err != nil {
 		t.Fatal(err)
 	}
-	if err := col.Run(Drive{UpdateRate: 50, ReadRate: 200, Duration: 5 * time.Second}, gen, gen); err != nil {
+	if err := col.Run(context.Background(), Drive{UpdateRate: 50, ReadRate: 200, Duration: 5 * time.Second}, gen, gen); err != nil {
 		t.Fatal(err)
 	}
 	if col.Mon.Stats().ReadOnly() == 0 {
@@ -39,7 +40,7 @@ func TestColumnDeterministic(t *testing.T) {
 		defer col.Close()
 		gen := &workload.ParetoClusters{Objects: 200, ClusterSize: 5, TxnSize: 5, Alpha: 1}
 		col.SeedObjects(workload.AllObjectKeys(200))
-		if err := col.Run(Drive{UpdateRate: 50, ReadRate: 200, Duration: 10 * time.Second}, gen, gen); err != nil {
+		if err := col.Run(context.Background(), Drive{UpdateRate: 50, ReadRate: 200, Duration: 10 * time.Second}, gen, gen); err != nil {
 			t.Fatal(err)
 		}
 		s := col.Mon.Stats()
@@ -60,11 +61,11 @@ func TestMeasureDeltas(t *testing.T) {
 	defer col.Close()
 	gen := &workload.PerfectClusters{Objects: 100, ClusterSize: 5, TxnSize: 5}
 	col.SeedObjects(workload.AllObjectKeys(100))
-	if err := col.Run(Drive{UpdateRate: 50, ReadRate: 100, Duration: 3 * time.Second}, gen, gen); err != nil {
+	if err := col.Run(context.Background(), Drive{UpdateRate: 50, ReadRate: 100, Duration: 3 * time.Second}, gen, gen); err != nil {
 		t.Fatal(err)
 	}
 	m, err := col.Measure(func() error {
-		return col.Run(Drive{UpdateRate: 50, ReadRate: 100, Duration: 5 * time.Second}, gen, gen)
+		return col.Run(context.Background(), Drive{UpdateRate: 50, ReadRate: 100, Duration: 5 * time.Second}, gen, gen)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +84,7 @@ func TestMeasureDeltas(t *testing.T) {
 }
 
 func TestAlphaSweepShape(t *testing.T) {
-	res, err := RunAlphaSweep(QuickAlphaParams())
+	res, err := RunAlphaSweep(context.Background(), QuickAlphaParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestAlphaSweepShape(t *testing.T) {
 }
 
 func TestConvergenceShape(t *testing.T) {
-	res, err := RunConvergence(QuickConvergenceParams())
+	res, err := RunConvergence(context.Background(), QuickConvergenceParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestConvergenceShape(t *testing.T) {
 }
 
 func TestDriftShape(t *testing.T) {
-	res, err := RunDrift(QuickDriftParams())
+	res, err := RunDrift(context.Background(), QuickDriftParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestDriftShape(t *testing.T) {
 }
 
 func TestStrategyComparisonShape(t *testing.T) {
-	res, err := RunStrategyComparison(QuickStrategyParams())
+	res, err := RunStrategyComparison(context.Background(), QuickStrategyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestTopologyStatsShape(t *testing.T) {
 }
 
 func TestDepListSweepShape(t *testing.T) {
-	res, err := RunDepListSweep(QuickDepSweepParams())
+	res, err := RunDepListSweep(context.Background(), QuickDepSweepParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestDepListSweepShape(t *testing.T) {
 }
 
 func TestTTLSweepShape(t *testing.T) {
-	res, err := RunTTLSweep(QuickTTLSweepParams())
+	res, err := RunTTLSweep(context.Background(), QuickTTLSweepParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestTTLSweepShape(t *testing.T) {
 }
 
 func TestRealisticStrategyShape(t *testing.T) {
-	res, err := RunStrategyComparisonRealistic(QuickRealisticStrategyParams())
+	res, err := RunStrategyComparisonRealistic(context.Background(), QuickRealisticStrategyParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func TestRealisticStrategyShape(t *testing.T) {
 }
 
 func TestHeadlineShape(t *testing.T) {
-	res, err := RunHeadline(QuickHeadlineParams())
+	res, err := RunHeadline(context.Background(), QuickHeadlineParams())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -69,7 +70,7 @@ type AlbumResult struct {
 }
 
 // RunAlbum runs the three configurations.
-func RunAlbum(p AlbumParams) (*AlbumResult, error) {
+func RunAlbum(ctx context.Context, p AlbumParams) (*AlbumResult, error) {
 	w := p.Album
 	pins := make(map[kv.Key][]kv.Key, w.Albums*w.PicturesPer)
 	for a := 0; a < w.Albums; a++ {
@@ -106,19 +107,19 @@ func RunAlbum(p AlbumParams) (*AlbumResult, error) {
 			return nil, err
 		}
 		col.SeedObjects(w.Keys())
-		if err := col.WarmCache(w.Keys()); err != nil {
+		if err := col.WarmCache(ctx, w.Keys()); err != nil {
 			col.Close()
 			return nil, err
 		}
 		warm := p.Drive
 		warm.Duration = p.Warmup
-		if err := col.Run(warm, w.UpdateGen(), w.ReadGen()); err != nil {
+		if err := col.Run(ctx, warm, w.UpdateGen(), w.ReadGen()); err != nil {
 			col.Close()
 			return nil, err
 		}
 		meas := p.Drive
 		meas.Duration = p.MeasureFor
-		m, err := col.Measure(func() error { return col.Run(meas, w.UpdateGen(), w.ReadGen()) })
+		m, err := col.Measure(func() error { return col.Run(ctx, meas, w.UpdateGen(), w.ReadGen()) })
 		col.Close()
 		if err != nil {
 			return nil, err
@@ -191,7 +192,7 @@ type MergeAblationResult struct {
 }
 
 // RunMergeAblation runs the drift workload under both policies.
-func RunMergeAblation(p MergeAblationParams) (*MergeAblationResult, error) {
+func RunMergeAblation(ctx context.Context, p MergeAblationParams) (*MergeAblationResult, error) {
 	res := &MergeAblationResult{}
 	for _, pol := range []struct {
 		name   string
@@ -201,7 +202,7 @@ func RunMergeAblation(p MergeAblationParams) (*MergeAblationResult, error) {
 		{"positional", db.MergePositional},
 	} {
 		dp := p.Drift
-		r, err := runDriftWithPolicy(dp, pol.policy)
+		r, err := runDriftWithPolicy(ctx, dp, pol.policy)
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +221,7 @@ func RunMergeAblation(p MergeAblationParams) (*MergeAblationResult, error) {
 }
 
 // runDriftWithPolicy is RunDrift with a configurable merge policy.
-func runDriftWithPolicy(p DriftParams, policy db.MergePolicy) (*DriftResult, error) {
+func runDriftWithPolicy(ctx context.Context, p DriftParams, policy db.MergePolicy) (*DriftResult, error) {
 	col, err := NewColumn(ColumnConfig{
 		DepBound: p.DepBound,
 		Strategy: core.StrategyAbort,
@@ -236,7 +237,7 @@ func runDriftWithPolicy(p DriftParams, policy db.MergePolicy) (*DriftResult, err
 	col.OnVerdict(func(v Verdicted) { series.Add(v.At, v.Label()) })
 	gen := &workload.PerfectClusters{Objects: p.Objects, ClusterSize: p.ClusterSize, TxnSize: p.TxnSize}
 	col.SeedObjects(workload.AllObjectKeys(p.Objects))
-	if err := col.WarmCache(workload.AllObjectKeys(p.Objects)); err != nil {
+	if err := col.WarmCache(ctx, workload.AllObjectKeys(p.Objects)); err != nil {
 		return nil, err
 	}
 	res := &DriftResult{Params: p, Series: series}
@@ -249,7 +250,7 @@ func runDriftWithPolicy(p DriftParams, policy db.MergePolicy) (*DriftResult, err
 	col.Clk.AfterFunc(p.ShiftEvery, scheduleShift)
 	drive := p.Drive
 	drive.Duration = p.Duration
-	if err := col.Run(drive, gen, gen); err != nil {
+	if err := col.Run(ctx, drive, gen, gen); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -327,7 +328,7 @@ type DropSweepResult struct {
 }
 
 // RunDropSweep measures exposure and T-Cache behaviour per drop rate.
-func RunDropSweep(p DropSweepParams) (*DropSweepResult, error) {
+func RunDropSweep(ctx context.Context, p DropSweepParams) (*DropSweepResult, error) {
 	res := &DropSweepResult{Params: p}
 	run := func(rate float64, bound int) (Measurement, error) {
 		cfg := ColumnConfig{DepBound: bound, Strategy: core.StrategyAbort, Seed: p.Seed, DropRate: rate}
@@ -341,17 +342,17 @@ func RunDropSweep(p DropSweepParams) (*DropSweepResult, error) {
 		defer col.Close()
 		gen := &workload.PerfectClusters{Objects: p.Objects, ClusterSize: p.ClusterSize, TxnSize: p.TxnSize}
 		col.SeedObjects(workload.AllObjectKeys(p.Objects))
-		if err := col.WarmCache(workload.AllObjectKeys(p.Objects)); err != nil {
+		if err := col.WarmCache(ctx, workload.AllObjectKeys(p.Objects)); err != nil {
 			return Measurement{}, err
 		}
 		w := p.Drive
 		w.Duration = p.Warmup
-		if err := col.Run(w, gen, gen); err != nil {
+		if err := col.Run(ctx, w, gen, gen); err != nil {
 			return Measurement{}, err
 		}
 		meas := p.Drive
 		meas.Duration = p.MeasureFor
-		return col.Measure(func() error { return col.Run(meas, gen, gen) })
+		return col.Measure(func() error { return col.Run(ctx, meas, gen, gen) })
 	}
 	for _, rate := range p.DropRates {
 		exposure, err := run(rate, 0)

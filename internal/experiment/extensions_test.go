@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"tcache/internal/core"
@@ -8,7 +9,7 @@ import (
 )
 
 func TestAlbumPinningHelps(t *testing.T) {
-	res, err := RunAlbum(QuickAlbumParams())
+	res, err := RunAlbum(context.Background(), QuickAlbumParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestAlbumPinningHelps(t *testing.T) {
 }
 
 func TestMergeAblationRecencyWins(t *testing.T) {
-	res, err := RunMergeAblation(QuickMergeAblationParams())
+	res, err := RunMergeAblation(context.Background(), QuickMergeAblationParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestMergeAblationRecencyWins(t *testing.T) {
 }
 
 func TestDropSweepShape(t *testing.T) {
-	res, err := RunDropSweep(QuickDropSweepParams())
+	res, err := RunDropSweep(context.Background(), QuickDropSweepParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestAbortSoundnessProperty(t *testing.T) {
 			}
 			gen := &workload.ParetoClusters{Objects: 300, ClusterSize: 5, TxnSize: 5, Alpha: 1}
 			col.SeedObjects(workload.AllObjectKeys(300))
-			if err := col.Run(Drive{UpdateRate: 100, ReadRate: 500, Duration: 20e9}, gen, gen); err != nil {
+			if err := col.Run(context.Background(), Drive{UpdateRate: 100, ReadRate: 500, Duration: 20e9}, gen, gen); err != nil {
 				col.Close()
 				t.Fatal(err)
 			}
@@ -131,7 +132,7 @@ func TestAbortSoundnessProperty(t *testing.T) {
 }
 
 func TestMultiversionReducesAborts(t *testing.T) {
-	res, err := RunMultiversion(QuickMultiversionParams())
+	res, err := RunMultiversion(context.Background(), QuickMultiversionParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestTheorem1HoldsUnderMultiversion(t *testing.T) {
 	defer col.Close()
 	gen := &workload.PerfectClusters{Objects: 300, ClusterSize: 5, TxnSize: 5}
 	col.SeedObjects(workload.AllObjectKeys(300))
-	if err := col.Run(Drive{UpdateRate: 100, ReadRate: 500, Duration: 20e9}, gen, gen); err != nil {
+	if err := col.Run(context.Background(), Drive{UpdateRate: 100, ReadRate: 500, Duration: 20e9}, gen, gen); err != nil {
 		t.Fatal(err)
 	}
 	s := col.Mon.Stats()

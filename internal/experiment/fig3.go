@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -66,7 +67,7 @@ type AlphaResult struct {
 
 // RunAlphaSweep regenerates Fig. 3: for each α it builds a fresh column
 // with the ABORT strategy, warms it up, and measures the detection ratio.
-func RunAlphaSweep(p AlphaParams) (*AlphaResult, error) {
+func RunAlphaSweep(ctx context.Context, p AlphaParams) (*AlphaResult, error) {
 	res := &AlphaResult{Params: p}
 	for i, alpha := range p.Alphas {
 		col, err := NewColumn(ColumnConfig{
@@ -84,19 +85,19 @@ func RunAlphaSweep(p AlphaParams) (*AlphaResult, error) {
 			Alpha:       alpha,
 		}
 		col.SeedObjects(workload.AllObjectKeys(p.Objects))
-		if err := col.WarmCache(workload.AllObjectKeys(p.Objects)); err != nil {
+		if err := col.WarmCache(ctx, workload.AllObjectKeys(p.Objects)); err != nil {
 			col.Close()
 			return nil, err
 		}
 		warm := p.Drive
 		warm.Duration = p.Warmup
-		if err := col.Run(warm, gen, gen); err != nil {
+		if err := col.Run(ctx, warm, gen, gen); err != nil {
 			col.Close()
 			return nil, err
 		}
 		meas := p.Drive
 		meas.Duration = p.MeasureFor
-		m, err := col.Measure(func() error { return col.Run(meas, gen, gen) })
+		m, err := col.Measure(func() error { return col.Run(ctx, meas, gen, gen) })
 		col.Close()
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -61,7 +62,7 @@ type ConvergenceResult struct {
 }
 
 // RunConvergence regenerates Fig. 4.
-func RunConvergence(p ConvergenceParams) (*ConvergenceResult, error) {
+func RunConvergence(ctx context.Context, p ConvergenceParams) (*ConvergenceResult, error) {
 	col, err := NewColumn(ColumnConfig{
 		DepBound: p.DepBound,
 		Strategy: core.StrategyAbort,
@@ -84,14 +85,14 @@ func RunConvergence(p ConvergenceParams) (*ConvergenceResult, error) {
 		},
 	}
 	col.SeedObjects(workload.AllObjectKeys(p.Objects))
-	if err := col.WarmCache(workload.AllObjectKeys(p.Objects)); err != nil {
+	if err := col.WarmCache(ctx, workload.AllObjectKeys(p.Objects)); err != nil {
 		return nil, err
 	}
 	col.Clk.AfterFunc(p.SwitchAt, gen.Flip)
 
 	drive := p.Drive
 	drive.Duration = p.Duration
-	if err := col.Run(drive, gen, gen); err != nil {
+	if err := col.Run(ctx, drive, gen, gen); err != nil {
 		return nil, err
 	}
 	return &ConvergenceResult{

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -61,8 +62,8 @@ type DriftResult struct {
 }
 
 // RunDrift regenerates Fig. 5.
-func RunDrift(p DriftParams) (*DriftResult, error) {
-	res, err := runDriftWithPolicy(p, db.MergeRecency)
+func RunDrift(ctx context.Context, p DriftParams) (*DriftResult, error) {
+	res, err := runDriftWithPolicy(ctx, p, db.MergeRecency)
 	if err != nil {
 		return nil, err
 	}

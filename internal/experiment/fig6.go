@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -74,7 +75,7 @@ type StrategyResult struct {
 
 // RunStrategyComparison regenerates Fig. 6: one run per strategy on
 // identical workload seeds.
-func RunStrategyComparison(p StrategyParams) (*StrategyResult, error) {
+func RunStrategyComparison(ctx context.Context, p StrategyParams) (*StrategyResult, error) {
 	res := &StrategyResult{Title: "Fig. 6 — strategy efficacy (synthetic, Pareto alpha=1)"}
 	for _, s := range Strategies {
 		gen := &workload.ParetoClusters{
@@ -83,7 +84,7 @@ func RunStrategyComparison(p StrategyParams) (*StrategyResult, error) {
 			TxnSize:     p.TxnSize,
 			Alpha:       p.Alpha,
 		}
-		row, err := runStrategyOnce(ColumnConfig{
+		row, err := runStrategyOnce(ctx, ColumnConfig{
 			DepBound: p.DepBound,
 			Strategy: s,
 			Seed:     p.Seed,
@@ -98,24 +99,24 @@ func RunStrategyComparison(p StrategyParams) (*StrategyResult, error) {
 
 // runStrategyOnce builds a column, warms it, and measures the outcome
 // breakdown; shared by Figs. 6 and 8.
-func runStrategyOnce(cfg ColumnConfig, gen workload.Generator, keys []kv.Key, warmup, measureFor time.Duration, drive Drive) (StrategyRow, error) {
+func runStrategyOnce(ctx context.Context, cfg ColumnConfig, gen workload.Generator, keys []kv.Key, warmup, measureFor time.Duration, drive Drive) (StrategyRow, error) {
 	col, err := NewColumn(cfg)
 	if err != nil {
 		return StrategyRow{}, err
 	}
 	defer col.Close()
 	col.SeedObjects(keys)
-	if err := col.WarmCache(keys); err != nil {
+	if err := col.WarmCache(ctx, keys); err != nil {
 		return StrategyRow{}, err
 	}
 	w := drive
 	w.Duration = warmup
-	if err := col.Run(w, gen, gen); err != nil {
+	if err := col.Run(ctx, w, gen, gen); err != nil {
 		return StrategyRow{}, err
 	}
 	meas := drive
 	meas.Duration = measureFor
-	m, err := col.Measure(func() error { return col.Run(meas, gen, gen) })
+	m, err := col.Measure(func() error { return col.Run(ctx, meas, gen, gen) })
 	if err != nil {
 		return StrategyRow{}, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -165,7 +166,7 @@ type DepSweepSeries struct {
 }
 
 // RunDepListSweep regenerates Fig. 7(c) for both topologies.
-func RunDepListSweep(p DepSweepParams) ([]DepSweepSeries, error) {
+func RunDepListSweep(ctx context.Context, p DepSweepParams) ([]DepSweepSeries, error) {
 	var out []DepSweepSeries
 	for _, kind := range []TopologyKind{TopologyAmazon, TopologyOrkut} {
 		g, err := BuildTopology(kind, p.Topology)
@@ -176,7 +177,7 @@ func RunDepListSweep(p DepSweepParams) ([]DepSweepSeries, error) {
 		baselineRate := 0.0
 		for _, k := range p.Bounds {
 			gen := &workload.GraphWalk{Graph: g, Steps: p.WalkSteps, Prefix: string(kind) + "-"}
-			m, err := measureGraphRun(ColumnConfig{
+			m, err := measureGraphRun(ctx, ColumnConfig{
 				DepBound: k,
 				Strategy: p.Strategy,
 				Seed:     p.Seed,
@@ -209,7 +210,7 @@ func RunDepListSweep(p DepSweepParams) ([]DepSweepSeries, error) {
 
 // measureGraphRun builds a column over a graph workload, warms it and
 // measures one window. Shared by Figs. 7c, 7d and 8.
-func measureGraphRun(cfg ColumnConfig, gen *workload.GraphWalk, warmup, measureFor time.Duration, drive Drive) (Measurement, error) {
+func measureGraphRun(ctx context.Context, cfg ColumnConfig, gen *workload.GraphWalk, warmup, measureFor time.Duration, drive Drive) (Measurement, error) {
 	col, err := NewColumn(cfg)
 	if err != nil {
 		return Measurement{}, err
@@ -217,17 +218,17 @@ func measureGraphRun(cfg ColumnConfig, gen *workload.GraphWalk, warmup, measureF
 	defer col.Close()
 	keys := gen.Keys()
 	col.SeedObjects(keys)
-	if err := col.WarmCache(keys); err != nil {
+	if err := col.WarmCache(ctx, keys); err != nil {
 		return Measurement{}, err
 	}
 	w := drive
 	w.Duration = warmup
-	if err := col.Run(w, gen, gen); err != nil {
+	if err := col.Run(ctx, w, gen, gen); err != nil {
 		return Measurement{}, err
 	}
 	meas := drive
 	meas.Duration = measureFor
-	return col.Measure(func() error { return col.Run(meas, gen, gen) })
+	return col.Measure(func() error { return col.Run(ctx, meas, gen, gen) })
 }
 
 // DepSweepTable renders Fig. 7(c).
@@ -305,7 +306,7 @@ type TTLSweepSeries struct {
 
 // RunTTLSweep regenerates Fig. 7(d): a consistency-unaware cache (k=0)
 // with entry TTLs, normalized against the no-TTL baseline.
-func RunTTLSweep(p TTLSweepParams) ([]TTLSweepSeries, error) {
+func RunTTLSweep(ctx context.Context, p TTLSweepParams) ([]TTLSweepSeries, error) {
 	var out []TTLSweepSeries
 	for _, kind := range []TopologyKind{TopologyAmazon, TopologyOrkut} {
 		g, err := BuildTopology(kind, p.Topology)
@@ -314,7 +315,7 @@ func RunTTLSweep(p TTLSweepParams) ([]TTLSweepSeries, error) {
 		}
 		// Baseline: no TTL, plain cache.
 		baseGen := &workload.GraphWalk{Graph: g, Steps: p.WalkSteps, Prefix: string(kind) + "-"}
-		base, err := measureGraphRun(ColumnConfig{
+		base, err := measureGraphRun(ctx, ColumnConfig{
 			DepBound: 0,
 			Strategy: core.StrategyAbort,
 			Seed:     p.Seed,
@@ -327,7 +328,7 @@ func RunTTLSweep(p TTLSweepParams) ([]TTLSweepSeries, error) {
 		series := TTLSweepSeries{Kind: kind}
 		for _, ttl := range p.TTLs {
 			gen := &workload.GraphWalk{Graph: g, Steps: p.WalkSteps, Prefix: string(kind) + "-"}
-			m, err := measureGraphRun(ColumnConfig{
+			m, err := measureGraphRun(ctx, ColumnConfig{
 				DepBound: 0,
 				Strategy: core.StrategyAbort,
 				TTL:      ttl,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -50,7 +51,7 @@ type RealisticStrategyResult struct {
 }
 
 // RunStrategyComparisonRealistic regenerates Fig. 8.
-func RunStrategyComparisonRealistic(p RealisticStrategyParams) (*RealisticStrategyResult, error) {
+func RunStrategyComparisonRealistic(ctx context.Context, p RealisticStrategyParams) (*RealisticStrategyResult, error) {
 	out := &RealisticStrategyResult{PerTopology: make(map[TopologyKind]*StrategyResult, 2)}
 	for _, kind := range []TopologyKind{TopologyAmazon, TopologyOrkut} {
 		g, err := BuildTopology(kind, p.Topology)
@@ -60,7 +61,7 @@ func RunStrategyComparisonRealistic(p RealisticStrategyParams) (*RealisticStrate
 		res := &StrategyResult{Title: fmt.Sprintf("Fig. 8 — strategy efficacy (%s, k=%d)", kind, p.DepBound)}
 		for _, s := range Strategies {
 			gen := &workload.GraphWalk{Graph: g, Steps: p.WalkSteps, Prefix: string(kind) + "-"}
-			row, err := runStrategyOnce(ColumnConfig{
+			row, err := runStrategyOnce(ctx, ColumnConfig{
 				DepBound: p.DepBound,
 				Strategy: s,
 				Seed:     p.Seed,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -76,7 +77,7 @@ type HeadlineResult struct {
 // RunHeadline computes the summary numbers from three runs per topology:
 // the k=0 baseline, T-Cache with ABORT (detection ratio), and T-Cache
 // with RETRY (consistent-rate increase and overhead).
-func RunHeadline(p HeadlineParams) (*HeadlineResult, error) {
+func RunHeadline(ctx context.Context, p HeadlineParams) (*HeadlineResult, error) {
 	res := &HeadlineResult{}
 	for _, kind := range []TopologyKind{TopologyAmazon, TopologyOrkut} {
 		g, err := BuildTopology(kind, p.Topology)
@@ -85,7 +86,7 @@ func RunHeadline(p HeadlineParams) (*HeadlineResult, error) {
 		}
 		run := func(bound int, strategy core.Strategy) (Measurement, error) {
 			gen := &workload.GraphWalk{Graph: g, Steps: p.WalkSteps, Prefix: string(kind) + "-"}
-			return measureGraphRun(ColumnConfig{
+			return measureGraphRun(ctx, ColumnConfig{
 				DepBound: bound,
 				Strategy: strategy,
 				Seed:     p.Seed,

@@ -103,7 +103,7 @@ type multiEdge struct {
 
 // RunMultiEdge executes the multi-edge experiment on the simulation
 // clock: deterministic for a given seed, no wall-clock dependence.
-func RunMultiEdge(p MultiEdgeParams) (*MultiEdgeResult, error) {
+func RunMultiEdge(ctx context.Context, p MultiEdgeParams) (*MultiEdgeResult, error) {
 	clk := clock.NewSimAtZero()
 	d := db.Open(db.Config{DepBound: 5})
 	defer d.Close()
@@ -166,7 +166,7 @@ func RunMultiEdge(p MultiEdgeParams) (*MultiEdgeResult, error) {
 	}
 	for _, me := range edges {
 		for _, k := range keys {
-			if _, err := me.cache.Get(context.Background(), k); err != nil {
+			if _, err := me.cache.Get(ctx, k); err != nil {
 				return nil, fmt.Errorf("experiment: warm: %w", err)
 			}
 		}
@@ -203,7 +203,7 @@ func RunMultiEdge(p MultiEdgeParams) (*MultiEdgeResult, error) {
 		ks := me.gen.Pick(me.rng)
 		me.next++
 		for i, k := range ks {
-			_, err := me.cache.Read(context.Background(), me.next, k, i == len(ks)-1)
+			_, err := me.cache.Read(ctx, me.next, k, i == len(ks)-1)
 			if err != nil {
 				if !isAbort(err) {
 					keep(err)

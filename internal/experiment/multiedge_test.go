@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 func TestMultiEdgeRuns(t *testing.T) {
 	p := QuickMultiEdgeParams()
 	p.Strategy = core.StrategyAbort
-	res, err := RunMultiEdge(p)
+	res, err := RunMultiEdge(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestMultiEdgeRuns(t *testing.T) {
 	}
 
 	// Same seed, same outcome: the harness is deterministic.
-	res2, err := RunMultiEdge(p)
+	res2, err := RunMultiEdge(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

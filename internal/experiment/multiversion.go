@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -67,7 +68,7 @@ type MultiversionResult struct {
 }
 
 // RunMultiversion compares version-retention depths on both topologies.
-func RunMultiversion(p MultiversionParams) (*MultiversionResult, error) {
+func RunMultiversion(ctx context.Context, p MultiversionParams) (*MultiversionResult, error) {
 	res := &MultiversionResult{}
 	for _, kind := range []TopologyKind{TopologyAmazon, TopologyOrkut} {
 		g, err := BuildTopology(kind, p.Topology)
@@ -76,7 +77,7 @@ func RunMultiversion(p MultiversionParams) (*MultiversionResult, error) {
 		}
 		for _, versions := range p.Versions {
 			gen := &workload.GraphWalk{Graph: g, Steps: p.WalkSteps, Prefix: string(kind) + "-"}
-			m, err := measureGraphRun(ColumnConfig{
+			m, err := measureGraphRun(ctx, ColumnConfig{
 				DepBound:     p.DepBound,
 				Strategy:     core.StrategyAbort,
 				Multiversion: versions,

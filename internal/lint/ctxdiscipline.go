@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxDiscipline enforces the PR 2 context rules: a context.Context
+// parameter must come first in every signature (after a leading
+// testing.T/B/F/TB in test helpers), and context.Background()/TODO()
+// may not be called outside package main and _test.go files — library
+// code must thread the caller's context so cancellation reaches every
+// blocking point. Detached-lifetime contexts (server roots, legacy
+// wrappers) carry a //lint:ignore with their justification.
+var CtxDiscipline = &Analyzer{
+	Name: "ctxdiscipline",
+	Doc:  "context.Context first in signatures; no Background()/TODO() in library code",
+	Run:  runCtxDiscipline,
+}
+
+func runCtxDiscipline(pass *Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		isTestFile := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				checkCtxFirst(pass, n)
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if fn.Name() != "Background" && fn.Name() != "TODO" {
+					return true
+				}
+				if isMain || isTestFile {
+					return true
+				}
+				pass.Reportf(n.Pos(), "context.%s() in library code: thread the caller's ctx instead (or justify a detached lifetime with //lint:ignore)", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxFirst flags a context.Context parameter that is not first in
+// its signature. A leading *testing.T/*testing.B/*testing.F/testing.TB
+// parameter is allowed before it, matching test-helper convention.
+func checkCtxFirst(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for fi, field := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(t) {
+			allowed := 0
+			if fi > 0 || idx > 0 {
+				first := pass.TypesInfo.TypeOf(ft.Params.List[0].Type)
+				if isTestingParam(first) && len(ft.Params.List[0].Names) <= 1 {
+					allowed = 1
+				}
+			}
+			if idx > allowed {
+				pass.Reportf(field.Type.Pos(), "context.Context must be the first parameter (found at position %d)", idx+1)
+			}
+			return
+		}
+		idx += n
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isTestingParam reports whether t is *testing.T, *testing.B, *testing.F
+// or the testing.TB interface.
+func isTestingParam(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "testing" {
+		return false
+	}
+	switch obj.Name() {
+	case "T", "B", "F", "TB":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+package lint_test
+
+import (
+	"testing"
+
+	"tcache/internal/lint"
+	"tcache/internal/lint/linttest"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockorder", lint.Lockorder)
+}
+
+func TestNoLockedCalls(t *testing.T) {
+	linttest.Run(t, "testdata/src/nolockedcalls", lint.NoLockedCalls)
+}
+
+func TestCtxDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxdiscipline", lint.CtxDiscipline)
+}
+
+func TestSharedValue(t *testing.T) {
+	linttest.Run(t, "testdata/src/sharedvalue", lint.SharedValue)
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "testdata/src/hotalloc", lint.HotAlloc)
+}
+
+func TestWireExhaustive(t *testing.T) {
+	linttest.Run(t, "testdata/src/wireexhaustive", lint.WireExhaustive)
+}
+
+// TestRepoIsLintClean is the meta-test: the full suite over the whole
+// module (tests included) must produce zero findings, so a regression
+// anywhere in the tree fails `go test` even before `make lint` runs.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module analysis in -short mode")
+	}
+	linttest.MustBeClean(t, "../..", []string{"./..."}, lint.All, true)
+}

@@ -1,0 +1,138 @@
+// Package linttest runs lint analyzers over a testdata package and
+// checks the findings against `// want "regexp"` annotations embedded
+// in the source, in the spirit of golang.org/x/tools' analysistest.
+//
+// Every line that should be flagged carries a trailing comment of the
+// form `// want "re"` (several quoted regexps for several findings on
+// the same line). The test fails on any finding without a matching
+// want, and on any want without a matching finding — so the testdata
+// doubles as proof that each analyzer actually fires: delete the
+// analyzer and the unmatched wants fail the suite.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tcache/internal/lint"
+)
+
+// wantRe extracts the quoted regexps of one want comment: either
+// backquoted (the common case, no escaping needed) or double-quoted.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run applies analyzers to the single package in dir (relative to the
+// calling test's working directory) and diffs the findings against the
+// package's want annotations.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: abs %s: %v", dir, err)
+	}
+	diags, err := lint.Run(abs, []string{"."}, analyzers, false)
+	if err != nil {
+		t.Fatalf("linttest: run %s: %v", dir, err)
+	}
+	wants := collectWants(t, abs)
+
+	for _, d := range diags {
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected finding at %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the finding's line whose
+// regexp matches the message.
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans every .go file in dir for want comments.
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: readdir %s: %v", dir, err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("linttest: read %s: %v", path, err)
+		}
+		for i, text := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(text, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRe.FindAllStringSubmatch(rest, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s:%d: malformed want comment (no quoted regexp)", path, i+1)
+			}
+			for _, m := range ms {
+				expr := m[1]
+				if expr == "" {
+					expr = m[2]
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, expr, err)
+				}
+				wants = append(wants, &want{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// MustBeClean asserts the analyzers produce zero findings over the
+// packages matched by patterns under dir.
+func MustBeClean(t *testing.T, dir string, patterns []string, analyzers []*lint.Analyzer, tests bool) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: abs %s: %v", dir, err)
+	}
+	diags, err := lint.Run(abs, patterns, analyzers, tests)
+	if err != nil {
+		t.Fatalf("linttest: run %s: %v", dir, err)
+	}
+	if len(diags) > 0 {
+		var sb strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&sb, "\n  %s", d)
+		}
+		t.Errorf("expected no findings over %s %v, got %d:%s", dir, patterns, len(diags), sb.String())
+	}
+}

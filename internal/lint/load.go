@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the path as `go list` names it; test variants carry
+	// the `pkg [pkg.test]` suffix.
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns under dir without any
+// module downloads: `go list -export -deps` compiles export data into
+// the build cache, and the stdlib gc importer reads dependency types
+// from those files. With tests set, test variants (`pkg [pkg.test]`,
+// `pkg_test [pkg.test]`) are loaded in place of the plain package so
+// _test.go files are analyzed too.
+func Load(dir string, patterns []string, tests bool) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns, tests)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data for every listed package, keyed by the full (variant)
+	// import path; the per-package ImportMap redirects plain paths to
+	// their test-variant entries where needed.
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	// A plain package is skipped when its merged in-package test variant
+	// is present: the variant's file list is a superset.
+	hasVariant := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.ForTest != "" && strings.HasPrefix(p.ImportPath, p.ForTest+" [") {
+			hasVariant[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range pkgs {
+		switch {
+		case p.Standard, p.DepOnly:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // generated test main
+		case hasVariant[p.ImportPath]:
+			continue // superseded by `pkg [pkg.test]`
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		loaded, err := typecheck(fset, p, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, loaded)
+	}
+	return out, nil
+}
+
+// goList runs `go list -e -export -deps -json` in dir and decodes the
+// package stream.
+func goList(dir string, patterns []string, tests bool) ([]*listPackage, error) {
+	args := []string{"list", "-e", "-export", "-deps"}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=ImportPath,Dir,Name,Export,GoFiles,CgoFiles,Standard,DepOnly,ForTest,ImportMap,Error")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(outPipe)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("lint: go list decode: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one listed package against the export
+// data of its dependencies. The importer is per-package: test variants
+// remap dependency paths through ImportMap, so a shared importer cache
+// would conflate a package with its test-augmented variant.
+func typecheck(fset *token.FileSet, p *listPackage, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	names := append(append([]string{}, p.GoFiles...), p.CgoFiles...)
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q (import of %s)", path, p.ImportPath)
+		}
+		return os.Open(exp)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkgName := p.ImportPath
+	if i := strings.Index(pkgName, " ["); i >= 0 {
+		pkgName = pkgName[:i]
+	}
+	tpkg, err := conf.Check(pkgName, fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", p.ImportPath, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lockorder enforces the PR 1 locking protocol: lock classes declared
+// with //tcache:lockclass may only be acquired in a declared
+// //tcache:lockorder sequence, never twice (the "at most one of each
+// kind" rule), and never in an undeclared pairing. Functions annotated
+// //tcache:holds are checked with those classes pre-held at entry, and
+// call sites are checked against each callee's transitive may-acquire
+// summary — so taking a txn-stripe lock and then calling something that
+// locks an entry shard is flagged at the call site, not discovered in a
+// deadlock.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce declared lock-class ordering and single acquisition per class",
+	Run:  runLockorder,
+}
+
+func runLockorder(pass *Pass) error {
+	m := buildLockModel(pass)
+	if len(m.classOf) == 0 {
+		return nil
+	}
+	for _, fi := range m.funcs {
+		h := &lockorderHandler{pass: pass, m: m, fname: funcDisplayName(fi)}
+		w := &lockWalker{model: m, handler: h}
+		w.walkFunc(fi.decl.Body, m.holdsSet(fi.obj))
+	}
+	return nil
+}
+
+func funcDisplayName(fi funcInfo) string {
+	if fi.obj != nil {
+		return fi.obj.Name()
+	}
+	return fi.decl.Name.Name
+}
+
+type lockorderHandler struct {
+	pass  *Pass
+	m     *lockModel
+	fname string
+}
+
+func (h *lockorderHandler) acquire(class string, pos token.Pos, held stringSet) {
+	h.checkAcquire(class, pos, held, "")
+}
+
+// checkAcquire validates acquiring class against the held set. via names
+// the callee when the acquisition is indirect (through a call summary).
+func (h *lockorderHandler) checkAcquire(class string, pos token.Pos, held stringSet, via string) {
+	suffix := ""
+	if via != "" {
+		suffix = " (via call to " + via + ")"
+	}
+	if held[class] {
+		h.pass.Reportf(pos, "%s: acquiring lock class %q while already holding one%s: at most one lock of each kind may be held", h.fname, class, suffix)
+		return
+	}
+	for _, hc := range held.sorted() {
+		switch {
+		case h.m.orderOK[hc][class]:
+			// declared hc < class: this pairing is legal
+		case h.m.orderOK[class][hc]:
+			h.pass.Reportf(pos, "%s: acquiring lock class %q while holding %q inverts the declared lock order %q < %q%s", h.fname, class, hc, class, hc, suffix)
+		default:
+			h.pass.Reportf(pos, "%s: acquiring lock class %q while holding %q: no //tcache:lockorder relation declares this pairing%s", h.fname, class, hc, suffix)
+		}
+	}
+}
+
+func (h *lockorderHandler) call(fn *types.Func, call *ast.CallExpr, held stringSet, m *lockModel) {
+	if fn == nil {
+		return
+	}
+	if required, ok := m.holds[fn]; ok {
+		for _, c := range required {
+			if !held[c] {
+				h.pass.Reportf(call.Pos(), "%s: call to %s requires lock class %q held (//tcache:holds %s)", h.fname, fn.Name(), c, strings.Join(required, ","))
+			}
+		}
+	}
+	for _, c := range m.summaries[fn].sorted() {
+		h.checkAcquire(c, call.Pos(), held, fn.Name())
+	}
+}
+
+func (h *lockorderHandler) send(s *ast.SendStmt, held stringSet) {}

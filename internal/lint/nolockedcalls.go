@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoLockedCalls forbids blocking or externally visible operations inside
+// a classed-lock critical section: completion-hook invocation (any value
+// of a //tcache:hook type), potentially blocking channel sends, net/os/io
+// I/O, time.Sleep, and the blocking lock.Manager.Acquire. The check is
+// transitive through same-package calls, so hiding the send one helper
+// down does not evade it. Calling a //tcache:holds-annotated function
+// whose annotation covers every held class is exempt at the call site —
+// that callee's body is audited under those classes directly.
+var NoLockedCalls = &Analyzer{
+	Name: "nolockedcalls",
+	Doc:  "no hook invocation, channel send, or I/O while a classed mutex is held",
+	Run:  runNoLockedCalls,
+}
+
+func runNoLockedCalls(pass *Pass) error {
+	m := buildLockModel(pass)
+	if len(m.classOf) == 0 {
+		return nil
+	}
+	for _, fi := range m.funcs {
+		h := &noLockedCallsHandler{pass: pass, fname: funcDisplayName(fi)}
+		w := &lockWalker{model: m, handler: h}
+		w.walkFunc(fi.decl.Body, m.holdsSet(fi.obj))
+	}
+	return nil
+}
+
+type noLockedCallsHandler struct {
+	pass  *Pass
+	fname string
+}
+
+func (h *noLockedCallsHandler) acquire(class string, pos token.Pos, held stringSet) {}
+
+func (h *noLockedCallsHandler) send(s *ast.SendStmt, held stringSet) {
+	if len(held) == 0 {
+		return
+	}
+	h.pass.Reportf(s.Pos(), "%s: potentially blocking channel send while holding lock class(es) %s", h.fname, heldList(held))
+}
+
+func (h *noLockedCallsHandler) call(fn *types.Func, call *ast.CallExpr, held stringSet, m *lockModel) {
+	if len(held) == 0 {
+		return
+	}
+	if fn == nil {
+		if name, ok := m.hookInvocation(call); ok {
+			h.pass.Reportf(call.Pos(), "%s: invoking //tcache:hook type %s while holding lock class(es) %s: hooks run user code and must be emitted outside all locks", h.fname, name, heldList(held))
+		}
+		return
+	}
+	if e := directEffect(fn); e != "" {
+		h.pass.Reportf(call.Pos(), "%s: %s (%s.%s) while holding lock class(es) %s", h.fname, e, pkgName(fn), fn.Name(), heldList(held))
+		return
+	}
+	if fn.Pkg() != h.pass.Pkg {
+		return
+	}
+	// A callee audited to run under every held class is checked (and,
+	// where deliberate, suppressed) in its own body.
+	if required, ok := m.holds[fn]; ok {
+		req := newSet(required...)
+		covered := true
+		for c := range held {
+			if !req[c] {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return
+		}
+	}
+	for _, e := range m.effects[fn].sorted() {
+		h.pass.Reportf(call.Pos(), "%s: call to %s may perform %s while holding lock class(es) %s", h.fname, fn.Name(), e, heldList(held))
+	}
+}
+
+func heldList(held stringSet) string { return strings.Join(held.sorted(), ",") }
+
+func pkgName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Name()
+}

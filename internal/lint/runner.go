@@ -1,0 +1,61 @@
+package lint
+
+import "fmt"
+
+// Run loads the packages matching patterns under dir and applies every
+// analyzer to each, returning the surviving findings sorted by position.
+// //lint:ignore suppressions are applied here (and malformed ignores are
+// themselves reported), so callers see exactly what the CLI prints.
+func Run(dir string, patterns []string, analyzers []*Analyzer, tests bool) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns, tests)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := analyzePackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return dedup(all), nil
+}
+
+// analyzePackage runs the analyzers over one loaded package and filters
+// the findings through the package's //lint:ignore directives.
+func analyzePackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			PkgPath:   pkg.ImportPath,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return suppress(diags, pkg.Files, pkg.Fset), nil
+}
+
+// dedup drops adjacent identical findings; a file shared between a
+// package and a sibling variant would otherwise report twice.
+func dedup(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if len(out) > 0 {
+			p := out[len(out)-1]
+			if p.Pos == d.Pos && p.Analyzer == d.Analyzer && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package ctxdiscipline
+
+import (
+	"context"
+	"testing"
+)
+
+func ctxFirst(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// testHelper is allowed: a single *testing.T may precede ctx.
+func testHelper(t *testing.T, ctx context.Context) error {
+	return ctx.Err()
+}
+
+func noCtx(n int) int {
+	return n + 1
+}

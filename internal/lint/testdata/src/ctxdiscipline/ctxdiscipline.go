@@ -1,0 +1,18 @@
+// Package ctxdiscipline exercises the ctxdiscipline analyzer: ctx must
+// be the first parameter, and library code must not mint fresh root
+// contexts with context.Background()/TODO().
+package ctxdiscipline
+
+import "context"
+
+func ctxSecond(n int, ctx context.Context) error { // want `context.Context must be the first parameter \(found at position 2\)`
+	return ctx.Err()
+}
+
+func detached() error {
+	return context.Background().Err() // want `context\.Background\(\) in library code`
+}
+
+func todo() error {
+	return context.TODO().Err() // want `context\.TODO\(\) in library code`
+}

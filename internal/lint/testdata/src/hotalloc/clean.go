@@ -1,0 +1,26 @@
+package hotalloc
+
+import "fmt"
+
+// notHot is unannotated: it may allocate freely.
+func notHot(key string) string {
+	return fmt.Sprintf("k=%s", key)
+}
+
+// constConcat folds at compile time: no runtime allocation.
+//
+//tcache:hotpath
+func constConcat() string {
+	const prefix = "tcache:" + "v1"
+	return prefix
+}
+
+// indexing reads without allocating.
+//
+//tcache:hotpath
+func indexing(b []byte, i int) byte {
+	if i < len(b) {
+		return b[i]
+	}
+	return 0
+}

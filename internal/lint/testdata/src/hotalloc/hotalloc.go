@@ -1,0 +1,31 @@
+// Package hotalloc exercises the hotalloc analyzer: functions marked
+// //tcache:hotpath must not allocate via fmt, string concatenation,
+// map/slice literals, or capturing closures.
+package hotalloc
+
+import "fmt"
+
+//tcache:hotpath
+func formats(key string) string {
+	return fmt.Sprintf("k=%s", key) // want `formats: fmt\.Sprintf on a //tcache:hotpath function allocates`
+}
+
+//tcache:hotpath
+func concats(a, b string) string {
+	return a + b // want `concats: string concatenation on a //tcache:hotpath function allocates`
+}
+
+//tcache:hotpath
+func mapLit() map[string]int {
+	return map[string]int{} // want `mapLit: map literal on a //tcache:hotpath function allocates`
+}
+
+//tcache:hotpath
+func sliceLit() []int {
+	return []int{1, 2} // want `sliceLit: slice literal on a //tcache:hotpath function allocates`
+}
+
+//tcache:hotpath
+func captures(n int) func() int {
+	return func() int { return n } // want `captures: closure capturing "n" on a //tcache:hotpath function forces a heap allocation`
+}

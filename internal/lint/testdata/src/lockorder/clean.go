@@ -1,0 +1,37 @@
+package lockorder
+
+// ordered acquires in the declared order: shard first, stripe second.
+func ordered(s *cacheShard, t *txnStripe) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// properHold satisfies mustHold's precondition.
+func properHold(s *cacheShard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mustHold(s)
+}
+
+// sequential never holds both locks at once, so no relation applies.
+func sequential(s *cacheShard, t *txnStripe) {
+	t.mu.Lock()
+	t.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// branches joins the held set across an if/else: both arms release
+// before the stripe acquisition.
+func branches(s *cacheShard, t *txnStripe, cold bool) {
+	s.mu.Lock()
+	if cold {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	t.mu.Lock()
+	t.mu.Unlock()
+}

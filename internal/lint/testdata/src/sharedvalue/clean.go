@@ -1,0 +1,32 @@
+package sharedvalue
+
+// clone is any call producing fresh bytes: its result is mutable.
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func cloneFirst() {
+	v := clone(get("k"))
+	v[0] = 'x'
+}
+
+// reassigned replaces the whole slice before mutating; the taint does
+// not survive the reassignment.
+func reassigned() {
+	v := get("k")
+	v = []byte("fresh")
+	v[0] = 'x'
+	_ = v
+}
+
+// readOnly never mutates the shared bytes.
+func readOnly() int {
+	v := get("k")
+	n := 0
+	for _, b := range v {
+		n += int(b)
+	}
+	return n
+}

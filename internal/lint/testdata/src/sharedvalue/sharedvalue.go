@@ -1,0 +1,33 @@
+// Package sharedvalue exercises the sharedvalue analyzer: values
+// returned by //tcache:cowreturn sources alias shared memory and must
+// be cloned before any byte-level mutation.
+package sharedvalue
+
+import "sort"
+
+// get stands in for the repo's COW read APIs.
+//
+//tcache:cowreturn
+func get(key string) []byte {
+	return []byte(key)
+}
+
+func mutateIndex() {
+	v := get("k")
+	v[0] = 'x' // want `index assignment into shared copy-on-write value returned by get`
+}
+
+func mutateAppend() []byte {
+	v := get("k")
+	return append(v, 'x') // want `append to shared copy-on-write value returned by get`
+}
+
+func mutateCopy() {
+	v := get("k")
+	copy(v, "yz") // want `copy into shared copy-on-write value returned by get`
+}
+
+func mutateSort() {
+	v := get("k")
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] }) // want `in-place sort of shared copy-on-write value returned by get`
+}

@@ -1,0 +1,38 @@
+package wireexhaustive
+
+func full(op Op) int {
+	//tcache:exhaustive
+	switch op {
+	case OpA:
+		return 1
+	case OpB:
+		return 2
+	case OpC:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// unannotated switches may be partial.
+func partial(op Op) bool {
+	switch op {
+	case OpA:
+		return true
+	}
+	return false
+}
+
+//tcache:wire encode=encodePair decode=decodePair
+type Pair struct {
+	X uint64
+	Y uint64
+}
+
+func encodePair(b []byte, p *Pair) []byte {
+	return append(b, byte(p.X), byte(p.Y))
+}
+
+func decodePair(b []byte) Pair {
+	return Pair{X: uint64(b[0]), Y: uint64(b[1])}
+}

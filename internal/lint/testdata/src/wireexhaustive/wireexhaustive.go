@@ -1,0 +1,43 @@
+// Package wireexhaustive exercises the wireexhaustive analyzer:
+// //tcache:exhaustive switches must name every constant of the tag's
+// type (a default arm is no excuse), and //tcache:wire codec pairs must
+// reference every field of their struct.
+package wireexhaustive
+
+type Op string
+
+const (
+	OpA Op = "a"
+	OpB Op = "b"
+	OpC Op = "c"
+)
+
+func missing(op Op) int {
+	//tcache:exhaustive
+	switch op { // want `//tcache:exhaustive switch on Op is missing case\(s\) for: OpC`
+	case OpA:
+		return 1
+	case OpB:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Msg's decode arm below forgets field B.
+//
+//tcache:wire encode=encodeMsg decode=decodeMsg
+type Msg struct {
+	A uint64
+	B string
+}
+
+func encodeMsg(b []byte, m *Msg) []byte {
+	b = append(b, byte(m.A))
+	b = append(b, m.B...)
+	return b
+}
+
+func decodeMsg(b []byte) Msg { // want `decodeMsg does not reference field\(s\) B of wire struct Msg`
+	return Msg{A: uint64(b[0])}
+}

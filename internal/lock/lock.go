@@ -55,7 +55,7 @@ type Owner uint64
 // Manager is a lock table keyed by string keys. The zero value is not
 // usable; construct with NewManager.
 type Manager struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //tcache:lockclass lockmgr
 	locks   map[string]*lockState
 	held    map[Owner]map[string]Mode // reverse index for ReleaseAll
 	timeout time.Duration             // 0 = no timeout
@@ -222,6 +222,7 @@ func (m *Manager) Close() {
 		for _, w := range ls.queue {
 			if !w.done {
 				w.done = true
+				//lint:ignore nolockedcalls ready is buffered(1) and written at most once per waiter, so this send can never block
 				w.ready <- ErrClosed
 			}
 		}
@@ -243,6 +244,8 @@ func (m *Manager) HeldModes(owner Owner) map[string]Mode {
 
 // grantableLocked reports whether owner may take key in mode right now,
 // respecting FIFO order for non-upgrade requests.
+//
+//tcache:holds lockmgr
 func (m *Manager) grantableLocked(ls *lockState, owner Owner, mode Mode) bool {
 	_, holding := ls.holders[owner]
 	if !holding && len(ls.queue) > 0 {
@@ -259,6 +262,7 @@ func (m *Manager) grantableLocked(ls *lockState, owner Owner, mode Mode) bool {
 	return true
 }
 
+//tcache:holds lockmgr
 func (m *Manager) grantLocked(ls *lockState, key string, owner Owner, mode Mode) {
 	ls.holders[owner] = mode
 	hm := m.held[owner]
@@ -271,6 +275,8 @@ func (m *Manager) grantLocked(ls *lockState, key string, owner Owner, mode Mode)
 
 // pumpLocked grants queued waiters that became compatible, in FIFO order,
 // stopping at the first one that still conflicts.
+//
+//tcache:holds lockmgr
 func (m *Manager) pumpLocked(ls *lockState, key string) {
 	for len(ls.queue) > 0 {
 		w := ls.queue[0]
@@ -292,10 +298,12 @@ func (m *Manager) pumpLocked(ls *lockState, key string) {
 		ls.queue = ls.queue[1:]
 		m.grantLocked(ls, key, w.owner, w.mode)
 		w.done = true
+		//lint:ignore nolockedcalls ready is buffered(1) and written at most once per waiter, so this send can never block
 		w.ready <- nil
 	}
 }
 
+//tcache:holds lockmgr
 func (m *Manager) removeWaiterLocked(ls *lockState, w *waiter) {
 	for i, q := range ls.queue {
 		if q == w {
@@ -305,6 +313,7 @@ func (m *Manager) removeWaiterLocked(ls *lockState, w *waiter) {
 	}
 }
 
+//tcache:holds lockmgr
 func (m *Manager) maybeGCLocked(key string, ls *lockState) {
 	if len(ls.holders) == 0 && len(ls.queue) == 0 {
 		delete(m.locks, key)
@@ -315,6 +324,8 @@ func (m *Manager) maybeGCLocked(key string, ls *lockState) {
 // start, returning true if start is reachable from itself. An edge A→B
 // exists when A waits on a lock that B holds, or on a lock where B is
 // queued ahead of A.
+//
+//tcache:holds lockmgr
 func (m *Manager) wouldDeadlockLocked(start Owner) bool {
 	adj := func(o Owner) []Owner {
 		var out []Owner

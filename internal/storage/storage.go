@@ -21,7 +21,7 @@ type Store struct {
 }
 
 type shard struct {
-	mu    sync.RWMutex
+	mu    sync.RWMutex //tcache:lockclass store
 	items map[kv.Key]kv.Item
 }
 

@@ -38,7 +38,10 @@ type CacheServer struct {
 	wg     sync.WaitGroup
 
 	// subs are the downstream invalidation relays, by subscriber name.
-	subMu sync.Mutex
+	// Broadcast pushes to each relay's queue while holding subMu:
+	//
+	//tcache:lockorder relay < invq
+	subMu sync.Mutex //tcache:lockclass relay
 	subs  map[string]*invPusher
 
 	logf func(format string, args ...any)
@@ -49,6 +52,7 @@ func NewCacheServer(c *core.Cache, logf func(string, ...any)) *CacheServer {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	//lint:ignore ctxdiscipline the server ctx spans all connections and is cancelled by Close, not by any one caller
 	ctx, cancel := context.WithCancel(context.Background())
 	return &CacheServer{
 		cache: c, ctx: ctx, cancel: cancel,
@@ -265,6 +269,7 @@ func (s *CacheServer) servePush(conn net.Conn, fr *frameReader, writeMu *sync.Mu
 }
 
 func (s *CacheServer) dispatch(ctx context.Context, req Request) Response {
+	//tcache:exhaustive
 	switch req.Op {
 	case OpPing:
 		return Response{Code: CodeOK}
@@ -328,6 +333,12 @@ func (s *CacheServer) dispatch(ctx context.Context, req Request) Response {
 			"floor_refetches":   m.FloorRefetches,
 			"relay_subscribers": uint64(s.Subscribers()),
 		}}
+
+	case OpSubscribe:
+		// Subscriptions switch the connection into relay mode before
+		// dispatch (see handle); reaching here means a second OpSubscribe
+		// arrived on an already-dispatched stream.
+		return Response{Code: CodeError, Err: "tcached: subscribe must be the first request on its connection"}
 
 	default:
 		return Response{Code: CodeError, Err: fmt.Sprintf("tcached: unknown op %q", req.Op)}

@@ -69,7 +69,7 @@ type muxConn struct {
 	writeCh chan *[]byte
 	nextID  atomic.Uint64
 
-	mu      sync.Mutex
+	mu      sync.Mutex //tcache:lockclass mux
 	pending map[uint64]chan muxResult
 	closed  bool
 	err     error
@@ -310,7 +310,7 @@ type mux struct {
 }
 
 type muxSlot struct {
-	mu sync.Mutex
+	mu sync.Mutex //tcache:lockclass slot
 	cn *muxConn
 }
 

@@ -37,6 +37,7 @@ func NewDBServer(d *db.DB, logf func(string, ...any)) *DBServer {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	//lint:ignore ctxdiscipline the server ctx spans all connections and is cancelled by Close, not by any one caller
 	ctx, cancel := context.WithCancel(context.Background())
 	return &DBServer{db: d, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{}), logf: logf}
 }
@@ -244,7 +245,7 @@ type invPusher struct {
 	conn    net.Conn
 	writeMu *sync.Mutex
 
-	mu    sync.Mutex
+	mu    sync.Mutex //tcache:lockclass invq
 	queue []Invalidation
 
 	wake chan struct{}
@@ -310,6 +311,7 @@ var maxInvalidationFrameBytes = 1 << 20
 func (p *invPusher) stop() { close(p.done) }
 
 func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
+	//tcache:exhaustive
 	switch req.Op {
 	case OpPing:
 		return Response{Code: CodeOK}
@@ -344,6 +346,18 @@ func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
 			"single_gets":        m.SingleGets,
 			"invalidations_sent": m.InvalidationsSent,
 		}}
+
+	case OpSubscribe:
+		// Subscriptions switch the connection into push mode before
+		// dispatch (see handle); reaching here means a second OpSubscribe
+		// arrived on an already-dispatched stream.
+		return Response{Code: CodeError, Err: "tdbd: subscribe must be the first request on its connection"}
+
+	case OpRead, OpReadMulti, OpCommit, OpAbort:
+		// Cache-tier transaction ops: the database speaks validated
+		// updates (OpUpdate with read versions), not the cache's
+		// incremental read/commit protocol.
+		return Response{Code: CodeError, Err: fmt.Sprintf("tdbd: op %q is a cache-tier operation", req.Op)}
 
 	default:
 		return Response{Code: CodeError, Err: fmt.Sprintf("tdbd: unknown op %q", req.Op)}

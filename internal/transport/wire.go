@@ -62,6 +62,8 @@ type KeyValue = kv.KeyValue
 type ObservedRead = kv.ObservedRead
 
 // Request is the client→server message.
+//
+//tcache:wire encode=appendRequest decode=decodeRequest
 type Request struct {
 	Op     Op
 	Key    kv.Key
@@ -125,6 +127,8 @@ func (c Code) String() string {
 }
 
 // Response is the server→client message.
+//
+//tcache:wire encode=appendResponse decode=decodeResponse
 type Response struct {
 	Code    Code
 	Err     string

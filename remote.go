@@ -74,6 +74,7 @@ func Dial(ctx context.Context, addr string, opts ...DialOption) (*Remote, error)
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore ctxdiscipline the subscription lifetime spans the Remote, ending at Close, not at the dialing ctx
 	rctx, cancel := context.WithCancel(context.Background())
 	return &Remote{addr: addr, cli: cli, ctx: rctx, cancel: cancel, stops: make(map[uint64]func())}, nil
 }
