@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench benchcluster benchwrite benchsmoke clustersmoke fuzz
+.PHONY: all build test race vet lint bench benchcluster benchwrite benchdurable benchsmoke clustersmoke walsmoke fuzz
 
 all: lint build test
 
@@ -41,11 +41,26 @@ benchcluster:
 benchwrite:
 	$(GO) run ./cmd/tcache-bench -fig writepath
 
+#   benchdurable BENCH_pr7.json  sync-commit throughput vs concurrent
+#   writers; gates that group commit coalesces fsyncs (≤0.9/commit @16)
+benchdurable:
+	$(GO) run ./cmd/tcache-bench -fig durability
+
 # clustersmoke runs the end-to-end fleet check: 1 tdbd + 3 tcached on
 # loopback, driven by tcache-load -cluster (with a -write-mix share
-# committed through the edge relay) and tcache-cli.
+# committed through the edge relay) and tcache-cli. The tdbd runs with
+# a WAL and is kill -9'd and restarted mid-smoke: committed state and
+# version floors must survive.
 clustersmoke:
 	./scripts/cluster_smoke.sh
+
+# walsmoke is the durability gate: the WAL package race-clean (torture
+# replays, crash windows, group commit), the db-level recovery +
+# process-SIGKILL torture, and a short replay fuzz shake.
+walsmoke:
+	$(GO) test -race -count=1 ./internal/wal
+	$(GO) test -race -count=1 -run 'Recover|Snapshot|Crash|Close|Compact|ConcurrentCommits|Background' ./internal/db
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 15s ./internal/wal
 
 # benchsmoke is the CI quick pass: paper figures, hot paths, the codec
 # micro-benchmarks, and the PR 5 unified write-path benches.
@@ -54,7 +69,9 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench 'Codec|WireRoundTrip' -benchtime 100ms ./internal/transport
 	$(GO) run ./cmd/tcache-bench -fig writepath -quick
 
-# fuzz gives the wire codec a short adversarial shake (decoders must
-# never panic or over-allocate; accepted inputs must round-trip).
+# fuzz gives the wire codec and the WAL replay path a short adversarial
+# shake (decoders must never panic or over-allocate; accepted inputs
+# must round-trip; recovery must stay stable on hostile segments).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime 30s ./internal/transport
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/wal

@@ -385,7 +385,7 @@ func remoteBench(b *testing.B, nKeys int) (*DB, *Cache) {
 	b.Helper()
 	ctx := context.Background()
 	d := OpenDB(WithDepListBound(5))
-	b.Cleanup(d.Close)
+	b.Cleanup(func() { d.Close() })
 	addr, stop, err := ServeDB(d, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

@@ -21,7 +21,7 @@ func newClusterRig(t *testing.T, nEdges int, opts ...tcache.ClusterOption) *clus
 	t.Helper()
 	ctx := context.Background()
 	d := tcache.OpenDB(tcache.WithDepListBound(5))
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	dbAddr, stop, err := tcache.ServeDB(d, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -153,7 +153,7 @@ var benchCtx = context.Background()
 func remoteStack(b *testing.B, nKeys int) *tcache.Cache {
 	b.Helper()
 	d := tcache.OpenDB(tcache.WithDepListBound(5))
-	b.Cleanup(d.Close)
+	b.Cleanup(func() { d.Close() })
 	addr, stop, err := tcache.ServeDB(d, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -260,7 +260,7 @@ func benchRemoteReadTxnColdMulti(b *testing.B) {
 func localCache(b *testing.B, nKeys int) *tcache.Cache {
 	b.Helper()
 	d := tcache.OpenDB(tcache.WithDepListBound(5))
-	b.Cleanup(d.Close)
+	b.Cleanup(func() { d.Close() })
 	cache, err := tcache.NewCache(d, tcache.WithStrategy(tcache.StrategyRetry))
 	if err != nil {
 		b.Fatal(err)

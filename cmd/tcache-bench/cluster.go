@@ -78,7 +78,7 @@ func clusterStack(b *testing.B, nEdges, nKeys int) *tcache.ClusterCache {
 		return externalCluster(b, nKeys)
 	}
 	d := tcache.OpenDB(tcache.WithDepListBound(5))
-	b.Cleanup(d.Close)
+	b.Cleanup(func() { d.Close() })
 	addr, stop, err := tcache.ServeDB(d, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

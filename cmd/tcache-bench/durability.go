@@ -1,0 +1,176 @@
+package main
+
+// -fig durability: the storage-engine benchmark. It measures what a
+// commit costs when it must be durable — appended to the segmented
+// write-ahead log and fsynced before the transaction is acknowledged —
+// and how group commit amortizes that cost across concurrent writers:
+// with one writer every commit pays its own fsync; with 16, committers
+// landing in the same batch share one.
+//
+// Results go to BENCH_pr7.json. Two gates run here:
+//   - fsyncs-per-commit at 16 writers must stay ≤ 0.9 (group commit is
+//     actually coalescing, not serializing);
+//   - matching entries in bench_budget.json gate allocs/op.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"tcache/internal/db"
+	"tcache/internal/kv"
+)
+
+const durabilityBenchOut = "BENCH_pr7.json"
+
+// maxFsyncsPerCommit16 is the coalescing gate: at 16 concurrent
+// writers, well under one fsync per commit must be issued. The bound is
+// deliberately loose (a 1-core box coalesces less) — the point is to
+// fail if group commit stops batching at all.
+const maxFsyncsPerCommit16 = 0.9
+
+// durabilityResult is one writer-count measurement in BENCH_pr7.json.
+type durabilityResult struct {
+	benchResult
+	Writers         int     `json:"writers"`
+	CommitsPerSec   float64 `json:"commits_per_sec"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
+}
+
+// benchDurableCommit runs b.N sync-mode commits split across `writers`
+// goroutines (disjoint keys: this measures the log, not lock
+// contention) and reports the WAL fsync count through *fsyncsPerCommit.
+func benchDurableCommit(writers int, fsyncsPerCommit *float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "tcache-bench-wal")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		d, err := db.Recover(db.Config{DepBound: 5, WALSync: true}, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			share := b.N / writers
+			if w < b.N%writers {
+				share++
+			}
+			wg.Add(1)
+			go func(w, share int) {
+				defer wg.Done()
+				key := kv.Key(fmt.Sprintf("w%d", w))
+				val := kv.Value("payload-of-a-plausible-size-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxx")
+				for i := 0; i < share; i++ {
+					tx := d.Begin()
+					if err := tx.Write(key, val); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := tx.Commit(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w, share)
+		}
+		wg.Wait()
+		b.StopTimer()
+		m := d.Metrics()
+		if m.WALRecords > 0 {
+			*fsyncsPerCommit = float64(m.WALFsyncs) / float64(m.WALRecords)
+		}
+	}
+}
+
+// runDurability measures sync-commit throughput at increasing writer
+// counts, writes BENCH_pr7.json, and applies the coalescing and
+// allocs/op gates.
+func runDurability(quick bool, seed int64) error {
+	_ = seed // no simulation randomness on this path
+	writerCounts := []int{1, 2, 4, 8, 16}
+	if quick {
+		writerCounts = []int{1, 16}
+	}
+	fmt.Printf("running durable-commit benchmarks (Sync WAL, group commit)\n")
+
+	results := map[string]benchResult{}
+	sweep := make([]durabilityResult, 0, len(writerCounts))
+	for _, w := range writerCounts {
+		name := fmt.Sprintf("BenchmarkDurableCommitSync%d", w)
+		var fpc float64
+		r := testing.Benchmark(benchDurableCommit(w, &fpc))
+		if r.N == 0 {
+			return fmt.Errorf("%s failed (ran zero iterations)", name)
+		}
+		res := durabilityResult{
+			benchResult: benchResult{
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			},
+			Writers:         w,
+			FsyncsPerCommit: fpc,
+		}
+		res.CommitsPerSec = 1e9 / res.NsPerOp
+		results[name] = res.benchResult
+		sweep = append(sweep, res)
+		fmt.Printf("  %-32s %10.0f commits/s %8.0f ns/op %6.3f fsyncs/commit %5d allocs/op\n",
+			name, res.CommitsPerSec, res.NsPerOp, res.FsyncsPerCommit, res.AllocsPerOp)
+	}
+
+	report := struct {
+		Machine map[string]any     `json:"machine"`
+		Results []durabilityResult `json:"results"`
+	}{
+		Machine: map[string]any{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+		},
+		Results: sweep,
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(durabilityBenchOut, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", durabilityBenchOut)
+
+	// Gate 1: group commit must coalesce under concurrency.
+	last := sweep[len(sweep)-1]
+	if last.Writers >= 16 && last.FsyncsPerCommit > maxFsyncsPerCommit16 {
+		return fmt.Errorf("group commit not coalescing: %.3f fsyncs/commit at %d writers (budget %.2f)",
+			last.FsyncsPerCommit, last.Writers, maxFsyncsPerCommit16)
+	}
+
+	// Gate 2: allocs/op against bench_budget.json.
+	if budgetRaw, err := os.ReadFile("bench_budget.json"); err == nil {
+		var budget map[string]int64
+		if json.Unmarshal(budgetRaw, &budget) == nil {
+			scoped := map[string]int64{}
+			for name, max := range budget {
+				if _, ok := results[name]; ok {
+					scoped[name] = max
+				}
+			}
+			if len(scoped) > 0 {
+				if err := checkScopedBudget(scoped, results); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -35,7 +35,7 @@ const writeBenchOut = "BENCH_pr5.json"
 func writeStack(b *testing.B) (*tcache.DB, *tcache.Remote, *tcache.Cache) {
 	b.Helper()
 	d := tcache.OpenDB(tcache.WithDepListBound(5))
-	b.Cleanup(d.Close)
+	b.Cleanup(func() { d.Close() })
 	addr, stop, err := tcache.ServeDB(d, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

@@ -32,7 +32,7 @@ type rig struct {
 func newRig(t *testing.T, n int) *rig {
 	t.Helper()
 	d := tcache.OpenDB(tcache.WithDepListBound(5))
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	dbAddr, stop, err := tcache.ServeDB(d, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -39,7 +39,7 @@ func newRig(t *testing.T, cfg rigConfig) *rig {
 	t.Helper()
 	clk := clock.NewSimAtZero()
 	d := db.Open(db.Config{DepBound: cfg.depBound})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	c, err := core.New(core.Config{Backend: d, Clock: clk, Strategy: cfg.strategy})
 	if err != nil {
 		t.Fatal(err)

@@ -65,6 +65,17 @@ type Config struct {
 	DepMerge MergePolicy
 	// LockTimeout bounds lock waits (0 = rely on deadlock detection only).
 	LockTimeout time.Duration
+
+	// WALSync, for databases opened with Recover, fsyncs every commit
+	// batch before it is applied (group commit amortizes the fsyncs
+	// across concurrent committers). Without it durability extends only
+	// to the OS page cache.
+	WALSync bool
+	// WALSegmentSize bounds one log segment (0 = the wal default).
+	WALSegmentSize int64
+	// SnapshotEvery, when > 0, triggers a background snapshot after
+	// that many commits, truncating obsolete log segments.
+	SnapshotEvery int
 }
 
 // MergePolicy selects the dependency-list pruning order.
@@ -154,10 +165,21 @@ type DB struct {
 	commitHooks []CommitHook
 	prepareHook PrepareHook
 
-	// wal, when non-nil, makes commits durable (see Recover).
-	wal     *wal.Log
-	walPath string
-	walOpts wal.Options
+	// wal, when non-nil, makes commits durable (see Recover). door
+	// sequences the apply phase so version order survives the move of
+	// the append outside commitMu (see pipeline.go).
+	wal      *wal.Log
+	door     *commitDoor
+	recovery RecoveryInfo
+
+	// snapMu serializes snapshots; the background worker and the
+	// explicit Snapshot entry point share it.
+	snapMu    sync.Mutex
+	snapEvery int
+	sinceSnap atomic.Uint64
+	snapKick  chan struct{}
+	snapQuit  chan struct{}
+	snapDone  chan struct{}
 
 	closed  atomic.Bool
 	metrics Metrics
@@ -174,6 +196,7 @@ func Open(cfg Config) *DB {
 		cfg:   cfg,
 		locks: lock.NewManager(lockOpts...),
 		subs:  make(map[string]InvalidationSink),
+		door:  newCommitDoor(),
 	}
 	d.shards = make([]*shardState, cfg.Shards)
 	for i := range d.shards {
@@ -183,19 +206,33 @@ func Open(cfg Config) *DB {
 }
 
 // Close shuts the database down; in-flight waiters fail with ErrClosed.
-// A recovered database's write-ahead log is flushed and closed.
-func (d *DB) Close() {
+// A recovered database's write-ahead log is flushed and closed, and the
+// error — a commit batch that never reached disk — is returned rather
+// than swallowed: it is the caller's last chance to learn that
+// acknowledged transactions may not survive the next restart.
+func (d *DB) Close() error {
 	if d.closed.Swap(true) {
-		return
+		return nil
 	}
 	d.locks.Close()
-	if d.wal != nil {
-		// Commit appends hold commitMu; taking it here orders Close
-		// after any in-flight append.
-		d.commitMu.Lock()
-		defer d.commitMu.Unlock()
-		_ = d.wal.Close()
+	if d.snapDone != nil {
+		close(d.snapQuit)
+		<-d.snapDone
 	}
+	if d.wal == nil {
+		return nil
+	}
+	// Quiesce the commit pipeline: take a door ticket under commitMu
+	// (ordering this Close after every ticket already issued), then wait
+	// it through — every in-flight committer has applied and exited by
+	// the time wait returns. Committers that slipped past the closed
+	// check above will fail cleanly in wal.Append with ErrClosed.
+	d.commitMu.Lock()
+	ticket := d.door.enter()
+	d.commitMu.Unlock()
+	d.door.wait(ticket)
+	d.door.exit()
+	return d.wal.Close()
 }
 
 // Shards returns the number of 2PC participants.

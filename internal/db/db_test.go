@@ -14,7 +14,7 @@ import (
 func open(t *testing.T, cfg Config) *DB {
 	t.Helper()
 	d := Open(cfg)
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	return d
 }
 

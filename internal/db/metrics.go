@@ -16,9 +16,15 @@ type Metrics struct {
 	TxnWrites         atomic.Uint64
 	SingleGets        atomic.Uint64
 	InvalidationsSent atomic.Uint64
+	Snapshots         atomic.Uint64
+	SnapshotFailures  atomic.Uint64
 }
 
-// MetricsSnapshot is a point-in-time copy of Metrics.
+// MetricsSnapshot is a point-in-time copy of Metrics, plus the WAL's own
+// counters for databases opened with Recover (zero otherwise). The WAL
+// numbers are what make group commit observable: WALBatches < WALRecords
+// means concurrent commits shared writes, and under Sync the fsyncs are
+// amortized the same way.
 type MetricsSnapshot struct {
 	TxnsStarted       uint64
 	TxnsCommitted     uint64
@@ -28,11 +34,18 @@ type MetricsSnapshot struct {
 	TxnWrites         uint64
 	SingleGets        uint64
 	InvalidationsSent uint64
+	Snapshots         uint64
+	SnapshotFailures  uint64
+	WALRecords        uint64
+	WALBatches        uint64
+	WALFsyncs         uint64
+	WALBytes          uint64
+	WALRotations      uint64
 }
 
 // Metrics returns a snapshot of the database counters.
 func (d *DB) Metrics() MetricsSnapshot {
-	return MetricsSnapshot{
+	out := MetricsSnapshot{
 		TxnsStarted:       d.metrics.TxnsStarted.Load(),
 		TxnsCommitted:     d.metrics.TxnsCommitted.Load(),
 		TxnsAborted:       d.metrics.TxnsAborted.Load(),
@@ -41,7 +54,18 @@ func (d *DB) Metrics() MetricsSnapshot {
 		TxnWrites:         d.metrics.TxnWrites.Load(),
 		SingleGets:        d.metrics.SingleGets.Load(),
 		InvalidationsSent: d.metrics.InvalidationsSent.Load(),
+		Snapshots:         d.metrics.Snapshots.Load(),
+		SnapshotFailures:  d.metrics.SnapshotFailures.Load(),
 	}
+	if d.wal != nil {
+		w := d.wal.Metrics()
+		out.WALRecords = w.Records
+		out.WALBatches = w.Batches
+		out.WALFsyncs = w.Fsyncs
+		out.WALBytes = w.Bytes
+		out.WALRotations = w.Rotations
+	}
+	return out
 }
 
 // errorsIs is a seam for txn.go (kept tiny; aliasing the stdlib keeps the

@@ -2,110 +2,206 @@ package db
 
 import (
 	"fmt"
-	"os"
 
 	"tcache/internal/kv"
 	"tcache/internal/wal"
 )
 
-// Recover opens a database whose committed state is made durable in a
-// write-ahead log at path: existing records are replayed into the store
-// (values, versions, and dependency lists all survive restarts), and
-// every subsequent commit is appended before it is applied.
+// RecoveryInfo summarizes what a Recover call restored.
+type RecoveryInfo struct {
+	// Counter is the restored version counter: no version minted after
+	// recovery can collide with one minted before the restart, which is
+	// what keeps the edge floors (eq. 1/eq. 2) monotone across crashes.
+	Counter uint64
+	// SnapshotEntries and Records count what was loaded and replayed.
+	SnapshotEntries int
+	Records         int
+	// Segments is the number of log segments replayed after the
+	// snapshot; TornBytes is the size of the discarded torn tail, if
+	// the process died mid-append.
+	Segments  int
+	TornBytes int64
+}
+
+// Recover opens a database whose committed state is durable in a
+// write-ahead log directory: the newest snapshot is loaded, the tail
+// segments are replayed on top (values, versions, and dependency lists
+// all survive restarts), and every subsequent commit is appended — and,
+// with cfg.WALSync, fsynced — before it is applied.
+//
+// A torn final record (crash mid-append) is truncated; any other
+// corruption fails recovery with an error unwrapping to wal.ErrCorrupt
+// rather than silently serving partial state.
 //
 // Seed is not durable — it exists for experiment scaffolding; durable
 // data must be written through transactions.
-func Recover(cfg Config, path string, opts wal.Options) (*DB, error) {
+func Recover(cfg Config, dir string) (*DB, error) {
 	d := Open(cfg)
-	var maxVer kv.Version
-	err := wal.Replay(path, func(rec wal.Record) error {
-		for _, w := range rec.Writes {
-			d.shardFor(w.Key).store.Put(w.Key, kv.Item{
-				Value:   w.Value,
-				Version: rec.Version,
-				Deps:    w.Deps,
-			})
-		}
-		maxVer = kv.Max(maxVer, rec.Version)
-		return nil
+	log, err := wal.Open(dir, wal.Options{
+		Sync:        cfg.WALSync,
+		SegmentSize: cfg.WALSegmentSize,
 	})
 	if err != nil {
-		d.Close()
 		return nil, fmt.Errorf("db: recover: %w", err)
 	}
-	if d.versionC.Load() < maxVer.Counter {
-		d.versionC.Store(maxVer.Counter)
-	}
-	log, err := wal.Open(path, opts)
+	info, err := log.Replay(wal.ReplayHandler{
+		Snapshot: func(e wal.SnapshotEntry) error {
+			d.shardFor(e.Key).store.Put(e.Key, kv.Item{
+				Value:   e.Value,
+				Version: e.Version,
+				Deps:    e.Deps,
+			})
+			return nil
+		},
+		Record: func(rec wal.Record) error {
+			for _, w := range rec.Writes {
+				d.shardFor(w.Key).store.Put(w.Key, kv.Item{
+					Value:   w.Value,
+					Version: rec.Version,
+					Deps:    w.Deps,
+				})
+			}
+			return nil
+		},
+	})
 	if err != nil {
-		d.Close()
-		return nil, err
+		_ = log.Close()
+		return nil, fmt.Errorf("db: recover: %w", err)
+	}
+	if d.versionC.Load() < info.Counter {
+		d.versionC.Store(info.Counter)
 	}
 	d.wal = log
-	d.walPath = path
-	d.walOpts = opts
+	d.recovery = RecoveryInfo{
+		Counter:         info.Counter,
+		SnapshotEntries: info.SnapshotEntries,
+		Records:         info.Records,
+		Segments:        info.Segments,
+		TornBytes:       info.TornBytes,
+	}
+	if cfg.SnapshotEvery > 0 {
+		d.snapEvery = cfg.SnapshotEvery
+		d.snapKick = make(chan struct{}, 1)
+		d.snapQuit = make(chan struct{})
+		d.snapDone = make(chan struct{})
+		go d.snapshotWorker()
+	}
 	return d, nil
 }
 
-// Compact rewrites the write-ahead log to contain exactly the current
-// committed state — one record per live key — bounding log growth for
-// long-running deployments. Commits are blocked for the duration; reads
-// proceed. It is a no-op on a database opened without a WAL.
-func (d *DB) Compact() error {
+// Recovery reports what the Recover call that opened this database
+// restored; it is zero for databases opened without a WAL.
+func (d *DB) Recovery() RecoveryInfo { return d.recovery }
+
+// Snapshot writes a checkpoint of the current committed state and
+// truncates the log segments it makes obsolete, bounding both log size
+// and recovery time. Commits proceed concurrently: the snapshot is cut
+// at a segment rotation, and records committed during the scan land in
+// segments the snapshot does not cover, so replay (last-wins) converges
+// to the same state. It is a no-op on a database opened without a WAL.
+func (d *DB) Snapshot() error {
 	if d.wal == nil {
 		return nil
 	}
-	d.commitMu.Lock()
-	defer d.commitMu.Unlock()
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
 
-	tmp := d.walPath + ".compact"
-	fresh, err := wal.Open(tmp, d.walOpts)
+	// Cut point: rotate so every record up to now is in a sealed
+	// segment, note the counter, and take a door ticket — all under
+	// commitMu so no commit can mint between the rotation and the
+	// ticket.
+	d.commitMu.Lock()
+	cut, err := d.wal.Rotate()
 	if err != nil {
-		return fmt.Errorf("db: compact: %w", err)
+		d.commitMu.Unlock()
+		d.metrics.SnapshotFailures.Add(1)
+		return fmt.Errorf("db: snapshot: %w", err)
 	}
-	var appendErr error
+	counter := d.versionC.Load()
+	ticket := d.door.enter()
+	d.commitMu.Unlock()
+
+	// Wait the ticket through: every commit minted before the cut has
+	// fully applied to the shard stores, so the scan below observes all
+	// of them. Commits minted after the ticket may also be observed —
+	// harmless, because their records live in segments >= cut and
+	// replay is last-wins (the log never deletes keys).
+	d.door.wait(ticket)
+	d.door.exit()
+
+	sw, err := d.wal.BeginSnapshot(cut, counter)
+	if err != nil {
+		d.metrics.SnapshotFailures.Add(1)
+		return fmt.Errorf("db: snapshot: %w", err)
+	}
+	var addErr error
 	for _, s := range d.shards {
 		s.store.Range(func(key kv.Key, item kv.Item) bool {
-			appendErr = fresh.Append(wal.Record{
+			addErr = sw.Add(wal.SnapshotEntry{
+				Key:     key,
+				Value:   item.Value,
 				Version: item.Version,
-				Writes:  []wal.Entry{{Key: key, Value: item.Value, Deps: item.Deps}},
+				Deps:    item.Deps,
 			})
-			return appendErr == nil
+			return addErr == nil
 		})
-		if appendErr != nil {
+		if addErr != nil {
 			break
 		}
 	}
-	if appendErr == nil {
-		appendErr = fresh.Close()
-	} else {
-		_ = fresh.Close()
+	if addErr != nil {
+		sw.Abort()
+		d.metrics.SnapshotFailures.Add(1)
+		return fmt.Errorf("db: snapshot: %w", addErr)
 	}
-	if appendErr != nil {
-		//lint:ignore nolockedcalls compaction deliberately quiesces commits by holding commitMu across the file swap; this is a cold admin path
-		_ = os.Remove(tmp)
-		return fmt.Errorf("db: compact: %w", appendErr)
+	if err := sw.Commit(); err != nil {
+		d.metrics.SnapshotFailures.Add(1)
+		return fmt.Errorf("db: snapshot: %w", err)
 	}
-	if err := d.wal.Close(); err != nil {
-		return fmt.Errorf("db: compact: close old log: %w", err)
-	}
-	//lint:ignore nolockedcalls compaction deliberately quiesces commits by holding commitMu across the file swap; this is a cold admin path
-	if err := os.Rename(tmp, d.walPath); err != nil {
-		return fmt.Errorf("db: compact: swap: %w", err)
-	}
-	log, err := wal.Open(d.walPath, d.walOpts)
-	if err != nil {
-		return fmt.Errorf("db: compact: reopen: %w", err)
-	}
-	d.wal = log
+	d.metrics.Snapshots.Add(1)
 	return nil
 }
 
-// logCommitLocked appends the transaction to the WAL (write-ahead: called
-// between prepare and apply, under commitMu). A nil wal is a no-op.
-//
-//tcache:holds commit
-func (d *DB) logCommitLocked(version kv.Version, byShard map[*shardState][]preparedWrite) error {
+// Compact bounds log growth by checkpointing the current committed
+// state; it is retained as the historical name for Snapshot. Unlike the
+// original implementation it does not block commits.
+func (d *DB) Compact() error { return d.Snapshot() }
+
+// noteCommitForSnapshot counts a commit toward the SnapshotEvery
+// threshold and kicks the background worker when it is reached.
+func (d *DB) noteCommitForSnapshot() {
+	if d.snapEvery <= 0 {
+		return
+	}
+	if d.sinceSnap.Add(1) < uint64(d.snapEvery) {
+		return
+	}
+	select {
+	case d.snapKick <- struct{}{}:
+	default:
+	}
+}
+
+// snapshotWorker runs snapshots off the commit path. Failures are
+// counted, not fatal: the log keeps growing but stays correct, and the
+// next threshold crossing retries.
+func (d *DB) snapshotWorker() {
+	defer close(d.snapDone)
+	for {
+		select {
+		case <-d.snapQuit:
+			return
+		case <-d.snapKick:
+			d.sinceSnap.Store(0)
+			_ = d.Snapshot()
+		}
+	}
+}
+
+// logCommit appends the transaction to the WAL (write-ahead: called
+// between prepare and apply, outside commitMu so concurrent committers
+// coalesce into group-commit batches). A nil wal is a no-op.
+func (d *DB) logCommit(version kv.Version, byShard map[*shardState][]preparedWrite) error {
 	if d.wal == nil {
 		return nil
 	}

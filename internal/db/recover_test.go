@@ -1,31 +1,69 @@
 package db
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"tcache/internal/kv"
 	"tcache/internal/wal"
 )
 
-func walPath(t *testing.T) string {
+func recoverDB(t *testing.T, cfg Config, dir string) *DB {
 	t.Helper()
-	return filepath.Join(t.TempDir(), "db.wal")
-}
-
-func recoverDB(t *testing.T, cfg Config, path string) *DB {
-	t.Helper()
-	d, err := Recover(cfg, path, wal.Options{})
+	d, err := Recover(cfg, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return d
 }
 
+// newestSegment returns the path of the highest-numbered segment file —
+// the one holding the log tail.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segment files")
+	}
+	sort.Strings(segs)
+	return filepath.Join(dir, segs[len(segs)-1])
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for _, e := range ents {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += fi.Size()
+	}
+	return n
+}
+
 func TestRecoverEmptyLog(t *testing.T) {
-	d := recoverDB(t, Config{DepBound: 5}, walPath(t))
+	d := recoverDB(t, Config{DepBound: 5}, t.TempDir())
 	defer d.Close()
 	if d.Len() != 0 {
 		t.Fatalf("fresh recovered DB has %d items", d.Len())
@@ -34,14 +72,16 @@ func TestRecoverEmptyLog(t *testing.T) {
 }
 
 func TestRecoverRestoresStateAndDeps(t *testing.T) {
-	path := walPath(t)
-	d := recoverDB(t, Config{DepBound: 5}, path)
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5}, dir)
 	write(t, d, "a", "b") // a depends on b and vice versa
 	v2 := write(t, d, "b", "c")
 	before, _ := d.Get("b")
-	d.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
 
-	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	d2 := recoverDB(t, Config{DepBound: 5}, dir)
 	defer d2.Close()
 	after, ok := d2.Get("b")
 	if !ok {
@@ -56,15 +96,18 @@ func TestRecoverRestoresStateAndDeps(t *testing.T) {
 	if after.Version != v2 {
 		t.Fatalf("version = %v, want %v", after.Version, v2)
 	}
+	if info := d2.Recovery(); info.Records != 2 || info.Counter == 0 {
+		t.Fatalf("RecoveryInfo = %+v, want 2 records and a counter", info)
+	}
 }
 
 func TestRecoverContinuesVersionCounter(t *testing.T) {
-	path := walPath(t)
-	d := recoverDB(t, Config{DepBound: 5}, path)
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5}, dir)
 	vOld := write(t, d, "a")
 	d.Close()
 
-	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	d2 := recoverDB(t, Config{DepBound: 5}, dir)
 	defer d2.Close()
 	vNew := write(t, d2, "b")
 	if !vOld.Less(vNew) {
@@ -73,15 +116,15 @@ func TestRecoverContinuesVersionCounter(t *testing.T) {
 }
 
 func TestRecoverReplaysLatestVersionLast(t *testing.T) {
-	path := walPath(t)
-	d := recoverDB(t, Config{DepBound: 5}, path)
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5}, dir)
 	for i := 0; i < 10; i++ {
 		write(t, d, "hot")
 	}
 	latest, _ := d.Get("hot")
 	d.Close()
 
-	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	d2 := recoverDB(t, Config{DepBound: 5}, dir)
 	defer d2.Close()
 	got, _ := d2.Get("hot")
 	if got.Version != latest.Version {
@@ -90,21 +133,22 @@ func TestRecoverReplaysLatestVersionLast(t *testing.T) {
 }
 
 func TestRecoverAfterTornTail(t *testing.T) {
-	path := walPath(t)
-	d := recoverDB(t, Config{DepBound: 5}, path)
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5}, dir)
 	write(t, d, "a")
 	write(t, d, "b")
 	d.Close()
 
-	fi, err := os.Stat(path)
+	seg := newestSegment(t, dir)
+	fi, err := os.Stat(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(path, fi.Size()-3); err != nil {
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
 		t.Fatal(err)
 	}
 
-	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	d2 := recoverDB(t, Config{DepBound: 5}, dir)
 	defer d2.Close()
 	if _, ok := d2.Get("a"); !ok {
 		t.Fatal("intact record a lost")
@@ -112,37 +156,49 @@ func TestRecoverAfterTornTail(t *testing.T) {
 	if _, ok := d2.Get("b"); ok {
 		t.Fatal("torn record b recovered")
 	}
+	if tb := d2.Recovery().TornBytes; tb == 0 {
+		t.Fatal("torn tail not reported in RecoveryInfo")
+	}
 	// The database continues accepting commits after a torn tail.
 	write(t, d2, "c")
 }
 
 func TestRecoverCorruptLogFails(t *testing.T) {
-	path := walPath(t)
-	d := recoverDB(t, Config{DepBound: 5}, path)
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5}, dir)
 	write(t, d, "a")
+	write(t, d, "b")
 	d.Close()
-	data, err := os.ReadFile(path)
+	// Flip a byte inside the FIRST record's payload. A later record is
+	// still intact, so this must surface as corruption — not be silently
+	// treated as a torn tail.
+	seg := newestSegment(t, dir)
+	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[10] ^= 0xFF
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	data[16+8+2] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Recover(Config{DepBound: 5}, path, wal.Options{}); err == nil {
+	_, err = Recover(Config{DepBound: 5}, dir)
+	if err == nil {
 		t.Fatal("Recover accepted a corrupt log")
+	}
+	if !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("corruption error not named: %v", err)
 	}
 }
 
 func TestRecoveredDBServesCaches(t *testing.T) {
 	// End-to-end: dependency lists recovered from the WAL still drive
 	// inconsistency detection (the metadata survives restarts).
-	path := walPath(t)
-	d := recoverDB(t, Config{DepBound: 5}, path)
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5}, dir)
 	write(t, d, "x", "y")
 	d.Close()
 
-	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	d2 := recoverDB(t, Config{DepBound: 5}, dir)
 	defer d2.Close()
 	x, _ := d2.Get("x")
 	if _, ok := x.Deps.Lookup("y"); !ok {
@@ -151,13 +207,13 @@ func TestRecoveredDBServesCaches(t *testing.T) {
 }
 
 func TestSeedNotDurable(t *testing.T) {
-	path := walPath(t)
-	d := recoverDB(t, Config{DepBound: 5}, path)
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5}, dir)
 	d.Seed("seeded", kv.Value("v"), kv.Version{Counter: 1})
 	write(t, d, "written")
 	d.Close()
 
-	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	d2 := recoverDB(t, Config{DepBound: 5}, dir)
 	defer d2.Close()
 	if _, ok := d2.Get("seeded"); ok {
 		t.Fatal("Seed survived restart; it is documented as non-durable")
@@ -167,39 +223,39 @@ func TestSeedNotDurable(t *testing.T) {
 	}
 }
 
-func TestCompactShrinksLogAndPreservesState(t *testing.T) {
-	path := walPath(t)
-	d := recoverDB(t, Config{DepBound: 5}, path)
+func TestSnapshotShrinksLogAndPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5}, dir)
 	// Many overwrites of few keys: the log is much bigger than the state.
 	for i := 0; i < 200; i++ {
 		write(t, d, "a", "b")
 	}
-	before, err := os.Stat(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	before := dirSize(t, dir)
 	wantA, _ := d.Get("a")
 	if err := d.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	after, err := os.Stat(path)
-	if err != nil {
-		t.Fatal(err)
+	after := dirSize(t, dir)
+	if after >= before/10 {
+		t.Fatalf("snapshot barely shrank the log: %d → %d bytes", before, after)
 	}
-	if after.Size() >= before.Size()/10 {
-		t.Fatalf("compaction barely shrank the log: %d → %d bytes", before.Size(), after.Size())
+	if d.Metrics().Snapshots != 1 {
+		t.Fatalf("Snapshots = %d, want 1", d.Metrics().Snapshots)
 	}
-	// Commits continue after compaction and everything survives restart.
+	// Commits continue after the snapshot and everything survives restart.
 	write(t, d, "c")
 	d.Close()
-	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	d2 := recoverDB(t, Config{DepBound: 5}, dir)
 	defer d2.Close()
 	gotA, ok := d2.Get("a")
 	if !ok || gotA.Version != wantA.Version || !gotA.Deps.Equal(wantA.Deps) {
-		t.Fatalf("a after compact+restart = %+v, want %+v", gotA, wantA)
+		t.Fatalf("a after snapshot+restart = %+v, want %+v", gotA, wantA)
 	}
 	if _, ok := d2.Get("c"); !ok {
-		t.Fatal("post-compaction commit lost")
+		t.Fatal("post-snapshot commit lost")
+	}
+	if info := d2.Recovery(); info.SnapshotEntries != 2 {
+		t.Fatalf("RecoveryInfo = %+v, want 2 snapshot entries", info)
 	}
 }
 
@@ -210,9 +266,9 @@ func TestCompactNoWALIsNoop(t *testing.T) {
 	}
 }
 
-func TestCompactConcurrentWithCommits(t *testing.T) {
-	path := walPath(t)
-	d := recoverDB(t, Config{DepBound: 5}, path)
+func TestSnapshotConcurrentWithCommits(t *testing.T) {
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5}, dir)
 	defer d.Close()
 	done := make(chan struct{})
 	go func() {
@@ -229,11 +285,131 @@ func TestCompactConcurrentWithCommits(t *testing.T) {
 	<-done
 	// All commits must be recoverable.
 	d.Close()
-	d2 := recoverDB(t, Config{DepBound: 5}, path)
+	d2 := recoverDB(t, Config{DepBound: 5}, dir)
 	defer d2.Close()
 	for i := 0; i < 7; i++ {
 		if _, ok := d2.Get(kv.Key(fmt.Sprintf("k%d", i))); !ok {
-			t.Fatalf("k%d lost across compaction race", i)
+			t.Fatalf("k%d lost across snapshot race", i)
 		}
+	}
+}
+
+func TestBackgroundSnapshotWorker(t *testing.T) {
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5, SnapshotEvery: 10}, dir)
+	for i := 0; i < 60; i++ {
+		write(t, d, kv.Key(fmt.Sprintf("k%d", i%5)))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Metrics().Snapshots == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background snapshot never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := recoverDB(t, Config{DepBound: 5}, dir)
+	defer d2.Close()
+	for i := 0; i < 5; i++ {
+		if _, ok := d2.Get(kv.Key(fmt.Sprintf("k%d", i))); !ok {
+			t.Fatalf("k%d lost across background snapshot", i)
+		}
+	}
+}
+
+// TestConcurrentCommitsSyncMode hammers the full pipeline — mint,
+// group-commit append with fsync, door-ordered apply — and checks the
+// observable invariants: everything recoverable, commit hooks saw
+// strictly increasing versions, and fsyncs were shared across commits.
+func TestConcurrentCommitsSyncMode(t *testing.T) {
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5, WALSync: true}, dir)
+
+	var hookMu sync.Mutex
+	var hookVersions []kv.Version
+	d.OnCommit(func(rec CommitRecord) {
+		hookMu.Lock()
+		hookVersions = append(hookVersions, rec.Version)
+		hookMu.Unlock()
+	})
+
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				write(t, d, kv.Key(fmt.Sprintf("w%d-%d", w, i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	m := d.Metrics()
+	if m.WALRecords != writers*perWriter {
+		t.Fatalf("WALRecords = %d, want %d", m.WALRecords, writers*perWriter)
+	}
+	if m.WALFsyncs != m.WALBatches {
+		t.Fatalf("sync mode: fsyncs %d != batches %d", m.WALFsyncs, m.WALBatches)
+	}
+	if m.WALBatches > m.WALRecords {
+		t.Fatalf("more batches (%d) than records (%d)", m.WALBatches, m.WALRecords)
+	}
+	hookMu.Lock()
+	for i := 1; i < len(hookVersions); i++ {
+		if !hookVersions[i-1].Less(hookVersions[i]) {
+			t.Fatalf("commit hooks out of version order at %d: %v then %v",
+				i, hookVersions[i-1], hookVersions[i])
+		}
+	}
+	hookMu.Unlock()
+
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := recoverDB(t, Config{DepBound: 5}, dir)
+	defer d2.Close()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if _, ok := d2.Get(kv.Key(fmt.Sprintf("w%d-%d", w, i))); !ok {
+				t.Fatalf("w%d-%d lost", w, i)
+			}
+		}
+	}
+}
+
+// TestCloseReportsWALError verifies the Close error path — the bug this
+// PR fixes was Close swallowing the log's error. Deleting the directory
+// makes the post-append segment rotation fail, fail-stopping the log;
+// Close must report that instead of returning nil.
+func TestCloseReportsWALError(t *testing.T) {
+	dir := t.TempDir()
+	d := recoverDB(t, Config{DepBound: 5, WALSegmentSize: 1}, dir)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The append itself lands in the already-open segment file and
+	// succeeds; the rotation it triggers cannot create the next segment.
+	write(t, d, "a")
+	err := d.Close()
+	if err == nil {
+		t.Fatal("Close swallowed the fail-stopped log error")
+	}
+	if !errors.Is(err, wal.ErrWriteFailed) {
+		t.Fatalf("Close error not named: %v", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	d := recoverDB(t, Config{DepBound: 5}, t.TempDir())
+	write(t, d, "a")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }

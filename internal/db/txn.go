@@ -219,11 +219,20 @@ func (t *Txn) touchedShards() []*shardState {
 	return out
 }
 
-// Commit runs two-phase commit: prepare every touched shard, decide the
-// commit version (strictly greater than every version the transaction
-// accessed, per §III-A), aggregate the full dependency list, apply the
-// writes, release locks, and finally publish invalidations and commit
-// records. Read-only update transactions (no writes) commit trivially.
+// Commit runs two-phase commit through the three-stage pipeline:
+//
+//  1. Under commitMu: decide the commit version (strictly greater than
+//     every version the transaction accessed, per §III-A), aggregate
+//     the full dependency list, prepare every touched shard, and take a
+//     commit-door ticket (ticket order = version order).
+//  2. Outside all locks: append the commit record to the write-ahead
+//     log. This is where concurrent committers overlap — group commit
+//     coalesces their appends into shared writes and fsyncs.
+//  3. Through the door, in ticket order: apply the writes, release
+//     locks, and publish commit records and invalidations, so observers
+//     see commits in exact version order.
+//
+// Read-only update transactions (no writes) commit trivially.
 func (t *Txn) Commit() (kv.Version, error) {
 	if t.done {
 		return kv.Version{}, ErrTxnDone
@@ -248,10 +257,11 @@ func (t *Txn) Commit() (kv.Version, error) {
 	}
 
 	d.commitMu.Lock()
-	defer d.commitMu.Unlock()
 
 	// Decide the commit version: larger than every accessed version and
-	// than every version this node has minted.
+	// than every version this node has minted. The counter is raised at
+	// mint time — not at apply — so a concurrent snapshot's saved counter
+	// can never fall below a version that is about to become durable.
 	maxSeen := kv.Version{Counter: d.versionC.Load(), Node: d.cfg.NodeID}
 	for _, r := range t.reads {
 		maxSeen = kv.Max(maxSeen, r.item.Version)
@@ -260,6 +270,7 @@ func (t *Txn) Commit() (kv.Version, error) {
 		maxSeen = kv.Max(maxSeen, w.old.Version)
 	}
 	vt := kv.Version{Counter: maxSeen.Counter + 1, Node: d.cfg.NodeID}
+	d.versionC.Store(vt.Counter)
 
 	// Aggregate the full dependency list (§III-A). Write-set entries use
 	// the new version vt; read-set entries use the version observed.
@@ -308,36 +319,43 @@ func (t *Txn) Commit() (kv.Version, error) {
 				d.metrics.TxnsAborted.Add(1)
 				t.done = true
 				d.locks.ReleaseAll(lock.Owner(t.id))
+				d.commitMu.Unlock()
 				return kv.Version{}, fmt.Errorf("%w: shard %d: %s", ErrAborted, s.id, err)
 			}
 		}
 		s.prepare(t.id, writes)
 		prepared = append(prepared, s)
 	}
+	ticket := d.door.enter()
+	d.commitMu.Unlock()
 
-	// Write-ahead: the decision is durable before it is applied.
-	if err := d.logCommitLocked(vt, byShard); err != nil {
+	// Write-ahead, outside all locks: the decision is durable before it
+	// is applied, and concurrent committers share group-commit batches.
+	logErr := d.logCommit(vt, byShard)
+
+	d.door.wait(ticket)
+	if logErr != nil {
 		for _, p := range prepared {
 			p.abort(t.id)
 		}
 		d.metrics.TxnsAborted.Add(1)
 		t.done = true
 		d.locks.ReleaseAll(lock.Owner(t.id))
-		return kv.Version{}, err
+		d.door.exit()
+		return kv.Version{}, logErr
 	}
 
-	// Phase 2: commit.
+	// Phase 2: commit, in version order behind the door.
 	for s := range byShard {
 		s.commit(t.id)
 	}
-	d.versionC.Store(vt.Counter)
 	t.done = true
 	d.locks.ReleaseAll(lock.Owner(t.id))
 	d.metrics.TxnsCommitted.Add(1)
 
-	// Report and invalidate. Still under commitMu so observers see
-	// commits in version order; actual delivery to caches is asynchronous
-	// (the sink schedules it).
+	// Report and invalidate, still holding the door ticket so observers
+	// see commits in version order; actual delivery to caches is
+	// asynchronous (the sink schedules it).
 	rec := CommitRecord{TxnID: t.id, Version: vt}
 	for _, r := range t.reads {
 		rec.Reads = append(rec.Reads, ReadRecord{Key: r.key, Version: r.item.Version})
@@ -349,7 +367,9 @@ func (t *Txn) Commit() (kv.Version, error) {
 	rec.Writes = writtenKeys
 	d.runCommitHooks(rec)
 	d.emitInvalidations(writtenKeys, vt)
+	d.door.exit()
 
+	d.noteCommitForSnapshot()
 	return vt, nil
 }
 

@@ -36,3 +36,27 @@ func encodePair(b []byte, p *Pair) []byte {
 func decodePair(b []byte) Pair {
 	return Pair{X: uint64(b[0]), Y: uint64(b[1])}
 }
+
+// SnapEntry mirrors the WAL snapshot codec idiom: an append-style
+// encoder taking a pointer, and a decoder that fills fields in
+// assignment position (`e.Version, err = ...`). Assignment-position
+// selector uses must count as references, or the WAL structs would all
+// be false positives.
+//
+//tcache:wire encode=encodeSnapEntry decode=decodeSnapEntry
+type SnapEntry struct {
+	Key     string
+	Version uint64
+}
+
+func encodeSnapEntry(b []byte, e *SnapEntry) []byte {
+	b = append(b, e.Key...)
+	return append(b, byte(e.Version))
+}
+
+func decodeSnapEntry(b []byte) (SnapEntry, error) {
+	var e SnapEntry
+	e.Key = string(b[:1])
+	e.Version = uint64(b[1])
+	return e, nil
+}

@@ -41,3 +41,23 @@ func encodeMsg(b []byte, m *Msg) []byte {
 func decodeMsg(b []byte) Msg { // want `decodeMsg does not reference field\(s\) B of wire struct Msg`
 	return Msg{A: uint64(b[0])}
 }
+
+// Rec's encode arm forgets Deps — drift on the write side desyncs every
+// future replay, so it must be caught just like the decode side.
+//
+//tcache:wire encode=encodeRec decode=decodeRec
+type Rec struct {
+	Version uint64
+	Deps    []string
+}
+
+func encodeRec(b []byte, r *Rec) []byte { // want `encodeRec does not reference field\(s\) Deps of wire struct Rec`
+	return append(b, byte(r.Version))
+}
+
+func decodeRec(b []byte) Rec {
+	var r Rec
+	r.Version = uint64(b[0])
+	r.Deps = []string{string(b[1:])}
+	return r
+}

@@ -126,7 +126,7 @@ func BenchmarkCodecRoundTrip(b *testing.B) {
 // under the cold read path.
 func BenchmarkWireRoundTrip(b *testing.B) {
 	d := db.Open(db.Config{DepBound: 5})
-	b.Cleanup(d.Close)
+	b.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, nil)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

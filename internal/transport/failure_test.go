@@ -17,7 +17,7 @@ import (
 // instead of hanging on wg.Wait.
 func TestServerCloseAbortsBlockedUpdate(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -67,7 +67,7 @@ func TestServerCloseAbortsBlockedUpdate(t *testing.T) {
 // next call.
 func TestClientCtxCancelledMidRoundTrip(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -121,7 +121,7 @@ func TestClientCtxCancelledMidRoundTrip(t *testing.T) {
 // out, and Close returns promptly.
 func TestClientCloseUnblocksStuckRoundTrip(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -179,7 +179,7 @@ func TestClientCloseUnblocksStuckRoundTrip(t *testing.T) {
 // dependency lists.
 func TestSubscriptionResubscribesAfterServerRestart(t *testing.T) {
 	d := db.Open(db.Config{DepBound: 5})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -303,7 +303,7 @@ func TestSubscriptionResubscribesAfterServerRestart(t *testing.T) {
 // attempts use an epoch-suffixed name.
 func TestResubscribeNotLockedOutByStaleName(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -366,7 +366,7 @@ func TestResubscribeNotLockedOutByStaleName(t *testing.T) {
 // duplicate-name protection end to end.
 func TestDuplicateSubscriberRejectedOverWire(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

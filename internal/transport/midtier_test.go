@@ -28,7 +28,7 @@ type midTier struct {
 func newMidTier(t *testing.T) *midTier {
 	t.Helper()
 	d := db.Open(db.Config{DepBound: 5})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	dbSrv := NewDBServer(d, t.Logf)
 	dbAddr, err := dbSrv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -123,7 +123,7 @@ func TestMidTierFloorOverWire(t *testing.T) {
 	// Build a mid-tier with NO invalidation bridge: its cache goes stale
 	// silently.
 	d := db.Open(db.Config{DepBound: 5})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	dbSrv := NewDBServer(d, t.Logf)
 	dbAddr, err := dbSrv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -278,7 +278,7 @@ func TestDBStatsOverWire(t *testing.T) {
 // forever.
 func TestRedialCapFailsFast(t *testing.T) {
 	d := db.Open(db.Config{DepBound: 5})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -322,7 +322,7 @@ func TestRedialCapFailsFast(t *testing.T) {
 // including when the restart lands within the backoff window.
 func TestRedialRecoversAcrossRestart(t *testing.T) {
 	d := db.Open(db.Config{DepBound: 5})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -348,7 +348,7 @@ func TestRedialRecoversAcrossRestart(t *testing.T) {
 			t.Logf("restart listen: %v", err)
 		}
 	}()
-	t.Cleanup(restarted.Close)
+	t.Cleanup(func() { restarted.Close() })
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {

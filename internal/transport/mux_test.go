@@ -38,7 +38,7 @@ func (s *DBServer) connCount() int {
 // cancellation — no redial, no poisoned socket.
 func TestMuxCancelledRequestDoesNotKillConnection(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -101,7 +101,7 @@ func TestMuxCancelledRequestDoesNotKillConnection(t *testing.T) {
 // every pending demux slot must settle with an error promptly.
 func TestServerCloseFailsAllPendingSlots(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -195,7 +195,7 @@ func TestHandshakeVersionMismatch(t *testing.T) {
 
 	// Real server versus a stale (v1-style) client.
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -232,7 +232,7 @@ func TestHandshakeVersionMismatch(t *testing.T) {
 // byte.
 func TestStaleConnResyncOverWire(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -287,7 +287,7 @@ func TestStaleConnResyncOverWire(t *testing.T) {
 // demultiplex to its caller (values match keys) with no cross-delivery.
 func TestMuxSharedConnectionConcurrency(t *testing.T) {
 	d := db.Open(db.Config{DepBound: 5})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -357,7 +357,7 @@ func TestMuxSharedConnectionConcurrency(t *testing.T) {
 // within the batch.
 func TestInvalidationBatchCoalescing(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -420,7 +420,7 @@ func TestInvalidationBatchCoalescing(t *testing.T) {
 // as garbage — and the connection must remain usable.
 func TestOversizedRequestRejected(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -451,7 +451,7 @@ func TestOversizedRequestRejected(t *testing.T) {
 // read must succeed transparently via the guaranteed-fresh redial.
 func TestIdempotentRetryAfterServerRestart(t *testing.T) {
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -534,7 +534,7 @@ func TestInvalidationBacklogChunked(t *testing.T) {
 	t.Cleanup(func() { maxInvalidationFrameBytes = old })
 
 	d := db.Open(db.Config{})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	srv := NewDBServer(d, t.Logf)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

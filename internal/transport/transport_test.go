@@ -32,7 +32,7 @@ var bg = context.Background()
 func newStack(t *testing.T, strategy core.Strategy) *testStack {
 	t.Helper()
 	d := db.Open(db.Config{DepBound: 5})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 
 	dbSrv := NewDBServer(d, t.Logf)
 	dbAddr, err := dbSrv.Listen("127.0.0.1:0")
@@ -149,7 +149,7 @@ func TestInvalidationsFlowOverWire(t *testing.T) {
 func newLossyStack(t *testing.T, strategy core.Strategy) (*DBClient, *CacheClient) {
 	t.Helper()
 	d := db.Open(db.Config{DepBound: 5})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	dbSrv := NewDBServer(d, t.Logf)
 	dbAddr, err := dbSrv.Listen("127.0.0.1:0")
 	if err != nil {

@@ -78,7 +78,7 @@ func TestValidatedUpdateOverWire(t *testing.T) {
 func silentMidTier(t *testing.T) (dbCli *DBClient, cache *core.Cache, cacheAddr string) {
 	t.Helper()
 	d := db.Open(db.Config{DepBound: 5})
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	dbSrv := NewDBServer(d, t.Logf)
 	dbAddr, err := dbSrv.Listen("127.0.0.1:0")
 	if err != nil {

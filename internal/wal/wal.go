@@ -1,152 +1,493 @@
-// Package wal provides the database's write-ahead log: committed update
-// transactions are appended — version, written items, dependency lists —
-// before they are applied, so a restarted database recovers its exact
-// pre-crash state, including the dependency metadata the T-Cache protocol
-// depends on.
+// Package wal is the durable storage engine under the database tier: a
+// segmented write-ahead log with group commit plus a snapshot/checkpoint
+// layer. A log directory holds
 //
-// Records are length-prefixed gob. Replay tolerates a truncated final
-// record (the usual crash artifact) and rejects corrupted ones.
+//	MANIFEST                  root pointer: first live segment + snapshot
+//	snap-%016d.snap           newest durable checkpoint (at most one)
+//	seg-%016d.wal             live segments, contiguous sequence numbers
+//
+// Appends go to the highest segment; segments rotate at a size
+// threshold. Concurrent committers coalesce: each appends its encoded
+// record to the open batch and waits, while a dedicated flusher writes
+// whole batches with one buffered write and (when Options.Sync) one
+// fsync — so Sync durability costs one fsync per batch, not per
+// transaction. A snapshot covers every segment below its cut sequence;
+// committing a snapshot advances the manifest and deletes the covered
+// segments. Recovery (Replay) loads the snapshot, replays the tail
+// segments tolerating a torn final record, and surfaces corruption of
+// committed history as named errors instead of silently truncating it.
 package wal
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
-
-	"tcache/internal/kv"
+	"sync/atomic"
 )
 
-// Entry is one written object within a committed transaction.
-type Entry struct {
-	Key   kv.Key
-	Value kv.Value
-	Deps  kv.DepList
+// Errors returned by the log.
+var (
+	// ErrCorrupt is the base class of all corruption errors; the concrete
+	// CorruptSegmentError / CorruptSnapshotError / CorruptManifestError
+	// unwrap to it.
+	ErrCorrupt = errors.New("wal: corrupt log")
+	// ErrClosed is returned by operations on a closed (or not yet
+	// replayed) log.
+	ErrClosed = errors.New("wal: closed")
+	// ErrRecordTooLarge is returned by Append when one record exceeds the
+	// 64 MiB frame bound.
+	ErrRecordTooLarge = errors.New("wal: record exceeds maximum size")
+	// ErrWriteFailed wraps the first write or fsync error; the log
+	// fail-stops after it (every later Append returns it) because a
+	// failed fsync leaves the kernel page cache unreliable.
+	ErrWriteFailed = errors.New("wal: write failed; log is fail-stopped")
+	// ErrMissingManifest means the directory has segment or snapshot
+	// files but no MANIFEST — refusing to guess protects committed
+	// history from being half-read.
+	ErrMissingManifest = errors.New("wal: log files present but MANIFEST missing")
+	// ErrSnapshotInProgress is returned by BeginSnapshot while another
+	// snapshot is being written.
+	ErrSnapshotInProgress = errors.New("wal: snapshot already in progress")
+)
+
+// CorruptSegmentError quarantines a segment whose committed history
+// cannot be read back: recovery refuses to proceed (and never truncates
+// the file) so the operator can inspect or restore it. Only the final
+// segment's trailing bytes may legitimately be torn; see Replay.
+type CorruptSegmentError struct {
+	Path   string // segment file
+	Offset int64  // byte offset of the first unreadable frame
+	Reason string
 }
 
-// Record is one committed update transaction.
-type Record struct {
-	Version kv.Version
-	Writes  []Entry
+func (e *CorruptSegmentError) Error() string {
+	return fmt.Sprintf("wal: corrupt segment %s at offset %d: %s", e.Path, e.Offset, e.Reason)
 }
 
-// ErrCorrupt reports a record whose checksum does not match.
-var ErrCorrupt = errors.New("wal: corrupt record")
+func (e *CorruptSegmentError) Unwrap() error { return ErrCorrupt }
 
-// Log is an append-only write-ahead log. It is safe for concurrent use.
-type Log struct {
-	mu   sync.Mutex
-	f    *os.File
-	bw   *bufio.Writer
-	sync bool
+// CorruptSnapshotError reports an unreadable snapshot file. Snapshots
+// are fully fsynced before the manifest references them, so no part of
+// one may be torn.
+type CorruptSnapshotError struct {
+	Path   string
+	Reason string
 }
 
-// Options configure Open.
+func (e *CorruptSnapshotError) Error() string {
+	return fmt.Sprintf("wal: corrupt snapshot %s: %s", e.Path, e.Reason)
+}
+
+func (e *CorruptSnapshotError) Unwrap() error { return ErrCorrupt }
+
+// CorruptManifestError reports an unreadable MANIFEST.
+type CorruptManifestError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptManifestError) Error() string {
+	return fmt.Sprintf("wal: corrupt manifest %s: %s", e.Path, e.Reason)
+}
+
+func (e *CorruptManifestError) Unwrap() error { return ErrCorrupt }
+
+// Options configures a log.
 type Options struct {
-	// Sync forces an fsync after every append (durable but slow);
-	// without it the log is flushed to the OS on every append and synced
-	// on Close.
+	// Sync makes Append fsync (by group) before acknowledging, so
+	// acknowledged commits survive power loss, not just process crashes.
 	Sync bool
+	// SegmentSize is the rotation threshold in bytes (records never
+	// split across segments, so a segment may exceed it by one record).
+	// 0 means the 64 MiB default.
+	SegmentSize int64
 }
 
-// Open opens (or creates) the log at path for appending.
-func Open(path string, opts Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+const defaultSegmentSize = 64 << 20
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = defaultSegmentSize
+	}
+	if o.SegmentSize < fileHeaderSize+frameHeaderSize {
+		o.SegmentSize = fileHeaderSize + frameHeaderSize
+	}
+	return o
+}
+
+// Metrics are the log's monotonic counters, readable while appending.
+// Fsyncs < Records under concurrent Sync appends is group commit
+// working: batches share fsyncs.
+type Metrics struct {
+	Records   uint64 // commit records appended
+	Batches   uint64 // group-commit batches flushed
+	Fsyncs    uint64 // fsyncs issued for batches
+	Bytes     uint64 // record bytes written (including frame headers)
+	Rotations uint64 // segment rotations
+}
+
+// batch is one group-commit unit: the concatenated frames of every
+// record appended while the previous batch was being flushed.
+type batch struct {
+	buf  []byte
+	n    int
+	err  error
+	done chan struct{}
+}
+
+func newBatch() *batch { return &batch{done: make(chan struct{})} }
+
+// Log is a segmented write-ahead log. Open it, Replay it exactly once
+// (which arms Append), then append concurrently from any number of
+// goroutines.
+type Log struct {
+	dir  string
+	opts Options
+
+	// mu guards the open batch and lifecycle flags. Append holds it only
+	// long enough to extend the batch; it is never held across I/O.
+	mu       sync.Mutex
+	cur      *batch
+	werr     error // sticky first write/fsync error
+	closed   bool
+	replayed bool
+
+	kick        chan struct{}
+	quit        chan struct{}
+	flusherDone chan struct{}
+	closeOnce   sync.Once
+	closeErr    error
+
+	// fileMu guards the active segment file and the directory state
+	// (first segment, snapshot name). Lock order: fileMu before mu —
+	// writeBatch and rotation report sticky errors while holding fileMu.
+	fileMu   sync.Mutex
+	f        *os.File
+	size     int64
+	seq      uint64 // active (highest) segment sequence
+	firstSeg uint64 // lowest live segment sequence (manifest)
+	snap     string // snapshot file name ("" = none)
+	snapping bool
+
+	records   atomic.Uint64
+	batches   atomic.Uint64
+	fsyncs    atomic.Uint64
+	bytes     atomic.Uint64
+	rotations atomic.Uint64
+
+	// segs holds the segment sequences discovered at Open, consumed by
+	// Replay.
+	segs []uint64
+}
+
+// Open opens (or creates) the log directory. The returned log cannot
+// append until Replay has run: recovery is not optional, because only
+// replay knows where the durable tail ends.
+//
+// Open removes crash leftovers — temp files, segments below the
+// manifest's first sequence, snapshots the manifest does not name —
+// which is how every crash window of the snapshot protocol converges
+// back to a consistent directory.
+func Open(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{
+		dir:         dir,
+		opts:        opts.withDefaults(),
+		cur:         newBatch(),
+		kick:        make(chan struct{}, 1),
+		quit:        make(chan struct{}),
+		flusherDone: make(chan struct{}),
+	}
+
+	m, found, err := readManifest(dir)
 	if err != nil {
-		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+		return nil, err
 	}
-	return &Log{f: f, bw: bufio.NewWriter(f), sync: opts.Sync}, nil
+	if !found {
+		// A fresh directory must be empty of log files: segments without
+		// a manifest would otherwise be silently abandoned.
+		segs, err := listSegments(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(segs) > 0 {
+			return nil, fmt.Errorf("%w: %s", ErrMissingManifest, dir)
+		}
+		m = manifest{FirstSeg: 1}
+		if err := writeManifest(dir, m); err != nil {
+			return nil, err
+		}
+	}
+	l.firstSeg = m.FirstSeg
+	l.snap = m.Snapshot
+
+	if err := l.cleanOrphans(); err != nil {
+		return nil, err
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Live segments must be a contiguous run starting at firstSeg; a
+	// missing middle segment is unrecoverable committed history.
+	for i, seq := range segs {
+		if want := l.firstSeg + uint64(i); seq != want {
+			return nil, &CorruptSegmentError{
+				Path:   filepath.Join(dir, segName(want)),
+				Reason: "segment missing from contiguous live run",
+			}
+		}
+	}
+	l.segs = segs
+	return l, nil
 }
 
-// Append writes one record: [len u32][crc u32][gob payload].
-func (l *Log) Append(rec Record) error {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
-		return fmt.Errorf("wal: encode: %w", err)
+// cleanOrphans removes files a crash may have left behind: temp files,
+// segments below the manifest's first live sequence, and snapshot files
+// the manifest does not reference.
+func (l *Log) cleanOrphans() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
 	}
-	var header [8]byte
-	binary.LittleEndian.PutUint32(header[0:4], uint32(payload.Len()))
-	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload.Bytes()))
-
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, err := l.bw.Write(header[:]); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	if _, err := l.bw.Write(payload.Bytes()); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	if err := l.bw.Flush(); err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
-	}
-	if l.sync {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
+	for _, e := range entries {
+		name := e.Name()
+		drop := false
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			drop = true
+		case name == manifestName:
+		default:
+			if seq, ok := parseSegName(name); ok {
+				drop = seq < l.firstSeg
+			} else if _, ok := parseSnapName(name); ok {
+				drop = name != l.snap
+			}
+		}
+		if drop {
+			if err := os.Remove(filepath.Join(l.dir, name)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// Close flushes, syncs and closes the log.
-func (l *Log) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.bw.Flush(); err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Metrics returns a snapshot of the log's counters.
+func (l *Log) Metrics() Metrics {
+	return Metrics{
+		Records:   l.records.Load(),
+		Batches:   l.batches.Load(),
+		Fsyncs:    l.fsyncs.Load(),
+		Bytes:     l.bytes.Load(),
+		Rotations: l.rotations.Load(),
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
-	}
-	return l.f.Close()
 }
 
-// Replay streams every intact record of the log at path into fn, in
-// append order. A truncated final record (torn write during a crash) ends
-// replay silently; a checksum mismatch returns ErrCorrupt. A missing file
-// replays nothing.
-func Replay(path string, fn func(Record) error) error {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
+// Append durably logs one commit record. Concurrent appends are group
+// committed: each waits until the batch containing its record has been
+// written (and fsynced, under Options.Sync). A nil return means the
+// record is on disk and will be recovered by every future Replay.
+func (l *Log) Append(rec Record) error {
+	payload, release, err := encodeRecord(&rec)
 	if err != nil {
-		return fmt.Errorf("wal: open %s: %w", path, err)
+		return err
 	}
-	defer f.Close()
+	l.mu.Lock()
+	if !l.replayed || l.closed {
+		l.mu.Unlock()
+		release()
+		return ErrClosed
+	}
+	if l.werr != nil {
+		err := l.werr
+		l.mu.Unlock()
+		release()
+		return err
+	}
+	b := l.cur
+	b.buf = appendFramed(b.buf, payload)
+	b.n++
+	l.mu.Unlock()
+	release()
 
-	br := bufio.NewReader(f)
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	<-b.done
+	return b.err
+}
+
+// flusher is the dedicated group-commit goroutine: it swaps the open
+// batch out and writes it with one write + one fsync, so every record
+// appended while the previous flush was in flight shares the next
+// fsync.
+func (l *Log) flusher() {
+	defer close(l.flusherDone)
 	for {
-		var header [8]byte
-		if _, err := io.ReadFull(br, header[:]); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // clean end or torn header
+		select {
+		case <-l.kick:
+		case <-l.quit:
+		}
+		for {
+			l.mu.Lock()
+			b := l.cur
+			if b.n == 0 {
+				l.mu.Unlock()
+				break
 			}
-			return fmt.Errorf("wal: read header: %w", err)
-		}
-		size := binary.LittleEndian.Uint32(header[0:4])
-		want := binary.LittleEndian.Uint32(header[4:8])
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil // torn payload
+			l.cur = newBatch()
+			werr := l.werr
+			l.mu.Unlock()
+			if werr != nil {
+				b.err = werr
+			} else {
+				b.err = l.writeBatch(b)
 			}
-			return fmt.Errorf("wal: read payload: %w", err)
+			close(b.done)
 		}
-		if crc32.ChecksumIEEE(payload) != want {
-			return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
-		}
-		var rec Record
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return fmt.Errorf("%w: decode: %s", ErrCorrupt, err)
-		}
-		if err := fn(rec); err != nil {
-			return err
+		select {
+		case <-l.quit:
+			// Close sets closed before closing quit, so no new record can
+			// arrive after this drain pass saw an empty batch.
+			return
+		default:
 		}
 	}
+}
+
+// writeBatch writes one batch to the active segment. A write or fsync
+// failure fails the batch (its commits are not durable) and fail-stops
+// the log. A post-write rotation failure does NOT fail the batch — its
+// records are already durable, and failing an acknowledged-durable
+// commit would let an "aborted" transaction resurrect at recovery — it
+// only fail-stops future appends.
+func (l *Log) writeBatch(b *batch) error {
+	l.fileMu.Lock()
+	defer l.fileMu.Unlock()
+	if _, err := l.f.Write(b.buf); err != nil {
+		return l.fail(err)
+	}
+	l.size += int64(len(b.buf))
+	if l.opts.Sync {
+		if err := l.f.Sync(); err != nil {
+			return l.fail(err)
+		}
+		l.fsyncs.Add(1)
+	}
+	l.records.Add(uint64(b.n))
+	l.batches.Add(1)
+	l.bytes.Add(uint64(len(b.buf)))
+	if l.size >= l.opts.SegmentSize {
+		if err := l.rotateLocked(); err != nil {
+			_ = l.fail(err)
+		}
+	}
+	return nil
+}
+
+// fail records the first write error; the log fail-stops. Called with
+// fileMu held (lock order fileMu < mu).
+func (l *Log) fail(err error) error {
+	wrapped := fmt.Errorf("%w: %v", ErrWriteFailed, err)
+	l.mu.Lock()
+	if l.werr == nil {
+		l.werr = wrapped
+	} else {
+		wrapped = l.werr
+	}
+	l.mu.Unlock()
+	return wrapped
+}
+
+// rotateLocked seals the active segment (fsync even when Options.Sync
+// is off — a sealed segment is always fully durable) and opens the next
+// one. Caller holds fileMu.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	// The sealed file is gone either way; a nil handle keeps a failed
+	// rotation (fail-stop follows) from masking its error with "file
+	// already closed" at Close time.
+	l.f = nil
+	f, err := createSegment(l.dir, l.seq+1)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.seq++
+	l.size = fileHeaderSize
+	l.rotations.Add(1)
+	return nil
+}
+
+// Rotate seals the active segment and starts a new one, returning the
+// new active sequence number — the snapshot cut: a snapshot taken now
+// covers every segment below it. A rotation failure fail-stops the log.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	if !l.replayed || l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.werr != nil {
+		err := l.werr
+		l.mu.Unlock()
+		return 0, err
+	}
+	l.mu.Unlock()
+
+	l.fileMu.Lock()
+	defer l.fileMu.Unlock()
+	if err := l.rotateLocked(); err != nil {
+		return 0, l.fail(err)
+	}
+	return l.seq, nil
+}
+
+// Close drains in-flight batches, seals the active segment, and shuts
+// the log down. The error is real: a failed final flush — or a log that
+// fail-stopped earlier — means recently acknowledged state may not all
+// be durable, and callers must surface it rather than swallow it.
+func (l *Log) Close() error {
+	l.closeOnce.Do(func() {
+		l.mu.Lock()
+		l.closed = true
+		started := l.replayed
+		l.mu.Unlock()
+		if started {
+			close(l.quit)
+			<-l.flusherDone
+		}
+		l.fileMu.Lock()
+		defer l.fileMu.Unlock()
+		if l.f != nil {
+			err := l.f.Sync()
+			if cerr := l.f.Close(); err == nil {
+				err = cerr
+			}
+			l.f = nil
+			l.closeErr = err
+		}
+		if l.closeErr == nil {
+			l.mu.Lock()
+			l.closeErr = l.werr
+			l.mu.Unlock()
+		}
+	})
+	return l.closeErr
 }

@@ -25,7 +25,7 @@ func newRemoteRig(t *testing.T, opts ...tcache.CacheOption) *remoteRig {
 	t.Helper()
 	ctx := context.Background()
 	db := tcache.OpenDB(tcache.WithDepListBound(5))
-	t.Cleanup(db.Close)
+	t.Cleanup(func() { db.Close() })
 	addr, stop, err := tcache.ServeDB(db, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

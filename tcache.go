@@ -61,7 +61,6 @@ import (
 	"tcache/internal/core"
 	"tcache/internal/db"
 	"tcache/internal/kv"
-	"tcache/internal/wal"
 )
 
 // Key identifies an object.
@@ -174,6 +173,30 @@ func WithLockTimeout(d time.Duration) DBOption {
 	return func(c *db.Config) { c.LockTimeout = d }
 }
 
+// WithFsync controls whether OpenDurableDB fsyncs every commit batch
+// before acknowledging it (default true). Group commit amortizes the
+// fsyncs across concurrent writers. Disabling it trades crash
+// durability (commits survive process death but not power loss or
+// kernel panic) for write latency. It has no effect on OpenDB.
+func WithFsync(on bool) DBOption {
+	return func(c *db.Config) { c.WALSync = on }
+}
+
+// WithSegmentSize bounds one write-ahead-log segment file for
+// OpenDurableDB (0 = the default, 64 MiB). Small segments exist mainly
+// for tests; it has no effect on OpenDB.
+func WithSegmentSize(n int64) DBOption {
+	return func(c *db.Config) { c.WALSegmentSize = n }
+}
+
+// WithSnapshotEvery makes OpenDurableDB write a background snapshot
+// after every n commits, truncating the log segments the snapshot makes
+// obsolete (default 0 = only explicit Snapshot calls). It has no effect
+// on OpenDB.
+func WithSnapshotEvery(n int) DBOption {
+	return func(c *db.Config) { c.SnapshotEvery = n }
+}
+
 // OpenDB creates an in-process backend database.
 func OpenDB(opts ...DBOption) *DB {
 	cfg := db.Config{DepBound: 5, Shards: 1}
@@ -184,23 +207,36 @@ func OpenDB(opts ...DBOption) *DB {
 }
 
 // OpenDurableDB creates (or recovers) a database whose commits are made
-// durable in a write-ahead log at path: values, versions and dependency
-// lists all survive restarts. Compact the log periodically with
-// Core().Compact().
-func OpenDurableDB(path string, opts ...DBOption) (*DB, error) {
-	cfg := db.Config{DepBound: 5, Shards: 1}
+// durable in a segmented write-ahead log under dir: values, versions
+// and dependency lists all survive restarts. Commits are fsynced by
+// default (see WithFsync); concurrent committers share batches and
+// fsyncs via group commit. Bound log growth with WithSnapshotEvery or
+// explicit Snapshot calls.
+//
+// dir must be a directory (it is created if absent). Logs written by
+// versions of this package before the segmented format — a single gob
+// file at a path — are not readable; there is no migration.
+func OpenDurableDB(dir string, opts ...DBOption) (*DB, error) {
+	cfg := db.Config{DepBound: 5, Shards: 1, WALSync: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	inner, err := db.Recover(cfg, path, wal.Options{})
+	inner, err := db.Recover(cfg, dir)
 	if err != nil {
 		return nil, err
 	}
 	return &DB{inner: inner}, nil
 }
 
-// Close shuts the database down.
-func (d *DB) Close() { d.inner.Close() }
+// Close shuts the database down. For a durable database the error
+// reports a write-ahead-log flush failure — acknowledged commits that
+// may not survive the next restart; it is always nil for OpenDB.
+func (d *DB) Close() error { return d.inner.Close() }
+
+// Snapshot checkpoints a durable database's committed state and
+// truncates the write-ahead-log segments the checkpoint makes obsolete.
+// Commits proceed concurrently. It is a no-op for OpenDB databases.
+func (d *DB) Snapshot() error { return d.inner.Snapshot() }
 
 // Core exposes the underlying database for advanced integrations (e.g.
 // serving it over the wire with the transport package, or compacting a

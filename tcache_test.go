@@ -16,7 +16,7 @@ var bg = context.Background()
 func openPair(t *testing.T, opts ...CacheOption) (*DB, *Cache) {
 	t.Helper()
 	d := OpenDB()
-	t.Cleanup(d.Close)
+	t.Cleanup(func() { d.Close() })
 	c, err := NewCache(d, opts...)
 	if err != nil {
 		t.Fatal(err)
@@ -415,17 +415,19 @@ func TestTTLOptionExpiresEntries(t *testing.T) {
 }
 
 func TestOpenDurableDB(t *testing.T) {
-	path := t.TempDir() + "/facade.wal"
-	d, err := OpenDurableDB(path)
+	dir := t.TempDir() + "/wal"
+	d, err := OpenDurableDB(dir, WithFsync(false), WithSegmentSize(1<<20), WithSnapshotEvery(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := d.Update(bg, func(tx *Tx) error { return tx.Set("k", Value("v1")) }); err != nil {
 		t.Fatal(err)
 	}
-	d.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
 
-	d2, err := OpenDurableDB(path)
+	d2, err := OpenDurableDB(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,10 +436,25 @@ func TestOpenDurableDB(t *testing.T) {
 	if !ok || string(v) != "v1" {
 		t.Fatalf("recovered = %q, %v", v, ok)
 	}
-	if err := d2.Core().Compact(); err != nil {
+	if err := d2.Snapshot(); err != nil {
 		t.Fatal(err)
 	}
 	if err := d2.Update(bg, func(tx *Tx) error { return tx.Set("k2", Value("v2")) }); err != nil {
 		t.Fatal(err)
+	}
+	// The snapshot plus the post-snapshot commit both survive a restart.
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := OpenDurableDB(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	for key, want := range map[Key]string{"k": "v1", "k2": "v2"} {
+		v, ok, _ := d3.Get(bg, key)
+		if !ok || string(v) != want {
+			t.Fatalf("%s after snapshot+restart = %q, %v", key, v, ok)
+		}
 	}
 }
