@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench benchcluster benchwrite benchdurable benchsmoke clustersmoke walsmoke fuzz
+.PHONY: all build test race vet lint bench benchcluster benchwrite benchdurable benchrepl benchsmoke clustersmoke walsmoke replsmoke fuzz
 
 all: lint build test
 
@@ -46,6 +46,12 @@ benchwrite:
 benchdurable:
 	$(GO) run ./cmd/tcache-bench -fig durability
 
+#   benchrepl    BENCH_pr8.json  commit cost with no/async/sync
+#   replication plus the client-visible failover time; gates async
+#   convergence, sync lag = 0, and failover under 5s
+benchrepl:
+	$(GO) run ./cmd/tcache-bench -fig replication
+
 # clustersmoke runs the end-to-end fleet check: 1 tdbd + 3 tcached on
 # loopback, driven by tcache-load -cluster (with a -write-mix share
 # committed through the edge relay) and tcache-cli. The tdbd runs with
@@ -53,6 +59,14 @@ benchdurable:
 # version floors must survive.
 clustersmoke:
 	./scripts/cluster_smoke.sh
+
+# replsmoke is the replication gate: the WAL tailer and replication
+# stream race-clean (end-to-end streaming, restart resync, 20%-loss
+# chaos), the SIGKILL-the-primary promotion torture, client failover
+# through tcache.Dial, and router failover through a chaos link.
+replsmoke:
+	$(GO) test -race -count=1 -run 'Tailer|Repl|Standby|Failover' ./internal/wal ./internal/transport
+	$(GO) test -race -count=1 -run 'Dial|Probation|RouterFailover' . ./internal/cluster
 
 # walsmoke is the durability gate: the WAL package race-clean (torture
 # replays, crash windows, group commit), the db-level recovery +

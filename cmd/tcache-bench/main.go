@@ -14,6 +14,9 @@
 //	                            # (-cluster a,b,c -cluster-db d targets a live fleet)
 //	tcache-bench -fig writepath # unified Update across DB/Remote/Cache → BENCH_pr5.json
 //	tcache-bench -fig durability# WAL group-commit throughput vs writers → BENCH_pr7.json
+//	tcache-bench -fig replication
+//	                            # commit cost none/async/sync replication
+//	                            # + client-visible failover → BENCH_pr8.json
 //	tcache-bench -benchjson BENCH_pr3.json -bench-budget bench_budget.json
 //	                            # machine-readable wire/hit-path numbers
 //	                            # (ns/op, B/op, allocs/op) + regression gate
@@ -46,7 +49,7 @@ var cacheShards int
 
 func run() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, multiedge, cluster, writepath, durability, all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, multiedge, cluster, writepath, durability, replication, all")
 		quick     = flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		benchJSON = flag.String("benchjson", "", "run the remote + hit-path benchmarks and write ns/op, B/op, allocs/op JSON to this path (skips -fig)")
@@ -62,26 +65,27 @@ func run() error {
 	}
 
 	runs := map[string]func(bool, int64) error{
-		"3":          runFig3,
-		"4":          runFig4,
-		"5":          runFig5,
-		"6":          runFig6,
-		"7ab":        runFig7ab,
-		"7c":         runFig7c,
-		"7d":         runFig7d,
-		"8":          runFig8,
-		"headline":   runHeadline,
-		"album":      runAlbum,
-		"lru":        runLRUAblation,
-		"drop":       runDropSweep,
-		"mv":         runMultiversion,
-		"hitpath":    runHitPath,
-		"multiedge":  runMultiEdge,
-		"cluster":    runClusterFig,
-		"writepath":  runWritePath,
-		"durability": runDurability,
+		"3":           runFig3,
+		"4":           runFig4,
+		"5":           runFig5,
+		"6":           runFig6,
+		"7ab":         runFig7ab,
+		"7c":          runFig7c,
+		"7d":          runFig7d,
+		"8":           runFig8,
+		"headline":    runHeadline,
+		"album":       runAlbum,
+		"lru":         runLRUAblation,
+		"drop":        runDropSweep,
+		"mv":          runMultiversion,
+		"hitpath":     runHitPath,
+		"multiedge":   runMultiEdge,
+		"cluster":     runClusterFig,
+		"writepath":   runWritePath,
+		"durability":  runDurability,
+		"replication": runReplication,
 	}
-	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv", "hitpath", "multiedge", "cluster", "writepath", "durability"}
+	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv", "hitpath", "multiedge", "cluster", "writepath", "durability", "replication"}
 
 	selected := strings.Split(*fig, ",")
 	if *fig == "all" {

@@ -1,0 +1,355 @@
+package main
+
+// -fig replication: the replicated-DB-tier benchmark. It measures what
+// streaming replication costs the commit path — a durable primary
+// alone, the same primary with a warm standby tailing its WAL
+// asynchronously, and with ReplMinSync=1 where every commit waits for
+// the standby's acknowledgment — and how long a client-visible
+// failover takes: from SIGKILL-equivalent primary loss to a committed
+// write on the promoted standby through the failover-aware Dial.
+//
+// Results go to BENCH_pr8.json. Three gates run here:
+//   - the async standby must fully converge after the run (zero
+//     acked-write loss: the replicated counter reaches the primary's);
+//   - after the sync run the primary's lag metric must read 0 (each
+//     commit really waited for the ack);
+//   - the measured failover must complete within maxFailover.
+//
+// Matching entries in bench_budget.json additionally gate allocs/op.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tcache"
+	"tcache/internal/db"
+	"tcache/internal/kv"
+	"tcache/internal/transport"
+)
+
+const replicationBenchOut = "BENCH_pr8.json"
+
+// maxFailover bounds the measured client-visible failover on loopback:
+// primary death → promotion → first committed write through the
+// failover-aware client. Deliberately loose (CI boxes stall); the point
+// is to fail if failover stops converging promptly at all.
+const maxFailover = 5 * time.Second
+
+// replicationResult is one commit-path measurement in BENCH_pr8.json.
+type replicationResult struct {
+	benchResult
+	Mode          string  `json:"mode"` // none | async | sync
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+// replRig is a served primary with an optional streaming standby, torn
+// down in reverse order by close().
+type replRig struct {
+	primary *db.DB
+	standby *db.DB
+	cleanup []func()
+}
+
+func (r *replRig) close() {
+	for i := len(r.cleanup) - 1; i >= 0; i-- {
+		r.cleanup[i]()
+	}
+}
+
+// newReplRig builds the primary (durable, WALSync) and, for the async
+// and sync modes, a standby replicating from it over loopback. It
+// blocks until a probe commit proves the pipeline is live, so the
+// benchmark loop never measures connection setup.
+func newReplRig(mode string) (*replRig, error) {
+	r := &replRig{}
+	pdir, err := os.MkdirTemp("", "tcache-bench-repl-p")
+	if err != nil {
+		return nil, err
+	}
+	r.cleanup = append(r.cleanup, func() { os.RemoveAll(pdir) })
+	cfg := db.Config{DepBound: 5, WALSync: true}
+	if mode == "sync" {
+		cfg.ReplMinSync = 1
+	}
+	r.primary, err = db.Recover(cfg, pdir)
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	r.cleanup = append(r.cleanup, func() { r.primary.Close() })
+
+	if mode != "none" {
+		srv := transport.NewDBServer(r.primary, nil)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.cleanup = append(r.cleanup, srv.Close)
+
+		sdir, err := os.MkdirTemp("", "tcache-bench-repl-s")
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.cleanup = append(r.cleanup, func() { os.RemoveAll(sdir) })
+		r.standby, err = db.Recover(db.Config{DepBound: 5, NodeID: 1}, sdir)
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.cleanup = append(r.cleanup, func() { r.standby.Close() })
+		r.standby.SetStandby(addr)
+
+		sctx, scancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			transport.RunStandby(sctx, r.standby, transport.StandbyConfig{
+				Primary: addr, Name: "bench-standby",
+			})
+		}()
+		r.cleanup = append(r.cleanup, func() { scancel(); <-done })
+	}
+
+	// Probe until the first commit lands (and, in sync mode, is acked).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, err := r.primary.ValidatedUpdate(ctx, nil,
+			[]kv.KeyValue{{Key: "probe", Value: kv.Value("warm")}})
+		cancel()
+		if err == nil {
+			return r, nil
+		}
+		if time.Now().After(deadline) {
+			r.close()
+			return nil, fmt.Errorf("replication pipeline never came up: %w", err)
+		}
+	}
+}
+
+// benchReplCommit runs b.N durable commits in the given replication
+// mode from a single writer: the per-commit number includes the fsync
+// and, in sync mode, the standby's acknowledgment round trip.
+func benchReplCommit(mode string) func(b *testing.B) {
+	return func(b *testing.B) {
+		rig, err := newReplRig(mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rig.close()
+
+		val := kv.Value("payload-of-a-plausible-size-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxx")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_, err := rig.primary.ValidatedUpdate(ctx, nil,
+				[]kv.KeyValue{{Key: "bench", Value: val}})
+			cancel()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+
+		switch mode {
+		case "async":
+			// Convergence gate: every commit the primary acknowledged
+			// must reach the standby once the stream drains.
+			deadline := time.Now().Add(10 * time.Second)
+			for rig.standby.VersionCounter() < rig.primary.VersionCounter() {
+				if time.Now().After(deadline) {
+					b.Fatalf("async standby stuck at %d, primary at %d",
+						rig.standby.VersionCounter(), rig.primary.VersionCounter())
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		case "sync":
+			// Each commit waited for the ack, so the lag metric must
+			// already read zero — no drain allowed.
+			if lag := rig.primary.ReplStatusNow().Lag; lag != 0 {
+				b.Fatalf("sync replication finished with lag %d", lag)
+			}
+		}
+	}
+}
+
+// measureFailover times the client-visible failover: a Remote dialed
+// with both addresses commits through the primary, the primary dies,
+// the standby is promoted, and the clock stops at the first committed
+// write on the survivor.
+func measureFailover() (time.Duration, error) {
+	ctx := context.Background()
+	pdir, err := os.MkdirTemp("", "tcache-bench-failover-p")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(pdir)
+	sdir, err := os.MkdirTemp("", "tcache-bench-failover-s")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(sdir)
+
+	primary, err := tcache.OpenDurableDB(pdir)
+	if err != nil {
+		return 0, err
+	}
+	defer primary.Close()
+	paddr, stopPrimary, err := tcache.ServeDB(primary, "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer stopPrimary()
+
+	standby, err := tcache.OpenDurableDB(sdir)
+	if err != nil {
+		return 0, err
+	}
+	defer standby.Close()
+	standby.Core().SetStandby(paddr)
+	saddr, stopStandby, err := tcache.ServeDB(standby, "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer stopStandby()
+	sctx, scancel := context.WithCancel(ctx)
+	standbyDone := make(chan struct{})
+	go func() {
+		defer close(standbyDone)
+		transport.RunStandby(sctx, standby.Core(), transport.StandbyConfig{
+			Primary: paddr, Name: saddr,
+		})
+	}()
+	defer func() { scancel(); <-standbyDone }()
+
+	remote, err := tcache.Dial(ctx, paddr+","+saddr,
+		tcache.WithDialRetry(3, 20*time.Millisecond))
+	if err != nil {
+		return 0, err
+	}
+	defer remote.Close()
+	if err := remote.Update(ctx, func(tx *tcache.Tx) error {
+		return tx.Set("k", tcache.Value("v"))
+	}); err != nil {
+		return 0, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for standby.Core().VersionCounter() < primary.Core().VersionCounter() {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("standby never caught up before the failover measurement")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The measured window: crash → promote → first committed write.
+	start := time.Now()
+	stopPrimary()
+	if _, err := standby.Core().Promote(); err != nil {
+		return 0, err
+	}
+	for {
+		wctx, cancel := context.WithTimeout(ctx, time.Second)
+		err := remote.Update(wctx, func(tx *tcache.Tx) error {
+			return tx.Set("k", tcache.Value("v2"))
+		})
+		cancel()
+		if err == nil {
+			return time.Since(start), nil
+		}
+		if time.Since(start) > maxFailover {
+			return 0, fmt.Errorf("no committed write within %s of primary loss: %v", maxFailover, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// runReplication measures the commit path in each replication mode and
+// the end-to-end failover time, writes BENCH_pr8.json, and applies the
+// gates.
+func runReplication(quick bool, seed int64) error {
+	_ = seed // no simulation randomness on this path
+	_ = quick
+	modes := []string{"none", "async", "sync"}
+	fmt.Printf("running replicated-tier benchmarks (WAL streaming over loopback)\n")
+
+	results := map[string]benchResult{}
+	sweep := make([]replicationResult, 0, len(modes))
+	for _, mode := range modes {
+		name := fmt.Sprintf("BenchmarkDurableCommitRepl_%s", mode)
+		r := testing.Benchmark(benchReplCommit(mode))
+		if r.N == 0 {
+			return fmt.Errorf("%s failed (ran zero iterations)", name)
+		}
+		res := replicationResult{
+			benchResult: benchResult{
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			},
+			Mode: mode,
+		}
+		res.CommitsPerSec = 1e9 / res.NsPerOp
+		results[name] = res.benchResult
+		sweep = append(sweep, res)
+		fmt.Printf("  %-34s %10.0f commits/s %8.0f ns/op %5d allocs/op\n",
+			name, res.CommitsPerSec, res.NsPerOp, res.AllocsPerOp)
+	}
+
+	failover, err := measureFailover()
+	if err != nil {
+		return fmt.Errorf("failover measurement: %w", err)
+	}
+	fmt.Printf("  client-visible failover: %s (crash -> promote -> committed write)\n",
+		failover.Round(time.Millisecond))
+
+	report := struct {
+		Machine    map[string]any      `json:"machine"`
+		Results    []replicationResult `json:"results"`
+		FailoverMs float64             `json:"failover_ms"`
+	}{
+		Machine: map[string]any{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+		},
+		Results:    sweep,
+		FailoverMs: float64(failover.Microseconds()) / 1e3,
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(replicationBenchOut, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", replicationBenchOut)
+
+	// Allocs/op against bench_budget.json (convergence and lag gates ran
+	// inside the benchmarks; the failover bound ran above).
+	if budgetRaw, err := os.ReadFile("bench_budget.json"); err == nil {
+		var budget map[string]int64
+		if json.Unmarshal(budgetRaw, &budget) == nil {
+			scoped := map[string]int64{}
+			for name, max := range budget {
+				if _, ok := results[name]; ok {
+					scoped[name] = max
+				}
+			}
+			if len(scoped) > 0 {
+				if err := checkScopedBudget(scoped, results); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -7,6 +7,8 @@
 //	tcache-cli -cache 127.0.0.1:7071 read key [key ...]   # one read-only txn
 //	tcache-cli -cache 127.0.0.1:7071 cget key             # plain cache read
 //	tcache-cli -cache 127.0.0.1:7071 stats
+//	tcache-cli -db 127.0.0.1:7070 ping                    # role + durability health
+//	tcache-cli -db 127.0.0.1:7072 promote                 # standby → primary
 //
 // With -cluster, read/cget/stats address a whole fleet of tcached nodes
 // through the consistent-hash routing tier instead of one daemon:
@@ -46,7 +48,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return errors.New("usage: tcache-cli [flags] set|get|read|cget|stats ...")
+		return errors.New("usage: tcache-cli [flags] set|get|read|cget|stats|ping|promote ...")
 	}
 	if addrs := cluster.SplitAddrs(*clusterFl); len(addrs) > 0 {
 		switch cmd, rest := args[0], args[1:]; cmd {
@@ -82,6 +84,45 @@ func run() error {
 			return err
 		}
 		fmt.Println("committed")
+		return nil
+
+	case "ping":
+		// Role and durability health of a tdbd (protocol v5): "primary"
+		// or "standby", plus the WAL's sticky fail-stop error if any.
+		cli, err := transport.DialDB(ctx, *dbAddr, 1)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		st, err := cli.Status(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("role=%s counter=%d", st.Role, st.Counter)
+		if st.Leader != "" {
+			fmt.Printf(" leader=%s", st.Leader)
+		}
+		if st.Role == "primary" {
+			fmt.Printf(" repl-lag=%d", st.Lag)
+		}
+		if st.Healthy {
+			fmt.Printf(" healthy\n")
+			return nil
+		}
+		fmt.Printf(" UNHEALTHY: %s\n", st.HealthErr)
+		return fmt.Errorf("node %s is unhealthy", *dbAddr)
+
+	case "promote":
+		cli, err := transport.DialDB(ctx, *dbAddr, 1)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		counter, err := cli.Promote(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("promoted: %s is primary at counter=%d\n", *dbAddr, counter)
 		return nil
 
 	case "get":

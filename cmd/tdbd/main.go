@@ -17,12 +17,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"tcache/internal/db"
 	"tcache/internal/transport"
@@ -44,10 +46,17 @@ func run() error {
 		walSync   = flag.Bool("wal-sync", true, "fsync commit batches before acknowledging (requires -wal-dir)")
 		snapEvery = flag.Int("snapshot-every", 10000, "background snapshot after this many commits, 0 = never (requires -wal-dir)")
 		segSize   = flag.Int64("wal-segment-size", 0, "log segment rotation threshold in bytes, 0 = default 64 MiB")
+
+		nodeID       = flag.Uint("node-id", 0, "version namespace of this node's commits (give each replica its own)")
+		replicaOf    = flag.String("replica-of", "", "run as a warm standby replicating from the primary at this address")
+		advertise    = flag.String("advertise", "", "replica identity registered with the primary (default: the bound listen address)")
+		replMinSync  = flag.Int("repl-min-sync", 0, "primary: each commit waits for this many standby acks (0 = asynchronous replication)")
+		autoPromote  = flag.Bool("auto-promote", false, "standby: promote automatically once the primary has been unreachable for -promote-after")
+		promoteAfter = flag.Duration("promote-after", 3*time.Second, "standby: unreachability window before auto-promotion")
 	)
 	flag.Parse()
 
-	cfg := db.Config{Shards: *shards, DepBound: *depBound}
+	cfg := db.Config{Shards: *shards, DepBound: *depBound, NodeID: uint32(*nodeID), ReplMinSync: *replMinSync}
 	var d *db.DB
 	if *walDir != "" {
 		cfg.WALSync = *walSync
@@ -65,19 +74,50 @@ func run() error {
 		d = db.Open(cfg)
 	}
 
+	// The role must be set before the first request is accepted: a write
+	// that lands in the gap would mint a version the primary never saw.
+	if *replicaOf != "" {
+		d.SetStandby(*replicaOf)
+	}
+
 	srv := transport.NewDBServer(d, log.Printf)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		_ = d.Close()
 		return err
 	}
-	log.Printf("tdbd: serving on %s (shards=%d, dep-bound=%d, wal=%q sync=%v)",
-		addr, *shards, *depBound, *walDir, *walSync)
+	log.Printf("tdbd: serving on %s (shards=%d, dep-bound=%d, wal=%q sync=%v, role=%s)",
+		addr, *shards, *depBound, *walDir, *walSync, d.Role())
+
+	sctx, stopStandby := context.WithCancel(context.Background())
+	standbyDone := make(chan struct{})
+	close(standbyDone)
+	if *replicaOf != "" {
+		name := *advertise
+		if name == "" {
+			name = addr
+		}
+		log.Printf("tdbd: standby of %s (replica identity %q, auto-promote=%v after %s)",
+			*replicaOf, name, *autoPromote, *promoteAfter)
+		standbyDone = make(chan struct{})
+		go func() {
+			defer close(standbyDone)
+			transport.RunStandby(sctx, d, transport.StandbyConfig{
+				Primary:      *replicaOf,
+				Name:         name,
+				AutoPromote:  *autoPromote,
+				PromoteAfter: *promoteAfter,
+				Logf:         log.Printf,
+			})
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("tdbd: shutting down")
+	stopStandby()
+	<-standbyDone
 	srv.Close()
 	// A Close error means acknowledged commits may not have reached
 	// disk; exit non-zero so supervisors notice.

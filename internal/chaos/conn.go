@@ -1,0 +1,242 @@
+package chaos
+
+// A byte-stream counterpart to the message Injector: the replication
+// link and the cluster's client connections are TCP streams, where
+// "loss" does not mean a silently missing byte (TCP retransmits) but a
+// chunk that never reaches the peer before the connection dies, a stall,
+// or a partition that refuses traffic entirely. Link models exactly
+// those faults on top of real connections, so the protocols above —
+// frame resynchronization, replication contiguity checks, reconnect
+// loops, router ejection — are exercised against the failure classes
+// they were designed for.
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrPartitioned reports traffic refused while the link is partitioned.
+var ErrPartitioned = errors.New("chaos: link partitioned")
+
+// ConnConfig extends the message failure model to byte streams.
+type ConnConfig struct {
+	// DropRate is the probability in [0,1] that a written chunk is
+	// acknowledged to the sender but never delivered — the peer sees a
+	// hole in the stream (a torn or garbled frame), the way a crashed
+	// relay loses buffered data.
+	DropRate float64
+	// KillRate is the probability in [0,1], rolled per chunk, that the
+	// connection is torn down instead of delivering.
+	KillRate float64
+	// BaseDelay + a uniform jitter in [0, Jitter) delay each delivered
+	// chunk. Chunks whose windows overlap arrive out of order.
+	BaseDelay time.Duration
+	Jitter    time.Duration
+	// Seed makes the fault sequence deterministic; 0 means seed 1.
+	Seed int64
+}
+
+// Link is a shared fault domain for a set of connections: one logical
+// network path whose failure model every wrapped (or proxied) connection
+// draws from, and which can be partitioned and healed as a whole.
+type Link struct {
+	mu    sync.Mutex
+	cfg   ConnConfig
+	rng   *rand.Rand
+	parts bool
+	conns map[net.Conn]struct{}
+}
+
+// NewLink creates a fault domain with the given failure model.
+func NewLink(cfg ConnConfig) *Link {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Link{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// SetConfig swaps the failure model; in-flight connections pick it up on
+// their next chunk. The zero ConnConfig heals the link's faults (but not
+// a partition — see Heal).
+func (l *Link) SetConfig(cfg ConnConfig) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cfg = cfg
+}
+
+// Partition severs the link: every tracked connection is closed and new
+// traffic is refused until Heal.
+func (l *Link) Partition() {
+	l.mu.Lock()
+	l.parts = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Heal ends a partition.
+func (l *Link) Heal() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.parts = false
+}
+
+// Partitioned reports whether the link currently refuses traffic.
+func (l *Link) Partitioned() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.parts
+}
+
+func (l *Link) track(c net.Conn) {
+	l.mu.Lock()
+	l.conns[c] = struct{}{}
+	l.mu.Unlock()
+}
+
+func (l *Link) untrack(c net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// roll draws one fault decision for a chunk.
+func (l *Link) roll() (drop, kill bool, delay time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.parts {
+		return false, true, 0
+	}
+	drop = l.cfg.DropRate > 0 && l.rng.Float64() < l.cfg.DropRate
+	kill = l.cfg.KillRate > 0 && l.rng.Float64() < l.cfg.KillRate
+	delay = l.cfg.BaseDelay
+	if l.cfg.Jitter > 0 {
+		delay += time.Duration(l.rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	return drop, kill, delay
+}
+
+// Wrap subjects c's writes to the link's failure model and tracks it for
+// Partition. Reads pass through.
+func (l *Link) Wrap(c net.Conn) net.Conn {
+	fc := &flakyConn{Conn: c, link: l}
+	l.track(c)
+	return fc
+}
+
+// flakyConn applies the link's per-chunk faults on the write side. A
+// delayed chunk is written asynchronously (under wmu, so chunks stay
+// intact) after its window — two overlapping windows deliver in timer
+// order, which reorders them on the wire.
+type flakyConn struct {
+	net.Conn
+	link *Link
+	wmu  sync.Mutex // serializes delayed writes into the underlying stream
+}
+
+func (f *flakyConn) Write(b []byte) (int, error) {
+	drop, kill, delay := f.link.roll()
+	switch {
+	case kill:
+		f.Close()
+		return 0, ErrPartitioned
+	case drop:
+		return len(b), nil // acknowledged upstream, never delivered
+	case delay > 0:
+		// The caller may reuse b after Write returns; deliver a copy.
+		cp := append([]byte(nil), b...)
+		time.AfterFunc(delay, func() {
+			f.wmu.Lock()
+			defer f.wmu.Unlock()
+			f.Conn.Write(cp) //nolint:errcheck // a dead conn surfaces on the next roll
+		})
+		return len(b), nil
+	default:
+		f.wmu.Lock()
+		defer f.wmu.Unlock()
+		return f.Conn.Write(b)
+	}
+}
+
+func (f *flakyConn) Close() error {
+	f.link.untrack(f.Conn)
+	return f.Conn.Close()
+}
+
+// Proxy listens on a fresh loopback port and forwards each accepted
+// connection to target. The server-to-client direction — the one the
+// replication record frames and invalidation pushes travel — is subject
+// to the link's failure model; the client-to-server direction (requests,
+// handshakes, acks) passes clean, so faults exercise recovery instead of
+// stalling a half-open handshake. Partition severs both directions and
+// refuses new connections until Heal.
+//
+// Small copy buffers keep the fault granularity near frame size, so
+// DropRate approximates a per-frame loss probability.
+func (l *Link) Proxy(target string) (addr string, stop func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			down, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			if l.Partitioned() {
+				down.Close()
+				continue
+			}
+			up, err := net.Dial("tcp", target)
+			if err != nil {
+				down.Close()
+				continue
+			}
+			l.track(down)
+			l.track(up)
+			flakyDown := &flakyConn{Conn: down, link: l}
+			close2 := func() {
+				l.untrack(down)
+				l.untrack(up)
+				up.Close()
+				down.Close()
+			}
+			wg.Add(2)
+			go func() { // server -> client, through the failure model
+				defer wg.Done()
+				buf := make([]byte, 1024)
+				io.CopyBuffer(flakyDown, struct{ io.Reader }{up}, buf) //nolint:errcheck
+				close2()
+			}()
+			go func() { // client -> server, clean
+				defer wg.Done()
+				io.Copy(up, down) //nolint:errcheck
+				close2()
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() {
+		ln.Close()
+		l.Partition()
+		wg.Wait()
+		l.Heal()
+	}, nil
+}

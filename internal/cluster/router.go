@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tcache/internal/clock"
 	"tcache/internal/db"
 	"tcache/internal/kv"
 	"tcache/internal/transport"
@@ -53,6 +54,11 @@ type Config struct {
 	// absence, the floor forces it to prove (or refetch) freshness
 	// (0 = 10s).
 	Probation time.Duration
+	// Clock is the time source for probation windows and the probe and
+	// health-check timers (nil = wall clock). Tests inject a simulated
+	// clock so health transitions are deterministic instead of racing
+	// real sleeps.
+	Clock clock.Clock
 	// Logf, if set, receives node state transitions.
 	Logf func(format string, args ...any)
 }
@@ -75,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Probation <= 0 {
 		c.Probation = 10 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -99,6 +108,8 @@ const (
 // node is one tcached member with its health state.
 type node struct {
 	addr string
+	// clk stamps and checks the probation window (the router's Clock).
+	clk clock.Clock
 	// cli is nil until the first successful dial (a node may be down at
 	// DialCluster time and join later through the probe loop).
 	cli atomic.Pointer[transport.DBClient]
@@ -119,7 +130,7 @@ func (n *node) available() bool {
 
 func (n *node) inProbation() bool {
 	p := n.probationUntil.Load()
-	return p != 0 && time.Now().UnixNano() < p
+	return p != 0 && n.clk.Now().UnixNano() < p
 }
 
 func (n *node) state() NodeState {
@@ -194,7 +205,7 @@ func NewRouter(ctx context.Context, cfg Config) (*Router, error) {
 	}
 	live := 0
 	for i, addr := range cfg.Addrs {
-		n := &node{addr: addr}
+		n := &node{addr: addr, clk: cfg.Clock}
 		r.node[i] = n
 		// Nodes fail fast to this router's health machinery: one redial
 		// per call, short backoff, instead of every caller nursing a
@@ -351,16 +362,12 @@ func (r *Router) probeLoop(n *node) {
 	defer r.wg.Done()
 	defer n.probing.Store(false)
 	backoff := r.cfg.ProbeInterval
-	timer := time.NewTimer(backoff)
-	defer timer.Stop()
 	for {
-		select {
-		case <-r.ctx.Done():
+		if !waitClock(r.ctx, r.cfg.Clock, backoff) {
 			return
-		case <-timer.C:
 		}
 		if r.probeOnce(n) {
-			n.probationUntil.Store(time.Now().Add(r.cfg.Probation).UnixNano())
+			n.probationUntil.Store(r.cfg.Clock.Now().Add(r.cfg.Probation).UnixNano())
 			n.fails.Store(0)
 			n.ejected.Store(false)
 			r.cfg.Logf("cluster: node %s re-admitted (probation %v)", n.addr, r.cfg.Probation)
@@ -369,7 +376,21 @@ func (r *Router) probeLoop(n *node) {
 		if backoff *= 2; backoff > r.cfg.ProbeBackoffMax {
 			backoff = r.cfg.ProbeBackoffMax
 		}
-		timer.Reset(backoff)
+	}
+}
+
+// waitClock blocks for d on clk, reporting false if ctx was cancelled
+// first. Built on Clock.AfterFunc so an injected simulation clock drives
+// the health machinery deterministically.
+func waitClock(ctx context.Context, clk clock.Clock, d time.Duration) bool {
+	fired := make(chan struct{})
+	t := clk.AfterFunc(d, func() { close(fired) })
+	select {
+	case <-ctx.Done():
+		t.Stop()
+		return false
+	case <-fired:
+		return true
 	}
 }
 
@@ -397,13 +418,9 @@ func (r *Router) probeOnce(n *node) bool {
 // cluster still notices a dead node before the next client read does.
 func (r *Router) healthLoop() {
 	defer r.wg.Done()
-	ticker := time.NewTicker(r.cfg.ProbeInterval)
-	defer ticker.Stop()
 	for {
-		select {
-		case <-r.ctx.Done():
+		if !waitClock(r.ctx, r.cfg.Clock, r.cfg.ProbeInterval) {
 			return
-		case <-ticker.C:
 		}
 		var wg sync.WaitGroup
 		for _, n := range r.node {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"tcache"
+	"tcache/internal/clock"
 	"tcache/internal/cluster"
 	"tcache/internal/core"
 	"tcache/internal/kv"
@@ -602,5 +603,71 @@ func TestConflictDoesNotTripEjection(t *testing.T) {
 	good := []kv.ObservedRead{{Key: keys[1], Version: item.Version, Found: true}}
 	if _, err := r.ValidatedUpdate(bg, good, []kv.KeyValue{{Key: keys[1], Value: kv.Value("v2")}}); err != nil {
 		t.Fatalf("valid update after conflicts: %v", err)
+	}
+}
+
+// TestProbationWindowOnSimClock pins the probation window to the
+// injected clock: with the simulation clock frozen the window can never
+// expire, and one deterministic advance past it flips the node to up —
+// no wall-clock sleeps racing the state transition.
+func TestProbationWindowOnSimClock(t *testing.T) {
+	r := newRig(t, 2)
+	simc := clock.NewSimAtZero()
+	cfg := fastConfig(r.addrs)
+	cfg.Clock = simc
+	cfg.FailThreshold = 1
+	// Generous on the sim clock: the pump below advances it in
+	// ProbeInterval steps, and the window must not expire while the test
+	// is still catching the probation state.
+	cfg.Probation = 5 * time.Minute
+
+	router, err := cluster.NewRouter(bg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	// Pump the sim so the health machinery's timers fire while the test
+	// waits in real time for the network round trips they trigger.
+	pumpCtx, stopPump := context.WithCancel(bg)
+	pumpDone := make(chan struct{})
+	go func() {
+		defer close(pumpDone)
+		for pumpCtx.Err() == nil {
+			simc.RunFor(cfg.ProbeInterval)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	freeze := func() {
+		stopPump()
+		<-pumpDone
+	}
+	defer freeze()
+
+	r.kill(1)
+	waitFor(t, 5*time.Second, "node ejection", func() bool {
+		return router.Nodes()[1].State == cluster.NodeEjected
+	})
+	if err := r.restart(1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "re-admission into probation", func() bool {
+		return router.Nodes()[1].State == cluster.NodeProbation
+	})
+
+	// Freeze virtual time: however long the test now waits in real time,
+	// the node must stay in probation.
+	freeze()
+	for i := 0; i < 5; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if s := router.Nodes()[1].State; s != cluster.NodeProbation {
+			t.Fatalf("state = %s with frozen clock, want %s", s, cluster.NodeProbation)
+		}
+	}
+
+	// One advance past the window ends probation, deterministically.
+	simc.RunFor(cfg.Probation + time.Second)
+	if s := router.Nodes()[1].State; s != cluster.NodeUp {
+		t.Fatalf("state = %s after advancing past probation, want %s", s, cluster.NodeUp)
 	}
 }

@@ -76,6 +76,12 @@ type Config struct {
 	// SnapshotEvery, when > 0, triggers a background snapshot after
 	// that many commits, truncating obsolete log segments.
 	SnapshotEvery int
+
+	// ReplMinSync, when > 0, makes every commit wait until that many
+	// standbys have acknowledged its WAL record before returning —
+	// synchronous replication: an acknowledged write survives the loss
+	// of the primary. 0 (the default) replicates asynchronously.
+	ReplMinSync int
 }
 
 // MergePolicy selects the dependency-list pruning order.
@@ -181,6 +187,13 @@ type DB struct {
 	snapQuit  chan struct{}
 	snapDone  chan struct{}
 
+	// role is the replication role (primary/standby; see repl.go). It
+	// only ever transitions standby -> primary, under commitMu. repl
+	// tracks connected replicas, sync-replication waiters, and the
+	// leader address.
+	role atomic.Int32
+	repl replState
+
 	closed  atomic.Bool
 	metrics Metrics
 }
@@ -198,6 +211,7 @@ func Open(cfg Config) *DB {
 		subs:  make(map[string]InvalidationSink),
 		door:  newCommitDoor(),
 	}
+	d.repl.acked = make(map[string]replAck)
 	d.shards = make([]*shardState, cfg.Shards)
 	for i := range d.shards {
 		d.shards[i] = newShardState(i)

@@ -41,6 +41,12 @@ type MetricsSnapshot struct {
 	WALFsyncs         uint64
 	WALBytes          uint64
 	WALRotations      uint64
+	// Replication counters (see repl.go): records applied from the
+	// primary (standby), connected acknowledged replicas (primary), and
+	// the version-counter lag of the slowest connected replica.
+	ReplApplied  uint64
+	ReplReplicas uint64
+	ReplLag      uint64
 }
 
 // Metrics returns a snapshot of the database counters.
@@ -65,6 +71,10 @@ func (d *DB) Metrics() MetricsSnapshot {
 		out.WALBytes = w.Bytes
 		out.WALRotations = w.Rotations
 	}
+	st := d.ReplStatusNow()
+	out.ReplApplied = st.Applied
+	out.ReplReplicas = uint64(st.Replicas)
+	out.ReplLag = st.Lag
 	return out
 }
 

@@ -200,10 +200,12 @@ func (d *DB) snapshotWorker() {
 
 // logCommit appends the transaction to the WAL (write-ahead: called
 // between prepare and apply, outside commitMu so concurrent committers
-// coalesce into group-commit batches). A nil wal is a no-op.
-func (d *DB) logCommit(version kv.Version, byShard map[*shardState][]preparedWrite) error {
+// coalesce into group-commit batches). A nil wal is a no-op. The
+// returned position is the end of the record's frame — what a replica
+// must acknowledge before a synchronous commit returns.
+func (d *DB) logCommit(version kv.Version, byShard map[*shardState][]preparedWrite) (wal.Pos, error) {
 	if d.wal == nil {
-		return nil
+		return wal.Pos{}, nil
 	}
 	rec := wal.Record{Version: version}
 	for _, writes := range byShard {
@@ -215,8 +217,9 @@ func (d *DB) logCommit(version kv.Version, byShard map[*shardState][]preparedWri
 			})
 		}
 	}
-	if err := d.wal.Append(rec); err != nil {
-		return fmt.Errorf("db: wal append: %w", err)
+	pos, err := d.wal.Append(rec)
+	if err != nil {
+		return wal.Pos{}, fmt.Errorf("db: wal append: %w", err)
 	}
-	return nil
+	return pos, nil
 }

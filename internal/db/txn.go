@@ -119,6 +119,12 @@ func (t *Txn) Write(key kv.Key, value kv.Value) error {
 		t.rollback()
 		return ErrClosed
 	}
+	// Fail writes on a standby before taking locks; Commit re-checks
+	// authoritatively under commitMu.
+	if Role(t.db.role.Load()) != RolePrimary {
+		t.rollback()
+		return &NotPrimaryError{Leader: t.db.LeaderAddr()}
+	}
 	if err := t.acquire(key, lock.Exclusive); err != nil {
 		return err
 	}
@@ -258,6 +264,17 @@ func (t *Txn) Commit() (kv.Version, error) {
 
 	d.commitMu.Lock()
 
+	// Standbys reject writes with a typed redirect: promotion flips the
+	// role under commitMu, so this check is strictly ordered against it.
+	if Role(d.role.Load()) != RolePrimary {
+		leader := d.LeaderAddr()
+		d.commitMu.Unlock()
+		d.metrics.TxnsAborted.Add(1)
+		t.done = true
+		d.locks.ReleaseAll(lock.Owner(t.id))
+		return kv.Version{}, &NotPrimaryError{Leader: leader}
+	}
+
 	// Decide the commit version: larger than every accessed version and
 	// than every version this node has minted. The counter is raised at
 	// mint time — not at apply — so a concurrent snapshot's saved counter
@@ -331,7 +348,7 @@ func (t *Txn) Commit() (kv.Version, error) {
 
 	// Write-ahead, outside all locks: the decision is durable before it
 	// is applied, and concurrent committers share group-commit batches.
-	logErr := d.logCommit(vt, byShard)
+	walPos, logErr := d.logCommit(vt, byShard)
 
 	d.door.wait(ticket)
 	if logErr != nil {
@@ -370,6 +387,14 @@ func (t *Txn) Commit() (kv.Version, error) {
 	d.door.exit()
 
 	d.noteCommitForSnapshot()
+
+	// Synchronous replication: do not acknowledge until enough standbys
+	// hold the record. The commit has already applied locally either
+	// way; an error here means its replication state is unknown, and the
+	// caller must treat the outcome as unresolved rather than aborted.
+	if err := d.waitReplicated(t.ctx, walPos); err != nil {
+		return kv.Version{}, fmt.Errorf("db: commit awaiting %d sync replica(s): %w", d.cfg.ReplMinSync, err)
+	}
 	return vt, nil
 }
 

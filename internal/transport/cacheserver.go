@@ -340,6 +340,11 @@ func (s *CacheServer) dispatch(ctx context.Context, req Request) Response {
 		// arrived on an already-dispatched stream.
 		return Response{Code: CodeError, Err: "tcached: subscribe must be the first request on its connection"}
 
+	case OpReplicate, OpPromote:
+		// DB-tier replication ops: caches neither stream WALs nor hold
+		// roles; replicas connect to a tdbd directly.
+		return Response{Code: CodeError, Err: fmt.Sprintf("tcached: op %q is a db-tier operation", req.Op)}
+
 	default:
 		return Response{Code: CodeError, Err: fmt.Sprintf("tcached: unknown op %q", req.Op)}
 	}

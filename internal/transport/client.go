@@ -482,10 +482,11 @@ func sleepJittered(ctx context.Context, d time.Duration) error {
 // idempotent reports whether op can safely be re-sent after a failure
 // whose outcome is unknown. Reads and pings qualify; updates do not (the
 // first send may have committed), and commit/abort acknowledgements are
-// not worth a blind resend either.
+// not worth a blind resend either. Promotion is idempotent by
+// construction (promoting a primary is a no-op), so it may be resent.
 func idempotent(op Op) bool {
 	switch op {
-	case OpGet, OpGetBatch, OpPing, OpStats:
+	case OpGet, OpGetBatch, OpPing, OpStats, OpPromote:
 		return true
 	default:
 		return false
@@ -619,6 +620,11 @@ func decodeUpdate(resp Response) (kv.Version, error) {
 	switch resp.Code {
 	case CodeOK:
 		return resp.Version, nil
+	case CodeNotPrimary:
+		// Rehydrate the typed rejection so callers can read the leader
+		// address and redirect; it wraps both the transport and the db
+		// not-primary identities.
+		return kv.Version{}, fmt.Errorf("%w: %w", ErrNotPrimary, &db.NotPrimaryError{Leader: resp.Leader})
 	case CodeConflict:
 		if resp.ConflictKey != "" {
 			// Wrap under both conflict identities: transport callers match

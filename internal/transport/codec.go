@@ -46,6 +46,7 @@ import (
 	"unsafe"
 
 	"tcache/internal/kv"
+	"tcache/internal/wal"
 )
 
 // ProtocolVersion is the wire protocol spoken by this build. Version 1
@@ -53,9 +54,13 @@ import (
 // file; version 3 added the MinVersion read floor to requests (the
 // cluster tier's read-your-invalidations guard); version 4 added the
 // validated-update fields (ReadVersions on requests, the conflict
-// detail on responses) that carry the unified optimistic write path —
-// same framing each time, negotiated exactly like v2/v3.
-const ProtocolVersion = 4
+// detail on responses) that carry the unified optimistic write path;
+// version 5 added DB-tier replication — the OpReplicate/OpPromote
+// operations, the role/health/leader response fields, the
+// CodeNotPrimary redirect, and the replication stream's snapshot,
+// record, and ack frame types — same framing each time, negotiated
+// exactly like v2/v3/v4.
+const ProtocolVersion = 5
 
 // handshakeMagic opens every connection, in both directions.
 var handshakeMagic = [4]byte{'T', 'C', 'W', 'P'}
@@ -71,6 +76,17 @@ const (
 	frameRequest       = 1
 	frameResponse      = 2
 	frameInvalidations = 3
+
+	// Replication stream frames (protocol v5). After an accepted
+	// OpReplicate, the primary pushes frameReplSnapshot frames (a batch
+	// of state entries; a zero-count frame terminates the image and
+	// carries the log cut to tail from) and then frameReplRecords frames
+	// (a contiguous run of committed WAL records stamped with its start
+	// and end positions); the standby sends frameReplAck frames back on
+	// the same connection.
+	frameReplSnapshot = 4
+	frameReplRecords  = 5
+	frameReplAck      = 6
 
 	// maxFramePayload bounds a frame's payload so a corrupt or hostile
 	// length field cannot trigger a giant allocation. Writers enforce it
@@ -227,7 +243,8 @@ func (fr *frameReader) headerValid() bool {
 		return false
 	}
 	switch fr.hdr[2] {
-	case frameRequest, frameResponse, frameInvalidations:
+	case frameRequest, frameResponse, frameInvalidations,
+		frameReplSnapshot, frameReplRecords, frameReplAck:
 	default:
 		return false
 	}
@@ -311,6 +328,13 @@ func appendCountNil(b []byte, n int) []byte {
 func appendVersion(b []byte, v kv.Version) []byte {
 	b = binary.AppendUvarint(b, v.Counter)
 	return binary.AppendUvarint(b, uint64(v.Node))
+}
+
+// appendPos encodes a WAL position (segment sequence + byte offset).
+// Offsets are never negative, so the uvarint encoding is exact.
+func appendPos(b []byte, p wal.Pos) []byte {
+	b = binary.AppendUvarint(b, p.Seq)
+	return binary.AppendUvarint(b, uint64(p.Off))
 }
 
 func appendDepList(b []byte, l kv.DepList) []byte {
@@ -414,7 +438,8 @@ func appendRequest(b []byte, req *Request) []byte {
 	b = appendKeySlice(b, req.Reads)
 	b = appendKeyValues(b, req.Writes)
 	b = appendVersion(b, req.MinVersion)
-	return appendObservedReads(b, req.ReadVersions)
+	b = appendObservedReads(b, req.ReadVersions)
+	return appendPos(b, req.ReplFrom)
 }
 
 func appendResponse(b []byte, resp *Response) []byte {
@@ -429,7 +454,15 @@ func appendResponse(b []byte, resp *Response) []byte {
 	b = appendStats(b, resp.Stats)
 	b = appendString(b, string(resp.ConflictKey))
 	b = appendVersion(b, resp.ConflictVersion)
-	return appendBool(b, resp.ConflictFound)
+	b = appendBool(b, resp.ConflictFound)
+	b = appendString(b, resp.Role)
+	b = appendString(b, resp.Leader)
+	b = appendBool(b, resp.Healthy)
+	b = appendString(b, resp.HealthErr)
+	b = binary.AppendUvarint(b, resp.ReplLag)
+	b = binary.AppendUvarint(b, resp.ReplCounter)
+	b = appendBool(b, resp.ReplSnapshot)
+	return appendPos(b, resp.ReplPos)
 }
 
 func appendInvalidations(b []byte, invs []Invalidation) []byte {
@@ -555,6 +588,18 @@ func (d *payloadDecoder) version() (kv.Version, error) {
 		return kv.Version{}, err
 	}
 	return kv.Version{Counter: c, Node: uint32(node)}, nil
+}
+
+func (d *payloadDecoder) pos() (wal.Pos, error) {
+	seq, err := d.uvarint()
+	if err != nil {
+		return wal.Pos{}, err
+	}
+	off, err := d.uvarint()
+	if err != nil {
+		return wal.Pos{}, err
+	}
+	return wal.Pos{Seq: seq, Off: int64(off)}, nil
 }
 
 func (d *payloadDecoder) depList() (kv.DepList, error) {
@@ -748,6 +793,9 @@ func decodeRequest(payload []byte) (Request, error) {
 	if req.ReadVersions, err = d.observedReads(); err != nil {
 		return req, err
 	}
+	if req.ReplFrom, err = d.pos(); err != nil {
+		return req, err
+	}
 	return req, nil
 }
 
@@ -793,6 +841,30 @@ func decodeResponse(payload []byte) (Response, error) {
 		return resp, err
 	}
 	if resp.ConflictFound, err = d.bool(); err != nil {
+		return resp, err
+	}
+	if resp.Role, err = d.string(); err != nil {
+		return resp, err
+	}
+	if resp.Leader, err = d.string(); err != nil {
+		return resp, err
+	}
+	if resp.Healthy, err = d.bool(); err != nil {
+		return resp, err
+	}
+	if resp.HealthErr, err = d.string(); err != nil {
+		return resp, err
+	}
+	if resp.ReplLag, err = d.uvarint(); err != nil {
+		return resp, err
+	}
+	if resp.ReplCounter, err = d.uvarint(); err != nil {
+		return resp, err
+	}
+	if resp.ReplSnapshot, err = d.bool(); err != nil {
+		return resp, err
+	}
+	if resp.ReplPos, err = d.pos(); err != nil {
 		return resp, err
 	}
 	return resp, nil

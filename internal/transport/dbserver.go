@@ -163,6 +163,14 @@ func (s *DBServer) handle(conn net.Conn) {
 			s.servePush(conn, fr, &writeMu, id, req.Subscriber)
 			return
 		}
+		if req.Op == OpReplicate {
+			// Switch to replication-stream mode (protocol v5): the mode
+			// response is the last request/response exchange; from here on
+			// the server pushes snapshot and record frames and reads only
+			// ack frames.
+			s.serveReplication(ctx, conn, fr, &writeMu, id, req)
+			return
+		}
 		if nonBlocking(req.Op) {
 			// Lock-free reads answer inline: no goroutine hop, and they
 			// cannot head-of-line-block the connection.
@@ -314,7 +322,25 @@ func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
 	//tcache:exhaustive
 	switch req.Op {
 	case OpPing:
-		return Response{Code: CodeOK}
+		// The v5 ping doubles as a health and role probe: a sick WAL or a
+		// standby role surfaces here before a client commits anything.
+		st := s.db.ReplStatusNow()
+		return Response{
+			Code:        CodeOK,
+			Role:        st.Role.String(),
+			Leader:      st.Leader,
+			Healthy:     st.Healthy,
+			HealthErr:   st.Err,
+			ReplLag:     st.Lag,
+			ReplCounter: st.Counter,
+		}
+
+	case OpPromote:
+		counter, err := s.db.Promote()
+		if err != nil {
+			return Response{Code: CodeError, Err: err.Error()}
+		}
+		return Response{Code: CodeOK, Role: db.RolePrimary.String(), ReplCounter: counter}
 
 	case OpGet:
 		item, ok := s.db.Get(req.Key)
@@ -352,6 +378,11 @@ func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
 		// dispatch (see handle); reaching here means a second OpSubscribe
 		// arrived on an already-dispatched stream.
 		return Response{Code: CodeError, Err: "tdbd: subscribe must be the first request on its connection"}
+
+	case OpReplicate:
+		// Replication switches the connection into stream mode before
+		// dispatch (see handle), same as OpSubscribe.
+		return Response{Code: CodeError, Err: "tdbd: replicate must be the first request on its connection"}
 
 	case OpRead, OpReadMulti, OpCommit, OpAbort:
 		// Cache-tier transaction ops: the database speaks validated
@@ -391,6 +422,13 @@ func updateResponse(version kv.Version, err error) Response {
 	switch {
 	case err == nil:
 		return Response{Code: CodeOK, Version: version}
+	case errors.Is(err, db.ErrNotPrimary):
+		resp := Response{Code: CodeNotPrimary, Err: err.Error()}
+		var npe *db.NotPrimaryError
+		if errors.As(err, &npe) {
+			resp.Leader = npe.Leader
+		}
+		return resp
 	case errors.Is(err, db.ErrConflict):
 		resp := Response{Code: CodeConflict, Err: err.Error()}
 		var ce *db.ConflictError

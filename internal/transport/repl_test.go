@@ -1,0 +1,261 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tcache/internal/chaos"
+	"tcache/internal/db"
+	"tcache/internal/kv"
+)
+
+// replRig is a primary with a WAL, served over TCP, plus helpers to
+// commit numbered writes and compare state against a standby.
+type replRig struct {
+	t       *testing.T
+	primary *db.DB
+	addr    string
+	written int // keys key-0 .. key-(written-1) committed so far
+}
+
+func newReplRig(t *testing.T) *replRig {
+	t.Helper()
+	d, err := db.Recover(db.Config{WALSync: false}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	srv := NewDBServer(d, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return &replRig{t: t, primary: d, addr: addr}
+}
+
+// commit writes n fresh keys on the primary, one transaction each.
+func (r *replRig) commit(n int) {
+	r.t.Helper()
+	for i := 0; i < n; i++ {
+		k := kv.Key(fmt.Sprintf("key-%d", r.written))
+		v := kv.Value(fmt.Sprintf("val-%d", r.written))
+		if _, err := r.primary.ValidatedUpdate(context.Background(), nil, []kv.KeyValue{{Key: k, Value: v}}); err != nil {
+			r.t.Fatal(err)
+		}
+		r.written++
+	}
+}
+
+// startStandby opens a WAL-backed standby replicating from primaryAddr
+// (usually the rig address, or a chaos proxy in front of it) and serves
+// it over TCP too.
+func (r *replRig) startStandby(primaryAddr string) (*db.DB, string, context.CancelFunc) {
+	r.t.Helper()
+	sd, err := db.Recover(db.Config{WALSync: false, NodeID: 1}, r.t.TempDir())
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.t.Cleanup(func() { sd.Close() })
+	sd.SetStandby(r.addr)
+	srv := NewDBServer(sd, nil)
+	saddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.t.Cleanup(srv.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunStandby(ctx, sd, StandbyConfig{Primary: primaryAddr, Name: saddr})
+	}()
+	r.t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return sd, saddr, cancel
+}
+
+// waitConverged blocks until the standby holds the primary's exact
+// committed state: equal version counters and every written key equal in
+// value, version, and dependency list.
+func (r *replRig) waitConverged(sd *db.DB, within time.Duration) {
+	r.t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		if r.converged(sd) {
+			return
+		}
+		if time.Now().After(deadline) {
+			r.t.Fatalf("standby did not converge within %s: primary counter=%d len=%d, standby counter=%d len=%d",
+				within, r.primary.VersionCounter(), r.primary.Len(), sd.VersionCounter(), sd.Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (r *replRig) converged(sd *db.DB) bool {
+	if sd.VersionCounter() != r.primary.VersionCounter() || sd.Len() != r.primary.Len() {
+		return false
+	}
+	for i := 0; i < r.written; i++ {
+		k := kv.Key(fmt.Sprintf("key-%d", i))
+		want, ok1 := r.primary.Get(k)
+		got, ok2 := sd.Get(k)
+		if !ok1 || !ok2 || want.Version != got.Version ||
+			string(want.Value) != string(got.Value) || want.Deps.String() != got.Deps.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReplicationEndToEnd drives the happy path: full state transfer of
+// pre-existing commits, live tailing of new ones, standby write
+// rejection with a leader redirect, and explicit promotion over the
+// wire.
+func TestReplicationEndToEnd(t *testing.T) {
+	bg := context.Background()
+	rig := newReplRig(t)
+	rig.commit(40) // before the standby exists: arrives via state transfer
+
+	sd, saddr, _ := rig.startStandby(rig.addr)
+	rig.waitConverged(sd, 5*time.Second)
+
+	rig.commit(60) // after: arrives via the live record stream
+	rig.waitConverged(sd, 5*time.Second)
+
+	// The standby serves reads but must reject writes, naming the leader.
+	cli, err := DialDB(bg, saddr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if item, ok, err := cli.ReadItem(bg, kv.Key("key-0")); err != nil || !ok || string(item.Value) != "val-0" {
+		t.Fatalf("standby read: item=%v ok=%v err=%v", item, ok, err)
+	}
+	_, err = cli.ValidatedUpdate(bg, nil, []kv.KeyValue{{Key: "w", Value: kv.Value("x")}})
+	if !errors.Is(err, db.ErrNotPrimary) {
+		t.Fatalf("standby write: want ErrNotPrimary, got %v", err)
+	}
+	var npe *db.NotPrimaryError
+	if !errors.As(err, &npe) || npe.Leader != rig.addr {
+		t.Fatalf("standby write: want leader %q in rejection, got %+v", rig.addr, npe)
+	}
+	st, err := cli.Status(bg)
+	if err != nil || st.Role != "standby" || st.Leader != rig.addr {
+		t.Fatalf("standby status = %+v, err=%v", st, err)
+	}
+
+	// The primary reports replication lag; with a converged standby the
+	// lag must be zero.
+	pcli, err := DialDB(bg, rig.addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pcli.Close()
+	pst, err := pcli.Status(bg)
+	if err != nil || pst.Role != "primary" {
+		t.Fatalf("primary status = %+v, err=%v", pst, err)
+	}
+	if pst.Lag != 0 {
+		t.Fatalf("primary lag = %d with converged standby, want 0", pst.Lag)
+	}
+
+	// Promote over the wire: the standby becomes a primary whose next
+	// commits are strictly above everything it replicated.
+	replicated := sd.VersionCounter()
+	counter, err := cli.Promote(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter < replicated {
+		t.Fatalf("promotion counter %d below replicated %d", counter, replicated)
+	}
+	v, err := cli.ValidatedUpdate(bg, nil, []kv.KeyValue{{Key: "post", Value: kv.Value("promo")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Counter <= replicated {
+		t.Fatalf("post-promotion version %s not above replicated counter %d", v, replicated)
+	}
+	// Promotion is idempotent: repeating it reports the same role.
+	if _, err := cli.Promote(bg); err != nil {
+		t.Fatalf("re-promote: %v", err)
+	}
+}
+
+// TestReplicationStandbyRestartResyncs kills the standby loop mid-stream
+// and starts a fresh one with no cursor: the full state transfer overlaps
+// everything already applied, and the idempotent apply path must converge
+// to the exact primary state anyway.
+func TestReplicationStandbyRestartResyncs(t *testing.T) {
+	rig := newReplRig(t)
+	rig.commit(30)
+	sd, _, cancel := rig.startStandby(rig.addr)
+	rig.waitConverged(sd, 5*time.Second)
+
+	cancel() // standby loop gone; primary keeps committing
+	rig.commit(30)
+
+	ctx, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunStandby(ctx, sd, StandbyConfig{Primary: rig.addr, Name: "s1-restarted"})
+	}()
+	defer func() { cancel2(); <-done }()
+	rig.waitConverged(sd, 5*time.Second)
+}
+
+// TestReplicationUnderChaos runs the replication link through a chaos
+// proxy that drops 20% of server-to-client chunks, delays and reorders
+// the rest, and occasionally kills the connection — while the primary
+// commits continuously. Safety: the standby's counter never overtakes
+// the primary's. Liveness: once the chaos stops, the standby converges
+// to the exact committed state.
+func TestReplicationUnderChaos(t *testing.T) {
+	rig := newReplRig(t)
+	rig.commit(50)
+
+	link := chaos.NewLink(chaos.ConnConfig{
+		DropRate:  0.20,
+		KillRate:  0.02,
+		BaseDelay: 200 * time.Microsecond,
+		Jitter:    2 * time.Millisecond, // overlapping windows reorder chunks
+		Seed:      42,
+	})
+	paddr, stopProxy, err := link.Proxy(rig.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopProxy()
+
+	sd, _, _ := rig.startStandby(paddr)
+
+	// Commit through the chaos window, checking the safety invariant as
+	// we go: a standby can lag, but never run ahead of the primary.
+	for round := 0; round < 40; round++ {
+		rig.commit(5)
+		if sc, pc := sd.VersionCounter(), rig.primary.VersionCounter(); sc > pc {
+			t.Fatalf("standby counter %d overtook primary %d", sc, pc)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Mid-run partition: all replication conns die, the loop must keep
+	// redialing without wedging, and progress resumes after Heal.
+	link.Partition()
+	rig.commit(20)
+	time.Sleep(50 * time.Millisecond)
+	link.Heal()
+
+	// Heal the byte-level faults too and require exact convergence.
+	link.SetConfig(chaos.ConnConfig{})
+	rig.waitConverged(sd, 20*time.Second)
+}

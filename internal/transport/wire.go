@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"tcache/internal/kv"
+	"tcache/internal/wal"
 )
 
 // Op names a request operation.
@@ -51,6 +52,15 @@ const (
 	OpAbort Op = "abort"
 	// OpStats fetches the cache server's counters.
 	OpStats Op = "stats"
+	// OpReplicate switches a DB-server connection into the replication
+	// stream (protocol v5): the server answers with the stream mode
+	// (resume or full snapshot), then pushes snapshot-entry and
+	// WAL-record frames; the standby sends ack frames back on the same
+	// connection. Primary only.
+	OpReplicate Op = "replicate"
+	// OpPromote turns a standby into a writable primary (protocol v5).
+	// Idempotent on a primary.
+	OpPromote Op = "promote"
 )
 
 // KeyValue is one write of an update transaction.
@@ -88,6 +98,13 @@ type Request struct {
 	// handed stale data by a failed-over node. The zero version means no
 	// floor; the DB server ignores it (its reads are always current).
 	MinVersion kv.Version
+	// ReplFrom is the resume cursor of an OpReplicate request (protocol
+	// v5): the primary-log position after the last record this standby
+	// applied. The zero position (a fresh or restarted standby) asks for
+	// a full state transfer; a non-zero position resumes the stream there
+	// if the segment is still live, falling back to a snapshot otherwise.
+	// The replica's identity rides in Subscriber.
+	ReplFrom wal.Pos
 }
 
 // Code classifies a response.
@@ -107,6 +124,9 @@ const (
 	CodeConflict
 	// CodeError carries any other failure in Err.
 	CodeError
+	// CodeNotPrimary rejects a write sent to a standby (protocol v5);
+	// Leader, when set, names the primary to redirect to.
+	CodeNotPrimary
 )
 
 func (c Code) String() string {
@@ -121,6 +141,8 @@ func (c Code) String() string {
 		return "conflict"
 	case CodeError:
 		return "error"
+	case CodeNotPrimary:
+		return "not-primary"
 	default:
 		return fmt.Sprintf("Code(%d)", int(c))
 	}
@@ -151,6 +173,29 @@ type Response struct {
 	ConflictKey     kv.Key
 	ConflictVersion kv.Version
 	ConflictFound   bool
+	// Replication fields (protocol v5).
+	//
+	// Role and Leader report the serving node's replication role on
+	// OpPing, OpPromote, and CodeNotPrimary rejections; Leader is the
+	// primary's advertised address when this node is a standby that knows
+	// it. Healthy and HealthErr carry the node's durability health (the
+	// WAL's sticky fail-stop error, if any). ReplLag is the primary's
+	// version-counter distance to its slowest connected replica, and
+	// ReplCounter the node's current version counter.
+	Role        string
+	Leader      string
+	Healthy     bool
+	HealthErr   string
+	ReplLag     uint64
+	ReplCounter uint64
+	// ReplSnapshot, on an OpReplicate acceptance, announces that a full
+	// state image (snapshot-entry frames) precedes the live record
+	// stream; ReplPos is the stream's start position (resume mode only —
+	// in snapshot mode the cut position arrives in the snapshot
+	// terminator frame instead, because it is not known until the image
+	// has been cut).
+	ReplSnapshot bool
+	ReplPos      wal.Pos
 }
 
 // Invalidation is pushed on subscription connections.

@@ -265,6 +265,7 @@ func (l *Log) openActive(tornBytes int64) error {
 		l.f = f
 		l.seq = l.firstSeg
 		l.size = fileHeaderSize
+		l.flushed = Pos{Seq: l.seq, Off: l.size}
 		return nil
 	}
 	seq := l.segs[len(l.segs)-1]
@@ -286,6 +287,7 @@ func (l *Log) openActive(tornBytes int64) error {
 		l.f = f
 		l.seq = seq
 		l.size = fileHeaderSize
+		l.flushed = Pos{Seq: l.seq, Off: l.size}
 		return nil
 	}
 	if tornBytes > 0 {
@@ -307,5 +309,6 @@ func (l *Log) openActive(tornBytes int64) error {
 	l.f = f
 	l.seq = seq
 	l.size = size
+	l.flushed = Pos{Seq: l.seq, Off: l.size}
 	return nil
 }

@@ -51,7 +51,34 @@ var (
 	// ErrSnapshotInProgress is returned by BeginSnapshot while another
 	// snapshot is being written.
 	ErrSnapshotInProgress = errors.New("wal: snapshot already in progress")
+	// ErrTailerLagged is returned by a Tailer whose next segment was
+	// deleted by snapshot truncation before it was read. The tailer can
+	// no longer produce a contiguous record stream; the caller must
+	// restart from a full state transfer.
+	ErrTailerLagged = errors.New("wal: tailer lagged behind snapshot truncation")
 )
+
+// Pos addresses a byte boundary in the log: a segment sequence number
+// and an offset within that segment. Every appended record has an end
+// Pos — the first byte after its frame — and replication uses these as
+// resume/acknowledge cursors: "I hold everything before P".
+type Pos struct {
+	Seq uint64
+	Off int64
+}
+
+// Less orders positions by log order.
+func (p Pos) Less(q Pos) bool {
+	if p.Seq != q.Seq {
+		return p.Seq < q.Seq
+	}
+	return p.Off < q.Off
+}
+
+// IsZero reports whether p is the zero position (before any segment).
+func (p Pos) IsZero() bool { return p.Seq == 0 && p.Off == 0 }
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Seq, p.Off) }
 
 // CorruptSegmentError quarantines a segment whose committed history
 // cannot be read back: recovery refuses to proceed (and never truncates
@@ -130,12 +157,17 @@ type Metrics struct {
 }
 
 // batch is one group-commit unit: the concatenated frames of every
-// record appended while the previous batch was being flushed.
+// record appended while the previous batch was being flushed. seq and
+// base are stamped by writeBatch (under fileMu, before the write) so
+// each appender can compute its record's end position after done; the
+// channel close publishes them.
 type batch struct {
 	buf  []byte
 	n    int
 	err  error
 	done chan struct{}
+	seq  uint64 // segment that received the batch
+	base int64  // byte offset of the batch within that segment
 }
 
 func newBatch() *batch { return &batch{done: make(chan struct{})} }
@@ -172,6 +204,13 @@ type Log struct {
 	snap     string // snapshot file name ("" = none)
 	snapping bool
 
+	// flushed is the durable end of the log (for Sync logs, post-fsync):
+	// every byte before it is on disk as whole frames. flushCh is closed
+	// and replaced whenever flushed advances (or the log closes), waking
+	// tailers. Both are guarded by fileMu.
+	flushed Pos
+	flushCh chan struct{}
+
 	records   atomic.Uint64
 	batches   atomic.Uint64
 	fsyncs    atomic.Uint64
@@ -202,6 +241,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		kick:        make(chan struct{}, 1),
 		quit:        make(chan struct{}),
 		flusherDone: make(chan struct{}),
+		flushCh:     make(chan struct{}),
 	}
 
 	m, found, err := readManifest(dir)
@@ -282,6 +322,16 @@ func (l *Log) cleanOrphans() error {
 // Dir returns the log directory.
 func (l *Log) Dir() string { return l.dir }
 
+// Health returns the log's sticky fail-stop error, or nil while the
+// log can still append. Once non-nil (a write or fsync failed), every
+// future Append fails with it — surfacing it lets operators fail a
+// dying primary over before the next commit discovers the fault.
+func (l *Log) Health() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.werr
+}
+
 // Metrics returns a snapshot of the log's counters.
 func (l *Log) Metrics() Metrics {
 	return Metrics{
@@ -295,27 +345,30 @@ func (l *Log) Metrics() Metrics {
 
 // Append durably logs one commit record. Concurrent appends are group
 // committed: each waits until the batch containing its record has been
-// written (and fsynced, under Options.Sync). A nil return means the
-// record is on disk and will be recovered by every future Replay.
-func (l *Log) Append(rec Record) error {
+// written (and fsynced, under Options.Sync). A nil error means the
+// record is on disk and will be recovered by every future Replay; the
+// returned Pos is the end of the record's frame — the cursor a replica
+// holding this record (and everything before it) acknowledges.
+func (l *Log) Append(rec Record) (Pos, error) {
 	payload, release, err := encodeRecord(&rec)
 	if err != nil {
-		return err
+		return Pos{}, err
 	}
 	l.mu.Lock()
 	if !l.replayed || l.closed {
 		l.mu.Unlock()
 		release()
-		return ErrClosed
+		return Pos{}, ErrClosed
 	}
 	if l.werr != nil {
 		err := l.werr
 		l.mu.Unlock()
 		release()
-		return err
+		return Pos{}, err
 	}
 	b := l.cur
 	b.buf = appendFramed(b.buf, payload)
+	end := len(b.buf)
 	b.n++
 	l.mu.Unlock()
 	release()
@@ -325,7 +378,62 @@ func (l *Log) Append(rec Record) error {
 	default:
 	}
 	<-b.done
-	return b.err
+	if b.err != nil {
+		return Pos{}, b.err
+	}
+	return Pos{Seq: b.seq, Off: b.base + int64(end)}, nil
+}
+
+// AppendBatch durably logs several commit records as one unit, sharing
+// a single group-commit wait (and, under Options.Sync, at most one
+// fsync). It returns the end position of the last record. Replicas use
+// it to apply a received frame batch with one durability round trip.
+func (l *Log) AppendBatch(recs []Record) (Pos, error) {
+	if len(recs) == 0 {
+		return Pos{}, nil
+	}
+	frames := getBuf()
+	tmp := (*frames)[:0]
+	for i := range recs {
+		payload, release, err := encodeRecord(&recs[i])
+		if err != nil {
+			*frames = tmp
+			putBuf(frames)
+			return Pos{}, err
+		}
+		tmp = appendFramed(tmp, payload)
+		release()
+	}
+	*frames = tmp
+
+	l.mu.Lock()
+	if !l.replayed || l.closed {
+		l.mu.Unlock()
+		putBuf(frames)
+		return Pos{}, ErrClosed
+	}
+	if l.werr != nil {
+		err := l.werr
+		l.mu.Unlock()
+		putBuf(frames)
+		return Pos{}, err
+	}
+	b := l.cur
+	b.buf = append(b.buf, tmp...)
+	end := len(b.buf)
+	b.n += len(recs)
+	l.mu.Unlock()
+	putBuf(frames)
+
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	<-b.done
+	if b.err != nil {
+		return Pos{}, b.err
+	}
+	return Pos{Seq: b.seq, Off: b.base + int64(end)}, nil
 }
 
 // flusher is the dedicated group-commit goroutine: it swaps the open
@@ -375,6 +483,8 @@ func (l *Log) flusher() {
 func (l *Log) writeBatch(b *batch) error {
 	l.fileMu.Lock()
 	defer l.fileMu.Unlock()
+	b.seq = l.seq
+	b.base = l.size
 	if _, err := l.f.Write(b.buf); err != nil {
 		return l.fail(err)
 	}
@@ -393,7 +503,33 @@ func (l *Log) writeBatch(b *batch) error {
 			_ = l.fail(err)
 		}
 	}
+	l.advanceFlushedLocked()
 	return nil
+}
+
+// advanceFlushedLocked publishes the durable boundary and wakes every
+// tailer waiting for more bytes. Caller holds fileMu.
+func (l *Log) advanceFlushedLocked() {
+	l.flushed = Pos{Seq: l.seq, Off: l.size}
+	close(l.flushCh)
+	l.flushCh = make(chan struct{})
+}
+
+// Durable returns the durable end of the log: every byte before it is
+// on disk as whole frames. Replication lag is the distance between a
+// replica's acknowledged cursor and this position.
+func (l *Log) Durable() Pos {
+	l.fileMu.Lock()
+	defer l.fileMu.Unlock()
+	return l.flushed
+}
+
+// flushedBoundary returns the durable boundary, the channel closed on
+// its next advance, and the first live segment (for lag detection).
+func (l *Log) flushedBoundary() (Pos, <-chan struct{}, uint64) {
+	l.fileMu.Lock()
+	defer l.fileMu.Unlock()
+	return l.flushed, l.flushCh, l.firstSeg
 }
 
 // fail records the first write error; the log fail-stops. Called with
@@ -456,6 +592,7 @@ func (l *Log) Rotate() (uint64, error) {
 	if err := l.rotateLocked(); err != nil {
 		return 0, l.fail(err)
 	}
+	l.advanceFlushedLocked()
 	return l.seq, nil
 }
 
@@ -488,6 +625,10 @@ func (l *Log) Close() error {
 			l.closeErr = l.werr
 			l.mu.Unlock()
 		}
+		// Wake tailers so they observe the closed log instead of waiting
+		// for a flush that will never come.
+		close(l.flushCh)
+		l.flushCh = make(chan struct{})
 	})
 	return l.closeErr
 }

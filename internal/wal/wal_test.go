@@ -67,7 +67,7 @@ func TestRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{})
 	for i := uint64(1); i <= 10; i++ {
-		if err := l.Append(rec(i, "a", "b")); err != nil {
+		if _, err := l.Append(rec(i, "a", "b")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -156,7 +156,7 @@ func TestAppendAfterReopen(t *testing.T) {
 	dir := t.TempDir()
 	for i := uint64(1); i <= 3; i++ {
 		l, _ := openLog(t, dir, Options{})
-		if err := l.Append(rec(i, "k")); err != nil {
+		if _, err := l.Append(rec(i, "k")); err != nil {
 			t.Fatal(err)
 		}
 		if err := l.Close(); err != nil {
@@ -174,7 +174,7 @@ func TestAppendBeforeReplayRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append(rec(1, "k")); !errors.Is(err, ErrClosed) {
+	if _, err := l.Append(rec(1, "k")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("append before replay: %v, want ErrClosed", err)
 	}
 	if err := l.Close(); err != nil {
@@ -195,7 +195,7 @@ func TestAppendAfterCloseRefused(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append(rec(1, "k")); !errors.Is(err, ErrClosed) {
+	if _, err := l.Append(rec(1, "k")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("append after close: %v, want ErrClosed", err)
 	}
 	if err := l.Close(); err != nil {
@@ -206,7 +206,7 @@ func TestAppendAfterCloseRefused(t *testing.T) {
 func TestSyncModeDurableWithoutClose(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{Sync: true})
-	if err := l.Append(rec(1, "k")); err != nil {
+	if _, err := l.Append(rec(1, "k")); err != nil {
 		t.Fatal(err)
 	}
 	// No Close: the copy on disk must already replay. (Reading the live
@@ -232,7 +232,7 @@ func TestConcurrentAppends(t *testing.T) {
 		g := g
 		go func() {
 			for i := 0; i < 50; i++ {
-				if err := l.Append(rec(uint64(g*100+i+1), "k")); err != nil {
+				if _, err := l.Append(rec(uint64(g*100+i+1), "k")); err != nil {
 					done <- err
 					return
 				}
@@ -271,7 +271,7 @@ func TestGroupCommitCoalesces(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if err := l.Append(rec(1, "k")); err != nil {
+		if _, err := l.Append(rec(1, "k")); err != nil {
 			t.Error(err)
 		}
 	}()
@@ -293,7 +293,7 @@ func TestGroupCommitCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := l.Append(rec(uint64(i+2), "k")); err != nil {
+			if _, err := l.Append(rec(uint64(i+2), "k")); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -328,7 +328,7 @@ func TestRotationAndMultiSegmentReplay(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{SegmentSize: 256})
 	for i := uint64(1); i <= 40; i++ {
-		if err := l.Append(rec(i, "k")); err != nil {
+		if _, err := l.Append(rec(i, "k")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -359,7 +359,7 @@ func TestRotationAndMultiSegmentReplay(t *testing.T) {
 func TestExplicitRotate(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{})
-	if err := l.Append(rec(1, "k")); err != nil {
+	if _, err := l.Append(rec(1, "k")); err != nil {
 		t.Fatal(err)
 	}
 	cut, err := l.Rotate()
@@ -369,7 +369,7 @@ func TestExplicitRotate(t *testing.T) {
 	if cut != 2 {
 		t.Fatalf("cut = %d, want 2", cut)
 	}
-	if err := l.Append(rec(2, "k")); err != nil {
+	if _, err := l.Append(rec(2, "k")); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -388,7 +388,7 @@ func writeLog(t *testing.T, n uint64, opts Options) string {
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, opts)
 	for i := uint64(1); i <= n; i++ {
-		if err := l.Append(rec(i, "k")); err != nil {
+		if _, err := l.Append(rec(i, "k")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -427,7 +427,7 @@ func TestTornTailTruncated(t *testing.T) {
 	// The tail was truncated: appending and replaying again must yield
 	// the 4 survivors plus the new record, nothing else.
 	l, _ := openLog(t, dir, Options{})
-	if err := l.Append(rec(99, "k")); err != nil {
+	if _, err := l.Append(rec(99, "k")); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -476,7 +476,7 @@ func TestCorruptionInNonFinalSegmentQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{SegmentSize: 128})
 	for i := uint64(1); i <= 20; i++ {
-		if err := l.Append(rec(i, "k")); err != nil {
+		if _, err := l.Append(rec(i, "k")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -518,7 +518,7 @@ func TestMissingMiddleSegmentQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{SegmentSize: 128})
 	for i := uint64(1); i <= 20; i++ {
-		if err := l.Append(rec(i, "k")); err != nil {
+		if _, err := l.Append(rec(i, "k")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -568,11 +568,11 @@ func TestRecordTooLargeRefused(t *testing.T) {
 	l, _ := openLog(t, t.TempDir(), Options{})
 	defer l.Close()
 	huge := Record{Version: v(1), Writes: []Entry{{Key: "k", Value: make(kv.Value, maxRecordSize+1)}}}
-	if err := l.Append(huge); !errors.Is(err, ErrRecordTooLarge) {
+	if _, err := l.Append(huge); !errors.Is(err, ErrRecordTooLarge) {
 		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
 	}
 	// The log still works.
-	if err := l.Append(rec(1, "k")); err != nil {
+	if _, err := l.Append(rec(1, "k")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -604,7 +604,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{})
 	for i := uint64(1); i <= 5; i++ {
-		if err := l.Append(rec(i, "k")); err != nil {
+		if _, err := l.Append(rec(i, "k")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -613,7 +613,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	})
 	// Tail records after the snapshot.
 	for i := uint64(6); i <= 8; i++ {
-		if err := l.Append(rec(i, "j")); err != nil {
+		if _, err := l.Append(rec(i, "j")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -649,7 +649,7 @@ func TestSnapshotCounterFloorsRecovery(t *testing.T) {
 	// every entry carries a lower version and no tail records exist.
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{})
-	if err := l.Append(rec(3, "k")); err != nil {
+	if _, err := l.Append(rec(3, "k")); err != nil {
 		t.Fatal(err)
 	}
 	snapshotAt(t, l, 17, []SnapshotEntry{{Key: "k", Value: kv.Value("x"), Version: v(3)}})
@@ -668,11 +668,11 @@ func TestSnapshotCounterFloorsRecovery(t *testing.T) {
 func TestSecondSnapshotReplacesFirst(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{})
-	if err := l.Append(rec(1, "a")); err != nil {
+	if _, err := l.Append(rec(1, "a")); err != nil {
 		t.Fatal(err)
 	}
 	snapshotAt(t, l, 1, []SnapshotEntry{{Key: "a", Value: kv.Value("1"), Version: v(1)}})
-	if err := l.Append(rec(2, "b")); err != nil {
+	if _, err := l.Append(rec(2, "b")); err != nil {
 		t.Fatal(err)
 	}
 	snapshotAt(t, l, 2, []SnapshotEntry{
@@ -705,7 +705,7 @@ func TestSecondSnapshotReplacesFirst(t *testing.T) {
 func TestSnapshotOneAtATime(t *testing.T) {
 	l, _ := openLog(t, t.TempDir(), Options{})
 	defer l.Close()
-	if err := l.Append(rec(1, "k")); err != nil {
+	if _, err := l.Append(rec(1, "k")); err != nil {
 		t.Fatal(err)
 	}
 	cut, err := l.Rotate()
@@ -733,7 +733,7 @@ func TestSnapshotOneAtATime(t *testing.T) {
 func TestCorruptSnapshotQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{})
-	if err := l.Append(rec(1, "k")); err != nil {
+	if _, err := l.Append(rec(1, "k")); err != nil {
 		t.Fatal(err)
 	}
 	snapshotAt(t, l, 1, []SnapshotEntry{{Key: "k", Value: kv.Value("x"), Version: v(1)}})
@@ -780,10 +780,10 @@ func crashWindowLog(t *testing.T) (string, *Log) {
 	t.Helper()
 	dir := t.TempDir()
 	l, _ := openLog(t, dir, Options{})
-	if err := l.Append(rec(1, "a")); err != nil {
+	if _, err := l.Append(rec(1, "a")); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append(rec(2, "b")); err != nil {
+	if _, err := l.Append(rec(2, "b")); err != nil {
 		t.Fatal(err)
 	}
 	return dir, l
@@ -816,7 +816,7 @@ func TestCrashWindowTmpSnapshotOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append(rec(3, "c")); err != nil {
+	if _, err := l.Append(rec(3, "c")); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -845,7 +845,7 @@ func TestCrashWindowSnapshotRenamedManifestOld(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append(rec(3, "c")); err != nil {
+	if _, err := l.Append(rec(3, "c")); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
@@ -881,7 +881,7 @@ func TestCrashWindowManifestNewLeftoversRemain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append(rec(3, "c")); err != nil {
+	if _, err := l.Append(rec(3, "c")); err != nil {
 		t.Fatal(err)
 	}
 	// Copy the covered segment aside, snapshot (which deletes it), then
@@ -926,7 +926,7 @@ func TestCrashWindowTornSegmentCreation(t *testing.T) {
 	if _, err := l.Rotate(); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Append(rec(3, "c")); err != nil {
+	if _, err := l.Append(rec(3, "c")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := l.Rotate(); err != nil {
@@ -954,7 +954,7 @@ func buildTortureLog(t *testing.T) (dir string, segPath string, want []Record) {
 	for i := uint64(1); i <= 6; i++ {
 		r := rec(i, "a", kv.Key(fmt.Sprintf("k%d", i)))
 		want = append(want, r)
-		if err := l.Append(r); err != nil {
+		if _, err := l.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}

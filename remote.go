@@ -2,8 +2,12 @@ package tcache
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
+	"strings"
 	"sync"
+	"time"
 
 	"tcache/internal/db"
 	"tcache/internal/transport"
@@ -25,13 +29,28 @@ import (
 // lossy asynchronous channel the T-Cache protocol is designed to
 // survive: the cache's dependency checks still abort (or heal) the
 // transactions that would observe the resulting staleness.
+//
+// Dial accepts a comma-separated address list ("db1:7070,db2:7070") for
+// a replicated DB tier: operations fail over between the addresses, a
+// write rejected by a standby redirects to the leader it names, and
+// invalidation subscriptions re-home to whichever node the client
+// currently talks to — so an edge rides through a primary crash and
+// promotion without losing its read-your-invalidations guarantee
+// (standbys relay the replicated invalidation stream to their own
+// subscribers).
 type Remote struct {
-	addr string
-	cli  *transport.DBClient
+	opts dialOptions
 
 	// ctx parents every subscription's resubscribe loop; Close cancels it.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// cliMu guards the current endpoint. addrs can grow: a standby's
+	// rejection may name a leader the caller never listed.
+	cliMu sync.Mutex
+	addrs []string
+	cur   int
+	cli   *transport.DBClient
 
 	mu     sync.Mutex
 	stops  map[uint64]func()
@@ -44,9 +63,22 @@ var (
 	_ BatchBackend = (*Remote)(nil)
 )
 
+// ErrUnavailable marks transport-level failures — dials refused, broken
+// or timed-out connections — as opposed to the database answering with
+// an application error. Callers of a replicated tier match it to decide
+// whether retrying (now pointed at a failed-over node) makes sense.
+var ErrUnavailable = transport.ErrUnavailable
+
+// ErrNotPrimary marks a write rejected by a standby. The Remote retries
+// these transparently against the leader the standby names; it surfaces
+// only when no reachable peer will take writes (e.g. mid-promotion).
+var ErrNotPrimary = db.ErrNotPrimary
+
 // dialOptions collects Dial settings.
 type dialOptions struct {
-	poolSize int
+	poolSize     int
+	dialAttempts int
+	dialBackoff  time.Duration
 }
 
 // DialOption configures Dial.
@@ -62,21 +94,235 @@ func WithPoolSize(n int) DialOption {
 	return func(o *dialOptions) { o.poolSize = n }
 }
 
+// WithDialRetry makes Dial (and each later failover) retry a failed
+// connection: up to attempts passes over the address list, with a
+// jittered exponential backoff starting at backoff between passes,
+// honoring the caller's context throughout. The default is one pass and
+// 50ms — fail fast, like the transport mux's WithMaxRedials default
+// fails fast within a call. A booting deployment whose database comes
+// up last sets a few attempts instead of wrapping Dial in its own loop.
+func WithDialRetry(attempts int, backoff time.Duration) DialOption {
+	return func(o *dialOptions) {
+		if attempts > 0 {
+			o.dialAttempts = attempts
+		}
+		if backoff > 0 {
+			o.dialBackoff = backoff
+		}
+	}
+}
+
 // Dial connects to a database served at addr (a tdbd daemon, or any DB
-// exposed with ServeDB) and returns it as a Backend. ctx bounds the
-// initial dial only; the connection's lifetime is governed by Close.
+// exposed with ServeDB) and returns it as a Backend. addr may be a
+// comma-separated list of replicas; the first reachable one is used and
+// the rest are failover targets. ctx bounds the initial dial only; the
+// connection's lifetime is governed by Close.
 func Dial(ctx context.Context, addr string, opts ...DialOption) (*Remote, error) {
-	o := dialOptions{poolSize: 4}
+	o := dialOptions{poolSize: 4, dialAttempts: 1, dialBackoff: 50 * time.Millisecond}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	cli, err := transport.DialDB(ctx, addr, o.poolSize)
-	if err != nil {
-		return nil, err
+	addrs := splitAddrList(addr)
+	if len(addrs) == 0 {
+		return nil, errors.New("tcache: Dial needs at least one address")
 	}
 	//lint:ignore ctxdiscipline the subscription lifetime spans the Remote, ending at Close, not at the dialing ctx
 	rctx, cancel := context.WithCancel(context.Background())
-	return &Remote{addr: addr, cli: cli, ctx: rctx, cancel: cancel, stops: make(map[uint64]func())}, nil
+	r := &Remote{
+		opts:   o,
+		addrs:  addrs,
+		ctx:    rctx,
+		cancel: cancel,
+		stops:  make(map[uint64]func()),
+	}
+	cli, idx, err := r.dialAny(ctx, 0)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	r.cli, r.cur = cli, idx
+	return r, nil
+}
+
+// splitAddrList splits a comma-separated address list, dropping empty
+// elements and surrounding whitespace.
+func splitAddrList(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// dialAny tries the address list round-robin from start, for up to
+// opts.dialAttempts passes with jittered exponential backoff between
+// them. It returns the first client that connects and its address index.
+func (r *Remote) dialAny(ctx context.Context, start int) (*transport.DBClient, int, error) {
+	r.cliMu.Lock()
+	addrs := append([]string(nil), r.addrs...)
+	r.cliMu.Unlock()
+	backoff := r.opts.dialBackoff
+	var lastErr error
+	for attempt := 0; attempt < r.opts.dialAttempts; attempt++ {
+		if attempt > 0 {
+			if err := jitteredSleep(ctx, backoff); err != nil {
+				return nil, 0, lastErr
+			}
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		for k := 0; k < len(addrs); k++ {
+			idx := (start + k) % len(addrs)
+			cli, err := transport.DialDB(ctx, addrs[idx], r.opts.poolSize)
+			if err == nil {
+				return cli, idx, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, 0, lastErr
+			}
+		}
+	}
+	return nil, 0, lastErr
+}
+
+// jitteredSleep sleeps a uniformly random duration in [d/2, d), bailing
+// out early with ctx.Err() on cancellation.
+func jitteredSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d/2 + time.Duration(rand.Int63n(int64(d/2)+1)))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// client returns the current endpoint.
+func (r *Remote) client() (*transport.DBClient, error) {
+	r.cliMu.Lock()
+	defer r.cliMu.Unlock()
+	if r.cli == nil {
+		return nil, fmt.Errorf("tcache: %w", transport.ErrClientClosed)
+	}
+	return r.cli, nil
+}
+
+// currentAddr returns the address the client currently points at.
+func (r *Remote) currentAddr() string {
+	r.cliMu.Lock()
+	defer r.cliMu.Unlock()
+	return r.addrs[r.cur]
+}
+
+// failover replaces the endpoint after failed stopped serving. leader,
+// when non-empty, is tried first (a standby's rejection names it); an
+// unlisted leader is learned into the address list. Concurrent
+// failovers collapse: whoever replaces the client first wins and the
+// others adopt the winner.
+func (r *Remote) failover(ctx context.Context, failed *transport.DBClient, leader string) (*transport.DBClient, error) {
+	r.cliMu.Lock()
+	if r.cli == nil {
+		r.cliMu.Unlock()
+		return nil, fmt.Errorf("tcache: %w", transport.ErrClientClosed)
+	}
+	if r.cli != failed {
+		cli := r.cli
+		r.cliMu.Unlock()
+		return cli, nil
+	}
+	start := (r.cur + 1) % len(r.addrs)
+	if leader != "" {
+		found := -1
+		for i, a := range r.addrs {
+			if a == leader {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			r.addrs = append(r.addrs, leader)
+			found = len(r.addrs) - 1
+		}
+		start = found
+	}
+	r.cliMu.Unlock()
+
+	// Dial outside the lock so concurrent calls aren't serialized behind
+	// a slow connect.
+	cli, idx, err := r.dialAny(ctx, start)
+	if err != nil {
+		return nil, err
+	}
+	r.cliMu.Lock()
+	if r.cli == nil {
+		r.cliMu.Unlock()
+		cli.Close()
+		return nil, fmt.Errorf("tcache: %w", transport.ErrClientClosed)
+	}
+	if r.cli != failed {
+		winner := r.cli
+		r.cliMu.Unlock()
+		cli.Close()
+		return winner, nil
+	}
+	old := r.cli
+	r.cli, r.cur = cli, idx
+	r.cliMu.Unlock()
+	old.Close()
+	return cli, nil
+}
+
+// do runs op against the current endpoint, failing over and retrying
+// when the failure class makes that safe: not-primary rejections always
+// (the standby refused before any state changed, and it names the
+// leader), transport-unavailable failures only for idempotent ops (a
+// lost update response leaves the outcome unknown). A non-idempotent op
+// that finds the peer unavailable is NOT retried, but the endpoint
+// still fails over before the error is reported — so when the caller
+// decides the retry is safe (OCC validation makes a doubled Update
+// harmless), its next attempt lands on a survivor instead of the same
+// dead connection.
+func (r *Remote) do(ctx context.Context, idempotent bool, op func(*transport.DBClient) error) error {
+	cli, err := r.client()
+	if err != nil {
+		return err
+	}
+	r.cliMu.Lock()
+	maxHops := len(r.addrs) + 1
+	r.cliMu.Unlock()
+	for hop := 0; ; hop++ {
+		err = op(cli)
+		if err == nil || ctx.Err() != nil || hop >= maxHops {
+			return err
+		}
+		var npe *db.NotPrimaryError
+		redirect := errors.As(err, &npe)
+		if !redirect && !(idempotent && errors.Is(err, transport.ErrUnavailable)) {
+			if errors.Is(err, transport.ErrUnavailable) {
+				// Unknown outcome: don't re-run op, but move off the dead
+				// endpoint for the caller's own retry.
+				_, _ = r.failover(ctx, cli, "")
+			}
+			return err
+		}
+		leader := ""
+		if redirect {
+			leader = npe.Leader
+		}
+		next, ferr := r.failover(ctx, cli, leader)
+		if ferr != nil {
+			return err // report the operation's failure, not the redial's
+		}
+		cli = next
+	}
 }
 
 // Close cancels every subscription and closes all pooled connections.
@@ -97,24 +343,46 @@ func (r *Remote) Close() {
 	for _, stop := range stops {
 		stop()
 	}
-	r.cli.Close()
+	r.cliMu.Lock()
+	cli := r.cli
+	r.cli = nil
+	r.cliMu.Unlock()
+	if cli != nil {
+		cli.Close()
+	}
 }
 
 // ReadItem implements Backend: one round trip for the committed item.
 func (r *Remote) ReadItem(ctx context.Context, key Key) (Item, bool, error) {
-	return r.cli.ReadItem(ctx, key)
+	var item Item
+	var ok bool
+	err := r.do(ctx, true, func(cli *transport.DBClient) error {
+		var e error
+		item, ok, e = cli.ReadItem(ctx, key)
+		return e
+	})
+	return item, ok, err
 }
 
 // ReadItems implements BatchBackend: all keys in one round trip.
 func (r *Remote) ReadItems(ctx context.Context, keys []Key) ([]Lookup, error) {
-	return r.cli.ReadItems(ctx, keys)
+	var lookups []Lookup
+	err := r.do(ctx, true, func(cli *transport.DBClient) error {
+		var e error
+		lookups, e = cli.ReadItems(ctx, keys)
+		return e
+	})
+	return lookups, err
 }
 
 // Subscribe implements Backend: it opens a dedicated connection that
 // streams the database's invalidations into sink, resubscribing
 // automatically whenever the stream breaks, until the Remote is closed
 // (or the returned cancel is called). A name already registered at the
-// server errors.
+// server errors. With multiple addresses the resubscribe follows the
+// failover: each reconnect first tries the node the client currently
+// talks to, then the rest of the list — so after a promotion the edge
+// is attached to the new primary's (relayed) invalidation stream.
 func (r *Remote) Subscribe(name string, sink func(Invalidation)) (cancel func(), err error) {
 	r.mu.Lock()
 	if r.closed {
@@ -122,12 +390,42 @@ func (r *Remote) Subscribe(name string, sink func(Invalidation)) (cancel func(),
 		return nil, fmt.Errorf("tcache: %w", transport.ErrClientClosed)
 	}
 	r.mu.Unlock()
-	stop, err := transport.SubscribeInvalidations(r.ctx, r.addr, name, func(inv transport.Invalidation) {
+	deliver := func(inv transport.Invalidation) {
 		sink(db.Invalidation{Key: inv.Key, Version: inv.Version})
-	})
+	}
+	sctx, scancel := context.WithCancel(r.ctx)
+	// The initial subscribe uses name verbatim and fails loudly (a
+	// duplicate name is a deliberate refusal, not a health signal).
+	stream, err := transport.OpenInvalidationStream(sctx, r.currentAddr(), name)
 	if err != nil {
+		scancel()
 		return nil, err
 	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		epoch := 0
+		for {
+			stream.Run(sctx, deliver)
+			if sctx.Err() != nil {
+				return
+			}
+			// Reconnect with backoff, rotating addresses from the current
+			// endpoint; the epoch suffix sidesteps our own half-open corpse
+			// still registered server-side.
+			epoch++
+			next, err := r.resubscribe(sctx, fmt.Sprintf("%s#%d", name, epoch))
+			if err != nil {
+				return // only on cancellation
+			}
+			stream = next
+		}
+	}()
+	stop := func() {
+		scancel()
+		<-done
+	}
+
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -148,6 +446,35 @@ func (r *Remote) Subscribe(name string, sink func(Invalidation)) (cancel func(),
 	}, nil
 }
 
+// resubscribe reopens an invalidation stream, retrying with jittered
+// backoff until it succeeds or ctx is cancelled. Each round tries the
+// current endpoint's address first, then the rest of the list.
+func (r *Remote) resubscribe(ctx context.Context, name string) (*transport.InvStream, error) {
+	backoff := 10 * time.Millisecond
+	for {
+		r.cliMu.Lock()
+		addrs := append([]string(nil), r.addrs...)
+		cur := r.cur
+		r.cliMu.Unlock()
+		for k := 0; k < len(addrs); k++ {
+			addr := addrs[(cur+k)%len(addrs)]
+			s, err := transport.OpenInvalidationStream(ctx, addr, name)
+			if err == nil {
+				return s, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+		}
+		if err := jitteredSleep(ctx, backoff); err != nil {
+			return nil, err
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
 // ValidatedUpdate implements UpdaterBackend: one OpUpdate round trip
 // carrying the observed read versions, which the database validates
 // under lock before committing the writes atomically. Most callers want
@@ -155,24 +482,55 @@ func (r *Remote) Subscribe(name string, sink func(Invalidation)) (cancel func(),
 // conflicts); this is the raw capability a Cache attached to this
 // Remote commits through.
 //
+// A standby's rejection (db.ErrNotPrimary) redirects to the leader it
+// names and the update is re-sent there — safe, because the rejection
+// happened before anything committed. A transport failure with the
+// outcome unknown is NOT retried.
+//
 // (The historical static-set Remote.Update(ctx, reads, writes) — reads
 // under locks, no versions, no closure — was replaced by the unified
 // API; the transport package's DBClient.Update keeps the raw op for
 // tests.)
 func (r *Remote) ValidatedUpdate(ctx context.Context, reads []ObservedRead, writes []KeyValue) (Version, error) {
-	return r.cli.ValidatedUpdate(ctx, reads, writes)
+	var version Version
+	err := r.do(ctx, false, func(cli *transport.DBClient) error {
+		var e error
+		version, e = cli.ValidatedUpdate(ctx, reads, writes)
+		return e
+	})
+	return version, err
 }
 
 // Ping checks liveness with one round trip.
 func (r *Remote) Ping(ctx context.Context) error {
-	return r.cli.Ping(ctx)
+	return r.do(ctx, true, func(cli *transport.DBClient) error {
+		return cli.Ping(ctx)
+	})
+}
+
+// Status reports the current endpoint's replication role and durability
+// health (protocol v5).
+func (r *Remote) Status(ctx context.Context) (transport.NodeStatus, error) {
+	var st transport.NodeStatus
+	err := r.do(ctx, true, func(cli *transport.DBClient) error {
+		var e error
+		st, e = cli.Status(ctx)
+		return e
+	})
+	return st, err
 }
 
 // Stats fetches the remote database's counters (transactions, conflicts,
 // reads served, invalidations sent) in one round trip — the server-side
 // complement of the local Cache.Stats view.
 func (r *Remote) Stats(ctx context.Context) (map[string]uint64, error) {
-	return r.cli.Stats(ctx)
+	var stats map[string]uint64
+	err := r.do(ctx, true, func(cli *transport.DBClient) error {
+		var e error
+		stats, e = cli.Stats(ctx)
+		return e
+	})
+	return stats, err
 }
 
 // ServeDB exposes d over TCP at addr (for example "127.0.0.1:0" to pick

@@ -6,6 +6,12 @@
 # same directory: committed values must survive byte-for-byte at their
 # exact versions, and the recovered counter must stay a floor under
 # new commits (the eq. 1/eq. 2 edge guarantees assume monotonicity).
+#
+# The replication leg then attaches a warm standby (tdbd -replica-of),
+# waits for the lag metric to drain, kill -9s the primary a second
+# time, promotes the standby with tcache-cli, and verifies zero
+# acked-write loss plus the same version-floor monotonicity across the
+# failover.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -132,5 +138,88 @@ echo "version floor held: $ver_before before kill, $ver_new after restart"
 # filled from the restarted tdbd).
 "$BIN/tcache-cli" -cluster "$CLUSTER" read smoke-key-restart | tee "$LOGS/cli-restart.log"
 grep -q 'smoke-key-restart = "survived"' "$LOGS/cli-restart.log"
+
+echo "== replication leg: warm standby streaming from the primary =="
+SDB=127.0.0.1:7474
+SWAL="$LOGS/wal-standby"
+"$BIN/tdbd" -listen "$SDB" -wal-dir "$SWAL" -node-id 1 -replica-of "$DB" \
+  >"$LOGS/tdbd-standby.log" 2>&1 &
+wait_up "$SDB"
+"$BIN/tcache-cli" -db "$SDB" ping | tee "$LOGS/standby-ping.log"
+grep -q "role=standby" "$LOGS/standby-ping.log"
+
+# A write addressed to the standby must not fork history: the standby
+# rejects it with a typed redirect naming the leader, and the
+# failover-aware client (tcache-cli uses tcache.Dial) follows the
+# redirect and commits on the primary. Verify the value landed there.
+"$BIN/tcache-cli" -db "$SDB" set redirect-key redirect-value
+redirected=$("$BIN/tcache-cli" -db "$DB" get redirect-key)
+if [[ "$redirected" != 'redirect-key = "redirect-value"'* ]]; then
+  echo "FAIL: standby-addressed write did not land on the primary (got: $redirected)" >&2
+  exit 1
+fi
+
+echo "== seeding acked writes through the primary =="
+for i in $(seq 1 40); do
+  "$BIN/tcache-cli" -db "$DB" set "repl-key-$i" "repl-val-$i" >/dev/null
+done
+
+# ping_counter extracts the version counter from tcache-cli ping output.
+ping_counter() {
+  "$BIN/tcache-cli" -db "$1" ping | grep -o 'counter=[0-9]*' | cut -d= -f2
+}
+
+# The standby must converge on the primary's counter, and the primary's
+# exported lag metric must drain to zero — the gate that replication is
+# live, not just configured.
+counter_repl=$(ping_counter "$DB")
+caught_up=
+for _ in $(seq 1 50); do
+  ping_out=$("$BIN/tcache-cli" -db "$DB" ping)
+  standby_counter=$(ping_counter "$SDB")
+  if [[ "$ping_out" == *"repl-lag=0"* && "$standby_counter" -ge "$counter_repl" ]]; then
+    caught_up=1
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "$caught_up" ]; then
+  echo "FAIL: standby never caught up (primary: $ping_out, standby counter: ${standby_counter:-?} want $counter_repl)" >&2
+  cat "$LOGS/tdbd-standby.log" >&2
+  exit 1
+fi
+echo "replication lag drained at counter $counter_repl"
+
+echo "== kill -9 the primary, promote the standby =="
+kill -9 "$TDBD_PID"
+wait "$TDBD_PID" 2>/dev/null || true
+"$BIN/tcache-cli" -db "$SDB" promote | tee "$LOGS/promote.log"
+grep -q "is primary at counter=" "$LOGS/promote.log"
+"$BIN/tcache-cli" -db "$SDB" ping | tee "$LOGS/promoted-ping.log"
+grep -q "role=primary" "$LOGS/promoted-ping.log"
+
+# Zero acked-write loss: every write acknowledged by the dead primary
+# is on the promoted standby, byte-for-byte.
+for i in $(seq 1 40); do
+  got=$("$BIN/tcache-cli" -db "$SDB" get "repl-key-$i")
+  if [[ "$got" != "repl-key-$i = \"repl-val-$i\""* ]]; then
+    echo "FAIL: acked repl-key-$i lost in failover (got: $got)" >&2
+    cat "$LOGS/tdbd-standby.log" >&2
+    exit 1
+  fi
+done
+
+# Post-promotion commits must mint strictly higher counters than
+# anything the dead primary acknowledged — the same version floor the
+# recovery leg gates, now across a failover.
+"$BIN/tcache-cli" -db "$SDB" set promoted-key promoted-value
+ver_promoted=$("$BIN/tcache-cli" -db "$SDB" get promoted-key | awk '{print $4}')
+counter_promoted=${ver_promoted#@}
+counter_promoted=${counter_promoted%%.*}
+if ! [[ "$counter_promoted" =~ ^[0-9]+$ ]] || [ "$counter_promoted" -le "$counter_repl" ]; then
+  echo "FAIL: post-promotion counter $ver_promoted does not exceed pre-kill counter $counter_repl" >&2
+  exit 1
+fi
+echo "failover version floor held: counter $counter_repl before kill, $ver_promoted after promotion"
 
 echo "== cluster smoke OK =="

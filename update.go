@@ -299,9 +299,9 @@ func occUpdate(ctx context.Context, fn func(tx *Tx) error, read snapshotRead, ub
 // already sent may still apply at the database (the outcome of the
 // abandoned attempt is unknown, as with any cancelled remote write).
 func (r *Remote) Update(ctx context.Context, fn func(tx *Tx) error) error {
-	return occUpdate(ctx, fn, func(ctx context.Context, key Key) (Item, bool, error) {
-		return r.cli.ReadItem(ctx, key)
-	}, r, nil, nil)
+	// Reads go through the failover-aware path, so a retry loop follows
+	// the Remote to a promoted standby instead of pinning a dead client.
+	return occUpdate(ctx, fn, r.ReadItem, r, nil, nil)
 }
 
 // Update implements Updater on a cache: fn's reads are served from the
