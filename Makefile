@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench benchcluster benchwrite benchdurable benchrepl benchsmoke clustersmoke walsmoke replsmoke fuzz
+.PHONY: all build test race vet lint bench benchcluster benchwrite benchdurable benchrepl benchtelemetry benchsmoke clustersmoke walsmoke replsmoke telemetry-smoke fuzz
 
 all: lint build test
 
@@ -52,6 +52,11 @@ benchdurable:
 benchrepl:
 	$(GO) run ./cmd/tcache-bench -fig replication
 
+#   benchtelemetry BENCH_pr9.json  warm-hit cost with telemetry off vs
+#   on; gates that the instrumented hit adds zero allocations
+benchtelemetry:
+	$(GO) run ./cmd/tcache-bench -fig telemetry
+
 # clustersmoke runs the end-to-end fleet check: 1 tdbd + 3 tcached on
 # loopback, driven by tcache-load -cluster (with a -write-mix share
 # committed through the edge relay) and tcache-cli. The tdbd runs with
@@ -67,6 +72,16 @@ clustersmoke:
 replsmoke:
 	$(GO) test -race -count=1 -run 'Tailer|Repl|Standby|Failover' ./internal/wal ./internal/transport
 	$(GO) test -race -count=1 -run 'Dial|Probation|RouterFailover' . ./internal/cluster
+
+# telemetry-smoke is the observability gate: the telemetry package
+# race-clean (histogram hammer, registry, Prometheus golden file,
+# admin listener), the end-to-end metric-surface tests (live /metrics
+# scrapes on both daemons, WithTelemetry hooks, cluster stats
+# breakdown), then the warm-hit overhead gate.
+telemetry-smoke:
+	$(GO) test -race -count=1 ./internal/telemetry
+	$(GO) test -race -count=1 -run 'ServeMetrics|WithTelemetry|ClusterStatsReports' .
+	$(GO) run ./cmd/tcache-bench -fig telemetry
 
 # walsmoke is the durability gate: the WAL package race-clean (torture
 # replays, crash windows, group commit), the db-level recovery +

@@ -9,6 +9,7 @@ import (
 	"tcache/internal/cluster"
 	"tcache/internal/core"
 	"tcache/internal/db"
+	"tcache/internal/telemetry"
 	"tcache/internal/transport"
 )
 
@@ -219,6 +220,12 @@ func (b *clusterBackend) Subscribe(name string, sink func(Invalidation)) (cancel
 	})
 }
 
+// setRoundTripHistogram forwards WithTelemetry's round-trip histogram
+// to every fleet node's client.
+func (b *clusterBackend) setRoundTripHistogram(h *telemetry.Histogram) {
+	b.r.SetRoundTripHistogram(h)
+}
+
 // Edge is a programmatic tcached: a mid-tier cache node that fills from
 // a (usually remote) database, applies and relays its invalidation
 // stream, and serves both the transactional client protocol and the
@@ -230,6 +237,7 @@ type Edge struct {
 	cache   *core.Cache
 	srv     *transport.CacheServer
 	unsub   func()
+	reg     *telemetry.Registry
 }
 
 // ServeEdge starts an edge node: it dials the database at dbAddr,
@@ -237,6 +245,8 @@ type Edge struct {
 // subscribes to the invalidation stream — applying it locally and
 // relaying it to downstream subscribers — and serves on listen (for
 // example "127.0.0.1:0"). ctx bounds the initial dial and subscribe.
+//
+//tcache:metric
 func ServeEdge(ctx context.Context, dbAddr, listen string, opts ...CacheOption) (*Edge, error) {
 	o := cacheOptions{}
 	o.core.Strategy = core.StrategyRetry
@@ -254,6 +264,15 @@ func ServeEdge(ctx context.Context, dbAddr, listen string, opts ...CacheOption) 
 		return nil, err
 	}
 	srv := transport.NewCacheServer(cache, nil)
+	// One registry per edge: the cache's counters/gauges/histograms, the
+	// relay gauges, and the backend conn pool — served over OpStats (flat
+	// encoding) and by ServeMetrics.
+	reg := telemetry.NewRegistry()
+	cache.RegisterMetrics(reg)
+	srv.RegisterMetrics(reg)
+	reg.Gauge("backend_pool_size", func() uint64 { return uint64(backend.PoolSize()) })
+	reg.Gauge("backend_pool_live", func() uint64 { return uint64(backend.LiveConns()) })
+	srv.SetRegistry(reg)
 	name := o.name
 	if name == "" {
 		name = fmt.Sprintf("edge-%d-%d", os.Getpid(), _cacheSeq.Add(1))
@@ -274,7 +293,7 @@ func ServeEdge(ctx context.Context, dbAddr, listen string, opts ...CacheOption) 
 		backend.Close()
 		return nil, err
 	}
-	return &Edge{addr: addr, backend: backend, cache: cache, srv: srv, unsub: unsub}, nil
+	return &Edge{addr: addr, backend: backend, cache: cache, srv: srv, unsub: unsub, reg: reg}, nil
 }
 
 // Addr returns the edge's bound listen address.
@@ -282,6 +301,18 @@ func (e *Edge) Addr() string { return e.addr }
 
 // Cache exposes the edge's cache for metrics.
 func (e *Edge) Cache() *core.Cache { return e.cache }
+
+// ServeMetrics starts the edge's admin HTTP listener at addr: /metrics
+// serves the node's registry (hit/miss counters, read latency
+// histograms, relay and conn-pool gauges), /healthz answers role=edge,
+// and /debug/pprof serves the runtime profiles. It returns the bound
+// address and a stop function — the programmatic form of tcached's
+// -metrics-addr flag.
+func (e *Edge) ServeMetrics(addr string) (bound string, stop func(), err error) {
+	return telemetry.ServeAdmin(addr, e.reg, func() telemetry.Health {
+		return telemetry.Health{Healthy: true, Role: "edge"}
+	})
+}
 
 // Close stops serving, detaches from the invalidation stream, and shuts
 // the cache and backend connections down.

@@ -3,11 +3,63 @@ package tcache_test
 import (
 	"context"
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
 	"tcache"
 )
+
+// TestClusterStatsReportsUnscrapedNodes: a node the scrape skips —
+// ejected, or never connected — must carry an explanatory Err in the
+// breakdown, never a silently nil Stats with an empty Err (regression:
+// such nodes were skipped with both fields zero, indistinguishable from
+// a healthy idle node).
+func TestClusterStatsReportsUnscrapedNodes(t *testing.T) {
+	ctx := context.Background()
+	d := tcache.OpenDB()
+	t.Cleanup(func() { d.Close() })
+	dbAddr, stopDB, err := tcache.ServeDB(d, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stopDB)
+	e, err := tcache.ServeEdge(ctx, dbAddr, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+
+	// Reserve a port and release it: the address refuses connections, so
+	// the node starts ejected and is never scraped.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	cc, err := tcache.DialCluster(ctx, []string{e.Addr(), deadAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cc.Close)
+
+	st := cc.Stats(ctx)
+	if len(st.Nodes) != 2 {
+		t.Fatalf("got %d nodes, want 2", len(st.Nodes))
+	}
+	live, dead := st.Nodes[0], st.Nodes[1]
+	if live.Err != "" || live.Stats == nil {
+		t.Errorf("live node: Err=%q Stats=%v, want scraped cleanly", live.Err, live.Stats)
+	}
+	if dead.Stats != nil {
+		t.Errorf("dead node: Stats=%v, want nil", dead.Stats)
+	}
+	if dead.Err == "" {
+		t.Errorf("dead node: empty Err, want an explanation (state=%s)", dead.State)
+	}
+}
 
 // clusterRig is the full public-API cluster deployment on loopback: a
 // served DB, three edges, and a ClusterCache dialed to the fleet.

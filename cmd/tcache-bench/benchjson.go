@@ -120,6 +120,12 @@ func checkBenchBudget(path string, results map[string]benchResult) error {
 		if strings.HasPrefix(name, "BenchmarkWritePath") {
 			continue // gated by the write-path runner (-fig writepath)
 		}
+		if strings.HasPrefix(name, "BenchmarkWarmHitTelemetry") {
+			continue // gated by the telemetry runner (-fig telemetry)
+		}
+		if strings.HasPrefix(name, "BenchmarkDurableCommit") {
+			continue // gated by the durability/replication runners
+		}
 		checked++
 		res, ok := results[name]
 		if !ok {

@@ -1,0 +1,157 @@
+package main
+
+// -fig telemetry: the observability overhead gate. Runs the warm-hit
+// validated read — the hottest path in the system — twice through
+// testing.Benchmark, once with Config.Telemetry nil and once with the
+// full histogram set attached, and fails if instrumentation costs even
+// one allocation per op. The measured pair is written to BENCH_pr9.json
+// so the overhead trajectory is recorded per PR, and any entries in
+// bench_budget.json gate the absolute allocs/op as well.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"tcache/internal/core"
+	"tcache/internal/db"
+	"tcache/internal/kv"
+	"tcache/internal/workload"
+)
+
+const (
+	telemetryBenchOut    = "BENCH_pr9.json"
+	telemetryBenchBudget = "bench_budget.json"
+	telemetryWarmKeys    = 5
+)
+
+// benchCoreWarmHit builds a warm core cache and drives the validated
+// read loop (telemetryWarmKeys reads per committed txn, all hits). The
+// same body serves both modes; only tel differs.
+func benchCoreWarmHit(tel *core.Telemetry) func(b *testing.B) {
+	return func(b *testing.B) {
+		d := db.Open(db.Config{DepBound: 5})
+		b.Cleanup(func() { d.Close() })
+		txn := d.Begin()
+		keys := make([]kv.Key, telemetryWarmKeys)
+		for i := range keys {
+			keys[i] = workload.ObjectKey(i)
+			if err := txn.Write(keys[i], kv.Value("seed")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		cache, err := core.New(core.Config{
+			Backend:   d,
+			Strategy:  core.StrategyRetry,
+			Telemetry: tel,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(cache.Close)
+		for _, k := range keys {
+			if _, err := cache.Get(benchCtx, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := kv.TxnID(uint64(i) + 1)
+			for r, k := range keys {
+				if _, err := cache.Read(benchCtx, id, k, r == len(keys)-1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// runTelemetryFig measures and gates the instrumentation overhead.
+func runTelemetryFig(_ bool, _ int64) error {
+	fmt.Printf("Telemetry overhead: warm-hit validated read (%d reads/txn), instrumented vs off\n", telemetryWarmKeys)
+
+	rOff := testing.Benchmark(benchCoreWarmHit(nil))
+	tel := core.NewTelemetry()
+	rOn := testing.Benchmark(benchCoreWarmHit(tel))
+	if rOff.N == 0 || rOn.N == 0 {
+		return fmt.Errorf("warm-hit benchmark failed (ran zero iterations)")
+	}
+	// The gate is only meaningful if the instrumented run actually took
+	// the instrumented path.
+	if warm := tel.ReadWarm.Snapshot(); warm.Count() == 0 {
+		return fmt.Errorf("instrumented run recorded no warm hits — the gate measured nothing")
+	}
+
+	results := map[string]benchResult{}
+	for _, row := range []struct {
+		name string
+		r    testing.BenchmarkResult
+	}{
+		{"BenchmarkWarmHitTelemetryOff", rOff},
+		{"BenchmarkWarmHitTelemetryOn", rOn},
+	} {
+		res := benchResult{
+			NsPerOp:     float64(row.r.T.Nanoseconds()) / float64(row.r.N),
+			BytesPerOp:  row.r.AllocedBytesPerOp(),
+			AllocsPerOp: row.r.AllocsPerOp(),
+		}
+		results[row.name] = res
+		fmt.Printf("  %-32s %10.0f ns/op %8d B/op %6d allocs/op\n",
+			row.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	overhead := results["BenchmarkWarmHitTelemetryOn"].NsPerOp - results["BenchmarkWarmHitTelemetryOff"].NsPerOp
+	fmt.Printf("  overhead: %+.0f ns per %d-read txn (%+.1f ns/read)\n",
+		overhead, telemetryWarmKeys, overhead/telemetryWarmKeys)
+
+	report := struct {
+		Machine    map[string]any         `json:"machine"`
+		Results    map[string]benchResult `json:"results"`
+		ReadsPerOp int                    `json:"reads_per_op"`
+		OverheadNs float64                `json:"overhead_ns_per_op"`
+	}{
+		Machine: map[string]any{
+			"go":     runtime.Version(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+		},
+		Results:    results,
+		ReadsPerOp: telemetryWarmKeys,
+		OverheadNs: overhead,
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(telemetryBenchOut, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", telemetryBenchOut)
+
+	// The hard budget: instrumentation may not allocate. Absolute ceilings
+	// come from bench_budget.json when it is present (CI runs from the
+	// repo root).
+	dOff, dOn := results["BenchmarkWarmHitTelemetryOff"].AllocsPerOp, results["BenchmarkWarmHitTelemetryOn"].AllocsPerOp
+	if dOn > dOff {
+		return fmt.Errorf("telemetry overhead: instrumented warm hit allocates (%d allocs/op vs %d off)", dOn, dOff)
+	}
+	if raw, err := os.ReadFile(telemetryBenchBudget); err == nil {
+		var budget map[string]int64
+		if err := json.Unmarshal(raw, &budget); err != nil {
+			return fmt.Errorf("bench budget %s: %w", telemetryBenchBudget, err)
+		}
+		for name, res := range results {
+			if maxAllocs, ok := budget[name]; ok && res.AllocsPerOp > maxAllocs {
+				return fmt.Errorf("bench budget: %s: %d allocs/op exceeds budget %d", name, res.AllocsPerOp, maxAllocs)
+			}
+		}
+	}
+	fmt.Printf("telemetry overhead gate OK: %d allocs/op instrumented == %d off\n", dOn, dOff)
+	return nil
+}

@@ -9,25 +9,41 @@
 //	tcache-cli -cache 127.0.0.1:7071 stats
 //	tcache-cli -db 127.0.0.1:7070 ping                    # role + durability health
 //	tcache-cli -db 127.0.0.1:7072 promote                 # standby → primary
+//	tcache-cli -cache 127.0.0.1:7071 top                  # live per-second rates
 //
-// With -cluster, read/cget/stats address a whole fleet of tcached nodes
-// through the consistent-hash routing tier instead of one daemon:
+// With -cluster, read/cget/stats/top address a whole fleet of tcached
+// nodes through the consistent-hash routing tier instead of one daemon:
 //
 //	tcache-cli -cluster edge1:7071,edge2:7071,edge3:7071 read key [key ...]
 //	tcache-cli -cluster edge1:7071,edge2:7071,edge3:7071 stats
+//	tcache-cli -cluster edge1:7071,edge2:7071,edge3:7071 top -interval 2s
+//
+// stats and ping take -json for machine-readable output (one JSON
+// document on stdout; histograms are reported as count/p50/p95/p99/max
+// in nanoseconds). top polls each node's OpStats and prints per-second
+// deltas: op rate, hit ratio, warm/cold read p99 over the window (not
+// since boot), and replication lag where the node reports one.
+//
+// Exit codes: 0 on success — including a read transaction that aborted
+// cleanly, which is a correct outcome of the protocol and is reported
+// on stdout; 1 on any usage, transport, or validation error, and for
+// ping against an unhealthy node (so scripts can gate on durability).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"tcache"
 	"tcache/internal/cluster"
 	"tcache/internal/kv"
+	"tcache/internal/telemetry"
 	"tcache/internal/transport"
 )
 
@@ -43,17 +59,48 @@ func run() error {
 	var (
 		dbAddr    = flag.String("db", "127.0.0.1:7070", "tdbd address")
 		cacheAddr = flag.String("cache", "127.0.0.1:7071", "tcached address")
-		clusterFl = flag.String("cluster", "", "comma-separated tcached fleet (read/cget/stats route through the cluster tier instead of -cache)")
+		clusterFl = flag.String("cluster", "", "comma-separated tcached fleet (read/cget/stats/top route through the cluster tier instead of -cache)")
+		jsonOut   = flag.Bool("json", false, "stats, ping: emit one JSON document instead of text")
+		interval  = flag.Duration("interval", time.Second, "top: polling interval")
+		count     = flag.Int("count", 0, "top: number of refreshes (0 = until interrupted)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return errors.New("usage: tcache-cli [flags] set|get|read|cget|stats|ping|promote ...")
+		return errors.New("usage: tcache-cli [flags] set|get|read|cget|stats|ping|top|promote ...")
+	}
+	// Flags may also follow the subcommand (`stats -json`, `top -interval
+	// 2s`): the global FlagSet stops at the first positional arg, so each
+	// flag-taking subcommand re-parses its tail, seeded from the globals.
+	if args[0] == "top" {
+		fs := flag.NewFlagSet("top", flag.ContinueOnError)
+		ti := fs.Duration("interval", *interval, "polling interval")
+		tc := fs.Int("count", *count, "number of refreshes (0 = until interrupted)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		addrs := cluster.SplitAddrs(*clusterFl)
+		if len(addrs) == 0 {
+			addrs = []string{*cacheAddr}
+		}
+		return runTop(ctx, addrs, *ti, *tc)
+	}
+	parseJSON := func(cmd string, rest []string) (bool, []string, error) {
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		j := fs.Bool("json", *jsonOut, "emit one JSON document instead of text")
+		if err := fs.Parse(rest); err != nil {
+			return false, nil, err
+		}
+		return *j, fs.Args(), nil
 	}
 	if addrs := cluster.SplitAddrs(*clusterFl); len(addrs) > 0 {
 		switch cmd, rest := args[0], args[1:]; cmd {
 		case "read", "cget", "stats":
-			return runCluster(ctx, addrs, cmd, rest)
+			j, rest, err := parseJSON(cmd, rest)
+			if err != nil {
+				return err
+			}
+			return runCluster(ctx, addrs, cmd, rest, j)
 		}
 	}
 
@@ -89,6 +136,10 @@ func run() error {
 	case "ping":
 		// Role and durability health of a tdbd (protocol v5): "primary"
 		// or "standby", plus the WAL's sticky fail-stop error if any.
+		j, _, err := parseJSON(cmd, rest)
+		if err != nil {
+			return err
+		}
 		cli, err := transport.DialDB(ctx, *dbAddr, 1)
 		if err != nil {
 			return err
@@ -97,6 +148,23 @@ func run() error {
 		st, err := cli.Status(ctx)
 		if err != nil {
 			return err
+		}
+		if j {
+			if err := emitJSON(map[string]any{
+				"addr":       *dbAddr,
+				"role":       st.Role,
+				"counter":    st.Counter,
+				"leader":     st.Leader,
+				"repl_lag":   st.Lag,
+				"healthy":    st.Healthy,
+				"health_err": st.HealthErr,
+			}); err != nil {
+				return err
+			}
+			if !st.Healthy {
+				return fmt.Errorf("node %s is unhealthy", *dbAddr)
+			}
+			return nil
 		}
 		fmt.Printf("role=%s counter=%d", st.Role, st.Counter)
 		if st.Leader != "" {
@@ -189,6 +257,10 @@ func run() error {
 		return nil
 
 	case "stats":
+		j, _, err := parseJSON(cmd, rest)
+		if err != nil {
+			return err
+		}
 		cli, err := transport.DialCache(ctx, *cacheAddr)
 		if err != nil {
 			return err
@@ -197,6 +269,9 @@ func run() error {
 		stats, err := cli.Stats(ctx)
 		if err != nil {
 			return err
+		}
+		if j {
+			return emitJSON(map[string]any{"addr": *cacheAddr, "stats": statsJSON(stats)})
 		}
 		keys := make([]string, 0, len(stats))
 		for k := range stats {
@@ -214,7 +289,7 @@ func run() error {
 }
 
 // runCluster serves the read-side commands through a cluster tier.
-func runCluster(ctx context.Context, addrs []string, cmd string, rest []string) error {
+func runCluster(ctx context.Context, addrs []string, cmd string, rest []string, jsonOut bool) error {
 	cc, err := tcache.DialCluster(ctx, addrs)
 	if err != nil {
 		return err
@@ -262,6 +337,24 @@ func runCluster(ctx context.Context, addrs []string, cmd string, rest []string) 
 
 	case "stats":
 		st := cc.Stats(ctx)
+		if jsonOut {
+			nodes := make([]map[string]any, len(st.Nodes))
+			for i, ns := range st.Nodes {
+				n := map[string]any{"addr": ns.Addr, "state": ns.State}
+				if ns.Err != "" {
+					n["err"] = ns.Err
+				}
+				if ns.Stats != nil {
+					n["stats"] = statsJSON(ns.Stats)
+				}
+				nodes[i] = n
+			}
+			return emitJSON(map[string]any{
+				"local":     st.Local,
+				"nodes":     nodes,
+				"aggregate": statsJSON(st.Aggregate),
+			})
+		}
 		fmt.Printf("local cache: reads %d, hits %d, misses %d\n",
 			st.Local.Reads, st.Local.Hits, st.Local.Misses)
 		for _, ns := range st.Nodes {
@@ -288,4 +381,156 @@ func printStats(stats map[string]uint64, indent string) {
 	for _, k := range keys {
 		fmt.Printf("%s%-18s %d\n", indent, k, stats[k])
 	}
+}
+
+// emitJSON is the one encoder behind every -json mode, so all commands
+// agree on formatting (indented, sorted keys, one document per run).
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// latJSON is a histogram summarized for JSON output; all values in
+// nanoseconds.
+type latJSON struct {
+	Count uint64 `json:"count"`
+	P50   uint64 `json:"p50_ns"`
+	P95   uint64 `json:"p95_ns"`
+	P99   uint64 `json:"p99_ns"`
+	Max   uint64 `json:"max_ns"`
+}
+
+// statsJSON decodes a flat OpStats map into its typed JSON shape:
+// counters and gauges stay numeric, histograms become latency
+// summaries. Pre-telemetry servers send only plain keys, which land in
+// "counters" — the document shape is the same either way.
+func statsJSON(flat map[string]uint64) map[string]any {
+	snap := telemetry.ParseFlat(flat)
+	hists := make(map[string]latJSON, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		hists[name] = latJSON{Count: h.Count(), P50: h.P50(), P95: h.P95(), P99: h.P99(), Max: h.Max()}
+	}
+	return map[string]any{
+		"counters":   snap.Counters,
+		"gauges":     snap.Gauges,
+		"histograms": hists,
+	}
+}
+
+// histDelta returns the histogram of only the samples recorded between
+// two snapshots of the same monotone histogram: bucket counts and the
+// sum subtract exactly, so window quantiles come straight out of the
+// difference.
+func histDelta(cur, prev telemetry.HistogramSnapshot) telemetry.HistogramSnapshot {
+	var d telemetry.HistogramSnapshot
+	for i := range cur.Counts {
+		d.Counts[i] = cur.Counts[i] - prev.Counts[i]
+	}
+	d.Sum = cur.Sum - prev.Sum
+	return d
+}
+
+// topNode is one fleet member's polling state for the top command.
+type topNode struct {
+	addr string
+	cli  *transport.CacheClient
+	prev telemetry.Snapshot
+	ok   bool // prev holds a real sample (deltas are meaningful)
+}
+
+// poll refreshes the node's snapshot, redialing a node that was down.
+// It returns the previous and current snapshots when a delta window is
+// available.
+func (n *topNode) poll(ctx context.Context) (prev, cur telemetry.Snapshot, haveDelta bool, err error) {
+	if n.cli == nil {
+		cli, derr := transport.DialCache(ctx, n.addr)
+		if derr != nil {
+			n.ok = false
+			return prev, cur, false, derr
+		}
+		n.cli = cli
+	}
+	flat, serr := n.cli.Stats(ctx)
+	if serr != nil {
+		// Drop the connection so the next tick redials; a restart also
+		// resets the node's counters, so the stale baseline must go too.
+		n.cli.Close()
+		n.cli = nil
+		n.ok = false
+		return prev, cur, false, serr
+	}
+	cur = telemetry.ParseFlat(flat)
+	prev, haveDelta = n.prev, n.ok
+	n.prev, n.ok = cur, true
+	return prev, cur, haveDelta, nil
+}
+
+// runTop polls each node's OpStats on a fixed interval and prints
+// per-second deltas: a terminal-friendly fleet dashboard. Rates and
+// quantiles describe the window between two polls, not the node's
+// lifetime, so a latency regression shows up immediately instead of
+// being averaged into hours of history.
+func runTop(ctx context.Context, addrs []string, interval time.Duration, count int) error {
+	if interval <= 0 {
+		return errors.New("top: -interval must be positive")
+	}
+	nodes := make([]*topNode, len(addrs))
+	for i, a := range addrs {
+		nodes[i] = &topNode{addr: a}
+	}
+	// Take the baseline sample immediately so the first printed window
+	// is real data after one interval, not zeros.
+	for _, n := range nodes {
+		_, _, _, _ = n.poll(ctx) //nolint:dogsled // baseline only
+	}
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	secs := interval.Seconds()
+	for i := 0; count == 0 || i < count; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+		fmt.Printf("%-21s %8s %6s %10s %10s %6s\n",
+			time.Now().Format("15:04:05"), "OPS/S", "HIT%", "P99-WARM", "P99-COLD", "LAG")
+		for _, n := range nodes {
+			prev, cur, haveDelta, err := n.poll(ctx)
+			if err != nil {
+				fmt.Printf("%-21s down: %v\n", n.addr, err)
+				continue
+			}
+			if !haveDelta {
+				fmt.Printf("%-21s (baseline)\n", n.addr)
+				continue
+			}
+			dReads := cur.Counters["reads"] - prev.Counters["reads"]
+			dHits := cur.Counters["hits"] - prev.Counters["hits"]
+			hit := "-"
+			if dReads > 0 {
+				hit = fmt.Sprintf("%.1f", 100*float64(dHits)/float64(dReads))
+			}
+			warm := histDelta(cur.Histograms["read_warm_ns"], prev.Histograms["read_warm_ns"])
+			cold := histDelta(cur.Histograms["read_cold_ns"], prev.Histograms["read_cold_ns"])
+			lag := "-"
+			if v, present := cur.Gauges["repl_lag"]; present {
+				lag = fmt.Sprintf("%d", v)
+			}
+			fmt.Printf("%-21s %8.0f %6s %10s %10s %6s\n",
+				n.addr, float64(dReads)/secs, hit,
+				topQuantile(&warm), topQuantile(&cold), lag)
+		}
+	}
+	return nil
+}
+
+// topQuantile renders a window histogram's p99 as a duration, or "-"
+// when the window recorded nothing.
+func topQuantile(h *telemetry.HistogramSnapshot) string {
+	if h.Count() == 0 {
+		return "-"
+	}
+	return time.Duration(h.P99()).String()
 }

@@ -5,7 +5,14 @@
 // Usage:
 //
 //	tcached [-listen 127.0.0.1:7071] [-db 127.0.0.1:7070] \
-//	        [-strategy retry|evict|abort] [-ttl 0] [-capacity 0] [-shards 0]
+//	        [-strategy retry|evict|abort] [-ttl 0] [-capacity 0] [-shards 0] \
+//	        [-metrics-addr 127.0.0.1:9071]
+//
+// With -metrics-addr an admin HTTP listener serves /metrics (hit/miss
+// counters, warm/cold read latency histograms, relay and conn-pool
+// gauges), /healthz (role=edge), and /debug/pprof. The same registry is
+// served over the wire protocol's OpStats, so tcache-cli stats and top
+// see it too.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"time"
 
 	"tcache/internal/core"
+	"tcache/internal/telemetry"
 	"tcache/internal/transport"
 )
 
@@ -29,6 +37,7 @@ func main() {
 	}
 }
 
+//tcache:metric
 func run() error {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:7071", "address to listen on")
@@ -40,6 +49,8 @@ func run() error {
 		txnGC    = flag.Duration("txn-gc", time.Minute, "idle transaction record GC interval (0 = none)")
 		name     = flag.String("name", "", "subscriber name reported to the backend")
 		pool     = flag.Int("backend-conns", 4, "backend connection pool size")
+
+		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listener for /metrics, /healthz, /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -61,6 +72,10 @@ func run() error {
 		Capacity: *capacity,
 		TxnGC:    *txnGC,
 		Shards:   *shards,
+		// The daemon always times its read paths: the scrape surface is
+		// the point of running it, and the instrumented warm hit stays
+		// allocation-free (gated by tcache-bench -fig telemetry).
+		Telemetry: core.NewTelemetry(),
 	})
 	if err != nil {
 		return err
@@ -68,6 +83,12 @@ func run() error {
 	defer cache.Close()
 
 	srv := transport.NewCacheServer(cache, log.Printf)
+	reg := telemetry.NewRegistry()
+	cache.RegisterMetrics(reg)
+	srv.RegisterMetrics(reg)
+	reg.Gauge("backend_pool_size", func() uint64 { return uint64(backend.PoolSize()) })
+	reg.Gauge("backend_pool_live", func() uint64 { return uint64(backend.LiveConns()) })
+	srv.SetRegistry(reg)
 
 	subName := *name
 	if subName == "" {
@@ -92,6 +113,17 @@ func run() error {
 	defer srv.Close()
 	log.Printf("tcached: serving on %s (backend=%s, strategy=%s, ttl=%v, shards=%d)",
 		addr, *dbAddr, strat, *ttl, cache.Shards())
+
+	if *metricsAddr != "" {
+		mbound, mstop, merr := telemetry.ServeAdmin(*metricsAddr, reg, func() telemetry.Health {
+			return telemetry.Health{Healthy: true, Role: "edge"}
+		})
+		if merr != nil {
+			return merr
+		}
+		defer mstop()
+		log.Printf("tcached: metrics on http://%s/metrics", mbound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

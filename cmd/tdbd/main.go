@@ -5,6 +5,12 @@
 //	tdbd [-listen 127.0.0.1:7070] [-shards 4] [-dep-bound 5]
 //	     [-wal-dir /var/lib/tdbd/wal] [-wal-sync=true]
 //	     [-snapshot-every 10000] [-wal-segment-size 67108864]
+//	     [-metrics-addr 127.0.0.1:9070]
+//
+// With -metrics-addr an admin HTTP listener serves /metrics (Prometheus
+// text exposition: transaction counters, commit and WAL-fsync latency
+// histograms, replication lag), role-aware /healthz (a standby answers
+// 200 and says so; a sticky WAL error turns it 503), and /debug/pprof.
 //
 // Without -wal-dir the database is purely in-memory. With it, commits
 // are written to a segmented write-ahead log before being applied, and
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"tcache/internal/db"
+	"tcache/internal/telemetry"
 	"tcache/internal/transport"
 )
 
@@ -46,6 +53,8 @@ func run() error {
 		walSync   = flag.Bool("wal-sync", true, "fsync commit batches before acknowledging (requires -wal-dir)")
 		snapEvery = flag.Int("snapshot-every", 10000, "background snapshot after this many commits, 0 = never (requires -wal-dir)")
 		segSize   = flag.Int64("wal-segment-size", 0, "log segment rotation threshold in bytes, 0 = default 64 MiB")
+
+		metricsAddr = flag.String("metrics-addr", "", "admin HTTP listener for /metrics, /healthz, /debug/pprof (empty = disabled)")
 
 		nodeID       = flag.Uint("node-id", 0, "version namespace of this node's commits (give each replica its own)")
 		replicaOf    = flag.String("replica-of", "", "run as a warm standby replicating from the primary at this address")
@@ -81,10 +90,39 @@ func run() error {
 	}
 
 	srv := transport.NewDBServer(d, log.Printf)
+	// One registry for both surfaces: OpStats over the wire (flat
+	// encoding, a superset of the legacy counter map) and the admin
+	// listener's /metrics.
+	reg := telemetry.NewRegistry()
+	d.RegisterMetrics(reg)
+	srv.RegisterMetrics(reg)
+	srv.SetRegistry(reg)
+
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		_ = d.Close()
 		return err
+	}
+
+	if *metricsAddr != "" {
+		mbound, mstop, merr := telemetry.ServeAdmin(*metricsAddr, reg, func() telemetry.Health {
+			h := telemetry.Health{Healthy: true, Role: d.Role().String()}
+			if st := d.ReplStatusNow(); st.Role == db.RoleStandby && st.Leader != "" {
+				h.Detail = "leader=" + st.Leader
+			}
+			if err := d.Health(); err != nil {
+				h.Healthy = false
+				h.Detail = err.Error()
+			}
+			return h
+		})
+		if merr != nil {
+			srv.Close()
+			_ = d.Close()
+			return merr
+		}
+		defer mstop()
+		log.Printf("tdbd: metrics on http://%s/metrics", mbound)
 	}
 	log.Printf("tdbd: serving on %s (shards=%d, dep-bound=%d, wal=%q sync=%v, role=%s)",
 		addr, *shards, *depBound, *walDir, *walSync, d.Role())

@@ -11,6 +11,7 @@ import (
 	"tcache/internal/clock"
 	"tcache/internal/db"
 	"tcache/internal/kv"
+	"tcache/internal/telemetry"
 	"tcache/internal/transport"
 )
 
@@ -181,6 +182,21 @@ type Router struct {
 	subSeq uint64
 	subs   map[uint64]context.CancelFunc
 	closed bool
+
+	// rtHist, when set, times every node's wire round trips — applied to
+	// live clients and to any client a probe dials later.
+	rtHist atomic.Pointer[telemetry.Histogram]
+}
+
+// SetRoundTripHistogram wires h into every node client, current and
+// future, so a fleet's round trips aggregate into one histogram.
+func (r *Router) SetRoundTripHistogram(h *telemetry.Histogram) {
+	r.rtHist.Store(h)
+	for _, n := range r.node {
+		if cli := n.cli.Load(); cli != nil {
+			cli.SetRoundTripHistogram(h)
+		}
+	}
 }
 
 // NewRouter builds the fleet client: a ring over cfg.Addrs and one
@@ -408,6 +424,8 @@ func (r *Router) probeOnce(n *node) bool {
 		}
 		if !n.cli.CompareAndSwap(nil, dialed) {
 			dialed.Close()
+		} else if h := r.rtHist.Load(); h != nil {
+			dialed.SetRoundTripHistogram(h)
 		}
 		cli = n.cli.Load()
 	}
@@ -808,9 +826,11 @@ type NodeStats struct {
 	Err string
 }
 
-// Stats fetches every node's counters concurrently (ejected nodes are
-// reported with their state and no counters) and the per-node health
-// breakdown.
+// Stats fetches every node's counters concurrently and the per-node
+// health breakdown. Nodes that are not scraped — ejected, never dialed,
+// or erroring mid-scrape — report WHY in Err, never a silently nil
+// Stats with an empty Err: a fleet dashboard must distinguish "node
+// served zero ops" from "node was not asked".
 func (r *Router) Stats(ctx context.Context) []NodeStats {
 	out := make([]NodeStats, len(r.node))
 	var wg sync.WaitGroup
@@ -818,6 +838,12 @@ func (r *Router) Stats(ctx context.Context) []NodeStats {
 		out[i] = NodeStats{Addr: n.addr, State: n.state(), ConsecutiveFails: int(n.fails.Load())}
 		cli := n.cli.Load()
 		if !n.available() || cli == nil {
+			switch {
+			case cli == nil:
+				out[i].Err = "node unreachable: never connected"
+			default:
+				out[i].Err = "node unavailable (ejected)"
+			}
 			continue
 		}
 		wg.Add(1)

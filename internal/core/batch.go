@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"tcache/internal/kv"
 )
@@ -32,6 +33,10 @@ func (c *Cache) ReadMulti(ctx context.Context, txnID kv.TxnID, keys []kv.Key, la
 		}
 		return nil, nil
 	}
+	var start time.Time
+	if c.tel != nil {
+		start = time.Now()
+	}
 	c.prefetch(ctx, keys)
 	vals := make([]kv.Value, len(keys))
 	for i, key := range keys {
@@ -40,6 +45,9 @@ func (c *Cache) ReadMulti(ctx context.Context, txnID kv.TxnID, keys []kv.Key, la
 			return nil, err
 		}
 		vals[i] = val
+	}
+	if c.tel != nil {
+		c.tel.ReadMulti.ObserveSince(start)
 	}
 	return vals, nil
 }

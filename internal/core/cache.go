@@ -200,6 +200,10 @@ type Config struct {
 	// (each shard holds ≈ Capacity/Shards entries, at least one), making
 	// eviction approximately — rather than exactly — global LRU.
 	Shards int
+	// Telemetry, when non-nil, receives latency observations from the
+	// read hot paths (warm hit, cold fill, batch read). Nil disables
+	// instrumentation entirely — the hot paths take no time stamps.
+	Telemetry *Telemetry
 }
 
 // Cache is a T-Cache server. It is safe for concurrent use.
@@ -220,6 +224,7 @@ type Cache struct {
 	hooks  []CompletionHook
 
 	metrics Metrics
+	tel     *Telemetry // nil = telemetry off; see Config.Telemetry
 }
 
 // The locking protocol (PR 1), as enforced by tcachelint's lockorder
@@ -422,6 +427,7 @@ func New(cfg Config) (*Cache, error) {
 		clk:     cfg.Clock,
 		shards:  make([]*cacheShard, cfg.Shards),
 		stripes: make([]*txnStripe, cfg.Shards),
+		tel:     cfg.Telemetry,
 	}
 	for i := range c.shards {
 		c.shards[i] = &cacheShard{entries: make(map[kv.Key]*entry)}

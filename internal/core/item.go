@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"time"
 
 	"tcache/internal/kv"
 )
@@ -58,11 +59,23 @@ func (c *Cache) GetItems(ctx context.Context, keys []kv.Key, floor kv.Version) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Telemetry gate, mirroring lookupFloorShardLocked: nil c.tel means
+	// no clock reads at all. Enabled, each served key costs a stamp and
+	// an atomic add — zero allocations. This is the batch path cluster
+	// routers drive (OpGetBatch), so it feeds the same warm/cold/multi
+	// histograms the transactional reads do.
+	var start, keyStart time.Time
+	if c.tel != nil {
+		start = time.Now()
+	}
 	out := make([]kv.Lookup, len(keys))
 	var missing []kv.Key
 	var missingIdx []int
 	for i, key := range keys {
 		c.metrics.Reads.Add(1)
+		if c.tel != nil {
+			keyStart = time.Now()
+		}
 		sh := c.shardFor(key)
 		sh.mu.Lock()
 		e, cached := sh.entries[key]
@@ -82,6 +95,9 @@ func (c *Cache) GetItems(ctx context.Context, keys []kv.Key, floor kv.Version) (
 			sh.lruTouch(e)
 			out[i] = kv.Lookup{Item: e.item, Found: true}
 			sh.mu.Unlock()
+			if c.tel != nil {
+				c.tel.ReadWarm.ObserveSince(keyStart)
+			}
 			continue
 		}
 		sh.mu.Unlock()
@@ -90,6 +106,9 @@ func (c *Cache) GetItems(ctx context.Context, keys []kv.Key, floor kv.Version) (
 		missingIdx = append(missingIdx, i)
 	}
 	if len(missing) == 0 {
+		if c.tel != nil {
+			c.tel.ReadMulti.ObserveSince(start)
+		}
 		return out, nil
 	}
 
@@ -112,6 +131,15 @@ func (c *Cache) GetItems(ctx context.Context, keys []kv.Key, floor kv.Version) (
 		c.insertShardLocked(sh, key, lu.Item)
 		sh.mu.Unlock()
 		out[missingIdx[j]] = lu
+	}
+	if c.tel != nil {
+		// Each missed key's serving latency is the whole lookup + batch
+		// fill, so they all record the same elapsed cold sample.
+		cold := uint64(time.Since(start))
+		for range missing {
+			c.tel.ReadCold.Observe(cold)
+		}
+		c.tel.ReadMulti.ObserveSince(start)
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"tcache/internal/kv"
 )
@@ -230,6 +231,13 @@ func (c *Cache) lookupShardLocked(ctx context.Context, sh *cacheShard, key kv.Ke
 //tcache:hotpath
 //tcache:holds shard
 func (c *Cache) lookupFloorShardLocked(ctx context.Context, sh *cacheShard, key kv.Key, floor kv.Version) (kv.Item, error) {
+	// Telemetry gate: with c.tel nil (the default) the hot path takes no
+	// time stamp at all; enabled, the cost is two clock reads and two
+	// atomic adds — zero allocations either way.
+	var start time.Time
+	if c.tel != nil {
+		start = time.Now()
+	}
 	if e, ok := sh.entries[key]; ok {
 		switch {
 		case c.cfg.TTL > 0 && c.clk.Since(e.fetchedAt) >= c.cfg.TTL:
@@ -251,6 +259,9 @@ func (c *Cache) lookupFloorShardLocked(ctx context.Context, sh *cacheShard, key 
 		default:
 			c.metrics.Hits.Add(1)
 			sh.lruTouch(e)
+			if c.tel != nil {
+				c.tel.ReadWarm.ObserveSince(start)
+			}
 			return e.item, nil
 		}
 	}
@@ -270,6 +281,9 @@ func (c *Cache) lookupFloorShardLocked(ctx context.Context, sh *cacheShard, key 
 		return kv.Item{}, ErrNotFound
 	}
 	e := c.insertShardLocked(sh, key, item)
+	if c.tel != nil {
+		c.tel.ReadCold.ObserveSince(start)
+	}
 	return e.item, nil
 }
 

@@ -82,6 +82,12 @@ type Config struct {
 	// synchronous replication: an acknowledged write survives the loss
 	// of the primary. 0 (the default) replicates asynchronously.
 	ReplMinSync int
+
+	// Telemetry receives latency observations from the commit, WAL, and
+	// replication paths. Nil allocates a fresh set — database telemetry
+	// is always on (see Telemetry's doc for the cost argument); pass a
+	// shared set to aggregate several databases into one registry.
+	Telemetry *Telemetry
 }
 
 // MergePolicy selects the dependency-list pruning order.
@@ -196,6 +202,7 @@ type DB struct {
 
 	closed  atomic.Bool
 	metrics Metrics
+	tel     *Telemetry // never nil; see Config.Telemetry
 }
 
 // Open creates a database.
@@ -205,11 +212,16 @@ func Open(cfg Config) *DB {
 	if cfg.LockTimeout > 0 {
 		lockOpts = append(lockOpts, lock.WithTimeout(cfg.LockTimeout))
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = NewTelemetry()
+	}
 	d := &DB{
 		cfg:   cfg,
 		locks: lock.NewManager(lockOpts...),
 		subs:  make(map[string]InvalidationSink),
 		door:  newCommitDoor(),
+		tel:   tel,
 	}
 	d.repl.acked = make(map[string]replAck)
 	d.shards = make([]*shardState, cfg.Shards)

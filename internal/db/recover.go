@@ -40,6 +40,8 @@ func Recover(cfg Config, dir string) (*DB, error) {
 	log, err := wal.Open(dir, wal.Options{
 		Sync:        cfg.WALSync,
 		SegmentSize: cfg.WALSegmentSize,
+		BatchHist:   d.tel.WALBatch,
+		FsyncHist:   d.tel.WALFsync,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("db: recover: %w", err)

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"tcache/internal/kv"
 	"tcache/internal/wal"
@@ -160,6 +161,7 @@ func (d *DB) ApplyReplicated(recs []wal.Record) (wal.Pos, error) {
 	if len(recs) == 0 {
 		return wal.Pos{}, nil
 	}
+	start := time.Now()
 	d.commitMu.Lock()
 	defer d.commitMu.Unlock()
 	if Role(d.role.Load()) != RoleStandby {
@@ -204,6 +206,7 @@ func (d *DB) ApplyReplicated(recs []wal.Record) (wal.Pos, error) {
 	d.repl.applied += uint64(len(recs))
 	d.repl.mu.Unlock()
 	d.noteReplApplyForSnapshot(len(recs))
+	d.tel.ReplApply.ObserveSince(start)
 	return pos, nil
 }
 

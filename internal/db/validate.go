@@ -3,6 +3,7 @@ package db
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"tcache/internal/kv"
 )
@@ -47,6 +48,7 @@ func (e *ConflictError) Unwrap() error { return ErrConflict }
 // here for validation-and-commit in a single exchange. Blind writes
 // (an empty read set) commit unconditionally.
 func (d *DB) ValidatedUpdate(ctx context.Context, reads []kv.ObservedRead, writes []kv.KeyValue) (kv.Version, error) {
+	start := time.Now()
 	txn := d.BeginCtx(ctx)
 	for _, r := range reads {
 		item, found, err := txn.Read(r.Key)
@@ -59,6 +61,7 @@ func (d *DB) ValidatedUpdate(ctx context.Context, reads []kv.ObservedRead, write
 			d.metrics.Conflicts.Add(1)
 			d.metrics.TxnsAborted.Add(1)
 			txn.rollback()
+			d.tel.UpdateConflict.ObserveSince(start)
 			return kv.Version{}, &ConflictError{Key: r.Key, Current: item.Version, Found: found}
 		}
 	}
@@ -67,5 +70,9 @@ func (d *DB) ValidatedUpdate(ctx context.Context, reads []kv.ObservedRead, write
 			return kv.Version{}, err
 		}
 	}
-	return txn.Commit()
+	version, err := txn.Commit()
+	if err == nil {
+		d.tel.UpdateCommit.ObserveSince(start)
+	}
+	return version, err
 }

@@ -8,6 +8,7 @@ var All = []*Analyzer{
 	SharedValue,
 	HotAlloc,
 	WireExhaustive,
+	MetricName,
 }
 
 // ByName returns the named analyzer, or nil.

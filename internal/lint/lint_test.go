@@ -31,6 +31,10 @@ func TestWireExhaustive(t *testing.T) {
 	linttest.Run(t, "testdata/src/wireexhaustive", lint.WireExhaustive)
 }
 
+func TestMetricName(t *testing.T) {
+	linttest.Run(t, "testdata/src/metricname", lint.MetricName)
+}
+
 // TestRepoIsLintClean is the meta-test: the full suite over the whole
 // module (tests included) must produce zero findings, so a regression
 // anywhere in the tree fails `go test` even before `make lint` runs.

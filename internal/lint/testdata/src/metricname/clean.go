@@ -1,0 +1,23 @@
+package metricname
+
+// constName shows a named constant satisfies the string-constant rule.
+const constName = "const_named"
+
+// unannotated functions may register whatever they like — the analyzer
+// only audits the //tcache:metric vocabulary.
+func unannotated(reg *Registry) {
+	reg.Counter("Whatever-Goes", nil)
+}
+
+// nonRegistry has the method names but no receiver relation to a
+// registry shape worth flagging: package-level funcs are ignored.
+func Counter(name string, read func() uint64) {}
+
+//tcache:metric
+func registersClean(reg *Registry) {
+	reg.Counter("reads", nil)
+	reg.Gauge("cache_bytes", nil)
+	reg.Histogram("read_warm_ns", nil)
+	reg.Counter(constName, nil)
+	Counter("Not A Registration", nil)
+}

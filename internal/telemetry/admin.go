@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// The admin listener: a plain net/http server with the three
+// operational endpoints every daemon grows with -metrics-addr:
+//
+//	/metrics        Prometheus text exposition of the process registry
+//	/healthz        role-aware liveness (200 healthy / 503 otherwise)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// It is a separate listener from the wire protocol on purpose: the
+// scrape plane must stay reachable (and firewallable) independently of
+// the data plane, and pprof must never share a port with user traffic.
+
+// Health is one /healthz evaluation. Role distinguishes a primary from
+// a standby from an edge cache — a standby is healthy, it just says
+// so — while Healthy=false (e.g. a sticky WAL write error) turns the
+// endpoint 503 so orchestrators stop routing to the process.
+type Health struct {
+	Healthy bool
+	Role    string // "primary", "standby", "edge", ...
+	Detail  string // free-form: leader address, sticky error, ...
+}
+
+// MetricsPrefix is the exposition namespace every metric family is
+// emitted under.
+const MetricsPrefix = "tcache_"
+
+// NewAdminMux builds the admin handler for a registry. health may be
+// nil, in which case /healthz always answers 200 ok.
+func NewAdminMux(reg *Registry, health func() Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, MetricsPrefix, reg.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		h := Health{Healthy: true}
+		if health != nil {
+			h = health()
+		}
+		if !h.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		status := "ok"
+		if !h.Healthy {
+			status = "unhealthy"
+		}
+		fmt.Fprintf(w, "%s", status)
+		if h.Role != "" {
+			fmt.Fprintf(w, " role=%s", h.Role)
+		}
+		if h.Detail != "" {
+			fmt.Fprintf(w, " %s", h.Detail)
+		}
+		fmt.Fprintln(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin binds addr (host:port, :0 for ephemeral) and serves the
+// admin endpoints until stop is called. It returns the bound address —
+// tests and daemons log it — and never blocks.
+func ServeAdmin(addr string, reg *Registry, health func() Health) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewAdminMux(reg, health),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	stop = func() {
+		_ = srv.Close()
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
+}

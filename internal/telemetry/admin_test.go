@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeAdmin(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", func() uint64 { return 99 })
+	h := new(Histogram)
+	r.Histogram("read_warm_ns", h)
+	h.Observe(700)
+
+	healthy := true
+	bound, stop, err := ServeAdmin("127.0.0.1:0", r, func() Health {
+		return Health{Healthy: healthy, Role: "standby", Detail: "leader=127.0.0.1:7000"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + bound + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE tcache_hits_total counter",
+		"tcache_hits_total 99",
+		"# TYPE tcache_read_warm_ns histogram",
+		`tcache_read_warm_ns_bucket{le="1023"} 1`,
+		`tcache_read_warm_ns_bucket{le="+Inf"} 1`,
+		"tcache_read_warm_ns_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/healthz")
+	if code != 200 || !strings.Contains(body, "ok role=standby leader=127.0.0.1:7000") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	code, body = get("/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "unhealthy") {
+		t.Errorf("unhealthy /healthz = %d %q", code, body)
+	}
+
+	// pprof index answers on the same listener.
+	code, _ = get("/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}

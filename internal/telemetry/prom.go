@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Prometheus text exposition (version 0.0.4), hand-rolled: the repo
+// takes no dependencies, and the format is four line shapes. Metric
+// families are emitted in sorted order with a # TYPE header each, under
+// a common name prefix (conventionally "tcache_"):
+//
+//	<prefix><counter>_total            counter
+//	<prefix><gauge>                    gauge
+//	<prefix><hist>_bucket{le="..."}    cumulative log buckets, + le="+Inf"
+//	<prefix><hist>_sum / _count        histogram sum and count
+//
+// Histogram `le` bounds are the inclusive bucket uppers (2^i − 1
+// nanoseconds); empty buckets are elided but cumulative counts stay
+// exact, which is all PromQL's histogram_quantile needs.
+
+// WritePrometheus encodes a snapshot in Prometheus text exposition
+// format. Output is deterministic (sorted by metric name within each
+// kind: counters, then gauges, then histograms) so it is golden-file
+// testable.
+func WritePrometheus(w io.Writer, prefix string, s Snapshot) error {
+	for _, name := range sortedKeys(s.Counters) {
+		full := prefix + name + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", full, full, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		full := prefix + name
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", full, full, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if err := writePromHistogram(w, prefix+name, s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, full string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", full); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", full, strconv.FormatUint(BucketUpper(i), 10), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", full, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", full, h.Sum, full, cum)
+	return err
+}

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// TestPrometheusExpositionGolden pins the exact exposition bytes: a
+// fixed registry with hand-placed observations must encode to the
+// checked-in golden file. Run with -update-golden after a deliberate
+// format change.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	reads := uint64(1234)
+	r.Counter("reads", func() uint64 { return reads })
+	r.Counter("hits", func() uint64 { return 1200 })
+	r.Gauge("repl_lag", func() uint64 { return 3 })
+	r.Gauge("cache_entries", func() uint64 { return 512 })
+	h := new(Histogram)
+	r.Histogram("read_warm_ns", h)
+	r.Histogram("empty_ns", nil)
+	h.Observe(0)       // bucket 0
+	h.Observe(1)       // bucket 1
+	h.Observe(900)     // bucket 10 (512..1023)
+	h.Observe(1000)    // bucket 10
+	h.Observe(1 << 20) // bucket 21
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, MetricsPrefix, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

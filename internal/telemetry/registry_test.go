@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestValidMetricName(t *testing.T) {
+	valid := []string{"reads", "read_warm_ns", "p99", "a", "x_1_y"}
+	invalid := []string{"", "Reads", "read-warm", "1reads", "_reads", "read warm", "read|h1", "read#ns"}
+	for _, n := range valid {
+		if !ValidMetricName(n) {
+			t.Errorf("ValidMetricName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range invalid {
+		if ValidMetricName(n) {
+			t.Errorf("ValidMetricName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestRegistryPanicsOnBadNames(t *testing.T) {
+	mustPanic := func(name string, fn func(r *Registry)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn(NewRegistry())
+	}
+	mustPanic("invalid", func(r *Registry) { r.Counter("Bad-Name", func() uint64 { return 0 }) })
+	mustPanic("duplicate", func(r *Registry) {
+		r.Counter("dup", func() uint64 { return 0 })
+		r.Gauge("dup", func() uint64 { return 0 })
+	})
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	var c uint64 = 7
+	r.Counter("reads", func() uint64 { return c })
+	r.Gauge("lag", func() uint64 { return 3 })
+	h := new(Histogram)
+	r.Histogram("read_ns", h)
+	r.Histogram("empty_ns", nil) // nil histogram registers an empty family
+
+	h.Observe(100)
+	h.Observe(200)
+
+	s := r.Snapshot()
+	if s.Counters["reads"] != 7 || s.Gauges["lag"] != 3 {
+		t.Fatalf("snapshot scalar values wrong: %+v", s)
+	}
+	hs := s.Histograms["read_ns"]
+	if hs.Count() != 2 || hs.Sum != 300 {
+		t.Fatalf("snapshot histogram wrong: %+v", hs)
+	}
+	if es, ok := s.Histograms["empty_ns"]; !ok || es.Count() != 0 {
+		t.Fatalf("nil-histogram family missing or nonzero: %+v ok=%v", es, ok)
+	}
+	c = 9
+	if got := r.Snapshot().Counters["reads"]; got != 9 {
+		t.Fatalf("counter not sampled lazily: %d", got)
+	}
+	want := []string{"empty_ns", "lag", "read_ns", "reads"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+}
+
+func TestFlattenParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reads", func() uint64 { return 42 })
+	r.Gauge("repl_lag", func() uint64 { return 5 })
+	h := new(Histogram)
+	r.Histogram("read_warm_ns", h)
+	h.Observe(0)
+	h.Observe(100)
+	h.Observe(1 << 20)
+
+	snap := r.Snapshot()
+	flat := Flatten(snap)
+
+	// The legacy plain-counter key survives untouched.
+	if flat["reads"] != 42 {
+		t.Fatalf("counter key missing: %v", flat)
+	}
+	if flat["repl_lag|g"] != 5 {
+		t.Fatalf("gauge key missing: %v", flat)
+	}
+
+	back := ParseFlat(flat)
+	if !reflect.DeepEqual(back.Counters, snap.Counters) {
+		t.Errorf("counters: %v != %v", back.Counters, snap.Counters)
+	}
+	if !reflect.DeepEqual(back.Gauges, snap.Gauges) {
+		t.Errorf("gauges: %v != %v", back.Gauges, snap.Gauges)
+	}
+	if !reflect.DeepEqual(back.Histograms, snap.Histograms) {
+		t.Errorf("histograms: %v != %v", back.Histograms, snap.Histograms)
+	}
+
+	// A pre-telemetry stats map (plain keys only) parses as counters.
+	legacy := ParseFlat(map[string]uint64{"hits": 1, "misses": 2})
+	if legacy.Counters["hits"] != 1 || len(legacy.Histograms) != 0 || len(legacy.Gauges) != 0 {
+		t.Fatalf("legacy map mis-parsed: %+v", legacy)
+	}
+
+	// Malformed suffixes are preserved as counters, never dropped.
+	odd := ParseFlat(map[string]uint64{"x|h999": 3, "y|zz": 4, "|g": 5})
+	if odd.Counters["x|h999"] != 3 || odd.Counters["y|zz"] != 4 || odd.Counters["|g"] != 5 {
+		t.Fatalf("malformed keys dropped: %+v", odd)
+	}
+}

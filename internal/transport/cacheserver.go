@@ -8,10 +8,12 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"tcache/internal/core"
 	"tcache/internal/db"
 	"tcache/internal/kv"
+	"tcache/internal/telemetry"
 )
 
 // CacheServer serves a core.Cache over TCP. The cache's backend is
@@ -43,6 +45,11 @@ type CacheServer struct {
 	//tcache:lockorder relay < invq
 	subMu sync.Mutex //tcache:lockclass relay
 	subs  map[string]*invPusher
+
+	// reg, when set, replaces the legacy OpStats counter map with the
+	// full registry snapshot (counters + gauges + histograms) in flat
+	// wire encoding — protocol-v5 compatible: only more map keys.
+	reg atomic.Pointer[telemetry.Registry]
 
 	logf func(format string, args ...any)
 }
@@ -81,6 +88,39 @@ func (s *CacheServer) Subscribers() int {
 	s.subMu.Lock()
 	defer s.subMu.Unlock()
 	return len(s.subs)
+}
+
+// SetRegistry makes OpStats serve the full registry snapshot (flat
+// encoding) instead of the legacy fixed counter map. Call it before
+// Listen; the registry should already aggregate the cache's metrics
+// (core.Cache.RegisterMetrics) and this server's (RegisterMetrics).
+func (s *CacheServer) SetRegistry(reg *telemetry.Registry) { s.reg.Store(reg) }
+
+// RegisterMetrics registers the server-local gauges: connected
+// downstream relays and their queued-invalidation backlog.
+// relay_subscribers keeps its legacy name but is now typed as a gauge
+// on the wire (it was always instantaneous, never a counter).
+//
+//tcache:metric
+func (s *CacheServer) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Gauge("relay_subscribers", func() uint64 { return uint64(s.Subscribers()) })
+	reg.Gauge("relay_queue", func() uint64 { return s.queuedInvalidations() })
+}
+
+// queuedInvalidations sums the invalidation backlog across every
+// downstream relay.
+func (s *CacheServer) queuedInvalidations() uint64 {
+	s.subMu.Lock()
+	pushers := make([]*invPusher, 0, len(s.subs))
+	for _, p := range s.subs {
+		pushers = append(pushers, p)
+	}
+	s.subMu.Unlock()
+	var n uint64
+	for _, p := range pushers {
+		n += uint64(p.depth())
+	}
+	return n
 }
 
 // Listen binds addr and starts serving in the background, returning the
@@ -319,6 +359,11 @@ func (s *CacheServer) dispatch(ctx context.Context, req Request) Response {
 		return Response{Code: CodeOK}
 
 	case OpStats:
+		// See DBServer.dispatch: a registry snapshot is a strict superset
+		// of the legacy map, carried in the same Stats field.
+		if reg := s.reg.Load(); reg != nil {
+			return Response{Code: CodeOK, Stats: telemetry.Flatten(reg.Snapshot())}
+		}
 		m := s.cache.Metrics()
 		return Response{Code: CodeOK, Stats: map[string]uint64{
 			"reads":             m.Reads,

@@ -14,6 +14,7 @@ import (
 	"tcache/internal/core"
 	"tcache/internal/db"
 	"tcache/internal/kv"
+	"tcache/internal/telemetry"
 )
 
 // Errors mapped from response codes.
@@ -307,6 +308,23 @@ type mux struct {
 	slots  []*muxSlot
 	next   atomic.Uint64
 	closed atomic.Bool
+
+	// rtHist, when set, records every round trip's wall time (including
+	// any redial retries — the latency the caller actually experienced).
+	rtHist atomic.Pointer[telemetry.Histogram]
+}
+
+// liveConns counts slots holding a live connection right now.
+func (m *mux) liveConns() int {
+	n := 0
+	for _, s := range m.slots {
+		s.mu.Lock()
+		if s.cn != nil && s.cn.alive() {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 type muxSlot struct {
@@ -415,6 +433,17 @@ func (m *mux) close() {
 // fast to a cluster health checker instead of being retried forever by
 // every caller.
 func (m *mux) roundTrip(ctx context.Context, req Request) (Response, error) {
+	h := m.rtHist.Load()
+	if h == nil {
+		return m.doRoundTrip(ctx, req)
+	}
+	start := time.Now()
+	resp, err := m.doRoundTrip(ctx, req)
+	h.ObserveSince(start)
+	return resp, err
+}
+
+func (m *mux) doRoundTrip(ctx context.Context, req Request) (Response, error) {
 	s, cn, fresh, err := m.grab(ctx)
 	if err != nil {
 		return Response{}, wrapUnavail(err)
@@ -524,6 +553,18 @@ func DialDB(ctx context.Context, addr string, conns int, opts ...ClientOption) (
 
 // Close closes all connections.
 func (c *DBClient) Close() { c.mx.close() }
+
+// SetRoundTripHistogram makes every subsequent call record its wall
+// time (dial retries included) into h; nil disables. Safe to call
+// concurrently with in-flight requests.
+func (c *DBClient) SetRoundTripHistogram(h *telemetry.Histogram) { c.mx.rtHist.Store(h) }
+
+// PoolSize returns the configured number of multiplexed connections.
+func (c *DBClient) PoolSize() int { return len(c.mx.slots) }
+
+// LiveConns counts the pool slots holding a live connection right now —
+// the conn-pool gauge. Slots redial lazily, so this ramps with traffic.
+func (c *DBClient) LiveConns() int { return c.mx.liveConns() }
 
 // ReadItem implements core.Backend: a lock-free committed read, one round
 // trip.
@@ -866,6 +907,10 @@ func DialCache(ctx context.Context, addr string, opts ...ClientOption) (*CacheCl
 
 // Close closes the connection.
 func (c *CacheClient) Close() { c.mx.close() }
+
+// SetRoundTripHistogram makes every subsequent call record its wall
+// time into h; nil disables.
+func (c *CacheClient) SetRoundTripHistogram(h *telemetry.Histogram) { c.mx.rtHist.Store(h) }
 
 // Get performs a plain cache read.
 func (c *CacheClient) Get(ctx context.Context, key kv.Key) (kv.Value, error) {

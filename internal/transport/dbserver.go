@@ -8,9 +8,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"tcache/internal/db"
 	"tcache/internal/kv"
+	"tcache/internal/telemetry"
 )
 
 // DBServer serves a db.DB over TCP.
@@ -29,6 +31,16 @@ type DBServer struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// pushers tracks the live subscription streams so the telemetry
+	// gauge can sum their queued-invalidation backlogs.
+	pushMu  sync.Mutex
+	pushers map[*invPusher]struct{}
+
+	// reg, when set, replaces the legacy OpStats counter map with the
+	// full registry snapshot (counters + gauges + histograms) in flat
+	// wire encoding — protocol-v5 compatible: only more map keys.
+	reg atomic.Pointer[telemetry.Registry]
+
 	logf func(format string, args ...any)
 }
 
@@ -39,7 +51,43 @@ func NewDBServer(d *db.DB, logf func(string, ...any)) *DBServer {
 	}
 	//lint:ignore ctxdiscipline the server ctx spans all connections and is cancelled by Close, not by any one caller
 	ctx, cancel := context.WithCancel(context.Background())
-	return &DBServer{db: d, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{}), logf: logf}
+	return &DBServer{db: d, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{}),
+		pushers: make(map[*invPusher]struct{}), logf: logf}
+}
+
+// SetRegistry makes OpStats serve the full registry snapshot (flat
+// encoding) instead of the legacy fixed counter map. Call it before
+// Listen; the registry should already aggregate the database's metrics
+// (db.RegisterMetrics) and this server's (RegisterMetrics).
+func (s *DBServer) SetRegistry(reg *telemetry.Registry) { s.reg.Store(reg) }
+
+// RegisterMetrics registers the server-local gauges: live subscription
+// streams and their queued-invalidation backlog.
+//
+//tcache:metric
+func (s *DBServer) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Gauge("subscribers", func() uint64 {
+		s.pushMu.Lock()
+		defer s.pushMu.Unlock()
+		return uint64(len(s.pushers))
+	})
+	reg.Gauge("subscriber_queue", func() uint64 { return s.queuedInvalidations() })
+}
+
+// queuedInvalidations sums the invalidation backlog across every live
+// subscription stream.
+func (s *DBServer) queuedInvalidations() uint64 {
+	s.pushMu.Lock()
+	pushers := make([]*invPusher, 0, len(s.pushers))
+	for p := range s.pushers {
+		pushers = append(pushers, p)
+	}
+	s.pushMu.Unlock()
+	var n uint64
+	for _, p := range pushers {
+		n += uint64(p.depth())
+	}
+	return n
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts serving in the
@@ -223,10 +271,16 @@ func (s *DBServer) servePush(conn net.Conn, fr *frameReader, writeMu *sync.Mutex
 		_ = writeResponseFrame(conn, writeMu, id, &resp)
 		return
 	}
+	s.pushMu.Lock()
+	s.pushers[p] = struct{}{}
+	s.pushMu.Unlock()
 	go p.run()
 	defer func() {
 		unsub()
 		p.stop()
+		s.pushMu.Lock()
+		delete(s.pushers, p)
+		s.pushMu.Unlock()
 	}()
 	resp := Response{Code: CodeOK}
 	if err := writeResponseFrame(conn, writeMu, id, &resp); err != nil {
@@ -318,6 +372,13 @@ var maxInvalidationFrameBytes = 1 << 20
 
 func (p *invPusher) stop() { close(p.done) }
 
+// depth returns the current queued-invalidation backlog.
+func (p *invPusher) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
 func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
 	//tcache:exhaustive
 	switch req.Op {
@@ -361,6 +422,14 @@ func (s *DBServer) dispatch(ctx context.Context, req Request) Response {
 		return updateResponse(version, err)
 
 	case OpStats:
+		// With a registry attached, OpStats carries the whole snapshot —
+		// histograms and gauges included — in the flat wire encoding. The
+		// registry's counter names are a superset of the legacy map, so
+		// old scrapers see the keys they always saw. Without one, the
+		// legacy fixed map keeps lightweight embedders unchanged.
+		if reg := s.reg.Load(); reg != nil {
+			return Response{Code: CodeOK, Stats: telemetry.Flatten(reg.Snapshot())}
+		}
 		m := s.db.Metrics()
 		return Response{Code: CodeOK, Stats: map[string]uint64{
 			"txns_started":       m.TxnsStarted,

@@ -26,6 +26,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"tcache/internal/telemetry"
 )
 
 // Errors returned by the log.
@@ -131,6 +134,11 @@ type Options struct {
 	// split across segments, so a segment may exceed it by one record).
 	// 0 means the 64 MiB default.
 	SegmentSize int64
+	// BatchHist, when non-nil, observes the latency (ns) of each group-
+	// commit batch write (buffer write + fsync + rotation). FsyncHist
+	// observes the fsync alone. Nil histograms record nothing.
+	BatchHist *telemetry.Histogram
+	FsyncHist *telemetry.Histogram
 }
 
 const defaultSegmentSize = 64 << 20
@@ -481,6 +489,7 @@ func (l *Log) flusher() {
 // commit would let an "aborted" transaction resurrect at recovery — it
 // only fail-stops future appends.
 func (l *Log) writeBatch(b *batch) error {
+	start := time.Now() // cheap next to the write+fsync it measures
 	l.fileMu.Lock()
 	defer l.fileMu.Unlock()
 	b.seq = l.seq
@@ -490,9 +499,11 @@ func (l *Log) writeBatch(b *batch) error {
 	}
 	l.size += int64(len(b.buf))
 	if l.opts.Sync {
+		syncStart := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return l.fail(err)
 		}
+		l.opts.FsyncHist.ObserveSince(syncStart)
 		l.fsyncs.Add(1)
 	}
 	l.records.Add(uint64(b.n))
@@ -504,6 +515,7 @@ func (l *Log) writeBatch(b *batch) error {
 		}
 	}
 	l.advanceFlushedLocked()
+	l.opts.BatchHist.ObserveSince(start)
 	return nil
 }
 
@@ -513,6 +525,18 @@ func (l *Log) advanceFlushedLocked() {
 	l.flushed = Pos{Seq: l.seq, Off: l.size}
 	close(l.flushCh)
 	l.flushCh = make(chan struct{})
+}
+
+// SegmentCount returns the number of live segments (the manifest's
+// first through the active one) — the wal_segments gauge; a count that
+// only grows means snapshots have stopped truncating the log.
+func (l *Log) SegmentCount() int {
+	l.fileMu.Lock()
+	defer l.fileMu.Unlock()
+	if l.seq < l.firstSeg {
+		return 0
+	}
+	return int(l.seq - l.firstSeg + 1)
 }
 
 // Durable returns the durable end of the log: every byte before it is

@@ -7,9 +7,11 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tcache/internal/db"
+	"tcache/internal/telemetry"
 	"tcache/internal/transport"
 )
 
@@ -56,6 +58,23 @@ type Remote struct {
 	stops  map[uint64]func()
 	stopID uint64
 	closed bool
+
+	// rtHist, when set, times every wire round trip — applied to the
+	// current client and to every client a failover dials later.
+	rtHist atomic.Pointer[telemetry.Histogram]
+}
+
+// setRoundTripHistogram wires a Telemetry's round-trip histogram into
+// this Remote (and any client future failovers dial). NewCache calls it
+// through the roundTripSetter interface.
+func (r *Remote) setRoundTripHistogram(h *telemetry.Histogram) {
+	r.rtHist.Store(h)
+	r.cliMu.Lock()
+	cli := r.cli
+	r.cliMu.Unlock()
+	if cli != nil {
+		cli.SetRoundTripHistogram(h)
+	}
 }
 
 var (
@@ -178,6 +197,9 @@ func (r *Remote) dialAny(ctx context.Context, start int) (*transport.DBClient, i
 			idx := (start + k) % len(addrs)
 			cli, err := transport.DialDB(ctx, addrs[idx], r.opts.poolSize)
 			if err == nil {
+				if h := r.rtHist.Load(); h != nil {
+					cli.SetRoundTripHistogram(h)
+				}
 				return cli, idx, nil
 			}
 			lastErr = err
@@ -539,6 +561,13 @@ func (r *Remote) Stats(ctx context.Context) (map[string]uint64, error) {
 // stop function that closes the listener and every connection.
 func ServeDB(d *DB, addr string) (bound string, stop func(), err error) {
 	srv := transport.NewDBServer(d.inner, nil)
+	// Serve the full registry over OpStats: the flat encoding is a strict
+	// superset of the legacy counter map (histograms and gauges ride
+	// along as reserved-suffix keys old clients never look at).
+	reg := telemetry.NewRegistry()
+	d.inner.RegisterMetrics(reg)
+	srv.RegisterMetrics(reg)
+	srv.SetRegistry(reg)
 	bound, err = srv.Listen(addr)
 	if err != nil {
 		return "", nil, err

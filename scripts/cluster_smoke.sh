@@ -24,6 +24,8 @@ go build -o "$BIN" ./cmd/tdbd ./cmd/tcached ./cmd/tcache-load ./cmd/tcache-cli
 
 DB=127.0.0.1:7470
 EDGES=(127.0.0.1:7471 127.0.0.1:7472 127.0.0.1:7473)
+DB_METRICS=127.0.0.1:7480
+EDGE0_METRICS=127.0.0.1:7481
 
 # wait_up polls until the daemon at $1 answers the wire protocol, or
 # fails the smoke after ~10s.
@@ -45,15 +47,21 @@ wait_up() {
 
 WAL="$LOGS/wal"
 
-echo "== spawning tdbd on $DB (wal: $WAL) =="
-"$BIN/tdbd" -listen "$DB" -wal-dir "$WAL" -snapshot-every 100 >"$LOGS/tdbd.log" 2>&1 &
+echo "== spawning tdbd on $DB (wal: $WAL, metrics: $DB_METRICS) =="
+"$BIN/tdbd" -listen "$DB" -wal-dir "$WAL" -snapshot-every 100 \
+  -metrics-addr "$DB_METRICS" >"$LOGS/tdbd.log" 2>&1 &
 TDBD_PID=$!
 wait_up "$DB"
 
 for i in "${!EDGES[@]}"; do
   addr=${EDGES[$i]}
   echo "== spawning tcached $i on $addr =="
-  "$BIN/tcached" -listen "$addr" -db "$DB" -name "smoke-edge-$i" >"$LOGS/tcached-$i.log" 2>&1 &
+  metrics_flag=()
+  if [ "$i" = 0 ]; then
+    metrics_flag=(-metrics-addr "$EDGE0_METRICS")
+  fi
+  "$BIN/tcached" -listen "$addr" -db "$DB" -name "smoke-edge-$i" \
+    "${metrics_flag[@]}" >"$LOGS/tcached-$i.log" 2>&1 &
 done
 for addr in "${EDGES[@]}"; do
   wait_up "$addr"
@@ -93,6 +101,25 @@ echo "== tcache-cli cluster round trip =="
 "$BIN/tcache-cli" -cluster "$CLUSTER" read smoke-key | tee "$LOGS/cli.log"
 grep -q 'smoke-key = "smoke-value"' "$LOGS/cli.log"
 "$BIN/tcache-cli" -cluster "$CLUSTER" stats | grep -q "aggregate:"
+
+echo "== telemetry: scrape /metrics on tdbd + tcached-0 =="
+curl -fsS "http://$DB_METRICS/metrics" >"$LOGS/tdbd-metrics.txt"
+# Commits flowed, the WAL fsynced them, the commit histogram saw them,
+# and the (replica-less) lag gauge reads zero.
+grep -q '^tcache_txns_committed_total [1-9]' "$LOGS/tdbd-metrics.txt"
+grep -q '^tcache_wal_fsyncs_total [1-9]' "$LOGS/tdbd-metrics.txt"
+grep -q '^tcache_update_commit_ns_count [1-9]' "$LOGS/tdbd-metrics.txt"
+grep -qF 'tcache_update_commit_ns_bucket{le="+Inf"}' "$LOGS/tdbd-metrics.txt"
+grep -q '^tcache_repl_lag 0' "$LOGS/tdbd-metrics.txt"
+curl -fsS "http://$EDGE0_METRICS/metrics" >"$LOGS/tcached0-metrics.txt"
+# The edge served reads with hits and its read-latency histograms are live.
+grep -q '^tcache_reads_total [1-9]' "$LOGS/tcached0-metrics.txt"
+grep -q '^tcache_hits_total [1-9]' "$LOGS/tcached0-metrics.txt"
+grep -qF 'tcache_read_warm_ns_bucket{le="+Inf"}' "$LOGS/tcached0-metrics.txt"
+grep -q '^tcache_read_multi_ns_count [1-9]' "$LOGS/tcached0-metrics.txt"
+curl -fsS "http://$DB_METRICS/healthz" | grep -q 'ok role=primary'
+curl -fsS "http://$EDGE0_METRICS/healthz" | grep -q 'ok role=edge'
+echo "telemetry surface live on both tiers"
 
 echo "== kill -9 tdbd, recover from the WAL =="
 # get prints: key = "value" @counter.node deps=[...]; field 4 is the

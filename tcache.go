@@ -61,6 +61,7 @@ import (
 	"tcache/internal/core"
 	"tcache/internal/db"
 	"tcache/internal/kv"
+	"tcache/internal/telemetry"
 )
 
 // Key identifies an object.
@@ -290,6 +291,12 @@ type Cache struct {
 	inner *core.Cache
 	unsub func()
 	seq   atomic.Uint64
+
+	// readTxnHist and updateHist are the whole-transaction latency
+	// histograms of an attached Telemetry (nil without WithTelemetry —
+	// the paths then take no time stamps).
+	readTxnHist *telemetry.Histogram
+	updateHist  *telemetry.Histogram
 }
 
 // cacheOptions collects NewCache settings.
@@ -300,6 +307,8 @@ type cacheOptions struct {
 	// chaos injector instead of delivered synchronously.
 	lossy bool
 	name  string
+	// telemetry is the WithTelemetry attachment, if any.
+	telemetry *Telemetry
 }
 
 // CacheOption configures NewCache.
@@ -407,7 +416,17 @@ func NewCache(b Backend, opts ...CacheOption) (*Cache, error) {
 		inner.Close()
 		return nil, fmt.Errorf("tcache: subscribe %q: %w", name, err)
 	}
-	return &Cache{inner: inner, unsub: unsub}, nil
+	c := &Cache{inner: inner, unsub: unsub}
+	if t := o.telemetry; t != nil {
+		c.readTxnHist = t.readTxn
+		c.updateHist = t.update
+		// Backends that own a wire client (Remote, cluster) time their
+		// round trips into the same telemetry set.
+		if rt, ok := b.(roundTripSetter); ok {
+			rt.setRoundTripHistogram(t.roundTrip)
+		}
+	}
+	return c, nil
 }
 
 // Close detaches the cache from the invalidation stream and shuts it
@@ -475,6 +494,16 @@ func (t *ReadTx) GetMulti(ctx context.Context, keys ...Key) ([]Value, error) {
 // ctx.Err(), the transaction record is released, and ReadTxn returns the
 // context's error.
 func (c *Cache) ReadTxn(ctx context.Context, fn func(tx *ReadTx) error) error {
+	if c.readTxnHist == nil {
+		return c.readTxn(ctx, fn)
+	}
+	start := time.Now()
+	err := c.readTxn(ctx, fn)
+	c.readTxnHist.ObserveSince(start)
+	return err
+}
+
+func (c *Cache) readTxn(ctx context.Context, fn func(tx *ReadTx) error) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}

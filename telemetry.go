@@ -1,0 +1,167 @@
+package tcache
+
+// The embedder-facing telemetry surface. A Telemetry is a bundle of
+// lock-free latency histograms the client-side hot paths record into —
+// the warm-hit and miss paths of the cache, whole read transactions and
+// updates, and the wire round trips underneath a *Remote or cluster
+// backend. Attach one with WithTelemetry; without it the hot paths take
+// no time stamps at all (the warm hit stays allocation-free either
+// way). Scrape it in process with Snapshot, or export it in Prometheus
+// text format with WritePrometheus.
+//
+// The server-side complement is ServeMetrics (on *DB and *Edge): an
+// admin HTTP listener with /metrics, /healthz and /debug/pprof — what
+// the tdbd and tcached daemons expose with -metrics-addr.
+
+import (
+	"io"
+	"time"
+
+	"tcache/internal/core"
+	"tcache/internal/db"
+	"tcache/internal/telemetry"
+)
+
+// Telemetry collects client-side latency histograms. Create one with
+// NewTelemetry, pass it to NewCache via WithTelemetry, and read it at
+// any time from any goroutine; recording is lock-free and
+// allocation-free. One Telemetry may be shared by several caches (their
+// observations merge into the same histograms).
+type Telemetry struct {
+	core      *core.Telemetry
+	readTxn   *telemetry.Histogram
+	update    *telemetry.Histogram
+	roundTrip *telemetry.Histogram
+	reg       *telemetry.Registry
+}
+
+// NewTelemetry allocates the client-side histogram set.
+//
+//tcache:metric
+func NewTelemetry() *Telemetry {
+	t := &Telemetry{
+		core:      core.NewTelemetry(),
+		readTxn:   &telemetry.Histogram{},
+		update:    &telemetry.Histogram{},
+		roundTrip: &telemetry.Histogram{},
+	}
+	reg := telemetry.NewRegistry()
+	reg.Histogram("client_read_txn_ns", t.readTxn)
+	reg.Histogram("client_update_ns", t.update)
+	reg.Histogram("client_round_trip_ns", t.roundTrip)
+	reg.Histogram("client_read_warm_ns", t.core.ReadWarm)
+	reg.Histogram("client_read_cold_ns", t.core.ReadCold)
+	reg.Histogram("client_read_multi_ns", t.core.ReadMulti)
+	t.reg = reg
+	return t
+}
+
+// WithTelemetry attaches t to the cache built by NewCache: the cache's
+// warm-hit, miss, and batch read paths record into t, ReadTxn and
+// Update record whole-transaction latency, and — when the backend is a
+// *Remote or a cluster — every wire round trip records into t too.
+func WithTelemetry(t *Telemetry) CacheOption {
+	return func(o *cacheOptions) {
+		o.telemetry = t
+		o.core.Telemetry = t.core
+	}
+}
+
+// roundTripSetter is implemented by backends that can time their wire
+// round trips (*Remote, the cluster backend). Unexported: the histogram
+// type is internal; embedders reach this through WithTelemetry.
+type roundTripSetter interface {
+	setRoundTripHistogram(h *telemetry.Histogram)
+}
+
+// LatencySnapshot summarizes one latency histogram at a point in time.
+// Quantiles are log-linear estimates from power-of-two buckets: exact
+// bucket placement, interpolated position within the bucket (so a p99
+// is within 2x of the true value, and usually much closer).
+type LatencySnapshot struct {
+	// Count is the number of recorded observations.
+	Count uint64
+	// Mean, P50, P95, P99 and Max summarize the distribution.
+	Mean, P50, P95, P99, Max time.Duration
+}
+
+// TelemetrySnapshot is a point-in-time copy of every client-side
+// histogram.
+type TelemetrySnapshot struct {
+	// ReadTxn and Update are whole-transaction latencies (ReadTxn
+	// includes every Get inside the closure; Update includes conflict
+	// retries and backoff).
+	ReadTxn, Update LatencySnapshot
+	// RoundTrip is the wire round trip under a *Remote or cluster
+	// backend (zero for in-process backends).
+	RoundTrip LatencySnapshot
+	// ReadWarm is the cache's lock-to-serve time for warm hits; ReadCold
+	// includes the backend fill; ReadMulti is a whole GetMulti batch.
+	ReadWarm, ReadCold, ReadMulti LatencySnapshot
+}
+
+// Snapshot returns a consistent-enough copy of all histograms (each
+// histogram is snapshotted atomically per bucket; concurrent recording
+// proceeds untouched).
+func (t *Telemetry) Snapshot() TelemetrySnapshot {
+	return TelemetrySnapshot{
+		ReadTxn:   latencySnap(t.readTxn),
+		Update:    latencySnap(t.update),
+		RoundTrip: latencySnap(t.roundTrip),
+		ReadWarm:  latencySnap(t.core.ReadWarm),
+		ReadCold:  latencySnap(t.core.ReadCold),
+		ReadMulti: latencySnap(t.core.ReadMulti),
+	}
+}
+
+// WritePrometheus writes the client-side histograms to w in Prometheus
+// text exposition format (families tcache_client_read_txn_ns and
+// friends) — for embedders that mount their own /metrics handler.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	return telemetry.WritePrometheus(w, telemetry.MetricsPrefix, t.reg.Snapshot())
+}
+
+func latencySnap(h *telemetry.Histogram) LatencySnapshot {
+	if h == nil {
+		return LatencySnapshot{}
+	}
+	s := h.Snapshot()
+	return LatencySnapshot{
+		Count: s.Count(),
+		Mean:  time.Duration(s.Mean()),
+		P50:   time.Duration(s.P50()),
+		P95:   time.Duration(s.P95()),
+		P99:   time.Duration(s.P99()),
+		Max:   time.Duration(s.Max()),
+	}
+}
+
+// ServeMetrics starts the admin HTTP listener for this database at addr
+// (for example "127.0.0.1:0"): /metrics serves the full database
+// registry — transaction and conflict counters, WAL append/fsync
+// histograms and segment gauges, replication lag — /healthz answers
+// role-aware liveness (a standby is healthy and says so; a sticky WAL
+// error turns it 503), and /debug/pprof serves the runtime profiles.
+// It returns the bound address and a stop function. This is the
+// programmatic form of tdbd's -metrics-addr flag.
+func (d *DB) ServeMetrics(addr string) (bound string, stop func(), err error) {
+	reg := telemetry.NewRegistry()
+	d.inner.RegisterMetrics(reg)
+	return telemetry.ServeAdmin(addr, reg, dbHealth(d.inner))
+}
+
+// dbHealth evaluates a database's /healthz: role from the replication
+// state, healthy unless the WAL carries a sticky write error.
+func dbHealth(d *db.DB) func() telemetry.Health {
+	return func() telemetry.Health {
+		h := telemetry.Health{Healthy: true, Role: d.Role().String()}
+		if st := d.ReplStatusNow(); st.Role == db.RoleStandby && st.Leader != "" {
+			h.Detail = "leader=" + st.Leader
+		}
+		if err := d.Health(); err != nil {
+			h.Healthy = false
+			h.Detail = err.Error()
+		}
+		return h
+	}
+}

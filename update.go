@@ -321,6 +321,16 @@ func (r *Remote) Update(ctx context.Context, fn func(tx *Tx) error) error {
 // attempt re-reads through to the backend instead of re-observing the
 // same stale version.
 func (c *Cache) Update(ctx context.Context, fn func(tx *Tx) error) error {
+	if c.updateHist == nil {
+		return c.update(ctx, fn)
+	}
+	start := time.Now()
+	err := c.update(ctx, fn)
+	c.updateHist.ObserveSince(start)
+	return err
+}
+
+func (c *Cache) update(ctx context.Context, fn func(tx *Tx) error) error {
 	ub, ok := c.inner.Backend().(UpdaterBackend)
 	if !ok {
 		return fmt.Errorf("%w (%T)", ErrUpdatesUnsupported, c.inner.Backend())
