@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench benchcluster benchwrite benchdurable benchrepl benchtelemetry benchsmoke clustersmoke walsmoke replsmoke telemetry-smoke fuzz
+.PHONY: all build test race vet lint bench benchcluster benchwrite benchdurable benchrepl benchtelemetry bencheviction benchsmoke clustersmoke walsmoke replsmoke telemetry-smoke fuzz
 
 all: lint build test
 
@@ -56,6 +56,12 @@ benchrepl:
 #   on; gates that the instrumented hit adds zero allocations
 benchtelemetry:
 	$(GO) run ./cmd/tcache-bench -fig telemetry
+
+#   bencheviction BENCH_pr10.json  byte-budgeted cache: per-policy hit
+#   ratio under zipfian pressure, the bounded-warm-hit zero-extra-alloc
+#   gate, and 1-vs-8-stripe scaling of the bounded touch path
+bencheviction:
+	$(GO) run ./cmd/tcache-bench -fig eviction
 
 # clustersmoke runs the end-to-end fleet check: 1 tdbd + 3 tcached on
 # loopback, driven by tcache-load -cluster (with a -write-mix share

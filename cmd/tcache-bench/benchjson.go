@@ -126,6 +126,9 @@ func checkBenchBudget(path string, results map[string]benchResult) error {
 		if strings.HasPrefix(name, "BenchmarkDurableCommit") {
 			continue // gated by the durability/replication runners
 		}
+		if strings.HasPrefix(name, "BenchmarkEvict") {
+			continue // gated by the eviction runner (-fig eviction)
+		}
 		checked++
 		res, ok := results[name]
 		if !ok {

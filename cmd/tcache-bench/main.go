@@ -19,6 +19,9 @@
 //	                            # + client-visible failover → BENCH_pr8.json
 //	tcache-bench -fig telemetry # warm-hit instrumentation overhead gate
 //	                            # (0 extra allocs/op) → BENCH_pr9.json
+//	tcache-bench -fig eviction  # byte-budgeted cache: hit ratio per policy
+//	                            # under zipfian pressure, bounded warm-hit
+//	                            # alloc gate, shard scaling → BENCH_pr10.json
 //	tcache-bench -benchjson BENCH_pr3.json -bench-budget bench_budget.json
 //	                            # machine-readable wire/hit-path numbers
 //	                            # (ns/op, B/op, allocs/op) + regression gate
@@ -51,7 +54,7 @@ var cacheShards int
 
 func run() error {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, multiedge, cluster, writepath, durability, replication, telemetry, all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, 6, 7ab, 7c, 7d, 8, headline, album, lru, drop, mv, hitpath, multiedge, cluster, writepath, durability, replication, telemetry, eviction, all")
 		quick     = flag.Bool("quick", false, "scaled-down parameters (fast smoke run)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		benchJSON = flag.String("benchjson", "", "run the remote + hit-path benchmarks and write ns/op, B/op, allocs/op JSON to this path (skips -fig)")
@@ -87,8 +90,9 @@ func run() error {
 		"durability":  runDurability,
 		"replication": runReplication,
 		"telemetry":   runTelemetryFig,
+		"eviction":    runEvictionFig,
 	}
-	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv", "hitpath", "multiedge", "cluster", "writepath", "durability", "replication", "telemetry"}
+	order := []string{"3", "4", "5", "6", "7ab", "7c", "7d", "8", "headline", "album", "lru", "drop", "mv", "hitpath", "multiedge", "cluster", "writepath", "durability", "replication", "telemetry", "eviction"}
 
 	selected := strings.Split(*fig, ",")
 	if *fig == "all" {

@@ -494,8 +494,8 @@ func runTop(ctx context.Context, addrs []string, interval time.Duration, count i
 			return ctx.Err()
 		case <-ticker.C:
 		}
-		fmt.Printf("%-21s %8s %6s %10s %10s %6s\n",
-			time.Now().Format("15:04:05"), "OPS/S", "HIT%", "P99-WARM", "P99-COLD", "LAG")
+		fmt.Printf("%-21s %8s %6s %10s %10s %9s %6s\n",
+			time.Now().Format("15:04:05"), "OPS/S", "HIT%", "P99-WARM", "P99-COLD", "MEM", "LAG")
 		for _, n := range nodes {
 			prev, cur, haveDelta, err := n.poll(ctx)
 			if err != nil {
@@ -518,12 +518,37 @@ func runTop(ctx context.Context, addrs []string, interval time.Duration, count i
 			if v, present := cur.Gauges["repl_lag"]; present {
 				lag = fmt.Sprintf("%d", v)
 			}
-			fmt.Printf("%-21s %8.0f %6s %10s %10s %6s\n",
+			mem := "-"
+			if v, present := cur.Gauges["cache_resident_bytes"]; present {
+				mem = humanBytes(v)
+				if budget, bounded := cur.Gauges["cache_max_bytes"]; bounded && budget > 0 {
+					mem += fmt.Sprintf("/%.0f%%", 100*float64(v)/float64(budget))
+				}
+			}
+			fmt.Printf("%-21s %8.0f %6s %10s %10s %9s %6s\n",
 				n.addr, float64(dReads)/secs, hit,
-				topQuantile(&warm), topQuantile(&cold), lag)
+				topQuantile(&warm), topQuantile(&cold), mem, lag)
 		}
 	}
 	return nil
+}
+
+// humanBytes renders a byte count with a binary-unit suffix, compact
+// enough for the MEM column (e.g. "1.5M" for 1.5 MiB).
+func humanBytes(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	v, suffix := float64(n), ""
+	for _, s := range []string{"K", "M", "G", "T"} {
+		v /= unit
+		suffix = s
+		if v < unit {
+			break
+		}
+	}
+	return fmt.Sprintf("%.1f%s", v, suffix)
 }
 
 // topQuantile renders a window histogram's p99 as a duration, or "-"

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	tcached [-listen 127.0.0.1:7071] [-db 127.0.0.1:7070] \
-//	        [-strategy retry|evict|abort] [-ttl 0] [-capacity 0] [-shards 0] \
+//	        [-strategy retry|evict|abort] [-ttl 0] [-shards 0] \
+//	        [-max-bytes 0] [-evict lru|clock|cost] [-admission] \
 //	        [-metrics-addr 127.0.0.1:9071]
 //
 // With -metrics-addr an admin HTTP listener serves /metrics (hit/miss
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"tcache/internal/core"
+	"tcache/internal/evict"
 	"tcache/internal/telemetry"
 	"tcache/internal/transport"
 )
@@ -44,8 +46,11 @@ func run() error {
 		dbAddr   = flag.String("db", "127.0.0.1:7070", "tdbd backend address")
 		strategy = flag.String("strategy", "retry", "inconsistency strategy: abort, evict, or retry")
 		ttl      = flag.Duration("ttl", 0, "cache entry TTL (0 = none)")
-		capacity = flag.Int("capacity", 0, "max cached entries (0 = unbounded)")
-		shards   = flag.Int("shards", 0, "cache lock stripes (0 = GOMAXPROCS, or 1 with -capacity; 1 = single mutex)")
+		capacity = flag.Int("capacity", 0, "max cached entries (deprecated: use -max-bytes; 0 = unbounded)")
+		shards   = flag.Int("shards", 0, "cache lock stripes (0 = GOMAXPROCS; 1 = single mutex)")
+		maxBytes = flag.Int64("max-bytes", 0, "cache memory budget in bytes, keys+values+overhead (0 = unbounded)")
+		policy   = flag.String("evict", "lru", "eviction policy under -max-bytes: lru, clock, or cost")
+		admit    = flag.Bool("admission", false, "enable doorkeeper admission control (bounded caches only)")
 		txnGC    = flag.Duration("txn-gc", time.Minute, "idle transaction record GC interval (0 = none)")
 		name     = flag.String("name", "", "subscriber name reported to the backend")
 		pool     = flag.Int("backend-conns", 4, "backend connection pool size")
@@ -58,6 +63,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	kind, err := evict.ParseKind(*policy)
+	if err != nil {
+		return err
+	}
 
 	backend, err := transport.DialDB(context.Background(), *dbAddr, *pool)
 	if err != nil {
@@ -66,12 +75,15 @@ func run() error {
 	defer backend.Close()
 
 	cache, err := core.New(core.Config{
-		Backend:  backend,
-		Strategy: strat,
-		TTL:      *ttl,
-		Capacity: *capacity,
-		TxnGC:    *txnGC,
-		Shards:   *shards,
+		Backend:   backend,
+		Strategy:  strat,
+		TTL:       *ttl,
+		Capacity:  *capacity,
+		MaxBytes:  *maxBytes,
+		Policy:    kind,
+		Admission: *admit,
+		TxnGC:     *txnGC,
+		Shards:    *shards,
 		// The daemon always times its read paths: the scrape surface is
 		// the point of running it, and the instrumented warm hit stays
 		// allocation-free (gated by tcache-bench -fig telemetry).
@@ -111,8 +123,13 @@ func run() error {
 		return err
 	}
 	defer srv.Close()
-	log.Printf("tcached: serving on %s (backend=%s, strategy=%s, ttl=%v, shards=%d)",
-		addr, *dbAddr, strat, *ttl, cache.Shards())
+	if *maxBytes > 0 {
+		log.Printf("tcached: serving on %s (backend=%s, strategy=%s, ttl=%v, shards=%d, budget=%dB policy=%s)",
+			addr, *dbAddr, strat, *ttl, cache.Shards(), *maxBytes, kind)
+	} else {
+		log.Printf("tcached: serving on %s (backend=%s, strategy=%s, ttl=%v, shards=%d)",
+			addr, *dbAddr, strat, *ttl, cache.Shards())
+	}
 
 	if *metricsAddr != "" {
 		mbound, mstop, merr := telemetry.ServeAdmin(*metricsAddr, reg, func() telemetry.Health {

@@ -116,8 +116,12 @@ func (c *Cache) prefetch(ctx context.Context, keys []kv.Key) {
 		sh := c.shardFor(key)
 		sh.mu.Lock()
 		if !c.closed.Load() {
-			e := c.insertShardLocked(sh, key, lu.Item)
-			e.prefetched = true
+			// A nil entry means the admission doorkeeper declined the key
+			// (first sighting): the triggering read will fetch it per-key —
+			// one extra round trip — and admit it on that second sighting.
+			if e := c.insertShardLocked(sh, key, lu.Item); e != nil {
+				e.prefetched = true
+			}
 		}
 		sh.mu.Unlock()
 		c.metrics.BatchPrefetchedKeys.Add(1)

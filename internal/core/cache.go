@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"tcache/internal/clock"
+	"tcache/internal/evict"
 	"tcache/internal/kv"
 )
 
@@ -184,21 +185,47 @@ type Config struct {
 	TxnGC time.Duration
 	// Capacity bounds the number of cached entries; 0 means unbounded
 	// (the paper's prototype: "all objects in the workload fit in the
-	// cache"). When full, the least recently used entry is evicted.
+	// cache").
+	//
+	// Deprecated: Capacity is the entry-count compatibility shim over
+	// the byte-budget subsystem — it behaves exactly like MaxBytes with
+	// every entry charged a cost of 1 (so with the default LRU policy
+	// and one shard it reproduces the historical exact-LRU semantics).
+	// New configurations should set MaxBytes, which accounts real
+	// memory. Setting both is an error.
 	Capacity int
+	// MaxBytes bounds the resident byte footprint of the cache: each
+	// entry is charged key length + value length + evict.EntryOverhead
+	// (plus retained older versions under multiversioning). 0 means
+	// unbounded. The budget is split across shards; each shard enforces
+	// its slice under its own lock with the configured eviction Policy,
+	// so bounded caches scale with cores exactly like unbounded ones.
+	MaxBytes int64
+	// Policy selects the eviction policy for bounded caches (MaxBytes
+	// or Capacity set): evict.LRU (default; exact per-shard LRU),
+	// evict.Clock (second-chance ring, cheapest possible warm-hit
+	// touch), or evict.Cost (bytes × staleness scoring, so one huge
+	// cold blob doesn't outlive a thousand small hot entries).
+	Policy evict.Kind
+	// Admission enables the doorkeeper admission filter on bounded
+	// caches: a never-before-seen key is served but not cached on its
+	// first sighting, so one-hit-wonder scans cannot flush the working
+	// set. Ignored when the cache is unbounded.
+	Admission bool
 	// Multiversion retains up to this many committed versions per entry
 	// and serves each transaction the newest version that keeps it
 	// serializable (the TxCache technique §VI suggests combining with
 	// T-Cache; see multiversion.go). Values ≤ 1 disable it.
 	Multiversion int
-	// Shards is the number of lock stripes the entry table (with its LRU
-	// ring) and the transaction-record table are each split over. 1
-	// preserves the historical single-mutex semantics exactly. 0 picks a
-	// default: runtime.GOMAXPROCS(0) when the cache is unbounded, or 1
-	// when Capacity > 0 (exact global LRU needs a single shard). With
-	// Shards > 1 and Capacity > 0 the capacity is enforced per shard
-	// (each shard holds ≈ Capacity/Shards entries, at least one), making
-	// eviction approximately — rather than exactly — global LRU.
+	// Shards is the number of lock stripes the entry table (with its
+	// per-shard eviction state) and the transaction-record table are
+	// each split over. 0 picks runtime.GOMAXPROCS(0) whether or not the
+	// cache is bounded: budgets are enforced per shard (each shard owns
+	// ≈ MaxBytes/Shards, at least one unit), so a memory bound no
+	// longer costs the lock striping. 1 preserves the historical
+	// single-mutex semantics — and makes per-shard LRU exactly global
+	// LRU. With Shards > 1 eviction is approximately global: each shard
+	// ranks only its own residents.
 	Shards int
 	// Telemetry, when non-nil, receives latency observations from the
 	// read hot paths (warm hit, cold fill, batch read). Nil disables
@@ -225,6 +252,19 @@ type Cache struct {
 
 	metrics Metrics
 	tel     *Telemetry // nil = telemetry off; see Config.Telemetry
+
+	// unitCost selects the deprecated Capacity shim: every entry costs
+	// 1 and the budget is the entry count, reproducing the legacy
+	// entry-count LRU bit for bit.
+	unitCost bool
+	// maxBytes is the configured total budget (Capacity in unit-cost
+	// mode), for the cache_max_bytes gauge.
+	maxBytes uint64
+	// policyEvictions points at the per-policy eviction counter the
+	// active policy increments (metrics.EvictionsLRU/Clock/Cost),
+	// resolved once at New so the eviction path never switches on the
+	// policy kind.
+	policyEvictions *uint64v
 }
 
 // The locking protocol (PR 1), as enforced by tcachelint's lockorder
@@ -235,13 +275,14 @@ type Cache struct {
 //tcache:lockorder shard < stripe
 
 // cacheShard is one lock stripe of the entry table: a partition of the key
-// space with its own mutex and LRU ring.
+// space with its own mutex and its own slice of the eviction budget.
 type cacheShard struct {
 	mu      sync.Mutex //tcache:lockclass shard
 	entries map[kv.Key]*entry
-	lruHead *entry // most recently used; doubly linked ring when cap > 0
-	lruTail *entry
-	cap     int // this shard's slice of Config.Capacity; 0 = unbounded
+	// ev is this shard's eviction ledger: byte budget, policy state,
+	// and optional admission doorkeeper. Its zero value is the
+	// unbounded no-op, and every call into it is made under mu.
+	ev evict.Shard
 }
 
 // txnStripe is one lock stripe of the transaction-record table.
@@ -265,8 +306,10 @@ type entry struct {
 	// staleLatest marks that item is no longer the latest committed
 	// version (set by invalidations under multiversioning).
 	staleLatest bool
-	prev        *entry
-	next        *entry
+	// h is the entry's intrusive eviction node (policy list links, byte
+	// cost, reference bit); owned by the shard's evict ledger, guarded
+	// by the shard mutex.
+	h evict.Handle
 }
 
 // txnRecord tracks one in-flight read-only transaction: the version each
@@ -415,12 +458,16 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Strategy == 0 {
 		cfg.Strategy = StrategyAbort
 	}
+	if cfg.Capacity > 0 && cfg.MaxBytes > 0 {
+		return nil, errors.New("tcache: Config.Capacity and Config.MaxBytes are mutually exclusive (Capacity is the deprecated entry-count shim)")
+	}
+	if cfg.MaxBytes < 0 {
+		return nil, errors.New("tcache: Config.MaxBytes must be >= 0")
+	}
 	if cfg.Shards <= 0 {
-		if cfg.Capacity > 0 {
-			cfg.Shards = 1
-		} else {
-			cfg.Shards = runtime.GOMAXPROCS(0)
-		}
+		// Bounded or not: budgets are per shard, so a memory bound no
+		// longer collapses the cache onto one lock.
+		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
 	c := &Cache{
 		cfg:     cfg,
@@ -433,16 +480,35 @@ func New(cfg Config) (*Cache, error) {
 		c.shards[i] = &cacheShard{entries: make(map[kv.Key]*entry)}
 		c.stripes[i] = &txnStripe{txns: make(map[kv.TxnID]*txnRecord)}
 	}
+	// Resolve the budget: MaxBytes is the real thing; Capacity is the
+	// shim (unit costs, budget = entry count). Either way each shard
+	// enforces its slice of the total, at least one unit, under its own
+	// lock.
+	budget := uint64(cfg.MaxBytes)
 	if cfg.Capacity > 0 {
-		base, rem := cfg.Capacity/cfg.Shards, cfg.Capacity%cfg.Shards
+		budget = uint64(cfg.Capacity)
+		c.unitCost = true
+	}
+	c.maxBytes = budget
+	switch cfg.Policy {
+	case evict.Clock:
+		c.policyEvictions = &c.metrics.EvictionsClock
+	case evict.Cost:
+		c.policyEvictions = &c.metrics.EvictionsCost
+	default:
+		c.policyEvictions = &c.metrics.EvictionsLRU
+	}
+	if budget > 0 {
+		base, rem := budget/uint64(cfg.Shards), budget%uint64(cfg.Shards)
 		for i, sh := range c.shards {
-			sh.cap = base
-			if i < rem {
-				sh.cap++
+			slice := base
+			if uint64(i) < rem {
+				slice++
 			}
-			if sh.cap < 1 {
-				sh.cap = 1
+			if slice < 1 {
+				slice = 1
 			}
+			sh.ev = evict.NewShard(cfg.Policy, slice, cfg.Admission)
 		}
 	}
 	if cfg.TxnGC > 0 {
@@ -566,6 +632,27 @@ func (c *Cache) Len() int {
 	return n
 }
 
+// ResidentBytes returns the bytes currently charged against the
+// eviction budget (0 when the cache is unbounded): the running sum the
+// shards maintain, not a walk over the entries, so it is exact with
+// respect to the accounting the budget enforces.
+func (c *Cache) ResidentBytes() uint64 {
+	var n uint64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.ev.Used()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// MaxBytes returns the configured total byte budget (the Capacity value
+// in the deprecated unit-cost shim; 0 when unbounded).
+func (c *Cache) MaxBytes() uint64 { return c.maxBytes }
+
+// EvictionPolicy returns the configured eviction policy kind.
+func (c *Cache) EvictionPolicy() evict.Kind { return c.cfg.Policy }
+
 // ActiveTxns returns the number of in-flight transaction records.
 func (c *Cache) ActiveTxns() int {
 	n := 0
@@ -613,57 +700,62 @@ func (c *Cache) gcSweep() {
 	c.emitAll(comps)
 }
 
-// removeEntry unlinks e from the shard's map and LRU list. Callers hold
-// sh.mu.
+// removeEntry unlinks e from the shard's map and eviction ledger
+// (refunding its byte cost). Callers hold sh.mu.
 //
 //tcache:holds shard
 func (sh *cacheShard) removeEntry(e *entry) {
 	delete(sh.entries, e.key)
-	sh.lruUnlink(e)
+	sh.ev.Remove(&e.h)
 }
 
-// lruUnlink removes e from the LRU ring. Callers hold sh.mu.
+// entryCost is the byte cost charged against the budget for e: key +
+// current value + per-entry overhead, plus every retained older version
+// under multiversioning. In the deprecated Capacity shim every entry
+// costs exactly 1, making the budget an entry count.
 //
 //tcache:hotpath
-//tcache:holds shard
-func (sh *cacheShard) lruUnlink(e *entry) {
-	if sh.cap <= 0 {
-		return
+func (c *Cache) entryCost(e *entry) uint64 {
+	if c.unitCost {
+		return 1
 	}
-	if e.prev != nil {
-		e.prev.next = e.next
-	} else if sh.lruHead == e {
-		sh.lruHead = e.next
+	n := uint64(evict.EntryOverhead) + uint64(len(e.key)) + uint64(len(e.item.Value))
+	for i := range e.older {
+		n += uint64(evict.VersionOverhead) + uint64(len(e.older[i].Value))
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	} else if sh.lruTail == e {
-		sh.lruTail = e.prev
-	}
-	e.prev, e.next = nil, nil
+	return n
 }
 
-// lruTouch moves e to the ring's head. Callers hold sh.mu.
+// enforceBudgetLocked evicts until the shard is back under its byte
+// budget. Eviction can never violate eq.1/eq.2: transaction records
+// hold (key, version) pairs, not entry pointers, so an evicted
+// dependency is simply a future cold read that re-validates against the
+// record on its way back in — the §III-B checks fire exactly as if the
+// entry had never been cached. Callers hold sh.mu.
 //
-//tcache:hotpath
 //tcache:holds shard
-func (sh *cacheShard) lruTouch(e *entry) {
-	if sh.cap <= 0 || sh.lruHead == e {
-		return
-	}
-	sh.lruUnlink(e)
-	e.next = sh.lruHead
-	if sh.lruHead != nil {
-		sh.lruHead.prev = e
-	}
-	sh.lruHead = e
-	if sh.lruTail == nil {
-		sh.lruTail = e
+func (c *Cache) enforceBudgetLocked(sh *cacheShard) {
+	for sh.ev.NeedEvict() {
+		obj, scanned := sh.ev.Evict()
+		if obj == nil {
+			return
+		}
+		victim := obj.(*entry)
+		delete(sh.entries, victim.key)
+		c.metrics.CapacityEvictions.Add(1)
+		c.policyEvictions.Add(1)
+		if c.tel != nil {
+			c.tel.EvictionScan.Observe(uint64(scanned))
+		}
 	}
 }
 
-// insertShardLocked adds or replaces the entry for key, enforcing the
-// shard's capacity slice. Callers hold sh.mu.
+// insertShardLocked adds or replaces the entry for key, charging the
+// byte budget and enforcing this shard's slice of it. It returns nil
+// when the admission doorkeeper declines a first-sighted key — the
+// caller serves the fetched item without caching it, which is always
+// consistency-safe (an uncached read is just a permanent cold read).
+// Callers hold sh.mu.
 //
 //tcache:hotpath
 //tcache:holds shard
@@ -676,6 +768,9 @@ func (c *Cache) insertShardLocked(sh *cacheShard, key kv.Key, item kv.Item) *ent
 				e.item = item
 				e.fetchedAt = c.clk.Now()
 			}
+			// In-place replacement changed the entry's footprint: re-charge
+			// it (update accounting, not just insert) and re-enforce.
+			sh.ev.Update(&e.h, c.entryCost(e))
 		} else if e.item.Version == item.Version {
 			// Re-fetch confirmed the cached item is still current: restart
 			// its TTL (a batch prefetch of a TTL-expired entry lands here)
@@ -683,16 +778,17 @@ func (c *Cache) insertShardLocked(sh *cacheShard, key kv.Key, item kv.Item) *ent
 			e.fetchedAt = c.clk.Now()
 			e.staleLatest = false
 		}
-		sh.lruTouch(e)
+		sh.ev.Touch(&e.h)
+		c.enforceBudgetLocked(sh)
 		return e
+	}
+	if sh.ev.Bounded() && !sh.ev.Admit(string(key)) {
+		c.metrics.AdmissionRejects.Add(1)
+		return nil
 	}
 	e := &entry{key: key, item: item, fetchedAt: c.clk.Now()}
 	sh.entries[key] = e
-	sh.lruTouch(e)
-	if sh.cap > 0 && len(sh.entries) > sh.cap && sh.lruTail != nil && sh.lruTail != e {
-		victim := sh.lruTail
-		sh.removeEntry(victim)
-		c.metrics.CapacityEvictions.Add(1)
-	}
+	sh.ev.Add(&e.h, e, c.entryCost(e))
+	c.enforceBudgetLocked(sh)
 	return e
 }

@@ -92,7 +92,7 @@ func (c *Cache) GetItems(ctx context.Context, keys []kv.Key, floor kv.Version) (
 		case e.staleLatest:
 		default:
 			c.metrics.Hits.Add(1)
-			sh.lruTouch(e)
+			sh.ev.Touch(&e.h)
 			out[i] = kv.Lookup{Item: e.item, Found: true}
 			sh.mu.Unlock()
 			if c.tel != nil {

@@ -20,6 +20,10 @@ type Metrics struct {
 	RetriesResolved      uint64v
 	Evictions            uint64v
 	CapacityEvictions    uint64v
+	EvictionsLRU         uint64v
+	EvictionsClock       uint64v
+	EvictionsCost        uint64v
+	AdmissionRejects     uint64v
 	InvalidationsApplied uint64v
 	InvalidationsStale   uint64v
 	InvalidationsNoop    uint64v
@@ -51,6 +55,10 @@ type MetricsSnapshot struct {
 	RetriesResolved      uint64
 	Evictions            uint64
 	CapacityEvictions    uint64
+	EvictionsLRU         uint64
+	EvictionsClock       uint64
+	EvictionsCost        uint64
+	AdmissionRejects     uint64
 	InvalidationsApplied uint64
 	InvalidationsStale   uint64
 	InvalidationsNoop    uint64
@@ -89,6 +97,10 @@ func (c *Cache) Metrics() MetricsSnapshot {
 		RetriesResolved:      c.metrics.RetriesResolved.Load(),
 		Evictions:            c.metrics.Evictions.Load(),
 		CapacityEvictions:    c.metrics.CapacityEvictions.Load(),
+		EvictionsLRU:         c.metrics.EvictionsLRU.Load(),
+		EvictionsClock:       c.metrics.EvictionsClock.Load(),
+		EvictionsCost:        c.metrics.EvictionsCost.Load(),
+		AdmissionRejects:     c.metrics.AdmissionRejects.Load(),
 		InvalidationsApplied: c.metrics.InvalidationsApplied.Load(),
 		InvalidationsStale:   c.metrics.InvalidationsStale.Load(),
 		InvalidationsNoop:    c.metrics.InvalidationsNoop.Load(),

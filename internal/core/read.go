@@ -254,11 +254,11 @@ func (c *Cache) lookupFloorShardLocked(ctx context.Context, sh *cacheShard, key 
 		case e.prefetched:
 			e.prefetched = false
 			c.metrics.Misses.Add(1)
-			sh.lruTouch(e)
+			sh.ev.Touch(&e.h)
 			return e.item, nil
 		default:
 			c.metrics.Hits.Add(1)
-			sh.lruTouch(e)
+			sh.ev.Touch(&e.h)
 			if c.tel != nil {
 				c.tel.ReadWarm.ObserveSince(start)
 			}
@@ -283,6 +283,12 @@ func (c *Cache) lookupFloorShardLocked(ctx context.Context, sh *cacheShard, key 
 	e := c.insertShardLocked(sh, key, item)
 	if c.tel != nil {
 		c.tel.ReadCold.ObserveSince(start)
+	}
+	if e == nil {
+		// Admission declined to cache the key (first sighting): serve the
+		// fetched item directly — for the caller this is indistinguishable
+		// from a served miss.
+		return item, nil
 	}
 	return e.item, nil
 }

@@ -12,21 +12,30 @@ import (
 )
 
 // TestShardDefaults pins the Config.Shards defaulting rules: GOMAXPROCS
-// stripes for unbounded caches, a single shard when Capacity is set (exact
-// global LRU), and explicit values taken as given.
+// stripes whether or not the cache is bounded (budgets are per shard, so
+// a memory bound no longer collapses the cache onto one lock), and
+// explicit values taken as given.
 func TestShardDefaults(t *testing.T) {
 	b := newMapBackend()
+	want := runtime.GOMAXPROCS(0)
 	unbounded := newCache(t, Config{Backend: b})
-	if got, want := unbounded.Shards(), runtime.GOMAXPROCS(0); got != want {
+	if got := unbounded.Shards(); got != want {
 		t.Fatalf("unbounded default Shards = %d, want GOMAXPROCS = %d", got, want)
 	}
 	bounded := newCache(t, Config{Backend: b, Capacity: 10})
-	if got := bounded.Shards(); got != 1 {
-		t.Fatalf("bounded default Shards = %d, want 1", got)
+	if got := bounded.Shards(); got != want {
+		t.Fatalf("Capacity-bounded default Shards = %d, want GOMAXPROCS = %d", got, want)
+	}
+	byteBounded := newCache(t, Config{Backend: b, MaxBytes: 1 << 20})
+	if got := byteBounded.Shards(); got != want {
+		t.Fatalf("MaxBytes-bounded default Shards = %d, want GOMAXPROCS = %d", got, want)
 	}
 	explicit := newCache(t, Config{Backend: b, Capacity: 2, Shards: 5})
 	if got := explicit.Shards(); got != 5 {
 		t.Fatalf("explicit Shards = %d, want 5", got)
+	}
+	if _, err := New(Config{Backend: b, Capacity: 2, MaxBytes: 100}); err == nil {
+		t.Fatal("New accepted both Capacity and MaxBytes")
 	}
 }
 
@@ -73,6 +82,7 @@ func TestShardsOnePreservesSingleMutexSemantics(t *testing.T) {
 		TxnsStarted:          1,
 		TxnsCommitted:        1,
 		CapacityEvictions:    2, // c evicts b; the a@2 refill evicts c
+		EvictionsLRU:         2, // the Capacity shim runs unit-cost LRU
 		InvalidationsApplied: 1,
 	}
 	if m != want {

@@ -21,14 +21,19 @@ type Telemetry struct {
 	// calls (prefetch included) and the item-granular GetItems batches
 	// cluster routers drive.
 	ReadMulti *telemetry.Histogram
+	// EvictionScan observes how many candidates the eviction policy
+	// examined per victim (1 for exact LRU; CLOCK and cost-aware sweep
+	// or sample) — the budget-enforcement cost distribution.
+	EvictionScan *telemetry.Histogram
 }
 
 // NewTelemetry allocates the full histogram set.
 func NewTelemetry() *Telemetry {
 	return &Telemetry{
-		ReadWarm:  new(telemetry.Histogram),
-		ReadCold:  new(telemetry.Histogram),
-		ReadMulti: new(telemetry.Histogram),
+		ReadWarm:     new(telemetry.Histogram),
+		ReadCold:     new(telemetry.Histogram),
+		ReadMulti:    new(telemetry.Histogram),
+		EvictionScan: new(telemetry.Histogram),
 	}
 }
 
@@ -56,6 +61,10 @@ func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter("retries_resolved", m.RetriesResolved.Load)
 	reg.Counter("evictions", m.Evictions.Load)
 	reg.Counter("capacity_evictions", m.CapacityEvictions.Load)
+	reg.Counter("budget_evictions_lru", m.EvictionsLRU.Load)
+	reg.Counter("budget_evictions_clock", m.EvictionsClock.Load)
+	reg.Counter("budget_evictions_cost", m.EvictionsCost.Load)
+	reg.Counter("admission_rejects", m.AdmissionRejects.Load)
 	reg.Counter("invalidations_applied", m.InvalidationsApplied.Load)
 	reg.Counter("invalidations_stale", m.InvalidationsStale.Load)
 	reg.Counter("invalidations_noop", m.InvalidationsNoop.Load)
@@ -67,17 +76,20 @@ func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
 
 	reg.Gauge("cache_entries", func() uint64 { return uint64(c.Len()) })
 	reg.Gauge("cache_bytes", c.Bytes)
+	reg.Gauge("cache_resident_bytes", c.ResidentBytes)
+	reg.Gauge("cache_max_bytes", c.MaxBytes)
 	reg.Gauge("active_txns", func() uint64 { return uint64(c.ActiveTxns()) })
 
 	// Histogram families are registered even when telemetry is disabled
 	// (nil receivers record nothing) so the scrape surface is stable.
-	var warm, cold, multi *telemetry.Histogram
+	var warm, cold, multi, escan *telemetry.Histogram
 	if c.tel != nil {
-		warm, cold, multi = c.tel.ReadWarm, c.tel.ReadCold, c.tel.ReadMulti
+		warm, cold, multi, escan = c.tel.ReadWarm, c.tel.ReadCold, c.tel.ReadMulti, c.tel.EvictionScan
 	}
 	reg.Histogram("read_warm_ns", warm)
 	reg.Histogram("read_cold_ns", cold)
 	reg.Histogram("read_multi_ns", multi)
+	reg.Histogram("eviction_scan", escan)
 }
 
 // Bytes returns the approximate memory footprint of the cached values:

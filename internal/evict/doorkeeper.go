@@ -1,0 +1,76 @@
+package evict
+
+// Doorkeeper is the admission filter: a small test-and-set bit array
+// (the "doorkeeper" in front of TinyLFU-style caches) that admits a key
+// only on its second sighting within the current window. A scan of
+// never-again-read keys sets bits but displaces nothing; the working
+// set, whose keys recur, passes on the second touch. The window resets
+// once enough distinct first sightings accumulate, so the filter tracks
+// the workload instead of saturating.
+//
+// Not thread-safe: each cache shard owns one doorkeeper, guarded by the
+// shard mutex like the rest of the eviction state.
+type Doorkeeper struct {
+	bits     [doorWords]uint64
+	accesses int
+}
+
+const (
+	// doorBits is the filter width: 4096 bits (512 bytes) per shard.
+	doorBits  = 4096
+	doorWords = doorBits / 64
+	// doorResetEvery is the window length in accesses (the TinyLFU
+	// sample-reset rule). Counting accesses rather than insertions keeps
+	// the window rolling even once the filter saturates — a saturated
+	// filter admits everything, so it must age out, not stick. The cost
+	// of a reset is one redundant backend fetch per live key per window.
+	doorResetEvery = 2 * doorBits
+)
+
+// NewDoorkeeper returns an empty admission filter.
+func NewDoorkeeper() *Doorkeeper {
+	return &Doorkeeper{}
+}
+
+// Seen records a sighting of key and reports whether it had already
+// been sighted in the current window — i.e. whether the key should now
+// be admitted to the cache.
+func (d *Doorkeeper) Seen(key string) bool {
+	if d.accesses >= doorResetEvery {
+		d.bits = [doorWords]uint64{}
+		d.accesses = 0
+	}
+	d.accesses++
+	h := hash64(key)
+	i1 := h & (doorBits - 1)
+	i2 := (h >> 23) & (doorBits - 1)
+	seen := d.test(i1) && d.test(i2)
+	if !seen {
+		d.set(i1)
+		d.set(i2)
+	}
+	return seen
+}
+
+func (d *Doorkeeper) test(i uint64) bool {
+	return d.bits[i/64]&(1<<(i%64)) != 0
+}
+
+func (d *Doorkeeper) set(i uint64) {
+	d.bits[i/64] |= 1 << (i % 64)
+}
+
+// hash64 is 64-bit FNV-1a, inlined so admission costs no hash.Hash
+// allocation.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

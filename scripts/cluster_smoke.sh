@@ -58,7 +58,10 @@ for i in "${!EDGES[@]}"; do
   echo "== spawning tcached $i on $addr =="
   metrics_flag=()
   if [ "$i" = 0 ]; then
-    metrics_flag=(-metrics-addr "$EDGE0_METRICS")
+    # Edge 0 also runs byte-bounded so the smoke can assert the memory
+    # gauges on a live daemon: 4 MiB holds the whole 300-object working
+    # set, the bound just has to be visible and respected.
+    metrics_flag=(-metrics-addr "$EDGE0_METRICS" -max-bytes 4194304 -evict clock)
   fi
   "$BIN/tcached" -listen "$addr" -db "$DB" -name "smoke-edge-$i" \
     "${metrics_flag[@]}" >"$LOGS/tcached-$i.log" 2>&1 &
@@ -117,6 +120,13 @@ grep -q '^tcache_reads_total [1-9]' "$LOGS/tcached0-metrics.txt"
 grep -q '^tcache_hits_total [1-9]' "$LOGS/tcached0-metrics.txt"
 grep -qF 'tcache_read_warm_ns_bucket{le="+Inf"}' "$LOGS/tcached0-metrics.txt"
 grep -q '^tcache_read_multi_ns_count [1-9]' "$LOGS/tcached0-metrics.txt"
+# The byte-bounded edge exposes its memory gauges: entries are resident
+# (nonzero) and the ledger respects the configured 4 MiB budget.
+grep -q '^tcache_cache_resident_bytes [1-9]' "$LOGS/tcached0-metrics.txt"
+grep -q '^tcache_cache_max_bytes 4194304' "$LOGS/tcached0-metrics.txt"
+awk '/^tcache_cache_resident_bytes /{r=$2} /^tcache_cache_max_bytes /{m=$2}
+     END {if (r+0 > m+0) {print "FAIL: resident " r " exceeds budget " m; exit 1}}' \
+  "$LOGS/tcached0-metrics.txt"
 curl -fsS "http://$DB_METRICS/healthz" | grep -q 'ok role=primary'
 curl -fsS "http://$EDGE0_METRICS/healthz" | grep -q 'ok role=edge'
 echo "telemetry surface live on both tiers"

@@ -60,6 +60,7 @@ import (
 	"tcache/internal/clock"
 	"tcache/internal/core"
 	"tcache/internal/db"
+	"tcache/internal/evict"
 	"tcache/internal/kv"
 	"tcache/internal/telemetry"
 )
@@ -327,18 +328,75 @@ func WithTTL(ttl time.Duration) CacheOption {
 
 // WithCapacity bounds the number of cached entries (0 = unbounded); the
 // least recently used entry is evicted when full.
+//
+// Deprecated: WithCapacity is the entry-count compatibility shim over
+// the byte-budget eviction subsystem (every entry charged a cost of 1).
+// New code should use WithMaxBytes, which bounds what actually matters
+// — resident memory — and composes with WithEvictionPolicy and
+// WithAdmission. Setting both WithCapacity and WithMaxBytes is an
+// error.
 func WithCapacity(n int) CacheOption {
 	return func(o *cacheOptions) { o.core.Capacity = n }
+}
+
+// WithMaxBytes bounds the cache's resident memory: each entry is
+// charged key length + value length + a fixed per-entry overhead (plus
+// retained older versions under WithMultiversion). 0 = unbounded. The
+// budget is split across the cache shards and enforced per shard under
+// the shard lock, so a bounded cache keeps the same multi-core scaling
+// as an unbounded one. Pair with WithEvictionPolicy to choose how
+// victims are picked and WithAdmission to keep one-hit wonders out.
+func WithMaxBytes(n int64) CacheOption {
+	return func(o *cacheOptions) { o.core.MaxBytes = n }
+}
+
+// EvictionPolicy selects how a bounded cache (WithMaxBytes or the
+// deprecated WithCapacity) chooses eviction victims.
+type EvictionPolicy = evict.Kind
+
+const (
+	// EvictLRU is exact per-shard least-recently-used (the default).
+	EvictLRU = evict.LRU
+	// EvictClock is the second-chance ring: the cheapest warm-hit touch
+	// (one bool store, no list splice) at the price of approximate
+	// recency ordering.
+	EvictClock = evict.Clock
+	// EvictCost is cost-aware sampled eviction: victims score by
+	// bytes × staleness, so one huge cold blob doesn't outlive a
+	// thousand small hot entries.
+	EvictCost = evict.Cost
+)
+
+// ParseEvictionPolicy parses a policy name ("lru", "clock", "cost") as
+// accepted by the daemons' -evict flag.
+func ParseEvictionPolicy(s string) (EvictionPolicy, error) {
+	return evict.ParseKind(s)
+}
+
+// WithEvictionPolicy selects the eviction policy of a bounded cache.
+// Ignored when the cache is unbounded.
+func WithEvictionPolicy(p EvictionPolicy) CacheOption {
+	return func(o *cacheOptions) { o.core.Policy = p }
+}
+
+// WithAdmission enables doorkeeper admission control on a bounded
+// cache: a never-before-seen key is served but not cached on its first
+// sighting and admitted on its second, so scans of one-hit-wonder keys
+// cannot flush the working set. Ignored when the cache is unbounded.
+func WithAdmission() CacheOption {
+	return func(o *cacheOptions) { o.core.Admission = true }
 }
 
 // WithCacheShards sets the number of lock stripes the cache's entry table
 // and transaction-record table are split over, letting the hit path scale
 // across cores instead of serializing on one mutex. 1 preserves the
-// historical single-mutex semantics exactly; 0 (the default) picks
-// runtime.GOMAXPROCS(0) stripes for unbounded caches and 1 when a
-// Capacity is set (exact global LRU needs a single shard). With more than
-// one shard and a Capacity, the bound is enforced per shard, making
-// eviction approximately — rather than exactly — global LRU.
+// historical single-mutex semantics exactly (and makes per-shard LRU
+// exactly global LRU); 0 (the default) picks runtime.GOMAXPROCS(0)
+// stripes whether or not the cache is bounded — byte budgets are
+// enforced per shard, so a memory bound no longer costs the striping.
+// With more than one shard, a bounded cache's eviction is approximately
+// — rather than exactly — global: each shard ranks only its own
+// residents.
 func WithCacheShards(n int) CacheOption {
 	return func(o *cacheOptions) { o.core.Shards = n }
 }

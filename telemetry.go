@@ -52,6 +52,7 @@ func NewTelemetry() *Telemetry {
 	reg.Histogram("client_read_warm_ns", t.core.ReadWarm)
 	reg.Histogram("client_read_cold_ns", t.core.ReadCold)
 	reg.Histogram("client_read_multi_ns", t.core.ReadMulti)
+	reg.Histogram("client_eviction_scan", t.core.EvictionScan)
 	t.reg = reg
 	return t
 }
